@@ -1,0 +1,64 @@
+// Shared harness for the Figure 12/13 throughput sweeps: runs every scheme over
+// 8..64 GPUs for one (model, algorithm, testbed) combination and prints the series the
+// paper plots, plus the speedup factors its text quotes.
+#ifndef BENCH_BENCH_COMMON_H_
+#define BENCH_BENCH_COMMON_H_
+
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/compress/compressor.h"
+#include "src/ddl/experiment.h"
+#include "src/models/model_zoo.h"
+#include "src/util/table.h"
+
+namespace espresso {
+
+inline void RunThroughputSweep(const std::string& model_name, const std::string& algorithm,
+                               bool pcie) {
+  const ModelProfile model = GetModel(model_name);
+  const auto compressor =
+      CreateCompressor(CompressorConfig{.algorithm = algorithm, .ratio = 0.01});
+
+  const Scheme schemes[] = {Scheme::kFp32, Scheme::kBytePSCompress, Scheme::kHiTopKComm,
+                            Scheme::kHiPress, Scheme::kEspresso, Scheme::kUpperBound};
+  const size_t machine_counts[] = {1, 2, 4, 8};
+
+  std::cout << "--- " << model_name << " + " << algorithm << " on "
+            << (pcie ? "PCIe-only machines, 25Gbps Ethernet"
+                     : "NVLink machines, 100Gbps Ethernet")
+            << " (" << model.throughput_unit << ") ---\n";
+
+  TextTable table({"Scheme", "8 GPUs", "16 GPUs", "32 GPUs", "64 GPUs"});
+  std::map<Scheme, double> at64;
+  for (Scheme scheme : schemes) {
+    std::vector<std::string> row = {SchemeName(scheme)};
+    for (size_t machines : machine_counts) {
+      const ClusterSpec cluster = pcie ? PcieCluster(machines) : NvlinkCluster(machines);
+      const ThroughputResult r = RunScheme(model, cluster, *compressor, scheme);
+      row.push_back(TextTable::Num(r.throughput, 0));
+      if (machines == 8) {
+        at64[scheme] = r.throughput;
+      }
+    }
+    table.AddRow(row);
+  }
+  table.Print(std::cout);
+
+  auto speedup = [&](Scheme over) {
+    return TextTable::Percent(at64[Scheme::kEspresso] / at64[over] - 1.0, 0);
+  };
+  std::cout << "Espresso speedup at 64 GPUs: vs FP32 " << speedup(Scheme::kFp32)
+            << ", vs BytePS-Compress " << speedup(Scheme::kBytePSCompress)
+            << ", vs HiTopKComm " << speedup(Scheme::kHiTopKComm) << ", vs HiPress "
+            << speedup(Scheme::kHiPress) << "; gap to Upper Bound "
+            << TextTable::Percent(1.0 - at64[Scheme::kEspresso] / at64[Scheme::kUpperBound],
+                                  0)
+            << "\n\n";
+}
+
+}  // namespace espresso
+
+#endif  // BENCH_BENCH_COMMON_H_

@@ -1,0 +1,69 @@
+// Figure 10: the benefit ratio of GPU compression — reduced communication time divided
+// by incurred compression time — as a function of tensor size (64 GPUs, NVLink
+// machines). The ratio grows with size because every compression pays a constant
+// kernel-launch overhead; this is the insight behind Property 2's size prioritization.
+#include <iostream>
+
+#include "src/compress/compressor.h"
+#include "src/core/baselines.h"
+#include "src/core/decision_tree.h"
+#include "src/core/timeline.h"
+#include "src/models/model_profile.h"
+#include "src/util/table.h"
+
+int main() {
+  using namespace espresso;
+  const ClusterSpec cluster = NvlinkCluster();
+  const auto compressor =
+      CreateCompressor(CompressorConfig{.algorithm = "dgc", .ratio = 0.01});
+
+  TextTable table({"Tensor size", "comm saved (ms)", "compression cost (ms)",
+                   "benefit ratio"});
+  double previous_ratio = 0.0;
+  bool monotone = true;
+  for (size_t elements = 1 << 12; elements <= (64 << 20); elements *= 4) {
+    ModelProfile model;
+    model.name = "probe";
+    model.forward_time_s = 1e-3;
+    model.optimizer_time_s = 1e-4;
+    model.batch_size = 1;
+    model.throughput_unit = "it/s";
+    model.tensors = {{"probe", elements, 1e-3}};
+    TimelineEvaluator evaluator(model, cluster, *compressor);
+
+    const CompressionOption plain =
+        DefaultUncompressedOption(TreeConfig{cluster.machines, cluster.gpus_per_machine,
+                                             false});
+    const CompressionOption compressed = InterOnlyIndivisibleOption(cluster, Device::kGpu);
+    double plain_comm = 0.0;
+    for (const Op& op : plain.ops) {
+      plain_comm += evaluator.OpDuration(op, elements);
+    }
+    double compressed_comm = 0.0, compression = 0.0;
+    for (const Op& op : compressed.ops) {
+      const double d = evaluator.OpDuration(op, elements);
+      (op.task == ActionTask::kComm ? compressed_comm : compression) += d;
+    }
+    const double saved = plain_comm - compressed_comm;
+    const double ratio = saved / compression;
+    if (ratio < previous_ratio) {
+      monotone = false;
+    }
+    previous_ratio = ratio;
+
+    std::string size_label;
+    if (elements >= (1 << 20)) {
+      size_label = std::to_string(elements >> 20) + "M";
+    } else {
+      size_label = std::to_string(elements >> 10) + "K";
+    }
+    table.AddRow({size_label + " elems", TextTable::Num(saved * 1e3, 3),
+                  TextTable::Num(compression * 1e3, 3), TextTable::Num(ratio, 2)});
+  }
+  std::cout << "Figure 10: benefit ratio of GPU compression (DGC 1%, 64 GPUs, NVLink)\n";
+  table.Print(std::cout);
+  std::cout << (monotone ? "\nShape check PASSED: ratio increases with tensor size "
+                           "(matches the paper's Figure 10)\n"
+                         : "\nShape check FAILED: ratio is not monotone in size\n");
+  return monotone ? 0 : 1;
+}

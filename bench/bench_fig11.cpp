@@ -1,0 +1,37 @@
+// Figure 11: number of tensors sharing the same size, per model. Few distinct sizes is
+// what keeps Algorithm 2's product space small (Theorem 1, Table 6).
+#include <algorithm>
+#include <iostream>
+
+#include "src/models/model_stats.h"
+#include "src/models/model_zoo.h"
+#include "src/util/table.h"
+
+int main() {
+  using namespace espresso;
+  TextTable table({"Model", "# tensors", "distinct sizes", "largest group",
+                   "top size groups (size x count)"});
+  for (const ModelProfile& model : AllModels()) {
+    const auto histogram = SizeHistogram(model);
+    size_t largest = 0;
+    // Pick the three most-populated size groups for the summary column.
+    std::vector<std::pair<size_t, size_t>> by_count(histogram.begin(), histogram.end());
+    std::sort(by_count.begin(), by_count.end(),
+              [](const auto& a, const auto& b) { return a.second > b.second; });
+    std::string top;
+    for (size_t i = 0; i < std::min<size_t>(3, by_count.size()); ++i) {
+      largest = std::max(largest, by_count[i].second);
+      if (!top.empty()) {
+        top += ", ";
+      }
+      top += std::to_string(by_count[i].first) + "x" + std::to_string(by_count[i].second);
+    }
+    table.AddRow({model.name, std::to_string(model.TensorCount()),
+                  std::to_string(histogram.size()), std::to_string(largest), top});
+  }
+  std::cout << "Figure 11: tensors sharing the same size per model\n";
+  table.Print(std::cout);
+  std::cout << "\nPaper's point: hundreds of tensors collapse into a handful of size "
+               "groups, so Algorithm 2's offload space stays a few thousand choices\n";
+  return 0;
+}

@@ -1,0 +1,19 @@
+// Figure 12: training throughput on NVLink-based GPU machines with 100Gbps Ethernet:
+// (a) BERT-base + Random-k, (b) GPT2 + EFSignSGD, (c) UGATIT + DGC, each across
+// 8..64 GPUs for FP32 / BytePS-Compress / HiTopKComm / HiPress / Espresso /
+// Upper Bound.
+//
+// Paper highlights at 64 GPUs: BERT-base — Espresso beats BytePS-Compress/HiTopKComm/
+// HiPress by 31%/54%/40%; GPT2 — beats BytePS-Compress/HiPress by 42%/33%;
+// UGATIT — beats FP32/BytePS-Compress/HiTopKComm/HiPress by 149%/205%/50%/35%
+// (BytePS-Compress harms UGATIT).
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace espresso;
+  std::cout << "Figure 12: throughput with NVLink machines + 100Gbps Ethernet\n\n";
+  RunThroughputSweep("bert-base", "randomk", /*pcie=*/false);
+  RunThroughputSweep("gpt2", "efsignsgd", /*pcie=*/false);
+  RunThroughputSweep("ugatit", "dgc", /*pcie=*/false);
+  return 0;
+}

@@ -1,0 +1,18 @@
+// Figure 13: training throughput on PCIe-only GPU machines with 25Gbps Ethernet:
+// (a) VGG16 + Random-k, (b) LSTM + EFSignSGD, (c) ResNet101 + DGC.
+//
+// Paper highlights at 64 GPUs: VGG16 — Espresso beats FP32/BytePS-Compress/HiPress by
+// 269%/357%/55%; LSTM — beats BytePS-Compress/HiTopKComm/HiPress by 101%/73%/77%
+// (BytePS-Compress harms LSTM by 12%); ResNet101 — not communication-intensive, yet
+// Espresso still beats FP32/BytePS-Compress/HiPress by up to 20%/18%/24% while
+// HiTopKComm's all-tensor compression backfires.
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace espresso;
+  std::cout << "Figure 13: throughput with PCIe-only machines + 25Gbps Ethernet\n\n";
+  RunThroughputSweep("vgg16", "randomk", /*pcie=*/true);
+  RunThroughputSweep("lstm", "efsignsgd", /*pcie=*/true);
+  RunThroughputSweep("resnet101", "dgc", /*pcie=*/true);
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Option-space statistics (§4.4.1): the size of the compression-option space |C| that
+// makes brute force intractable, for several cluster shapes and with/without
+// compressed-domain aggregation. The paper quotes |C| = 4341 for its full tree; the
+// structure (hundreds of structural paths times 2^slots device choices) is the
+// contract, and EXPERIMENTS.md records our constant.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "src/core/decision_tree.h"
+#include "src/util/table.h"
+
+namespace {
+
+using namespace espresso;
+
+void BM_EnumerateOptions(benchmark::State& state) {
+  const TreeConfig config{static_cast<size_t>(state.range(0)),
+                          static_cast<size_t>(state.range(1)), state.range(2) != 0};
+  for (auto _ : state) {
+    OptionSpace space = EnumerateOptions(config);
+    benchmark::DoNotOptimize(space.options.data());
+  }
+}
+BENCHMARK(BM_EnumerateOptions)
+    ->Args({8, 8, 0})
+    ->Args({8, 8, 1})
+    ->Args({16, 4, 0})
+    ->Args({1, 8, 0})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_CandidateOptions(benchmark::State& state) {
+  const TreeConfig config{8, 8, state.range(0) != 0};
+  for (auto _ : state) {
+    auto candidates = CandidateOptions(config);
+    benchmark::DoNotOptimize(candidates.data());
+  }
+}
+BENCHMARK(BM_CandidateOptions)->Arg(0)->Arg(1)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+
+  using namespace espresso;
+  TextTable table({"Cluster", "compressed agg", "structural paths", "|C| with devices",
+                   "Algorithm-1 candidates"});
+  struct Shape {
+    size_t machines, gpus;
+    bool agg;
+  };
+  for (const Shape& s : {Shape{8, 8, false}, Shape{8, 8, true}, Shape{16, 4, false},
+                         Shape{1, 8, false}, Shape{4, 1, false}}) {
+    const TreeConfig config{s.machines, s.gpus, s.agg};
+    const OptionSpace space = EnumerateOptions(config);
+    table.AddRow({std::to_string(s.machines) + "x" + std::to_string(s.gpus),
+                  s.agg ? "yes" : "no", std::to_string(space.options.size()),
+                  std::to_string(space.TotalWithDeviceChoices()),
+                  std::to_string(CandidateOptions(config).size())});
+  }
+  std::cout << "\nOption-space sizes (paper quotes |C| = 4341 for its tree)\n";
+  table.Print(std::cout);
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Scale-out projection (beyond the paper's 64 GPUs): §5.2.1 observes that "when DDL
+// scales out, the computational overhead caused by compression also increases, and
+// Espresso becomes more beneficial". This bench extends the Figure-12/13 sweeps to 128
+// and 256 GPUs and checks that Espresso's margin over the best baseline is monotone
+// non-decreasing in cluster size.
+#include <algorithm>
+#include <iostream>
+
+#include "src/compress/compressor.h"
+#include "src/ddl/experiment.h"
+#include "src/models/model_zoo.h"
+#include "src/util/table.h"
+
+int main() {
+  using namespace espresso;
+  struct Job {
+    const char* model;
+    const char* algorithm;
+    bool pcie;
+  };
+  bool monotone = true;
+  for (const Job& job : {Job{"bert-base", "randomk", false}, Job{"vgg16", "randomk", true}}) {
+    const ModelProfile model = GetModel(job.model);
+    const auto compressor =
+        CreateCompressor(CompressorConfig{.algorithm = job.algorithm, .ratio = 0.01});
+    std::cout << "--- " << job.model << " + " << job.algorithm << " on "
+              << (job.pcie ? "PCIe/25G" : "NVLink/100G") << " ---\n";
+    TextTable table({"GPUs", "FP32", "best baseline", "Espresso", "margin"});
+    double previous_margin = 0.0;
+    for (size_t machines : {4u, 8u, 16u, 32u}) {
+      const ClusterSpec cluster =
+          job.pcie ? PcieCluster(machines) : NvlinkCluster(machines);
+      const double fp32 =
+          RunScheme(model, cluster, *compressor, Scheme::kFp32).throughput;
+      double best_baseline = fp32;
+      for (Scheme scheme :
+           {Scheme::kBytePSCompress, Scheme::kHiTopKComm, Scheme::kHiPress}) {
+        best_baseline = std::max(
+            best_baseline, RunScheme(model, cluster, *compressor, scheme).throughput);
+      }
+      const double espresso =
+          RunScheme(model, cluster, *compressor, Scheme::kEspresso).throughput;
+      const double margin = espresso / best_baseline - 1.0;
+      if (margin + 1e-6 < previous_margin && machines > 4) {
+        monotone = false;
+      }
+      previous_margin = std::max(previous_margin, margin);
+      table.AddRow({std::to_string(machines * cluster.gpus_per_machine),
+                    TextTable::Num(fp32, 0), TextTable::Num(best_baseline, 0),
+                    TextTable::Num(espresso, 0), TextTable::Percent(margin, 1)});
+    }
+    table.Print(std::cout);
+    std::cout << "\n";
+  }
+  std::cout << (monotone
+                    ? "Shape check PASSED: Espresso's margin over the best baseline does "
+                      "not shrink as the cluster grows\n"
+                    : "Shape check NOTE: margin dipped at some scale (see table)\n");
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Performance of the timeline engine itself (google-benchmark): F(S) evaluations are
+// the decision algorithm's inner loop (Tables 5-6 depend on this number), so this bench
+// is the regression guard for the engine's allocation-light task path.
+#include <benchmark/benchmark.h>
+
+#include "src/core/baselines.h"
+#include "src/core/timeline.h"
+#include "src/models/model_zoo.h"
+
+namespace {
+
+using namespace espresso;
+
+void BM_IterationTime(benchmark::State& state, const std::string& model_name) {
+  const ModelProfile model = GetModel(model_name);
+  const ClusterSpec cluster = NvlinkCluster();
+  const auto compressor =
+      CreateCompressor(CompressorConfig{.algorithm = "dgc", .ratio = 0.01});
+  TimelineEvaluator evaluator(model, cluster, *compressor);
+  const Strategy strategy = HiPressStrategy(model, cluster, *compressor);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evaluator.IterationTime(strategy));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(model.tensors.size()));
+}
+
+void BM_BeforeBubble(benchmark::State& state) {
+  const ModelProfile model = ResNet101();
+  const ClusterSpec cluster = NvlinkCluster();
+  const auto compressor =
+      CreateCompressor(CompressorConfig{.algorithm = "dgc", .ratio = 0.01});
+  TimelineEvaluator evaluator(model, cluster, *compressor);
+  const Strategy strategy = Fp32Strategy(model, cluster);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evaluator.BeforeBubble(strategy));
+  }
+}
+BENCHMARK(BM_BeforeBubble)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (const char* name : {"lstm", "vgg16", "gpt2", "bert-base", "resnet101"}) {
+    const std::string label = std::string("IterationTime/") + name;
+    const std::string model_name = name;
+    benchmark::RegisterBenchmark(label.c_str(), [model_name](benchmark::State& state) {
+      BM_IterationTime(state, model_name);
+    })->Unit(benchmark::kMicrosecond);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

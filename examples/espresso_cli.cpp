@@ -1,0 +1,91 @@
+// The Figure-6 front end: Espresso takes three configuration files — model information,
+// GC information, and training-system information — selects a near-optimal compression
+// strategy offline, and reports the per-tensor decisions and the predicted speedup.
+//
+// Usage: espresso_cli <model.ini> <gc.ini> <system.ini>
+// Try:   espresso_cli configs/model_gpt2.ini configs/gc_dgc.ini configs/system_nvlink.ini
+#include <cstdio>
+#include <iostream>
+
+#include "src/core/baselines.h"
+#include "src/core/espresso.h"
+#include "src/ddl/experiment.h"
+#include "src/core/strategy_io.h"
+#include "src/ddl/job_config.h"
+
+int main(int argc, char** argv) {
+  using namespace espresso;
+  if (argc != 4 && argc != 5) {
+    std::cerr << "usage: " << argv[0]
+              << " <model.ini> <gc.ini> <system.ini> [strategy-out.esp]\n";
+    return 2;
+  }
+  const JobConfigResult loaded = LoadJobConfigFromFiles(argv[1], argv[2], argv[3]);
+  if (!loaded.ok) {
+    std::cerr << "error: " << loaded.error << "\n";
+    return 1;
+  }
+  const JobConfig& job = loaded.job;
+  const auto compressor = job.MakeCompressor();
+
+  std::cout << "Job: " << job.model.name << " (" << job.model.TensorCount() << " tensors, "
+            << static_cast<double>(job.model.TotalBytes()) / (1024.0 * 1024.0) << " MB) + "
+            << compressor->name() << " on " << job.cluster.machines << "x"
+            << job.cluster.gpus_per_machine << " GPUs (" << job.cluster.intra.name << " / "
+            << job.cluster.inter.name << ")";
+  if (job.max_compress_ops > 0) {
+    std::cout << ", user limit: <= " << job.max_compress_ops << " compression ops/tensor";
+  }
+  std::cout << "\n\n";
+
+  SelectorOptions options;
+  if (job.max_compress_ops > 0) {
+    TreeConfig tree{job.cluster.machines, job.cluster.gpus_per_machine,
+                    compressor->SupportsCompressedAggregation(), job.max_compress_ops};
+    options.candidates = CandidateOptions(tree);
+  }
+  EspressoSelector selector(job.model, job.cluster, *compressor, options);
+  const SelectionResult result = selector.Select();
+
+  const ThroughputResult fp32 =
+      MeasureThroughput(job.model, job.cluster, *compressor,
+                        Fp32Strategy(job.model, job.cluster));
+  const ThroughputResult espresso = MeasureThroughput(job.model, job.cluster, *compressor,
+                                                      result.strategy);
+
+  std::printf("FP32 baseline : %8.2f ms/iter, %10.0f %s (scaling %.2f)\n",
+              fp32.iteration_time_s * 1e3, fp32.throughput,
+              job.model.throughput_unit.c_str(), fp32.scaling_factor);
+  std::printf("Espresso      : %8.2f ms/iter, %10.0f %s (scaling %.2f)  -> %.2fx speedup\n\n",
+              espresso.iteration_time_s * 1e3, espresso.throughput,
+              job.model.throughput_unit.c_str(), espresso.scaling_factor,
+              fp32.iteration_time_s / espresso.iteration_time_s);
+
+  std::cout << "Strategy: " << result.strategy.Summary() << "\n";
+  std::cout << "Selected in "
+            << (result.gpu_stage_seconds + result.offload_stage_seconds) * 1e3 << " ms ("
+            << result.timeline_evaluations << " timeline evaluations, "
+            << result.offload_combinations << " offload combinations"
+            << (result.offload_exact ? "" : ", coordinate descent") << ")\n\n";
+
+  std::cout << "Per-tensor compression options (backward order):\n";
+  for (size_t i = 0; i < job.model.tensors.size(); ++i) {
+    const auto& t = job.model.tensors[i];
+    std::printf("  %-28s %10.2f MB  %s\n", t.name.c_str(),
+                static_cast<double>(t.bytes()) / (1024.0 * 1024.0),
+                result.strategy.options[i].label.c_str());
+    if (i == 11 && job.model.tensors.size() > 14) {
+      std::printf("  ... (%zu more tensors)\n", job.model.tensors.size() - 12);
+      break;
+    }
+  }
+  if (argc == 5) {
+    if (!WriteStrategyFile(argv[4], result.strategy)) {
+      std::cerr << "error: cannot write " << argv[4] << "\n";
+      return 1;
+    }
+    std::cout << "\nStrategy written to " << argv[4]
+              << " (load it in the runtime with ReadStrategyFile)\n";
+  }
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Quickstart: select a near-optimal compression strategy for a DNN training job and
+// compare it against the FP32 baseline and the state-of-the-art compression baselines.
+//
+// Usage: quickstart [model] [algorithm] [testbed]
+//   model:     vgg16 | resnet101 | ugatit | bert-base | gpt2 | lstm   (default gpt2)
+//   algorithm: randomk | dgc | efsignsgd | qsgd | terngrad | fp16     (default dgc)
+//   testbed:   nvlink | pcie                                          (default nvlink)
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "src/compress/compressor.h"
+#include "src/core/espresso.h"
+#include "src/ddl/experiment.h"
+#include "src/models/model_zoo.h"
+
+int main(int argc, char** argv) {
+  using namespace espresso;
+  const std::string model_name = argc > 1 ? argv[1] : "gpt2";
+  const std::string algorithm = argc > 2 ? argv[2] : "dgc";
+  const std::string testbed = argc > 3 ? argv[3] : "nvlink";
+
+  const ModelProfile model = GetModel(model_name);
+  const ClusterSpec cluster = testbed == "pcie" ? PcieCluster() : NvlinkCluster();
+  CompressorConfig config;
+  config.algorithm = algorithm;
+  config.ratio = 0.01;  // 1% compression rate, the paper's sparsification setting
+  const auto compressor = CreateCompressor(config);
+
+  std::cout << "Model " << model.name << ": " << model.TensorCount() << " tensors, "
+            << model.TotalBytes() / (1024.0 * 1024.0) << " MB, single-GPU iteration "
+            << model.SingleGpuIterationTime() * 1e3 << " ms\n";
+  std::cout << "Cluster: " << cluster.machines << " machines x " << cluster.gpus_per_machine
+            << " GPUs, intra=" << cluster.intra.name << ", inter=" << cluster.inter.name
+            << "\n";
+  std::cout << "Compression: " << compressor->name() << "\n\n";
+
+  for (Scheme scheme : {Scheme::kFp32, Scheme::kBytePSCompress, Scheme::kHiTopKComm,
+                        Scheme::kHiPress, Scheme::kEspresso, Scheme::kUpperBound}) {
+    const ThroughputResult r = RunScheme(model, cluster, *compressor, scheme);
+    std::printf("%-16s iter %7.2f ms   throughput %10.0f %s   scaling %.2f\n",
+                SchemeName(scheme), r.iteration_time_s * 1e3, r.throughput,
+                model.throughput_unit.c_str(), r.scaling_factor);
+  }
+
+  // Show what Espresso actually decided.
+  EspressoSelector selector(model, cluster, *compressor);
+  const SelectionResult selection = selector.Select();
+  std::cout << "\nEspresso strategy: " << selection.strategy.Summary() << "\n";
+  std::cout << "Selection time: " << (selection.gpu_stage_seconds +
+                                      selection.offload_stage_seconds) * 1e3
+            << " ms (" << selection.timeline_evaluations << " timeline evaluations)\n";
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Strategy explorer: walks the decision-tree abstraction for a cluster and shows
+// (1) the option space (every valid compression option of a tensor, §4.2), and
+// (2) the per-tensor options Espresso actually selects for a model, with the paper's
+// four dimensions called out.
+//
+// Usage: strategy_explorer [model] [algorithm] [testbed]
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "src/core/decision_tree.h"
+#include "src/core/espresso.h"
+#include "src/models/model_zoo.h"
+
+int main(int argc, char** argv) {
+  using namespace espresso;
+  const std::string model_name = argc > 1 ? argv[1] : "lstm";
+  const std::string algorithm = argc > 2 ? argv[2] : "randomk";
+  const std::string testbed = argc > 3 ? argv[3] : "pcie";
+
+  const ClusterSpec cluster = testbed == "pcie" ? PcieCluster() : NvlinkCluster();
+  const auto compressor =
+      CreateCompressor(CompressorConfig{.algorithm = algorithm, .ratio = 0.01});
+  const TreeConfig config{cluster.machines, cluster.gpus_per_machine,
+                          compressor->SupportsCompressedAggregation()};
+
+  // Part 1: the option space.
+  const OptionSpace space = EnumerateOptions(config);
+  std::cout << "Decision tree for " << cluster.machines << " machines x "
+            << cluster.gpus_per_machine << " GPUs (compressed-domain aggregation: "
+            << (config.supports_compressed_aggregation ? "yes" : "no") << ")\n";
+  std::cout << "  structural paths: " << space.options.size() << "\n";
+  std::cout << "  |C| with per-op GPU/CPU choices: " << space.TotalWithDeviceChoices()
+            << "  (the paper's tree has |C| = 4341)\n\n";
+  std::cout << "A few sample paths:\n";
+  size_t shown = 0;
+  for (const auto& option : space.options) {
+    if (option.Compressed() && shown < 6) {
+      std::cout << "  " << option.Describe() << "\n";
+      ++shown;
+    }
+  }
+
+  // Part 2: what Espresso picks for the model.
+  const ModelProfile model = GetModel(model_name);
+  EspressoSelector selector(model, cluster, *compressor);
+  const SelectionResult result = selector.Select();
+  std::cout << "\nEspresso's strategy for " << model.name << " + " << algorithm << " on "
+            << testbed << " (" << result.strategy.Summary() << ", iteration "
+            << result.iteration_time * 1e3 << " ms):\n\n";
+
+  // Group tensors by chosen option for a compact report.
+  std::map<std::string, std::pair<size_t, size_t>> usage;  // label -> (count, bytes)
+  for (size_t i = 0; i < model.tensors.size(); ++i) {
+    auto& [count, bytes] = usage[result.strategy.options[i].label];
+    ++count;
+    bytes += model.tensors[i].bytes();
+  }
+  for (const auto& [label, stats] : usage) {
+    std::printf("  %-55s %3zu tensors, %7.1f MB\n", label.c_str(), stats.first,
+                static_cast<double>(stats.second) / (1024.0 * 1024.0));
+  }
+
+  std::cout << "\nPer-tensor detail (largest five):\n";
+  std::vector<size_t> order(model.tensors.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    order[i] = i;
+  }
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return model.tensors[a].elements > model.tensors[b].elements;
+  });
+  for (size_t k = 0; k < std::min<size_t>(5, order.size()); ++k) {
+    const size_t i = order[k];
+    std::printf("  %-24s %7.1f MB  -> %s\n", model.tensors[i].name.c_str(),
+                static_cast<double>(model.tensors[i].bytes()) / (1024.0 * 1024.0),
+                result.strategy.options[i].Describe().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Hierarchical gradient synchronization (Figure 1): intra-machine reduce-scatter,
+// inter-machine aggregation over each shard, intra-machine allgather.
+//
+// The inter-machine stage can run uncompressed (allreduce) or compressed with either
+// scheme from src/collectives/schemes.h; the intra stages can additionally compress
+// (the "both intra- and inter-machine" choice of Dimension 4). Functional counterpart of
+// the pipelines the timeline engine prices.
+#ifndef SRC_COLLECTIVES_HIERARCHICAL_H_
+#define SRC_COLLECTIVES_HIERARCHICAL_H_
+
+#include <cstdint>
+
+#include "src/collectives/rank_group.h"
+#include "src/collectives/schemes.h"
+#include "src/compress/compressor.h"
+
+namespace espresso {
+
+enum class InterScheme {
+  kUncompressedAllreduce,
+  kCompressedIndivisible,  // allgather of compressed payloads
+  kCompressedDivisible,    // alltoall + allgather
+};
+
+struct HierarchicalOptions {
+  size_t machines = 1;
+  size_t gpus_per_machine = 1;
+  InterScheme inter = InterScheme::kUncompressedAllreduce;
+  // Compress the intra-machine steps too (first step alltoall-compressed, second step
+  // allgather-compressed). Requires `compressor`.
+  bool compress_intra = false;
+  const Compressor* compressor = nullptr;    // required for any compressed stage
+  std::vector<ErrorFeedback>* feedback = nullptr;  // one per global rank, optional
+  uint64_t tensor_id = 0;
+  uint64_t seed = 0;
+};
+
+struct HierarchicalResult {
+  CollectiveTraffic intra_traffic;  // per-GPU bytes on the intra-machine fabric
+  CollectiveTraffic inter_traffic;  // per-machine bytes on the inter-machine network
+};
+
+// Synchronizes `buffers` (one per global rank, machine-major order: rank = m * g + l).
+// On return every rank holds the same aggregated tensor (exact for the uncompressed
+// path; compression error applies otherwise).
+HierarchicalResult HierarchicalSync(const HierarchicalOptions& options, RankBuffers& buffers);
+
+}  // namespace espresso
+
+#endif  // SRC_COLLECTIVES_HIERARCHICAL_H_

@@ -1,0 +1,158 @@
+#include "src/collectives/primitives.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+
+namespace espresso {
+
+std::vector<float> NaiveSum(const RankBuffers& buffers) {
+  const size_t n = CheckUniformSize(buffers);
+  std::vector<float> sum(n, 0.0f);
+  for (const auto& b : buffers) {
+    for (size_t i = 0; i < n; ++i) {
+      sum[i] += b[i];
+    }
+  }
+  return sum;
+}
+
+CollectiveTraffic AllReduce(RankBuffers& buffers) {
+  const size_t n = CheckUniformSize(buffers);
+  const size_t p = buffers.size();
+  CollectiveTraffic traffic;
+  if (p == 1) {
+    return traffic;
+  }
+  // Ring allreduce: p-1 reduce-scatter rounds followed by p-1 allgather rounds.
+  // Each rank sends one partition per round.
+  const Partition part(n, p);
+
+  // Reduce-scatter phase: after round s, rank r has accumulated (s+1) contributions in
+  // the chunk it will own. We simulate the rounds explicitly for faithful traffic
+  // accounting, accumulating into working copies.
+  RankBuffers work = buffers;
+  for (size_t step = 0; step + 1 < p; ++step) {
+    // In round `step`, rank r sends chunk (r - step) mod p to rank (r + 1) mod p.
+    std::vector<std::vector<float>> in_flight(p);
+    for (size_t r = 0; r < p; ++r) {
+      const size_t chunk = (r + p - step) % p;
+      const size_t off = part.Offset(chunk);
+      const size_t len = part.Length(chunk);
+      in_flight[r].assign(work[r].begin() + static_cast<ptrdiff_t>(off),
+                          work[r].begin() + static_cast<ptrdiff_t>(off + len));
+    }
+    for (size_t r = 0; r < p; ++r) {
+      const size_t dst = (r + 1) % p;
+      const size_t chunk = (r + p - step) % p;
+      const size_t off = part.Offset(chunk);
+      for (size_t i = 0; i < in_flight[r].size(); ++i) {
+        work[dst][off + i] += in_flight[r][i];
+      }
+    }
+  }
+  // After p-1 rounds, rank r owns the fully reduced chunk (r + 1) mod p.
+  // Allgather phase: circulate owned chunks for p-1 rounds.
+  for (size_t step = 0; step + 1 < p; ++step) {
+    std::vector<std::vector<float>> in_flight(p);
+    std::vector<size_t> chunk_of(p);
+    for (size_t r = 0; r < p; ++r) {
+      const size_t chunk = (r + 1 + p - step) % p;
+      chunk_of[r] = chunk;
+      const size_t off = part.Offset(chunk);
+      const size_t len = part.Length(chunk);
+      in_flight[r].assign(work[r].begin() + static_cast<ptrdiff_t>(off),
+                          work[r].begin() + static_cast<ptrdiff_t>(off + len));
+    }
+    for (size_t r = 0; r < p; ++r) {
+      const size_t dst = (r + 1) % p;
+      const size_t off = part.Offset(chunk_of[r]);
+      std::copy(in_flight[r].begin(), in_flight[r].end(),
+                work[dst].begin() + static_cast<ptrdiff_t>(off));
+    }
+  }
+  buffers = std::move(work);
+  // Per-rank traffic: 2(p-1)/p * n floats.
+  traffic.bytes_sent_per_rank = 2 * (p - 1) * (n / p + (n % p != 0 ? 1 : 0)) * sizeof(float);
+  traffic.communication_steps = 2 * (p - 1);
+  return traffic;
+}
+
+CollectiveTraffic ReduceScatter(const RankBuffers& buffers,
+                                std::vector<std::vector<float>>* out_shards) {
+  ESP_CHECK(out_shards != nullptr);
+  const size_t n = CheckUniformSize(buffers);
+  const size_t p = buffers.size();
+  const Partition part(n, p);
+  out_shards->assign(p, {});
+  for (size_t r = 0; r < p; ++r) {
+    const size_t off = part.Offset(r);
+    const size_t len = part.Length(r);
+    auto& shard = (*out_shards)[r];
+    shard.assign(len, 0.0f);
+    for (const auto& b : buffers) {
+      for (size_t i = 0; i < len; ++i) {
+        shard[i] += b[off + i];
+      }
+    }
+  }
+  CollectiveTraffic traffic;
+  traffic.bytes_sent_per_rank =
+      (p - 1) * (n / p + (n % p != 0 ? 1 : 0)) * sizeof(float);
+  traffic.communication_steps = p - 1;
+  return traffic;
+}
+
+CollectiveTraffic AllGather(const std::vector<std::vector<float>>& shards,
+                            RankBuffers* buffers) {
+  ESP_CHECK(buffers != nullptr);
+  const size_t p = shards.size();
+  ESP_CHECK_GT(p, 0u);
+  size_t n = 0;
+  for (const auto& s : shards) {
+    n += s.size();
+  }
+  const Partition part(n, p);
+  for (size_t r = 0; r < p; ++r) {
+    ESP_CHECK_EQ(shards[r].size(), part.Length(r));
+  }
+  buffers->assign(p, std::vector<float>(n));
+  for (size_t dst = 0; dst < p; ++dst) {
+    for (size_t src = 0; src < p; ++src) {
+      std::copy(shards[src].begin(), shards[src].end(),
+                (*buffers)[dst].begin() + static_cast<ptrdiff_t>(part.Offset(src)));
+    }
+  }
+  CollectiveTraffic traffic;
+  traffic.bytes_sent_per_rank =
+      (p - 1) * (n / p + (n % p != 0 ? 1 : 0)) * sizeof(float);
+  traffic.communication_steps = p - 1;
+  return traffic;
+}
+
+CollectiveTraffic Reduce(const RankBuffers& buffers, size_t root, std::vector<float>* out) {
+  ESP_CHECK(out != nullptr);
+  const size_t n = CheckUniformSize(buffers);
+  const size_t p = buffers.size();
+  ESP_CHECK_LT(root, p);
+  *out = NaiveSum(buffers);
+  (void)n;
+  CollectiveTraffic traffic;
+  traffic.bytes_sent_per_rank = (p - 1) * n * sizeof(float) / p;  // pipelined tree average
+  traffic.communication_steps = p - 1;
+  return traffic;
+}
+
+CollectiveTraffic Broadcast(const std::vector<float>& value, RankBuffers* buffers) {
+  ESP_CHECK(buffers != nullptr);
+  ESP_CHECK(!buffers->empty());
+  for (auto& b : *buffers) {
+    b = value;
+  }
+  CollectiveTraffic traffic;
+  traffic.bytes_sent_per_rank = value.size() * sizeof(float);
+  traffic.communication_steps = buffers->size() - 1;
+  return traffic;
+}
+
+}  // namespace espresso

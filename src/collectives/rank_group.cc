@@ -1,0 +1,36 @@
+#include "src/collectives/rank_group.h"
+
+#include "src/util/logging.h"
+
+namespace espresso {
+
+Partition::Partition(size_t elements_in, size_t parts_in)
+    : elements(elements_in), parts(parts_in) {
+  ESP_CHECK_GT(parts, 0u);
+}
+
+size_t Partition::Offset(size_t part) const {
+  ESP_CHECK_LT(part, parts);
+  const size_t base = elements / parts;
+  const size_t remainder = elements % parts;
+  // The first `remainder` parts get one extra element.
+  return part * base + std::min(part, remainder);
+}
+
+size_t Partition::Length(size_t part) const {
+  ESP_CHECK_LT(part, parts);
+  const size_t base = elements / parts;
+  const size_t remainder = elements % parts;
+  return base + (part < remainder ? 1 : 0);
+}
+
+size_t CheckUniformSize(const RankBuffers& buffers) {
+  ESP_CHECK(!buffers.empty());
+  const size_t n = buffers.front().size();
+  for (const auto& b : buffers) {
+    ESP_CHECK_EQ(b.size(), n);
+  }
+  return n;
+}
+
+}  // namespace espresso

@@ -1,0 +1,55 @@
+// Communication schemes for compressed tensors (Table 2, Figures 3-4).
+//
+// Indivisible scheme (Figure 3): one communication op. Each rank compresses its tensor
+// and allgathers the payloads; every rank then decompresses and aggregates all of them.
+//
+// Divisible scheme (Figure 4): two communication ops. Each rank compresses each of the
+// N index-range parts of its tensor and alltoall-shuffles them; rank j decompresses and
+// aggregates the j-th parts, re-compresses the aggregate, and the second op allgathers
+// those payloads; finally every rank decompresses all parts. When the compressor
+// supports compressed-domain aggregation (shared-seed Random-k), the middle
+// decompress-aggregate-recompress stage can be skipped (§4.2.2 footnote).
+//
+// Every rank keeps its own ErrorFeedback so convergence tests exercise the real
+// error-compensated pipeline.
+#ifndef SRC_COLLECTIVES_SCHEMES_H_
+#define SRC_COLLECTIVES_SCHEMES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/collectives/rank_group.h"
+#include "src/compress/compressor.h"
+#include "src/compress/error_feedback.h"
+
+namespace espresso {
+
+struct SchemeResult {
+  CollectiveTraffic traffic;
+  size_t compress_calls = 0;
+  size_t decompress_calls = 0;
+};
+
+// Per-call context: one ErrorFeedback per rank (may be null to disable EF), a tensor id
+// for the residual store, and the compression seed shared by all ranks this step.
+struct SchemeContext {
+  std::vector<ErrorFeedback>* feedback = nullptr;  // size == ranks, or nullptr
+  uint64_t tensor_id = 0;
+  uint64_t seed = 0;
+};
+
+// Figure 3. On return every rank buffer holds the aggregated (decompressed) result.
+SchemeResult CompressedIndivisibleAllgather(const Compressor& compressor,
+                                            const SchemeContext& ctx, RankBuffers& buffers);
+
+// Figure 4 with Alltoall as the first op and Allgather as the second.
+SchemeResult CompressedDivisibleAlltoall(const Compressor& compressor,
+                                         const SchemeContext& ctx, RankBuffers& buffers);
+
+// Figure 4 variant rooted at rank 0: Gather as the first op, Broadcast as the second.
+SchemeResult CompressedDivisibleGather(const Compressor& compressor, const SchemeContext& ctx,
+                                       RankBuffers& buffers);
+
+}  // namespace espresso
+
+#endif  // SRC_COLLECTIVES_SCHEMES_H_

@@ -1,0 +1,42 @@
+#include "src/compress/efsignsgd.h"
+
+#include <cmath>
+
+#include "src/util/logging.h"
+
+namespace espresso {
+
+size_t EfSignSgdCompressor::CompressedBytes(size_t elements) const {
+  return (elements + 7) / 8 + sizeof(float);
+}
+
+void EfSignSgdCompressor::Compress(std::span<const float> input, uint64_t /*seed*/,
+                                   CompressedTensor* out) const {
+  ESP_CHECK(out != nullptr);
+  out->Clear();
+  out->kind = PayloadKind::kPackedBits;
+  out->original_elements = input.size();
+  out->bytes.assign((input.size() + 7) / 8, 0);
+  double l1 = 0.0;
+  for (size_t i = 0; i < input.size(); ++i) {
+    l1 += std::fabs(static_cast<double>(input[i]));
+    if (input[i] >= 0.0f) {
+      out->bytes[i / 8] |= static_cast<uint8_t>(1u << (i % 8));
+    }
+  }
+  const float scale =
+      input.empty() ? 0.0f : static_cast<float>(l1 / static_cast<double>(input.size()));
+  out->scales.push_back(scale);
+}
+
+void EfSignSgdCompressor::DecompressAdd(const CompressedTensor& in, std::span<float> out) const {
+  ESP_CHECK_EQ(in.original_elements, out.size());
+  ESP_CHECK_EQ(in.scales.size(), 1u);
+  const float scale = in.scales[0];
+  for (size_t i = 0; i < out.size(); ++i) {
+    const bool positive = (in.bytes[i / 8] >> (i % 8)) & 1u;
+    out[i] += positive ? scale : -scale;
+  }
+}
+
+}  // namespace espresso

@@ -1,0 +1,58 @@
+#include "src/compress/error_feedback.h"
+
+#include "src/util/logging.h"
+
+namespace espresso {
+
+ErrorFeedback::ErrorFeedback(double momentum) : momentum_(momentum) {
+  ESP_CHECK_GE(momentum, 0.0);
+  ESP_CHECK_LT(momentum, 1.0);
+}
+
+void ErrorFeedback::CompressWithFeedback(const Compressor& compressor, uint64_t tensor_id,
+                                         std::span<const float> grad, uint64_t seed,
+                                         CompressedTensor* out) {
+  ESP_CHECK(out != nullptr);
+  auto& residual = residuals_[tensor_id];
+  if (residual.size() != grad.size()) {
+    residual.assign(grad.size(), 0.0f);
+  }
+  scratch_.resize(grad.size());
+  if (momentum_ > 0.0) {
+    // DGC momentum correction: u_t = m * u_{t-1} + g_t; corrected = residual + u_t.
+    auto& velocity = velocities_[tensor_id];
+    if (velocity.size() != grad.size()) {
+      velocity.assign(grad.size(), 0.0f);
+    }
+    for (size_t i = 0; i < grad.size(); ++i) {
+      velocity[i] = static_cast<float>(momentum_) * velocity[i] + grad[i];
+      scratch_[i] = velocity[i] + residual[i];
+    }
+  } else {
+    // corrected = grad + residual
+    for (size_t i = 0; i < grad.size(); ++i) {
+      scratch_[i] = grad[i] + residual[i];
+    }
+  }
+  compressor.Compress(scratch_, seed, out);
+  // residual' = corrected - decompress(out)
+  for (size_t i = 0; i < grad.size(); ++i) {
+    residual[i] = scratch_[i];
+  }
+  // Subtract the decompressed payload: DecompressAdd adds, so negate via a temp pass.
+  std::vector<float> decompressed(grad.size(), 0.0f);
+  compressor.DecompressAdd(*out, decompressed);
+  for (size_t i = 0; i < grad.size(); ++i) {
+    residual[i] -= decompressed[i];
+  }
+}
+
+std::span<const float> ErrorFeedback::residual(uint64_t tensor_id) const {
+  auto it = residuals_.find(tensor_id);
+  if (it == residuals_.end()) {
+    return {};
+  }
+  return it->second;
+}
+
+}  // namespace espresso

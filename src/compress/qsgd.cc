@@ -1,0 +1,64 @@
+#include "src/compress/qsgd.h"
+
+#include <cmath>
+
+#include "src/util/logging.h"
+#include "src/util/rng.h"
+
+namespace espresso {
+
+QsgdCompressor::QsgdCompressor(int bits) : bits_(bits), levels_((1 << bits) - 1) {
+  ESP_CHECK_GE(bits, 1);
+  ESP_CHECK_LE(bits, 7);  // sign + level fit one byte
+}
+
+size_t QsgdCompressor::CompressedBytes(size_t elements) const {
+  return elements + sizeof(float);  // one code byte per element + the norm
+}
+
+void QsgdCompressor::Compress(std::span<const float> input, uint64_t seed,
+                              CompressedTensor* out) const {
+  ESP_CHECK(out != nullptr);
+  out->Clear();
+  out->kind = PayloadKind::kPackedBits;
+  out->original_elements = input.size();
+  double sq = 0.0;
+  for (float v : input) {
+    sq += static_cast<double>(v) * static_cast<double>(v);
+  }
+  const float norm = static_cast<float>(std::sqrt(sq));
+  out->scales.push_back(norm);
+  out->bytes.resize(input.size());
+  if (norm == 0.0f) {
+    return;
+  }
+  Rng rng(DeriveSeed(seed, input.size()));
+  for (size_t i = 0; i < input.size(); ++i) {
+    const float magnitude = std::fabs(input[i]) / norm * static_cast<float>(levels_);
+    auto level = static_cast<int>(magnitude);
+    const float frac = magnitude - static_cast<float>(level);
+    if (rng.Uniform(0.0, 1.0) < frac) {
+      ++level;
+    }
+    ESP_CHECK_LE(level, levels_);
+    uint8_t code = static_cast<uint8_t>(level);
+    if (input[i] < 0.0f) {
+      code |= 0x80;
+    }
+    out->bytes[i] = code;
+  }
+}
+
+void QsgdCompressor::DecompressAdd(const CompressedTensor& in, std::span<float> out) const {
+  ESP_CHECK_EQ(in.original_elements, out.size());
+  ESP_CHECK_EQ(in.scales.size(), 1u);
+  const float norm = in.scales[0];
+  const float unit = norm / static_cast<float>(levels_);
+  for (size_t i = 0; i < out.size(); ++i) {
+    const uint8_t code = in.bytes[i];
+    const float value = static_cast<float>(code & 0x7F) * unit;
+    out[i] += (code & 0x80) ? -value : value;
+  }
+}
+
+}  // namespace espresso

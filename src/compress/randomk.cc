@@ -1,0 +1,69 @@
+#include "src/compress/randomk.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/logging.h"
+#include "src/util/rng.h"
+
+namespace espresso {
+
+RandomKCompressor::RandomKCompressor(double ratio) : ratio_(ratio) {
+  ESP_CHECK_GT(ratio, 0.0);
+  ESP_CHECK_LE(ratio, 1.0);
+}
+
+size_t RandomKCompressor::KeptElements(size_t elements) const {
+  if (elements == 0) {
+    return 0;
+  }
+  const auto k = static_cast<size_t>(std::llround(ratio_ * static_cast<double>(elements)));
+  return std::clamp<size_t>(k, 1, elements);
+}
+
+size_t RandomKCompressor::CompressedBytes(size_t elements) const {
+  return KeptElements(elements) * (sizeof(uint32_t) + sizeof(float));
+}
+
+void RandomKCompressor::Compress(std::span<const float> input, uint64_t seed,
+                                 CompressedTensor* out) const {
+  ESP_CHECK(out != nullptr);
+  out->Clear();
+  out->kind = PayloadKind::kSparse;
+  out->original_elements = input.size();
+  const size_t k = KeptElements(input.size());
+  if (k == 0) {
+    return;
+  }
+  Rng rng(DeriveSeed(seed, input.size()));
+  out->indices = rng.SampleWithoutReplacement(static_cast<uint32_t>(input.size()),
+                                              static_cast<uint32_t>(k));
+  // Sorted indices make decompression cache-friendly and make payloads from different
+  // ranks (same seed) byte-comparable in index structure.
+  std::sort(out->indices.begin(), out->indices.end());
+  out->values.resize(k);
+  for (size_t i = 0; i < k; ++i) {
+    out->values[i] = input[out->indices[i]];
+  }
+}
+
+void RandomKCompressor::DecompressAdd(const CompressedTensor& in, std::span<float> out) const {
+  ESP_CHECK_EQ(in.original_elements, out.size());
+  ESP_CHECK_EQ(in.indices.size(), in.values.size());
+  for (size_t i = 0; i < in.indices.size(); ++i) {
+    out[in.indices[i]] += in.values[i];
+  }
+}
+
+void RandomKCompressor::AggregateCompressed(const CompressedTensor& in,
+                                            CompressedTensor* accum) const {
+  ESP_CHECK(accum != nullptr);
+  ESP_CHECK_EQ(in.original_elements, accum->original_elements);
+  ESP_CHECK_EQ(in.indices.size(), accum->indices.size());
+  for (size_t i = 0; i < in.indices.size(); ++i) {
+    ESP_CHECK_EQ(in.indices[i], accum->indices[i]);
+    accum->values[i] += in.values[i];
+  }
+}
+
+}  // namespace espresso

@@ -1,0 +1,34 @@
+// Random-k sparsification (Stich et al. [62]).
+//
+// Keeps k = max(1, round(ratio * n)) elements chosen uniformly at random by a
+// seed-derived sampler. Because the sample depends only on (seed, n), every rank using
+// the same seed selects the same coordinates, which makes compressed-domain aggregation
+// (value-wise addition) exact — the property Espresso's divisible-scheme shortcut needs.
+#ifndef SRC_COMPRESS_RANDOMK_H_
+#define SRC_COMPRESS_RANDOMK_H_
+
+#include "src/compress/compressor.h"
+
+namespace espresso {
+
+class RandomKCompressor final : public Compressor {
+ public:
+  explicit RandomKCompressor(double ratio);
+
+  std::string_view name() const override { return "randomk"; }
+  size_t CompressedBytes(size_t elements) const override;
+  void Compress(std::span<const float> input, uint64_t seed,
+                CompressedTensor* out) const override;
+  void DecompressAdd(const CompressedTensor& in, std::span<float> out) const override;
+  bool SupportsCompressedAggregation() const override { return true; }
+  void AggregateCompressed(const CompressedTensor& in, CompressedTensor* accum) const override;
+
+  size_t KeptElements(size_t elements) const;
+
+ private:
+  double ratio_;
+};
+
+}  // namespace espresso
+
+#endif  // SRC_COMPRESS_RANDOMK_H_

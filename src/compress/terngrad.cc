@@ -1,0 +1,61 @@
+#include "src/compress/terngrad.h"
+
+#include <cmath>
+
+#include "src/util/logging.h"
+#include "src/util/rng.h"
+
+namespace espresso {
+
+namespace {
+// 2-bit codes: 0 -> zero, 1 -> +scale, 2 -> -scale.
+constexpr uint8_t kZero = 0;
+constexpr uint8_t kPlus = 1;
+constexpr uint8_t kMinus = 2;
+}  // namespace
+
+size_t TernGradCompressor::CompressedBytes(size_t elements) const {
+  return (elements + 3) / 4 + sizeof(float);
+}
+
+void TernGradCompressor::Compress(std::span<const float> input, uint64_t seed,
+                                  CompressedTensor* out) const {
+  ESP_CHECK(out != nullptr);
+  out->Clear();
+  out->kind = PayloadKind::kPackedBits;
+  out->original_elements = input.size();
+  float max_abs = 0.0f;
+  for (float v : input) {
+    max_abs = std::max(max_abs, std::fabs(v));
+  }
+  out->scales.push_back(max_abs);
+  out->bytes.assign((input.size() + 3) / 4, 0);
+  if (max_abs == 0.0f) {
+    return;
+  }
+  Rng rng(DeriveSeed(seed, input.size()));
+  for (size_t i = 0; i < input.size(); ++i) {
+    const float p = std::fabs(input[i]) / max_abs;  // keep probability, in [0, 1]
+    uint8_t code = kZero;
+    if (rng.Uniform(0.0, 1.0) < p) {
+      code = input[i] >= 0.0f ? kPlus : kMinus;
+    }
+    out->bytes[i / 4] |= static_cast<uint8_t>(code << (2 * (i % 4)));
+  }
+}
+
+void TernGradCompressor::DecompressAdd(const CompressedTensor& in, std::span<float> out) const {
+  ESP_CHECK_EQ(in.original_elements, out.size());
+  ESP_CHECK_EQ(in.scales.size(), 1u);
+  const float scale = in.scales[0];
+  for (size_t i = 0; i < out.size(); ++i) {
+    const uint8_t code = (in.bytes[i / 4] >> (2 * (i % 4))) & 0x3;
+    if (code == kPlus) {
+      out[i] += scale;
+    } else if (code == kMinus) {
+      out[i] -= scale;
+    }
+  }
+}
+
+}  // namespace espresso

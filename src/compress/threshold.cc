@@ -1,0 +1,39 @@
+#include "src/compress/threshold.h"
+
+#include <cmath>
+
+#include "src/util/logging.h"
+
+namespace espresso {
+
+ThresholdCompressor::ThresholdCompressor(double threshold) : threshold_(threshold) {
+  ESP_CHECK_GT(threshold, 0.0);
+}
+
+size_t ThresholdCompressor::CompressedBytes(size_t elements) const {
+  return elements * (sizeof(uint32_t) + sizeof(float));
+}
+
+void ThresholdCompressor::Compress(std::span<const float> input, uint64_t /*seed*/,
+                                   CompressedTensor* out) const {
+  ESP_CHECK(out != nullptr);
+  out->Clear();
+  out->kind = PayloadKind::kSparse;
+  out->original_elements = input.size();
+  for (size_t i = 0; i < input.size(); ++i) {
+    if (std::fabs(input[i]) >= threshold_) {
+      out->indices.push_back(static_cast<uint32_t>(i));
+      out->values.push_back(input[i]);
+    }
+  }
+}
+
+void ThresholdCompressor::DecompressAdd(const CompressedTensor& in,
+                                        std::span<float> out) const {
+  ESP_CHECK_EQ(in.original_elements, out.size());
+  for (size_t i = 0; i < in.indices.size(); ++i) {
+    out[in.indices[i]] += in.values[i];
+  }
+}
+
+}  // namespace espresso

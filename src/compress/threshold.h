@@ -1,0 +1,37 @@
+// Hard-threshold sparsification (Aji & Heafield [5]): keep every gradient with
+// |v| >= threshold.
+//
+// Unlike Random-k/Top-k, the output size is CONTENT-DEPENDENT, so this algorithm
+// violates the applicability requirement of §4.3 ("Espresso requires the applied GC
+// algorithm to have deterministic compression time given a tensor size and
+// deterministic compression ratio"). It is provided for the training path (error
+// feedback makes it convergent) and as the concrete example of that requirement:
+// HasDeterministicSize() returns false and the strategy selector refuses it.
+#ifndef SRC_COMPRESS_THRESHOLD_H_
+#define SRC_COMPRESS_THRESHOLD_H_
+
+#include "src/compress/compressor.h"
+
+namespace espresso {
+
+class ThresholdCompressor final : public Compressor {
+ public:
+  explicit ThresholdCompressor(double threshold);
+
+  std::string_view name() const override { return "threshold"; }
+  // Worst-case bound (everything kept); the actual payload is content-dependent.
+  size_t CompressedBytes(size_t elements) const override;
+  bool HasDeterministicSize() const override { return false; }
+  void Compress(std::span<const float> input, uint64_t seed,
+                CompressedTensor* out) const override;
+  void DecompressAdd(const CompressedTensor& in, std::span<float> out) const override;
+
+  double threshold() const { return threshold_; }
+
+ private:
+  double threshold_;
+};
+
+}  // namespace espresso
+
+#endif  // SRC_COMPRESS_THRESHOLD_H_

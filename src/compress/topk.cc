@@ -1,0 +1,67 @@
+#include "src/compress/topk.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "src/util/logging.h"
+
+namespace espresso {
+
+TopKCompressor::TopKCompressor(double ratio) : ratio_(ratio) {
+  ESP_CHECK_GT(ratio, 0.0);
+  ESP_CHECK_LE(ratio, 1.0);
+}
+
+size_t TopKCompressor::KeptElements(size_t elements) const {
+  if (elements == 0) {
+    return 0;
+  }
+  const auto k = static_cast<size_t>(std::llround(ratio_ * static_cast<double>(elements)));
+  return std::clamp<size_t>(k, 1, elements);
+}
+
+size_t TopKCompressor::CompressedBytes(size_t elements) const {
+  return KeptElements(elements) * (sizeof(uint32_t) + sizeof(float));
+}
+
+void TopKCompressor::Compress(std::span<const float> input, uint64_t /*seed*/,
+                              CompressedTensor* out) const {
+  ESP_CHECK(out != nullptr);
+  out->Clear();
+  out->kind = PayloadKind::kSparse;
+  out->original_elements = input.size();
+  const size_t k = KeptElements(input.size());
+  if (k == 0) {
+    return;
+  }
+  std::vector<uint32_t> order(input.size());
+  std::iota(order.begin(), order.end(), 0u);
+  // Partial selection by magnitude; ties broken by index so output is deterministic.
+  std::nth_element(order.begin(), order.begin() + static_cast<ptrdiff_t>(k - 1), order.end(),
+                   [&](uint32_t a, uint32_t b) {
+                     const float ma = std::fabs(input[a]);
+                     const float mb = std::fabs(input[b]);
+                     if (ma != mb) {
+                       return ma > mb;
+                     }
+                     return a < b;
+                   });
+  order.resize(k);
+  std::sort(order.begin(), order.end());
+  out->indices = std::move(order);
+  out->values.resize(k);
+  for (size_t i = 0; i < k; ++i) {
+    out->values[i] = input[out->indices[i]];
+  }
+}
+
+void TopKCompressor::DecompressAdd(const CompressedTensor& in, std::span<float> out) const {
+  ESP_CHECK_EQ(in.original_elements, out.size());
+  ESP_CHECK_EQ(in.indices.size(), in.values.size());
+  for (size_t i = 0; i < in.indices.size(); ++i) {
+    out[in.indices[i]] += in.values[i];
+  }
+}
+
+}  // namespace espresso

@@ -1,0 +1,238 @@
+#include "src/core/baselines.h"
+
+#include "src/core/decision_tree.h"
+#include "src/core/espresso.h"
+#include "src/core/timeline.h"
+#include "src/util/logging.h"
+
+namespace espresso {
+
+namespace {
+
+TreeConfig MakeTreeConfig(const ClusterSpec& cluster, const Compressor& compressor) {
+  return TreeConfig{cluster.machines, cluster.gpus_per_machine,
+                    compressor.SupportsCompressedAggregation()};
+}
+
+Op CommOp(CommPhase phase, Routine routine, double domain, double payload, bool compressed) {
+  Op op;
+  op.task = ActionTask::kComm;
+  op.phase = phase;
+  op.routine = routine;
+  op.domain_fraction = domain;
+  op.payload_fraction = payload;
+  op.compressed = compressed;
+  return op;
+}
+
+Op CompOp(CommPhase phase, double domain, Device device) {
+  Op op;
+  op.task = ActionTask::kCompress;
+  op.phase = phase;
+  op.device = device;
+  op.domain_fraction = domain;
+  op.payload_fraction = domain;
+  return op;
+}
+
+Op DecompOp(CommPhase phase, double domain, size_t fan_in, double payload, Device device) {
+  Op op;
+  op.task = ActionTask::kDecompress;
+  op.phase = phase;
+  op.device = device;
+  op.domain_fraction = domain;
+  op.fan_in = fan_in;
+  op.payload_fraction = payload;
+  return op;
+}
+
+}  // namespace
+
+CompressionOption InterOnlyIndivisibleOption(const ClusterSpec& cluster, Device device) {
+  const auto g = static_cast<double>(cluster.gpus_per_machine);
+  CompressionOption option;
+  option.flat = !(cluster.machines > 1 && cluster.gpus_per_machine > 1);
+  if (option.flat) {
+    option.label = "flat[comp+agc+dec]";
+    option.ops = {CompOp(CommPhase::kFlat, 1.0, device),
+                  CommOp(CommPhase::kFlat, Routine::kAllgather, 1.0, 1.0, true),
+                  DecompOp(CommPhase::kFlat, 1.0, cluster.total_gpus(), 1.0, device)};
+    return option;
+  }
+  option.label = "hier[rs|comp+agc+dec|ag]";
+  option.ops = {CommOp(CommPhase::kIntraFirst, Routine::kReduceScatter, 1.0, 1.0, false),
+                CompOp(CommPhase::kInter, 1.0 / g, device),
+                CommOp(CommPhase::kInter, Routine::kAllgather, 1.0 / g, 1.0 / g, true),
+                DecompOp(CommPhase::kInter, 1.0 / g, cluster.machines, 1.0 / g, device),
+                CommOp(CommPhase::kIntraSecond, Routine::kAllgather, 1.0, 1.0 / g, false)};
+  return option;
+}
+
+CompressionOption InterOnlyDivisibleOption(const ClusterSpec& cluster, Device device) {
+  const auto g = static_cast<double>(cluster.gpus_per_machine);
+  const auto m = static_cast<double>(cluster.machines);
+  CompressionOption option;
+  option.flat = !(cluster.machines > 1 && cluster.gpus_per_machine > 1);
+  if (option.flat) {
+    const auto p = static_cast<double>(cluster.total_gpus());
+    option.label = "flat[comp+a2ac+dec+comp+agc+dec]";
+    option.ops = {CompOp(CommPhase::kFlat, 1.0, device),
+                  CommOp(CommPhase::kFlat, Routine::kAlltoall, 1.0, 1.0 / p, true),
+                  DecompOp(CommPhase::kFlat, 1.0 / p, cluster.total_gpus(), 1.0 / p, device),
+                  CompOp(CommPhase::kFlat, 1.0 / p, device),
+                  CommOp(CommPhase::kFlat, Routine::kAllgather, 1.0, 1.0 / p, true),
+                  DecompOp(CommPhase::kFlat, 1.0, cluster.total_gpus(), 1.0 / p, device)};
+    return option;
+  }
+  option.label = "hier[rs|comp+a2ac+dec+comp+agc+dec|ag]";
+  option.ops = {
+      CommOp(CommPhase::kIntraFirst, Routine::kReduceScatter, 1.0, 1.0, false),
+      CompOp(CommPhase::kInter, 1.0 / g, device),
+      CommOp(CommPhase::kInter, Routine::kAlltoall, 1.0 / g, 1.0 / (g * m), true),
+      DecompOp(CommPhase::kInter, 1.0 / (g * m), cluster.machines, 1.0 / (g * m), device),
+      CompOp(CommPhase::kInter, 1.0 / (g * m), device),
+      CommOp(CommPhase::kInter, Routine::kAllgather, 1.0 / g, 1.0 / (g * m), true),
+      DecompOp(CommPhase::kInter, 1.0 / g, cluster.machines, 1.0 / (g * m), device),
+      CommOp(CommPhase::kIntraSecond, Routine::kAllgather, 1.0, 1.0 / g, false)};
+  return option;
+}
+
+CompressionOption AlltoallAlltoallOption(const ClusterSpec& cluster, Device device) {
+  ESP_CHECK(cluster.machines > 1 && cluster.gpus_per_machine > 1);
+  const auto g = static_cast<double>(cluster.gpus_per_machine);
+  const auto m = static_cast<double>(cluster.machines);
+  CompressionOption option;
+  option.label = "hier[comp+a2ac+dec|comp+a2ac+dec+comp+agc+dec|ag]";
+  option.ops = {
+      CompOp(CommPhase::kIntraFirst, 1.0, device),
+      CommOp(CommPhase::kIntraFirst, Routine::kAlltoall, 1.0, 1.0 / g, true),
+      DecompOp(CommPhase::kIntraFirst, 1.0 / g, cluster.gpus_per_machine, 1.0 / g, device),
+      CompOp(CommPhase::kInter, 1.0 / g, device),
+      CommOp(CommPhase::kInter, Routine::kAlltoall, 1.0 / g, 1.0 / (g * m), true),
+      DecompOp(CommPhase::kInter, 1.0 / (g * m), cluster.machines, 1.0 / (g * m), device),
+      CompOp(CommPhase::kInter, 1.0 / (g * m), device),
+      CommOp(CommPhase::kInter, Routine::kAllgather, 1.0 / g, 1.0 / (g * m), true),
+      DecompOp(CommPhase::kInter, 1.0 / g, cluster.machines, 1.0 / (g * m), device),
+      CommOp(CommPhase::kIntraSecond, Routine::kAllgather, 1.0, 1.0 / g, false)};
+  return option;
+}
+
+Strategy Fp32Strategy(const ModelProfile& model, const ClusterSpec& cluster) {
+  const TreeConfig config{cluster.machines, cluster.gpus_per_machine, false};
+  return UniformStrategy(model.tensors.size(), DefaultUncompressedOption(config));
+}
+
+Strategy HiPressStrategy(const ModelProfile& model, const ClusterSpec& cluster,
+                         const Compressor& compressor) {
+  // Selective compression by wall-clock comparison, per tensor, no interactions: compress
+  // iff the saved communication time exceeds the added compression time.
+  const TreeConfig config = MakeTreeConfig(cluster, compressor);
+  const CompressionOption plain = DefaultUncompressedOption(config);
+  const CompressionOption compressed = InterOnlyIndivisibleOption(cluster, Device::kGpu);
+  // HiPress's selective rule is a size threshold derived from throughput ratios:
+  // compare bandwidth terms only (zero link latency), so kernel-launch overheads — not
+  // collective latency constants — decide the small-tensor cutoff.
+  ClusterSpec latency_free = cluster;
+  latency_free.intra.latency_s = 0.0;
+  latency_free.inter.latency_s = 0.0;
+  TimelineEvaluator evaluator(model, latency_free, compressor);
+  Strategy strategy = UniformStrategy(model.tensors.size(), plain);
+  for (size_t i = 0; i < model.tensors.size(); ++i) {
+    const size_t elements = model.tensors[i].elements;
+    double plain_time = 0.0;
+    for (const Op& op : plain.ops) {
+      plain_time += evaluator.OpDuration(op, elements);
+    }
+    double compressed_time = 0.0;
+    for (const Op& op : compressed.ops) {
+      compressed_time += evaluator.OpDuration(op, elements);
+    }
+    if (compressed_time < plain_time) {
+      strategy.options[i] = compressed;
+    }
+  }
+  return strategy;
+}
+
+Strategy HiTopKCommStrategy(const ModelProfile& model, const ClusterSpec& cluster,
+                            const Compressor& compressor) {
+  // Compresses every tensor with GPUs (prohibitive compression overhead on models with
+  // many tensors, §5.2.1/§5.2.3), inter-machine only, divisible scheme.
+  (void)compressor;
+  return UniformStrategy(model.tensors.size(),
+                         InterOnlyDivisibleOption(cluster, Device::kGpu));
+}
+
+Strategy BytePSCompressStrategy(const ModelProfile& model, const ClusterSpec& cluster,
+                                const Compressor& compressor) {
+  // Parameter-server style (BytePS [78]): the machine's gradient is reduced to a local
+  // root, CPU-compressed as a FULL tensor, pushed to / pulled from the server tier
+  // (gather + broadcast), and decompressed on CPUs — no intra-machine sharding of the
+  // compression work, which is why CPU compression of huge tensors (VGG16's fc layers,
+  // UGATIT's style MLPs) backfires (§5.2.1, §5.2.3).
+  (void)compressor;
+  const Device dev = Device::kCpu;
+  CompressionOption option;
+  option.flat = !(cluster.machines > 1 && cluster.gpus_per_machine > 1);
+  if (option.flat) {
+    option.label = "flat[comp+gc+dec+comp+bcc+dec]";
+    option.ops = {CompOp(CommPhase::kFlat, 1.0, dev),
+                  CommOp(CommPhase::kFlat, Routine::kGather, 1.0, 1.0, true),
+                  DecompOp(CommPhase::kFlat, 1.0, cluster.total_gpus(), 1.0, dev),
+                  CompOp(CommPhase::kFlat, 1.0, dev),
+                  CommOp(CommPhase::kFlat, Routine::kBroadcast, 1.0, 1.0, true),
+                  DecompOp(CommPhase::kFlat, 1.0, 1, 1.0, dev)};
+  } else {
+    option.label = "hier[red|comp+gc+dec+comp+bcc+dec|bc]";
+    option.ops = {CommOp(CommPhase::kIntraFirst, Routine::kReduce, 1.0, 1.0, false),
+                  CompOp(CommPhase::kInter, 1.0, dev),
+                  CommOp(CommPhase::kInter, Routine::kGather, 1.0, 1.0, true),
+                  DecompOp(CommPhase::kInter, 1.0, cluster.machines, 1.0, dev),
+                  CompOp(CommPhase::kInter, 1.0, dev),
+                  CommOp(CommPhase::kInter, Routine::kBroadcast, 1.0, 1.0, true),
+                  DecompOp(CommPhase::kInter, 1.0, 1, 1.0, dev),
+                  CommOp(CommPhase::kIntraSecond, Routine::kBroadcast, 1.0, 1.0, false)};
+  }
+  for (Op& op : option.ops) {
+    if (op.task != ActionTask::kComm) {
+      op.machine_level = true;
+    }
+  }
+  return UniformStrategy(model.tensors.size(), option);
+}
+
+Strategy CrippledStrategy(const ModelProfile& model, const ClusterSpec& cluster,
+                          const Compressor& compressor, CrippledDimension dimension) {
+  const TreeConfig config = MakeTreeConfig(cluster, compressor);
+  SelectorOptions options;
+  switch (dimension) {
+    case CrippledDimension::kAllCompression:
+      options.force_compress_all = true;
+      break;
+    case CrippledDimension::kMyopicCompression:
+      options.myopic = true;
+      break;
+    case CrippledDimension::kGpuCompression:
+      options.enable_cpu_offload = false;
+      break;
+    case CrippledDimension::kCpuCompression:
+      options.force_cpu = true;
+      break;
+    case CrippledDimension::kInterAllgather:
+      options.candidates = {DefaultUncompressedOption(config),
+                            InterOnlyIndivisibleOption(cluster, Device::kGpu)};
+      break;
+    case CrippledDimension::kInterAlltoall:
+      options.candidates = {DefaultUncompressedOption(config),
+                            InterOnlyDivisibleOption(cluster, Device::kGpu)};
+      break;
+    case CrippledDimension::kAlltoallAlltoall:
+      options.candidates = {DefaultUncompressedOption(config),
+                            AlltoallAlltoallOption(cluster, Device::kGpu)};
+      break;
+  }
+  EspressoSelector selector(model, cluster, compressor, std::move(options));
+  return selector.Select().strategy;
+}
+
+}  // namespace espresso

@@ -1,0 +1,63 @@
+// Baseline strategy generators (§5.1 Baselines and §5.3 crippled mechanisms).
+//
+// Each baseline explores a narrower search space than Espresso (§6):
+//   * FP32 (BytePS [27])           — no compression, hierarchical RS/allreduce/AG.
+//   * HiPress [9]                  — GPU compression, inter-machine only, selective
+//                                    compression by *wall-clock* tau comparison (it
+//                                    "ignores the interactions among tensors").
+//   * HiTopKComm [60]              — compresses ALL tensors with GPUs, inter-only.
+//   * BytePS-Compress [78]         — compresses ALL tensors with CPUs, inter-only.
+// Crippled-dimension mechanisms for Figure 15:
+//   * AllCompression / Myopic      — Dimension 1 restricted.
+//   * GpuOnly / CpuOnly            — Dimension 2 restricted.
+//   * InterAllgather / InterAlltoall — Dimension 3 restricted.
+//   * AlltoallAlltoall             — Dimension 4 restricted.
+#ifndef SRC_CORE_BASELINES_H_
+#define SRC_CORE_BASELINES_H_
+
+#include "src/compress/compressor.h"
+#include "src/core/strategy.h"
+#include "src/costmodel/calibration.h"
+#include "src/models/model_profile.h"
+
+namespace espresso {
+
+Strategy Fp32Strategy(const ModelProfile& model, const ClusterSpec& cluster);
+
+Strategy HiPressStrategy(const ModelProfile& model, const ClusterSpec& cluster,
+                         const Compressor& compressor);
+
+Strategy HiTopKCommStrategy(const ModelProfile& model, const ClusterSpec& cluster,
+                            const Compressor& compressor);
+
+Strategy BytePSCompressStrategy(const ModelProfile& model, const ClusterSpec& cluster,
+                                const Compressor& compressor);
+
+// Crippled Espresso variants (§5.3). Each runs the full decision algorithm with one
+// dimension restricted.
+enum class CrippledDimension {
+  kAllCompression,    // Dim 1: compress every tensor
+  kMyopicCompression, // Dim 1: ignore interactions (wall-clock scoring)
+  kGpuCompression,    // Dim 2: GPUs only (no CPU offloading)
+  kCpuCompression,    // Dim 2: CPUs only
+  kInterAllgather,    // Dim 3: inter-only + indivisible allgather
+  kInterAlltoall,     // Dim 3/4: inter-only + divisible alltoall/allgather
+  kAlltoallAlltoall,  // Dim 4: compress for intra-1 and again for inter
+};
+
+Strategy CrippledStrategy(const ModelProfile& model, const ClusterSpec& cluster,
+                          const Compressor& compressor, CrippledDimension dimension);
+
+// Convenience: builds the "inter-machine only" compression option used by the
+// compression baselines (indivisible allgather across machines, devices = `device`).
+CompressionOption InterOnlyIndivisibleOption(const ClusterSpec& cluster, Device device);
+
+// Inter-machine only, divisible (alltoall | allgather) option.
+CompressionOption InterOnlyDivisibleOption(const ClusterSpec& cluster, Device device);
+
+// Intra-alltoall + inter-alltoall + intra-allgather (the Dimension-4 restricted path).
+CompressionOption AlltoallAlltoallOption(const ClusterSpec& cluster, Device device);
+
+}  // namespace espresso
+
+#endif  // SRC_CORE_BASELINES_H_

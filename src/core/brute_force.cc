@@ -1,0 +1,99 @@
+#include "src/core/brute_force.h"
+
+#include <cmath>
+
+#include "src/util/logging.h"
+
+namespace espresso {
+
+std::optional<BruteForceResult> BruteForceStrategy(
+    const TimelineEvaluator& evaluator, const std::vector<CompressionOption>& candidates,
+    size_t max_evaluations) {
+  const size_t n = evaluator.model().tensors.size();
+  const size_t c = candidates.size();
+  ESP_CHECK_GT(c, 0u);
+  double space = std::pow(static_cast<double>(c), static_cast<double>(n));
+  if (space > static_cast<double>(max_evaluations)) {
+    return std::nullopt;
+  }
+
+  BruteForceResult result;
+  std::vector<size_t> choice(n, 0);
+  Strategy strategy = UniformStrategy(n, candidates[0]);
+  result.iteration_time = evaluator.IterationTime(strategy);
+  result.strategy = strategy;
+  result.evaluations = 1;
+  for (;;) {
+    // Advance the odometer.
+    size_t i = 0;
+    while (i < n) {
+      if (++choice[i] < c) {
+        strategy.options[i] = candidates[choice[i]];
+        break;
+      }
+      choice[i] = 0;
+      strategy.options[i] = candidates[0];
+      ++i;
+    }
+    if (i == n) {
+      break;
+    }
+    const double t = evaluator.IterationTime(strategy);
+    ++result.evaluations;
+    if (t < result.iteration_time) {
+      result.iteration_time = t;
+      result.strategy = strategy;
+    }
+  }
+  return result;
+}
+
+std::optional<BruteForceResult> BruteForceOffload(const TimelineEvaluator& evaluator,
+                                                  const Strategy& gpu_strategy,
+                                                  size_t max_evaluations) {
+  std::vector<size_t> compressed;
+  for (size_t i = 0; i < gpu_strategy.options.size(); ++i) {
+    if (gpu_strategy.options[i].Compressed() &&
+        gpu_strategy.options[i].UsesDevice(Device::kGpu)) {
+      compressed.push_back(i);
+    }
+  }
+  const size_t k = compressed.size();
+  if (k >= 8 * sizeof(size_t) - 1 ||
+      (size_t{1} << k) > max_evaluations) {
+    return std::nullopt;
+  }
+
+  BruteForceResult result;
+  result.strategy = gpu_strategy;
+  result.iteration_time = evaluator.IterationTime(gpu_strategy);
+  result.evaluations = 1;
+  for (size_t mask = 1; mask < (size_t{1} << k); ++mask) {
+    Strategy s = gpu_strategy;
+    for (size_t b = 0; b < k; ++b) {
+      if (mask & (size_t{1} << b)) {
+        s.options[compressed[b]] = s.options[compressed[b]].WithDevice(Device::kCpu);
+      }
+    }
+    const double t = evaluator.IterationTime(s);
+    ++result.evaluations;
+    if (t < result.iteration_time) {
+      result.iteration_time = t;
+      result.strategy = std::move(s);
+    }
+  }
+  return result;
+}
+
+double EstimateBruteForceSeconds(double seconds_per_evaluation, size_t candidate_count,
+                                 size_t tensor_count, double cap_seconds) {
+  const double log_space =
+      static_cast<double>(tensor_count) * std::log10(static_cast<double>(candidate_count));
+  if (log_space > 15.0) {  // 10^15 evaluations: beyond any cap worth computing
+    return cap_seconds;
+  }
+  const double space = std::pow(10.0, log_space);
+  return std::min(cap_seconds, seconds_per_evaluation * space);
+}
+
+}  // namespace espresso

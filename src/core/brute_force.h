@@ -1,0 +1,43 @@
+// Exhaustive searches used to validate near-optimality (§5.2.4) and to populate the
+// "Brute force" rows of Tables 5 and 6. Full strategy search is |C|^N (§4.4.1) and only
+// feasible for toy models; EstimateBruteForceSeconds extrapolates the wall-clock for the
+// real models from the measured per-evaluation cost.
+#ifndef SRC_CORE_BRUTE_FORCE_H_
+#define SRC_CORE_BRUTE_FORCE_H_
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "src/core/strategy.h"
+#include "src/core/timeline.h"
+
+namespace espresso {
+
+struct BruteForceResult {
+  Strategy strategy;
+  double iteration_time = 0.0;
+  size_t evaluations = 0;
+};
+
+// Exact minimum of F(S) over candidates^N. Returns nullopt if the space exceeds
+// `max_evaluations`.
+std::optional<BruteForceResult> BruteForceStrategy(
+    const TimelineEvaluator& evaluator, const std::vector<CompressionOption>& candidates,
+    size_t max_evaluations);
+
+// Exact minimum over all 2^k GPU->CPU offload assignments of the compressed tensors in
+// `gpu_strategy` (ignores Lemma 1's restriction, so it can certify Lemma 1). Returns
+// nullopt if 2^k exceeds `max_evaluations`.
+std::optional<BruteForceResult> BruteForceOffload(const TimelineEvaluator& evaluator,
+                                                  const Strategy& gpu_strategy,
+                                                  size_t max_evaluations);
+
+// Seconds a full |C|^N search would need at `seconds_per_evaluation`; saturates at
+// `cap_seconds` (Tables 5-6 print ">24h" at the cap).
+double EstimateBruteForceSeconds(double seconds_per_evaluation, size_t candidate_count,
+                                 size_t tensor_count, double cap_seconds = 1e9);
+
+}  // namespace espresso
+
+#endif  // SRC_CORE_BRUTE_FORCE_H_

@@ -1,0 +1,379 @@
+#include "src/core/espresso.h"
+
+#include <algorithm>
+#include <limits>
+#include <optional>
+#include <chrono>
+#include <map>
+
+#include "src/models/model_stats.h"
+#include "src/util/logging.h"
+
+namespace espresso {
+
+namespace {
+
+double Seconds(std::chrono::steady_clock::time_point from,
+               std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+}  // namespace
+
+EspressoSelector::EspressoSelector(const ModelProfile& model, const ClusterSpec& cluster,
+                                   const Compressor& compressor, SelectorOptions options)
+    : model_(model),
+      tree_config_{cluster.machines, cluster.gpus_per_machine,
+                   compressor.SupportsCompressedAggregation()},
+      options_(std::move(options)),
+      evaluator_(model, cluster, compressor),
+      default_option_(DefaultUncompressedOption(tree_config_)) {
+  // §4.3: the selector's cost models need a deterministic compression ratio; reject
+  // content-dependent algorithms (they remain usable on the execution path).
+  ESP_CHECK(compressor.HasDeterministicSize())
+      << compressor.name() << " has a content-dependent compressed size and cannot "
+      << "drive strategy selection (see §4.3's applicability requirement)";
+  candidates_ =
+      options_.candidates.empty() ? CandidateOptions(tree_config_) : options_.candidates;
+  if (options_.force_compress_all) {
+    std::erase_if(candidates_, [](const CompressionOption& c) { return !c.Compressed(); });
+    ESP_CHECK(!candidates_.empty()) << "force_compress_all with no compressed candidates";
+  }
+  if (options_.force_cpu) {
+    for (auto& candidate : candidates_) {
+      candidate = candidate.WithDevice(Device::kCpu);
+    }
+  }
+}
+
+double EspressoSelector::Score(Strategy& strategy, size_t index,
+                               const CompressionOption& candidate) const {
+  if (options_.myopic) {
+    // Wall-clock scoring: the sum of the candidate's own op durations, ignoring all
+    // interactions among tensors (§3.1: "Only considering tau_comm and tau_comp ...
+    // can harm the performance"). Kept as the crippled Dimension-1 mechanism.
+    double total = 0.0;
+    for (const Op& op : candidate.ops) {
+      total += evaluator_.OpDuration(op, model_.tensors[index].elements);
+    }
+    return total;
+  }
+  CompressionOption saved = strategy.options[index];
+  strategy.options[index] = candidate;
+  const double time = evaluator_.IterationTime(strategy);
+  strategy.options[index] = std::move(saved);
+  return time;
+}
+
+Strategy EspressoSelector::SelectGpuCompression(size_t* evaluations) const {
+  const size_t n = model_.tensors.size();
+  Strategy strategy = UniformStrategy(n, options_.force_cpu
+                                             ? default_option_.WithDevice(Device::kCpu)
+                                             : default_option_);
+  size_t evals = 0;
+
+  // Lines 2-3: sort descending by size, tie-break by proximity to the output layer.
+  const std::vector<std::vector<size_t>> groups = GroupBySizeDescending(model_);
+
+  // Property 1: rule out uncompressed tensors communicated before bubbles.
+  std::vector<bool> removed(n, false);
+  auto remove_before_bubbles = [&] {
+    if (options_.force_compress_all || options_.disable_bubble_elimination) {
+      return;  // every tensor stays in play
+    }
+    const std::vector<bool> before = evaluator_.BeforeBubble(strategy);
+    ++evals;
+    for (size_t i = 0; i < n; ++i) {
+      if (before[i] && !strategy.options[i].Compressed()) {
+        removed[i] = true;
+      }
+    }
+  };
+  remove_before_bubbles();
+
+  for (const auto& group : groups) {
+    for (size_t index : group) {
+      if (removed[index]) {
+        continue;
+      }
+      // GetBestOption: the current assignment plus every candidate, scored on the
+      // full-strategy timeline. Under force_compress_all the uncompressed current
+      // assignment is not a legal outcome, so candidates compete from scratch.
+      double best_time = options_.force_compress_all &&
+                                 !strategy.options[index].Compressed()
+                             ? std::numeric_limits<double>::infinity()
+                             : Score(strategy, index, strategy.options[index]);
+      ++evals;
+      const CompressionOption* best = nullptr;
+      for (const auto& candidate : candidates_) {
+        const double t = Score(strategy, index, candidate);
+        ++evals;
+        if (t < best_time) {
+          best_time = t;
+          best = &candidate;
+        }
+      }
+      if (best != nullptr) {
+        strategy.options[index] = *best;
+        // Line 8: new bubbles can appear after each assignment; nothing moved if the
+        // option is unchanged, so re-derive only on a change.
+        remove_before_bubbles();
+      }
+    }
+  }
+  if (evaluations != nullptr) {
+    *evaluations += evals;
+  }
+  return strategy;
+}
+
+Strategy EspressoSelector::OffloadToCpu(const Strategy& gpu_strategy, size_t* combinations,
+                                        bool* exact, size_t* evaluations) const {
+  const size_t n = gpu_strategy.options.size();
+  // T_gpu: tensors whose option compresses (on GPUs). Group by (size, option identity);
+  // groups keep backward order, i.e. members are already sorted by descending distance
+  // to the output layer (Lemma 1's offload order is a prefix).
+  std::map<std::pair<size_t, std::string>, std::vector<size_t>> grouped;
+  for (size_t i = 0; i < n; ++i) {
+    if (gpu_strategy.options[i].Compressed() &&
+        gpu_strategy.options[i].UsesDevice(Device::kGpu)) {
+      grouped[{model_.tensors[i].elements, gpu_strategy.options[i].label}].push_back(i);
+    }
+  }
+  std::vector<std::vector<size_t>> groups;
+  groups.reserve(grouped.size());
+  for (auto& [key, members] : grouped) {
+    groups.push_back(std::move(members));
+  }
+  if (groups.empty()) {
+    if (combinations != nullptr) {
+      *combinations = 0;
+    }
+    return gpu_strategy;
+  }
+
+  // Search-space size: prod(|G_i| + 1) (Theorem 1).
+  size_t product = 1;
+  bool overflow = false;
+  for (const auto& g : groups) {
+    if (product > options_.offload_search_budget) {
+      overflow = true;
+      break;
+    }
+    product *= g.size() + 1;
+  }
+  overflow = overflow || product > options_.offload_search_budget;
+  if (exact != nullptr) {
+    *exact = !overflow;
+  }
+
+  Strategy best = gpu_strategy;
+  double best_time = evaluator_.IterationTime(best);
+  size_t evals = 1;
+  size_t visited = 0;
+
+  auto apply = [&](const std::vector<size_t>& counts) {
+    Strategy s = gpu_strategy;
+    for (size_t gi = 0; gi < groups.size(); ++gi) {
+      for (size_t k = 0; k < counts[gi]; ++k) {
+        const size_t index = groups[gi][k];
+        s.options[index] = s.options[index].WithDevice(Device::kCpu);
+      }
+    }
+    return s;
+  };
+
+  if (!overflow) {
+    // Exhaustive traversal of U (odometer over per-group counts).
+    std::vector<size_t> counts(groups.size(), 0);
+    for (;;) {
+      ++visited;
+      Strategy s = apply(counts);
+      const double t = evaluator_.IterationTime(s);
+      ++evals;
+      if (t < best_time) {
+        best_time = t;
+        best = std::move(s);
+      }
+      size_t gi = 0;
+      while (gi < groups.size()) {
+        if (++counts[gi] <= groups[gi].size()) {
+          break;
+        }
+        counts[gi] = 0;
+        ++gi;
+      }
+      if (gi == groups.size()) {
+        break;
+      }
+    }
+  } else {
+    // Coordinate descent over group counts until a fixpoint.
+    std::vector<size_t> counts(groups.size(), 0);
+    bool improved = true;
+    while (improved) {
+      improved = false;
+      for (size_t gi = 0; gi < groups.size(); ++gi) {
+        size_t best_count = counts[gi];
+        for (size_t c = 0; c <= groups[gi].size(); ++c) {
+          if (c == best_count) {
+            continue;
+          }
+          counts[gi] = c;
+          ++visited;
+          Strategy s = apply(counts);
+          const double t = evaluator_.IterationTime(s);
+          ++evals;
+          if (t < best_time) {
+            best_time = t;
+            best = std::move(s);
+            best_count = c;
+            improved = true;
+          }
+        }
+        counts[gi] = best_count;
+      }
+    }
+  }
+
+  if (combinations != nullptr) {
+    *combinations = visited;
+  }
+  if (evaluations != nullptr) {
+    *evaluations += evals;
+  }
+  return best;
+}
+
+bool EspressoSelector::RefineSweep(Strategy* strategy, size_t* evaluations) const {
+  ESP_CHECK(strategy != nullptr);
+  size_t evals = 0;
+  bool improved = false;
+  for (size_t index = 0; index < strategy->options.size(); ++index) {
+    double best_time = Score(*strategy, index, strategy->options[index]);
+    ++evals;
+    const CompressionOption* best = nullptr;
+    for (const auto& candidate : candidates_) {
+      if (candidate == strategy->options[index]) {
+        continue;
+      }
+      const double t = Score(*strategy, index, candidate);
+      ++evals;
+      if (t < best_time) {
+        best_time = t;
+        best = &candidate;
+      }
+    }
+    if (best != nullptr) {
+      strategy->options[index] = *best;
+      improved = true;
+    }
+  }
+  if (evaluations != nullptr) {
+    *evaluations += evals;
+  }
+  return improved;
+}
+
+SelectionResult EspressoSelector::Select() const {
+  SelectionResult result;
+  const auto t0 = std::chrono::steady_clock::now();
+  std::optional<Strategy> forced_trajectory;
+  Strategy gpu = SelectGpuCompression(&result.timeline_evaluations);
+  // Greedy refinement to a fixpoint: the first pass's assignments were made against a
+  // partially-uncompressed strategy; re-visiting each tensor against the final mix
+  // removes that order dependence (and keeps Espresso ahead of every restricted
+  // mechanism in §5.3's study). Skipped in myopic mode, whose scoring is context-free.
+  if (!options_.myopic) {
+    for (int pass = 0; pass < 2; ++pass) {
+      if (!RefineSweep(&gpu, &result.timeline_evaluations)) {
+        break;
+      }
+    }
+    // Multi-start escape hatch: greedy trajectories from a mixed strategy can miss
+    // optima where most tensors share one option (e.g. a uniformly-divisible pipeline).
+    // Seed a second trajectory from the best uniform assignment — when it is remotely
+    // competitive — and keep the winner.
+    const size_t n = model_.tensors.size();
+    const double gpu_time = evaluator_.IterationTime(gpu);
+    double best_uniform_time = std::numeric_limits<double>::infinity();
+    const CompressionOption* best_uniform = nullptr;
+    for (const auto& candidate : candidates_) {
+      const Strategy uniform = UniformStrategy(n, candidate);
+      const double t = evaluator_.IterationTime(uniform);
+      ++result.timeline_evaluations;
+      if (t < best_uniform_time) {
+        best_uniform_time = t;
+        best_uniform = &candidate;
+      }
+    }
+    if (best_uniform != nullptr && best_uniform_time < 1.3 * gpu_time) {
+      Strategy alternative = UniformStrategy(n, *best_uniform);
+      for (int pass = 0; pass < 2; ++pass) {
+        if (!RefineSweep(&alternative, &result.timeline_evaluations)) {
+          break;
+        }
+      }
+      if (evaluator_.IterationTime(alternative) < evaluator_.IterationTime(gpu)) {
+        gpu = std::move(alternative);
+      }
+      result.timeline_evaluations += 2;
+    }
+    // Third trajectory: greedy with compression forced everywhere. Joint optima where
+    // *every* tensor compresses are separated from the FP32-seeded trajectory by
+    // multi-tensor moves a per-tensor sweep cannot make. The trajectories are compared
+    // after CPU offloading (below), since offloading interacts with the mix.
+    if (!options_.force_compress_all && !options_.force_cpu) {
+      SelectorOptions forced = options_;
+      forced.force_compress_all = true;
+      forced.candidates = candidates_;
+      EspressoSelector all_compressed(model_, evaluator_.cluster(), evaluator_.compressor(),
+                                      std::move(forced));
+      forced_trajectory =
+          all_compressed.SelectGpuCompression(&result.timeline_evaluations);
+      // Refine within the forced (compressed-only) space: refining against the full
+      // candidate set would greedily decompress tensors and collapse back into the
+      // first trajectory's basin before offloading can pay for the compression.
+      if (all_compressed.RefineSweep(&*forced_trajectory, &result.timeline_evaluations)) {
+        all_compressed.RefineSweep(&*forced_trajectory, &result.timeline_evaluations);
+      }
+      // Keep even much-worse pre-offload trajectories alive: CPU offloading is what
+      // rescues an everything-compressed strategy from its GPU contention.
+      if (evaluator_.IterationTime(*forced_trajectory) >
+          2.0 * evaluator_.IterationTime(gpu)) {
+        forced_trajectory.reset();
+      }
+      result.timeline_evaluations += 2;
+    }
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  result.gpu_stage_seconds = Seconds(t0, t1);
+
+  result.offload_tensor_count = 0;
+  for (const auto& option : gpu.options) {
+    if (option.Compressed() && option.UsesDevice(Device::kGpu)) {
+      ++result.offload_tensor_count;
+    }
+  }
+
+  if (options_.enable_cpu_offload && !options_.force_cpu) {
+    result.strategy = OffloadToCpu(gpu, &result.offload_combinations, &result.offload_exact,
+                                   &result.timeline_evaluations);
+    if (forced_trajectory.has_value()) {
+      const Strategy alternative =
+          OffloadToCpu(*forced_trajectory, nullptr, nullptr, &result.timeline_evaluations);
+      if (evaluator_.IterationTime(alternative) <
+          evaluator_.IterationTime(result.strategy)) {
+        result.strategy = alternative;
+      }
+      result.timeline_evaluations += 2;
+    }
+    result.offload_stage_seconds = Seconds(t1, std::chrono::steady_clock::now());
+  } else {
+    result.strategy = std::move(gpu);
+  }
+  result.iteration_time = evaluator_.IterationTime(result.strategy);
+  return result;
+}
+
+}  // namespace espresso

@@ -1,0 +1,92 @@
+// Espresso's compression decision algorithm (§4.4).
+//
+// Stage 1 — Algorithm 1 (GPU compression): tensors are sorted by descending size and
+// grouped; within a group, tensors closer to the output layer come first (Property 2).
+// Tensors communicated before bubbles are ruled out, and re-ruled out whenever a new
+// assignment creates new bubbles (Property 1, Remove()). For each remaining tensor,
+// GetBestOption() scores the no-change candidate plus every GPU compression candidate by
+// deriving the *full strategy timeline* — overheads, not wall-clock times, drive the
+// choice (Property 3).
+//
+// Stage 2 — Algorithm 2 (CPU offloading): compressed tensors are grouped by (size,
+// option); by Lemma 1 the optimal offload within a group is a prefix of the tensors
+// farthest from the output layer, so only the product space over per-group offload
+// counts U = {u_1..u_d} needs searching (Theorem 1). When that product exceeds a
+// budget, per-group coordinate descent is used instead (and flagged in the result).
+#ifndef SRC_CORE_ESPRESSO_H_
+#define SRC_CORE_ESPRESSO_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/core/decision_tree.h"
+#include "src/core/strategy.h"
+#include "src/core/timeline.h"
+
+namespace espresso {
+
+struct SelectorOptions {
+  // Candidate options for GetBestOption; empty = CandidateOptions(tree config).
+  std::vector<CompressionOption> candidates;
+  bool force_compress_all = false;  // Figure 15 "All compression": skip Remove, drop the
+                                    // uncompressed candidates
+  bool myopic = false;              // Figure 15 "Myopic": score candidates by the sum of
+                                    // their op durations instead of the strategy timeline
+  bool enable_cpu_offload = true;   // run Algorithm 2 after Algorithm 1
+  bool force_cpu = false;           // Figure 15 "CPU compression": all ops on CPUs
+  // Ablation switch: skip Property 1's bubble-based elimination (Remove()). Every
+  // tensor is then scored, trading selection time for (rarely) a better strategy.
+  bool disable_bubble_elimination = false;
+  // Algorithm 2 exhaustive-search budget; beyond it coordinate descent over the group
+  // counts takes over (Lemma 1 still fixes the within-group order either way).
+  size_t offload_search_budget = 3000;
+};
+
+struct SelectionResult {
+  Strategy strategy;
+  double iteration_time = 0.0;
+  double gpu_stage_seconds = 0.0;      // Table 5: Algorithm 1 wall-clock
+  double offload_stage_seconds = 0.0;  // Table 6: Algorithm 2 wall-clock
+  size_t timeline_evaluations = 0;
+  size_t offload_combinations = 0;     // |U| actually traversed
+  size_t offload_tensor_count = 0;     // |T_gpu|
+  bool offload_exact = true;           // false if coordinate descent was used
+};
+
+class EspressoSelector {
+ public:
+  EspressoSelector(const ModelProfile& model, const ClusterSpec& cluster,
+                   const Compressor& compressor, SelectorOptions options = {});
+
+  // Full pipeline: Algorithm 1, then (if enabled) Algorithm 2.
+  SelectionResult Select() const;
+
+  // Algorithm 1 only. `evaluations` (optional) accumulates timeline-eval counts.
+  Strategy SelectGpuCompression(size_t* evaluations = nullptr) const;
+
+  // Algorithm 2 only, applied to the output of Algorithm 1.
+  Strategy OffloadToCpu(const Strategy& gpu_strategy, size_t* combinations = nullptr,
+                        bool* exact = nullptr, size_t* evaluations = nullptr) const;
+
+  // One greedy improvement sweep over every tensor (GetBestOption without the bubble
+  // elimination). Select() runs these to a fixpoint after Algorithm 1, which removes
+  // the order dependence of the single greedy pass. Returns true if anything changed.
+  bool RefineSweep(Strategy* strategy, size_t* evaluations = nullptr) const;
+
+  const TimelineEvaluator& evaluator() const { return evaluator_; }
+
+ private:
+  // Scores `candidate_option` for tensor `index` within `strategy`.
+  double Score(Strategy& strategy, size_t index, const CompressionOption& candidate) const;
+
+  ModelProfile model_;
+  TreeConfig tree_config_;
+  SelectorOptions options_;
+  TimelineEvaluator evaluator_;
+  std::vector<CompressionOption> candidates_;
+  CompressionOption default_option_;
+};
+
+}  // namespace espresso
+
+#endif  // SRC_CORE_ESPRESSO_H_

@@ -1,0 +1,109 @@
+#include "src/core/option.h"
+
+#include <sstream>
+
+namespace espresso {
+
+const char* RoutineName(Routine routine) {
+  switch (routine) {
+    case Routine::kNone:
+      return "none";
+    case Routine::kAllreduce:
+      return "allreduce";
+    case Routine::kReduceScatter:
+      return "reduce-scatter";
+    case Routine::kAllgather:
+      return "allgather";
+    case Routine::kReduce:
+      return "reduce";
+    case Routine::kBroadcast:
+      return "broadcast";
+    case Routine::kAlltoall:
+      return "alltoall";
+    case Routine::kGather:
+      return "gather";
+  }
+  return "?";
+}
+
+const char* CommPhaseName(CommPhase phase) {
+  switch (phase) {
+    case CommPhase::kFlat:
+      return "flat";
+    case CommPhase::kIntraFirst:
+      return "intra1";
+    case CommPhase::kInter:
+      return "inter";
+    case CommPhase::kIntraSecond:
+      return "intra2";
+  }
+  return "?";
+}
+
+bool CompressionOption::Compressed() const { return CompressOpCount() > 0; }
+
+size_t CompressionOption::CompressOpCount() const {
+  size_t count = 0;
+  for (const Op& op : ops) {
+    if (op.task == ActionTask::kCompress) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+size_t CompressionOption::DecompressOpCount() const {
+  size_t count = 0;
+  for (const Op& op : ops) {
+    if (op.task == ActionTask::kDecompress) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+CompressionOption CompressionOption::WithDevice(Device device) const {
+  CompressionOption copy = *this;
+  for (Op& op : copy.ops) {
+    if (op.task != ActionTask::kComm) {
+      op.device = device;
+    }
+  }
+  return copy;
+}
+
+bool CompressionOption::UsesDevice(Device device) const {
+  for (const Op& op : ops) {
+    if (op.task != ActionTask::kComm && op.device == device) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string CompressionOption::Describe() const {
+  std::ostringstream os;
+  os << (label.empty() ? "option" : label) << ": ";
+  bool first = true;
+  for (const Op& op : ops) {
+    if (!first) {
+      os << " -> ";
+    }
+    first = false;
+    switch (op.task) {
+      case ActionTask::kCompress:
+        os << "comp(" << DeviceName(op.device) << ")";
+        break;
+      case ActionTask::kDecompress:
+        os << "decomp(" << DeviceName(op.device) << ",x" << op.fan_in << ")";
+        break;
+      case ActionTask::kComm:
+        os << RoutineName(op.routine) << "@" << CommPhaseName(op.phase)
+           << (op.compressed ? "[c]" : "");
+        break;
+    }
+  }
+  return os.str();
+}
+
+}  // namespace espresso

@@ -1,0 +1,103 @@
+// Compression options: paths through the decision-tree abstraction (§4.2).
+//
+// An option is the ordered list of action tasks (Table 3) that synchronizes one tensor:
+// compression/decompression operations (each with a device choice, Dimension 2) and
+// communication operations (each with a collective routine and a phase — flat, or the
+// intra-first / inter / intra-second phases of hierarchical communication; Dimensions 3
+// and 4). The timeline engine prices each op from the op's domain scope and the cost
+// models; the decision-tree generator (src/core/decision_tree.h) enumerates every valid
+// option.
+#ifndef SRC_CORE_OPTION_H_
+#define SRC_CORE_OPTION_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "src/costmodel/compression_cost.h"
+
+namespace espresso {
+
+enum class ActionTask {
+  kCompress,
+  kDecompress,
+  kComm,
+};
+
+enum class Routine {
+  kNone,
+  kAllreduce,
+  kReduceScatter,
+  kAllgather,
+  kReduce,
+  kBroadcast,
+  kAlltoall,
+  kGather,
+};
+
+const char* RoutineName(Routine routine);
+
+// Which stage of the synchronization pipeline an op belongs to. Flat communication has
+// a single phase; hierarchical communication has three (Figure 1).
+enum class CommPhase {
+  kFlat,
+  kIntraFirst,
+  kInter,
+  kIntraSecond,
+};
+
+const char* CommPhaseName(CommPhase phase);
+
+struct Op {
+  ActionTask task = ActionTask::kComm;
+  CommPhase phase = CommPhase::kFlat;
+  Routine routine = Routine::kNone;   // comm ops only
+  Device device = Device::kGpu;       // compress/decompress ops only
+  // Fraction of the tensor's elements forming this op's domain (1 for full-tensor ops,
+  // 1/g for a machine shard, 1/(g*M) for an inter-divisible sub-shard, ...).
+  double domain_fraction = 1.0;
+  // Decompress ops: number of payloads aggregated in this invocation (e.g. M after an
+  // inter-machine allgather of compressed tensors).
+  size_t fan_in = 1;
+  // Tensor-relative fraction covered by one payload unit: for comm ops the per-rank
+  // contribution (allgather/alltoall/gather sizing); for decompress ops the coverage of
+  // each of the fan_in payloads.
+  double payload_fraction = 1.0;
+  // Comm ops: whether the payload on the wire is compressed.
+  bool compressed = false;
+  // Compress/decompress ops in rooted (parameter-server style) pipelines process the
+  // machine's full tensor once and may recruit the whole host CPU rather than one
+  // GPU's share; the evaluator scales CPU throughput up (with partial efficiency) for
+  // such ops.
+  bool machine_level = false;
+
+  bool operator==(const Op&) const = default;
+};
+
+struct CompressionOption {
+  std::vector<Op> ops;
+  bool flat = false;     // uses flat (single-phase) communication
+  std::string label;     // short human-readable id, e.g. "hier[rs|comp+ag_c+dec|ag]"
+
+  // Dimension 1: does this option compress at all?
+  bool Compressed() const;
+  size_t CompressOpCount() const;
+  size_t DecompressOpCount() const;
+  // Device-choice slots (each compress/decompress op picks GPU or CPU independently).
+  size_t DeviceSlots() const { return CompressOpCount() + DecompressOpCount(); }
+
+  // Returns a copy with every compress/decompress op assigned to `device`
+  // (Algorithm 2 offloads a tensor's compression work to the CPU as a unit).
+  CompressionOption WithDevice(Device device) const;
+
+  // True if any compress/decompress op runs on `device`.
+  bool UsesDevice(Device device) const;
+
+  std::string Describe() const;
+
+  bool operator==(const CompressionOption& other) const { return ops == other.ops; }
+};
+
+}  // namespace espresso
+
+#endif  // SRC_CORE_OPTION_H_

@@ -1,0 +1,41 @@
+#include "src/core/strategy.h"
+
+#include <sstream>
+
+namespace espresso {
+
+size_t Strategy::CompressedTensorCount() const {
+  size_t count = 0;
+  for (const auto& option : options) {
+    if (option.Compressed()) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+size_t Strategy::TensorsOnDevice(Device device) const {
+  size_t count = 0;
+  for (const auto& option : options) {
+    if (option.UsesDevice(device)) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+std::string Strategy::Summary() const {
+  std::ostringstream os;
+  os << CompressedTensorCount() << "/" << options.size() << " tensors compressed ("
+     << TensorsOnDevice(Device::kGpu) << " using GPU, " << TensorsOnDevice(Device::kCpu)
+     << " using CPU ops)";
+  return os.str();
+}
+
+Strategy UniformStrategy(size_t tensor_count, const CompressionOption& option) {
+  Strategy strategy;
+  strategy.options.assign(tensor_count, option);
+  return strategy;
+}
+
+}  // namespace espresso

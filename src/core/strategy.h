@@ -1,0 +1,28 @@
+// A compression strategy S = {c_j}: one compression option per tensor of a model
+// (§4.2.2). The timeline engine evaluates F(S); the decision algorithm searches over S.
+#ifndef SRC_CORE_STRATEGY_H_
+#define SRC_CORE_STRATEGY_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "src/core/option.h"
+
+namespace espresso {
+
+struct Strategy {
+  std::vector<CompressionOption> options;  // index-aligned with ModelProfile::tensors
+
+  size_t size() const { return options.size(); }
+  size_t CompressedTensorCount() const;
+  size_t TensorsOnDevice(Device device) const;  // tensors with any op on `device`
+  std::string Summary() const;
+};
+
+// Every tensor uses the same option.
+Strategy UniformStrategy(size_t tensor_count, const CompressionOption& option);
+
+}  // namespace espresso
+
+#endif  // SRC_CORE_STRATEGY_H_

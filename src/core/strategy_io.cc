@@ -1,0 +1,234 @@
+#include "src/core/strategy_io.h"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "src/util/config.h"
+#include "src/util/logging.h"
+
+namespace espresso {
+
+namespace {
+
+const char* TaskToken(ActionTask task) {
+  switch (task) {
+    case ActionTask::kCompress:
+      return "compress";
+    case ActionTask::kDecompress:
+      return "decompress";
+    case ActionTask::kComm:
+      return "comm";
+  }
+  return "?";
+}
+
+const char* DeviceToken(Device device) { return device == Device::kGpu ? "gpu" : "cpu"; }
+
+std::optional<ActionTask> ParseTask(std::string_view token) {
+  if (token == "compress") {
+    return ActionTask::kCompress;
+  }
+  if (token == "decompress") {
+    return ActionTask::kDecompress;
+  }
+  if (token == "comm") {
+    return ActionTask::kComm;
+  }
+  return std::nullopt;
+}
+
+std::optional<Routine> ParseRoutine(std::string_view token) {
+  static const std::map<std::string_view, Routine> kRoutines = {
+      {"allreduce", Routine::kAllreduce},   {"reduce-scatter", Routine::kReduceScatter},
+      {"allgather", Routine::kAllgather},   {"reduce", Routine::kReduce},
+      {"broadcast", Routine::kBroadcast},   {"alltoall", Routine::kAlltoall},
+      {"gather", Routine::kGather},
+  };
+  const auto it = kRoutines.find(token);
+  return it == kRoutines.end() ? std::nullopt : std::optional<Routine>(it->second);
+}
+
+std::optional<CommPhase> ParsePhase(std::string_view token) {
+  if (token == "flat") {
+    return CommPhase::kFlat;
+  }
+  if (token == "intra1") {
+    return CommPhase::kIntraFirst;
+  }
+  if (token == "inter") {
+    return CommPhase::kInter;
+  }
+  if (token == "intra2") {
+    return CommPhase::kIntraSecond;
+  }
+  return std::nullopt;
+}
+
+void WriteOp(std::ostream& os, const Op& op) {
+  os << "op = " << TaskToken(op.task) << ' ';
+  if (op.task == ActionTask::kComm) {
+    os << RoutineName(op.routine);
+  } else {
+    os << DeviceToken(op.device);
+  }
+  os << ' ' << CommPhaseName(op.phase) << " domain=" << op.domain_fraction
+     << " payload=" << op.payload_fraction << " fan=" << op.fan_in << ' '
+     << (op.compressed ? "compressed" : "raw");
+  if (op.machine_level) {
+    os << " machine-level";
+  }
+  os << '\n';
+}
+
+std::optional<Op> ParseOp(std::string_view value, std::string* error) {
+  const std::vector<std::string> fields = SplitFields(value, " ");
+  if (fields.size() < 6) {
+    *error = "op line needs at least 6 fields";
+    return std::nullopt;
+  }
+  Op op;
+  const auto task = ParseTask(fields[0]);
+  if (!task) {
+    *error = "unknown op task '" + fields[0] + "'";
+    return std::nullopt;
+  }
+  op.task = *task;
+  if (op.task == ActionTask::kComm) {
+    const auto routine = ParseRoutine(fields[1]);
+    if (!routine) {
+      *error = "unknown routine '" + fields[1] + "'";
+      return std::nullopt;
+    }
+    op.routine = *routine;
+  } else if (fields[1] == "gpu" || fields[1] == "cpu") {
+    op.device = fields[1] == "gpu" ? Device::kGpu : Device::kCpu;
+  } else {
+    *error = "unknown device '" + fields[1] + "'";
+    return std::nullopt;
+  }
+  const auto phase = ParsePhase(fields[2]);
+  if (!phase) {
+    *error = "unknown phase '" + fields[2] + "'";
+    return std::nullopt;
+  }
+  op.phase = *phase;
+  try {
+    for (size_t i = 3; i < fields.size(); ++i) {
+      const std::string& f = fields[i];
+      if (f.rfind("domain=", 0) == 0) {
+        op.domain_fraction = std::stod(f.substr(7));
+      } else if (f.rfind("payload=", 0) == 0) {
+        op.payload_fraction = std::stod(f.substr(8));
+      } else if (f.rfind("fan=", 0) == 0) {
+        op.fan_in = static_cast<size_t>(std::stoull(f.substr(4)));
+      } else if (f == "compressed") {
+        op.compressed = true;
+      } else if (f == "raw") {
+        op.compressed = false;
+      } else if (f == "machine-level") {
+        op.machine_level = true;
+      } else {
+        *error = "unknown op attribute '" + f + "'";
+        return std::nullopt;
+      }
+    }
+  } catch (...) {
+    *error = "malformed numeric attribute in op line";
+    return std::nullopt;
+  }
+  return op;
+}
+
+}  // namespace
+
+void WriteStrategy(std::ostream& os, const Strategy& strategy) {
+  os << "# espresso strategy v1\n";
+  os << "tensors = " << strategy.options.size() << "\n";
+  for (size_t t = 0; t < strategy.options.size(); ++t) {
+    const CompressionOption& option = strategy.options[t];
+    os << "[tensor " << t << "]\n";
+    if (!option.label.empty()) {
+      os << "label = " << option.label << "\n";
+    }
+    os << "flat = " << (option.flat ? "true" : "false") << "\n";
+    for (const Op& op : option.ops) {
+      WriteOp(os, op);
+    }
+  }
+}
+
+std::string StrategyToString(const Strategy& strategy) {
+  std::ostringstream os;
+  WriteStrategy(os, strategy);
+  return os.str();
+}
+
+StrategyParseResult ReadStrategy(std::istream& in) {
+  StrategyParseResult result;
+  const ConfigFile file = ConfigFile::Parse(in);
+  if (!file.ok()) {
+    result.error = file.error();
+    return result;
+  }
+  const auto count = file.GetInt("", "tensors");
+  if (!count || *count < 0) {
+    result.error = "missing 'tensors = N' header";
+    return result;
+  }
+  result.strategy.options.resize(static_cast<size_t>(*count));
+  for (size_t t = 0; t < result.strategy.options.size(); ++t) {
+    const std::string section = "tensor " + std::to_string(t);
+    if (!file.HasSection(section)) {
+      result.error = "missing section [" + section + "]";
+      return result;
+    }
+    CompressionOption& option = result.strategy.options[t];
+    option.label = file.GetOr(section, "label", "");
+    option.flat = file.GetBool(section, "flat").value_or(false);
+    for (const auto& [key, value] : file.Entries(section)) {
+      if (key != "op") {
+        continue;
+      }
+      std::string error;
+      const auto op = ParseOp(value, &error);
+      if (!op) {
+        result.error = "[" + section + "]: " + error;
+        return result;
+      }
+      option.ops.push_back(*op);
+    }
+    if (option.ops.empty()) {
+      result.error = "[" + section + "] has no ops";
+      return result;
+    }
+  }
+  result.ok = true;
+  return result;
+}
+
+StrategyParseResult StrategyFromString(const std::string& text) {
+  std::istringstream in(text);
+  return ReadStrategy(in);
+}
+
+bool WriteStrategyFile(const std::string& path, const Strategy& strategy) {
+  std::ofstream out(path);
+  if (!out) {
+    return false;
+  }
+  WriteStrategy(out, strategy);
+  return static_cast<bool>(out);
+}
+
+StrategyParseResult ReadStrategyFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    StrategyParseResult result;
+    result.error = "cannot open " + path;
+    return result;
+  }
+  return ReadStrategy(in);
+}
+
+}  // namespace espresso

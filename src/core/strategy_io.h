@@ -1,0 +1,44 @@
+// Strategy serialization: the hand-off between offline selection and the training
+// runtime (Figure 6 — Espresso "selects a near-optimal compression strategy offline ...
+// After that, it applies the compression strategy to the DDL framework"). The format is
+// a line-oriented text file, one op per line, diffable and stable across versions:
+//
+//   # espresso strategy v1
+//   tensors = 3
+//   [tensor 0]
+//   label = hier[rs|comp+agc+dec|ag]
+//   flat = false
+//   op = comm reduce-scatter intra1 domain=1 payload=1 fan=1 raw
+//   op = compress gpu inter domain=0.125 payload=0.125
+//   ...
+#ifndef SRC_CORE_STRATEGY_IO_H_
+#define SRC_CORE_STRATEGY_IO_H_
+
+#include <istream>
+#include <optional>
+#include <ostream>
+#include <string>
+
+#include "src/core/strategy.h"
+
+namespace espresso {
+
+void WriteStrategy(std::ostream& os, const Strategy& strategy);
+std::string StrategyToString(const Strategy& strategy);
+
+struct StrategyParseResult {
+  bool ok = false;
+  std::string error;
+  Strategy strategy;
+};
+
+StrategyParseResult ReadStrategy(std::istream& in);
+StrategyParseResult StrategyFromString(const std::string& text);
+
+// File helpers; the result's `error` names the path on failure.
+bool WriteStrategyFile(const std::string& path, const Strategy& strategy);
+StrategyParseResult ReadStrategyFile(const std::string& path);
+
+}  // namespace espresso
+
+#endif  // SRC_CORE_STRATEGY_IO_H_

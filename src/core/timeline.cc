@@ -1,0 +1,410 @@
+#include "src/core/timeline.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/costmodel/collective_cost.h"
+#include "src/util/logging.h"
+
+namespace espresso {
+
+namespace {
+
+// Minimum idle gap that counts as a bubble. Gaps below this are collective-latency and
+// scheduling noise between back-to-back small tensors, not the compute-gated idle
+// periods Figure 9 depicts.
+constexpr double kBubbleEpsilon = 100e-6;
+
+// Tolerance for "this op started exactly when its predecessor finished".
+constexpr double kChainEpsilon = 1e-9;
+
+// Resource ids are fixed by construction order in Run().
+enum FixedResource : ResourceId {
+  kGpuResource = 0,
+  kCpuResource = 1,
+  kIntraResource = 2,
+  kInterResource = 3,
+};
+
+const char* FixedResourceName(ResourceId id) {
+  switch (id) {
+    case kGpuResource:
+      return "gpu";
+    case kCpuResource:
+      return "cpu";
+    case kIntraResource:
+      return "intra";
+    case kInterResource:
+      return "inter";
+    default:
+      return "?";
+  }
+}
+
+}  // namespace
+
+TimelineEvaluator::TimelineEvaluator(const ModelProfile& model, const ClusterSpec& cluster,
+                                     const Compressor& compressor, bool zero_compression_cost)
+    : model_(model),
+      cluster_(cluster),
+      compressor_(compressor),
+      cost_model_(MakeCompressionCostModel(cluster, compressor.name())),
+      zero_compression_cost_(zero_compression_cost) {
+  // All g GPUs of a machine share one NIC, and the simulation follows one
+  // representative GPU whose inter-machine ops carry 1/g of the model: price them at
+  // 1/g of the NIC bandwidth so the representative timeline reflects the machine's full
+  // egress load. Flat collectives span every GPU and share the NIC the same way.
+  if (cluster_.machines > 1) {
+    inter_link_ = cluster_.inter;
+    inter_link_.bytes_per_second /= static_cast<double>(cluster_.gpus_per_machine);
+    flat_link_ = inter_link_;
+    flat_link_.name = "flat";
+  } else {
+    inter_link_ = cluster_.inter;
+    flat_link_ = cluster_.intra;
+  }
+}
+
+double TimelineEvaluator::OpDuration(const Op& op, size_t elements) const {
+  const double domain_elements = op.domain_fraction * static_cast<double>(elements);
+  const double domain_bytes = domain_elements * sizeof(float);
+  const double payload_elements = op.payload_fraction * static_cast<double>(elements);
+
+  // Machine-level CPU ops (parameter-server pipelines) recruit the whole host CPU with
+  // partial parallel efficiency instead of one GPU's worker share.
+  const double machine_boost = (op.machine_level && op.device == Device::kCpu)
+                                   ? static_cast<double>(cluster_.gpus_per_machine)
+                                   : 1.0;
+
+  switch (op.task) {
+    case ActionTask::kCompress: {
+      if (zero_compression_cost_) {
+        return 0.0;
+      }
+      return cost_model_.CompressTime(op.device, domain_bytes) / machine_boost;
+    }
+    case ActionTask::kDecompress: {
+      if (zero_compression_cost_) {
+        return 0.0;
+      }
+      const double payload_bytes = static_cast<double>(
+          compressor_.CompressedBytes(static_cast<size_t>(std::llround(payload_elements))));
+      return cost_model_.AggregateDecompressTime(op.device, domain_bytes, payload_bytes,
+                                                 op.fan_in) /
+             machine_boost;
+    }
+    case ActionTask::kComm: {
+      const LinkSpec* link = nullptr;
+      size_t p = 1;
+      switch (op.phase) {
+        case CommPhase::kFlat:
+          link = &flat_link_;
+          p = cluster_.total_gpus();
+          break;
+        case CommPhase::kIntraFirst:
+        case CommPhase::kIntraSecond:
+          link = &cluster_.intra;
+          p = cluster_.gpus_per_machine;
+          break;
+        case CommPhase::kInter:
+          link = &inter_link_;
+          p = cluster_.machines;
+          break;
+      }
+      const double payload_bytes =
+          op.compressed
+              ? static_cast<double>(compressor_.CompressedBytes(
+                    static_cast<size_t>(std::llround(payload_elements))))
+              : payload_elements * sizeof(float);
+      switch (op.routine) {
+        case Routine::kAllreduce:
+          return AllreduceTime(p, domain_bytes, *link);
+        case Routine::kReduceScatter:
+          return ReduceScatterTime(p, domain_bytes, *link);
+        case Routine::kAllgather:
+          return AllgatherTime(p, payload_bytes, *link);
+        case Routine::kReduce:
+          return ReduceTime(p, domain_bytes, *link);
+        case Routine::kBroadcast:
+          return BroadcastTime(p, payload_bytes, *link);
+        case Routine::kAlltoall:
+          return AlltoallTime(p, payload_bytes, *link);
+        case Routine::kGather:
+          return GatherTime(p, payload_bytes, *link);
+        case Routine::kNone:
+          break;
+      }
+      ESP_CHECK(false) << "comm op without routine";
+      return 0.0;
+    }
+  }
+  return 0.0;
+}
+
+double TimelineEvaluator::RunRaw(const Strategy& strategy,
+                                 std::vector<RawEntry>* raw) const {
+  ESP_CHECK_EQ(strategy.options.size(), model_.tensors.size());
+  const size_t n = model_.tensors.size();
+
+  SimEngine engine;
+  const ResourceId gpu = engine.AddSerialResource("gpu");
+  const ResourceId cpu = engine.AddPoolResource("cpu", cluster_.cpu_workers_per_gpu);
+  const ResourceId intra = engine.AddSerialResource("intra");
+  const ResourceId inter = engine.AddSerialResource("inter");
+  ESP_CHECK_EQ(gpu, kGpuResource);
+  ESP_CHECK_EQ(cpu, kCpuResource);
+  ESP_CHECK_EQ(intra, kIntraResource);
+  ESP_CHECK_EQ(inter, kInterResource);
+
+  auto resource_for = [&](const Op& op) -> ResourceId {
+    if (op.task == ActionTask::kComm) {
+      switch (op.phase) {
+        case CommPhase::kFlat:
+          return cluster_.machines == 1 ? intra : inter;
+        case CommPhase::kIntraFirst:
+        case CommPhase::kIntraSecond:
+          return intra;
+        case CommPhase::kInter:
+          return inter;
+      }
+    }
+    return op.device == Device::kGpu ? gpu : cpu;
+  };
+
+  size_t task_estimate = n;
+  for (const auto& option : strategy.options) {
+    task_estimate += option.ops.size() + 2;
+  }
+  engine.ReserveTasks(task_estimate);
+
+  // Backward-compute chain: compute(i) depends on compute(i-1). Added first so all
+  // compute tasks have ids 0..n-1; pipeline ops of tensor i carry priority i, so a
+  // compression kernel of tensor i wins the GPU over compute of tensor i+1 — the
+  // contention of Figure 2(c).
+  std::vector<TaskId> compute_tasks(n);
+  for (size_t i = 0; i < n; ++i) {
+    compute_tasks[i] = engine.AddTaskAfter(
+        "", gpu, model_.tensors[i].backward_time_s,
+        i == 0 ? SimEngine::kNoDependency : compute_tasks[i - 1], static_cast<int>(i));
+  }
+
+  struct OpTask {
+    size_t tensor;
+    size_t op_index;  // kHostCopyOp marks a host copy
+    ResourceId resource;
+    TaskId task;
+  };
+  std::vector<OpTask> op_tasks;
+  if (raw != nullptr) {
+    op_tasks.reserve(task_estimate - n);
+  }
+  const bool host_copies = cluster_.host_copy_contends_intra && !zero_compression_cost_;
+  for (size_t i = 0; i < n; ++i) {
+    TaskId prev = compute_tasks[i];
+    const auto& option = strategy.options[i];
+    for (size_t k = 0; k < option.ops.size(); ++k) {
+      const Op& op = option.ops[k];
+      const double domain_bytes =
+          op.domain_fraction * static_cast<double>(model_.tensors[i].elements) * sizeof(float);
+      // On PCIe machines the host copy feeding a CPU compressor shares the intra fabric.
+      if (host_copies && op.task == ActionTask::kCompress && op.device == Device::kCpu) {
+        prev = engine.AddTaskAfter("", intra, cluster_.intra.TransferTime(domain_bytes),
+                                   prev, static_cast<int>(i));
+        if (raw != nullptr) {
+          op_tasks.push_back({i, kHostCopyOp, intra, prev});
+        }
+      }
+      const double duration = OpDuration(op, model_.tensors[i].elements);
+      const ResourceId resource = resource_for(op);
+      const TaskId id =
+          engine.AddTaskAfter("", resource, duration, prev, static_cast<int>(i));
+      if (raw != nullptr) {
+        op_tasks.push_back({i, k, resource, id});
+      }
+      prev = id;
+      if (host_copies && op.task == ActionTask::kDecompress && op.device == Device::kCpu) {
+        prev = engine.AddTaskAfter("", intra, cluster_.intra.TransferTime(domain_bytes),
+                                   prev, static_cast<int>(i));
+        if (raw != nullptr) {
+          op_tasks.push_back({i, kHostCopyOp, intra, prev});
+        }
+      }
+    }
+  }
+
+  engine.Run();
+
+  if (raw != nullptr) {
+    raw->clear();
+    raw->reserve(n + op_tasks.size());
+    for (size_t i = 0; i < n; ++i) {
+      raw->push_back(RawEntry{i, kComputeOp, kGpuResource,
+                              engine.TaskStart(compute_tasks[i]),
+                              engine.TaskEnd(compute_tasks[i])});
+    }
+    for (const OpTask& ot : op_tasks) {
+      raw->push_back(RawEntry{ot.tensor, ot.op_index, ot.resource,
+                              engine.TaskStart(ot.task), engine.TaskEnd(ot.task)});
+    }
+  }
+  return engine.Makespan();
+}
+
+double TimelineEvaluator::IterationTime(const Strategy& strategy) const {
+  return model_.forward_time_s + RunRaw(strategy, nullptr) + model_.optimizer_time_s;
+}
+
+TimelineResult TimelineEvaluator::Evaluate(const Strategy& strategy,
+                                           bool record_entries) const {
+  TimelineResult result;
+  if (!record_entries) {
+    result.makespan = RunRaw(strategy, nullptr);
+  } else {
+    std::vector<RawEntry> raw;
+    result.makespan = RunRaw(strategy, &raw);
+    result.entries.reserve(raw.size());
+    for (const RawEntry& e : raw) {
+      TimelineEntry entry;
+      entry.tensor = e.tensor;
+      entry.resource = FixedResourceName(e.resource);
+      entry.start = e.start;
+      entry.end = e.end;
+      if (e.op_index == kComputeOp) {
+        entry.kind = "compute";
+      } else if (e.op_index == kHostCopyOp) {
+        entry.kind = "hostcopy";
+      } else {
+        const Op& op = strategy.options[e.tensor].ops[e.op_index];
+        switch (op.task) {
+          case ActionTask::kCompress:
+            entry.kind = "compress";
+            break;
+          case ActionTask::kDecompress:
+            entry.kind = "decompress";
+            break;
+          case ActionTask::kComm:
+            entry.kind = RoutineName(op.routine);
+            break;
+        }
+      }
+      result.entries.push_back(std::move(entry));
+    }
+  }
+  result.iteration_time = model_.forward_time_s + result.makespan + model_.optimizer_time_s;
+  return result;
+}
+
+std::vector<bool> TimelineEvaluator::BeforeBubble(const Strategy& strategy) const {
+  std::vector<RawEntry> raw;
+  RunRaw(strategy, &raw);
+  const size_t n = model_.tensors.size();
+
+  // Reconstruct per-tensor pipeline times from the deterministic entry layout: the
+  // first n entries are the backward-compute intervals, followed by each tensor's ops
+  // in pipeline order.
+  std::vector<double> compute_end(n);
+  std::vector<std::vector<const RawEntry*>> pipeline(n);
+  for (size_t i = 0; i < n; ++i) {
+    compute_end[i] = raw[i].end;
+    pipeline[i].reserve(strategy.options[i].ops.size() + 2);
+  }
+  for (size_t e = n; e < raw.size(); ++e) {
+    pipeline[raw[e].tensor].push_back(&raw[e]);
+  }
+
+  // True if op k of tensor t started the moment its pipeline became ready, tracing the
+  // start-equals-predecessor-end chain all the way back to backward compute. If the
+  // chain hits an op that waited in a resource queue, the gap in front of op k is
+  // link-backlog latency, not a compute-gated bubble, and compressing earlier tensors
+  // WOULD move it.
+  auto compute_gated = [&](size_t t, size_t k) {
+    for (size_t cur = k;; --cur) {
+      const double pred_end = cur == 0 ? compute_end[t] : pipeline[t][cur - 1]->end;
+      if (pipeline[t][cur]->start > pred_end + kChainEpsilon) {
+        return false;  // queued on its resource
+      }
+      if (cur == 0) {
+        return true;
+      }
+    }
+  };
+
+  // Per link: every comm interval with its pipeline position, sorted by start.
+  struct Interval {
+    double start, end;
+    size_t tensor;
+    size_t pipeline_index;
+  };
+  std::vector<Interval> per_link[2];  // 0 = intra, 1 = inter
+  for (size_t t = 0; t < n; ++t) {
+    for (size_t k = 0; k < pipeline[t].size(); ++k) {
+      const RawEntry* e = pipeline[t][k];
+      if (e->resource == kIntraResource) {
+        per_link[0].push_back({e->start, e->end, t, k});
+      } else if (e->resource == kInterResource) {
+        per_link[1].push_back({e->start, e->end, t, k});
+      }
+    }
+  }
+
+  // For each link, merge the schedule into busy periods (idle gaps >= kBubbleEpsilon
+  // separate them) and find when the LAST genuinely compute-gated busy period starts.
+  // Communications that end before that point sit ahead of the link's final bubble:
+  // compressing their tensors only widens the gap, because everything in the last busy
+  // period is gated by compute readiness, not by the link (§4.4.2 Property 1, Fig 9(a)).
+  double last_busy_start[2] = {-1.0, -1.0};
+  bool link_has_bubble[2] = {false, false};
+  for (int l = 0; l < 2; ++l) {
+    auto& intervals = per_link[l];
+    std::sort(intervals.begin(), intervals.end(),
+              [](const Interval& a, const Interval& b) { return a.start < b.start; });
+    double frontier = -1.0;
+    double candidate_start = -1.0;
+    for (const auto& iv : intervals) {
+      if (frontier < 0.0) {
+        candidate_start = iv.start;
+      } else if (iv.start > frontier + kBubbleEpsilon) {
+        // Idle gap. It is a genuine bubble only if the op after it was waiting for
+        // tensor computation, not for another resource's backlog.
+        if (compute_gated(iv.tensor, iv.pipeline_index)) {
+          link_has_bubble[l] = true;
+          last_busy_start[l] = iv.start;
+        }
+      }
+      frontier = std::max(frontier, iv.end);
+    }
+    if (!link_has_bubble[l]) {
+      last_busy_start[l] = candidate_start;
+    }
+  }
+
+  // A tensor is "before bubbles" if every link it communicates on has at least one
+  // bubble and all of its intervals there end before the last busy period begins.
+  std::vector<bool> before(n, false);
+  std::vector<bool> uses_link(n * 2, false);
+  std::vector<bool> in_last_period(n * 2, false);
+  for (int l = 0; l < 2; ++l) {
+    for (const auto& iv : per_link[l]) {
+      uses_link[iv.tensor * 2 + l] = true;
+      if (!link_has_bubble[l] || iv.end > last_busy_start[l] - kBubbleEpsilon) {
+        in_last_period[iv.tensor * 2 + l] = true;
+      }
+    }
+  }
+  for (size_t i = 0; i < n; ++i) {
+    bool uses_any = false;
+    bool all_before = true;
+    for (int l = 0; l < 2; ++l) {
+      if (uses_link[i * 2 + l]) {
+        uses_any = true;
+        if (in_last_period[i * 2 + l]) {
+          all_before = false;
+        }
+      }
+    }
+    before[i] = uses_any && all_before;
+  }
+  return before;
+}
+
+}  // namespace espresso

@@ -1,0 +1,101 @@
+// The timeline engine: derives the full computation/communication/compression timeline
+// of one training iteration under a compression strategy, and from it the iteration
+// time F(S) (§4.3 "Expressing interactions", §4.4.1).
+//
+// The engine exploits data-parallel symmetry (every GPU runs the same op sequence on
+// equal shards) and simulates one representative GPU and machine over four contended
+// resources:
+//   gpu    — serial stream shared by backward-compute kernels and GPU (de)compression
+//            kernels; sharing is what makes GPU compression "compete for GPU resources
+//            with tensor computation" (§3.1, Figure 2(c));
+//   cpu    — pool of CPU compression workers (off the GPU critical path);
+//   intra  — the intra-machine fabric (NVLink or PCIe);
+//   inter  — the machine's NIC.
+// Tensor pipelines are chains: backward(i) -> op1 -> op2 -> ... with WFBP FIFO priority
+// (tensors closer to the output layer enqueue first). Bubbles, overlaps, and the
+// communication/compression *overheads* of §3 all emerge from this schedule.
+#ifndef SRC_CORE_TIMELINE_H_
+#define SRC_CORE_TIMELINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/compress/compressor.h"
+#include "src/core/strategy.h"
+#include "src/costmodel/calibration.h"
+#include "src/models/model_profile.h"
+#include "src/sim/engine.h"
+
+namespace espresso {
+
+// One scheduled interval attributed to a tensor, for traces and bubble analysis.
+struct TimelineEntry {
+  size_t tensor = 0;
+  std::string kind;     // "compute", "compress", "decompress", or a routine name
+  std::string resource; // "gpu", "cpu", "intra", "inter"
+  double start = 0.0;
+  double end = 0.0;
+};
+
+struct TimelineResult {
+  double makespan = 0.0;        // backward start -> last synchronization completes
+  double iteration_time = 0.0;  // forward + makespan + optimizer
+  std::vector<TimelineEntry> entries;  // only filled when record_entries is set
+};
+
+class TimelineEvaluator {
+ public:
+  // `compressor` supplies payload sizing (CompressedBytes); it must outlive the
+  // evaluator. `zero_compression_cost` prices all (de)compression at zero — the Upper
+  // Bound configuration of §5.1.
+  TimelineEvaluator(const ModelProfile& model, const ClusterSpec& cluster,
+                    const Compressor& compressor, bool zero_compression_cost = false);
+
+  // Iteration time F(S). The hot path of the decision algorithm.
+  double IterationTime(const Strategy& strategy) const;
+
+  // Full evaluation with per-op entries for traces/plots.
+  TimelineResult Evaluate(const Strategy& strategy, bool record_entries) const;
+
+  // Bubble analysis for Algorithm 1's Remove(): flags tensors whose communications all
+  // complete before the last bubble (idle gap) of the links they use — compressing them
+  // only widens the gap (§4.4.2 Property 1, Figure 9).
+  std::vector<bool> BeforeBubble(const Strategy& strategy) const;
+
+  // Wall-clock duration of a single op on a tensor with `elements` floats. Exposed for
+  // tests and for Figure 10 (benefit-ratio) style analyses.
+  double OpDuration(const Op& op, size_t elements) const;
+
+  const ModelProfile& model() const { return model_; }
+  const ClusterSpec& cluster() const { return cluster_; }
+  const Compressor& compressor() const { return compressor_; }
+
+ private:
+  // Allocation-light per-op record used on the decision algorithm's hot path; Evaluate
+  // converts these to named TimelineEntry values on demand.
+  struct RawEntry {
+    size_t tensor;
+    size_t op_index;  // index into the option's ops, or kComputeOp / kHostCopyOp
+    ResourceId resource;
+    double start;
+    double end;
+  };
+  static constexpr size_t kComputeOp = SIZE_MAX - 1;
+  static constexpr size_t kHostCopyOp = SIZE_MAX;
+
+  // Builds and runs the schedule; fills per-op raw records when requested.
+  double RunRaw(const Strategy& strategy, std::vector<RawEntry>* raw) const;
+
+  ModelProfile model_;
+  ClusterSpec cluster_;
+  const Compressor& compressor_;
+  CompressionCostModel cost_model_;
+  bool zero_compression_cost_;
+  LinkSpec inter_link_;  // NIC bandwidth divided by the g flows sharing it
+  LinkSpec flat_link_;
+};
+
+}  // namespace espresso
+
+#endif  // SRC_CORE_TIMELINE_H_

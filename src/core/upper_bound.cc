@@ -1,0 +1,53 @@
+#include "src/core/upper_bound.h"
+
+#include "src/core/decision_tree.h"
+#include "src/core/timeline.h"
+
+namespace espresso {
+
+UpperBoundResult ComputeUpperBound(const ModelProfile& model, const ClusterSpec& cluster,
+                                   const Compressor& compressor) {
+  const TreeConfig config{cluster.machines, cluster.gpus_per_machine,
+                          compressor.SupportsCompressedAggregation()};
+  TimelineEvaluator evaluator(model, cluster, compressor, /*zero_compression_cost=*/true);
+  const std::vector<CompressionOption> candidates = CandidateOptions(config);
+
+  // With compression free, each tensor's best option can be chosen greedily against the
+  // evolving strategy; repeated sweeps to a fixpoint remove the order dependence of a
+  // single pass (early choices can look different once later tensors compress too).
+  Strategy strategy =
+      UniformStrategy(model.tensors.size(), DefaultUncompressedOption(config));
+  double current = evaluator.IterationTime(strategy);
+  for (int pass = 0; pass < 4; ++pass) {
+    bool improved = false;
+    for (size_t i = 0; i < model.tensors.size(); ++i) {
+      double best = current;
+      CompressionOption best_option = strategy.options[i];
+      const CompressionOption saved = strategy.options[i];
+      for (const auto& candidate : candidates) {
+        strategy.options[i] = candidate;
+        const double t = evaluator.IterationTime(strategy);
+        if (t < best) {
+          best = t;
+          best_option = candidate;
+        }
+      }
+      strategy.options[i] = best_option;
+      if (best < current) {
+        current = best;
+        if (!(best_option == saved)) {
+          improved = true;
+        }
+      }
+    }
+    if (!improved) {
+      break;
+    }
+  }
+  UpperBoundResult result;
+  result.iteration_time = current;
+  result.strategy = std::move(strategy);
+  return result;
+}
+
+}  // namespace espresso

@@ -1,0 +1,26 @@
+// Upper Bound on compression-enabled training throughput (§5.1): assumes GC has no
+// compression time and no impact on tensor computation. Computed by running the greedy
+// selector against a timeline whose (de)compression ops cost zero — with compression
+// free, the per-tensor greedy choice has no downside and the bound is at least the
+// optimal strategy's throughput.
+#ifndef SRC_CORE_UPPER_BOUND_H_
+#define SRC_CORE_UPPER_BOUND_H_
+
+#include "src/compress/compressor.h"
+#include "src/core/strategy.h"
+#include "src/costmodel/calibration.h"
+#include "src/models/model_profile.h"
+
+namespace espresso {
+
+struct UpperBoundResult {
+  Strategy strategy;
+  double iteration_time = 0.0;
+};
+
+UpperBoundResult ComputeUpperBound(const ModelProfile& model, const ClusterSpec& cluster,
+                                   const Compressor& compressor);
+
+}  // namespace espresso
+
+#endif  // SRC_CORE_UPPER_BOUND_H_

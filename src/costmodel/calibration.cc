@@ -1,0 +1,61 @@
+#include "src/costmodel/calibration.h"
+
+namespace espresso {
+
+namespace {
+constexpr double kGiB = 1024.0 * 1024.0 * 1024.0;
+}  // namespace
+
+DeviceCostSpec V100CompressionSpec() {
+  // GPU compression: high throughput, but every invocation pays a kernel-launch cost —
+  // the constant overhead behind Figure 10's size-dependent benefit ratio.
+  return DeviceCostSpec{
+      .launch_overhead_s = 40e-6,
+      .compress_bytes_per_s = 32.0 * kGiB,
+      .decompress_bytes_per_s = 64.0 * kGiB,
+  };
+}
+
+DeviceCostSpec XeonCompressionSpec() {
+  // CPU compression: low invocation overhead, over an order of magnitude less
+  // throughput per worker (HiPress [9] reports GPU compression typically faster than
+  // CPU). The throughput also absorbs the PCIe host round-trip the gradient pays to
+  // reach the CPU workers.
+  return DeviceCostSpec{
+      .launch_overhead_s = 8e-6,
+      .compress_bytes_per_s = 1.2 * kGiB,
+      .decompress_bytes_per_s = 2.4 * kGiB,
+  };
+}
+
+ClusterSpec NvlinkCluster(size_t machines, size_t gpus_per_machine) {
+  ClusterSpec spec;
+  spec.machines = machines;
+  spec.gpus_per_machine = gpus_per_machine;
+  spec.intra = NvLinkIntra();
+  spec.inter = Ethernet100G();
+  spec.gpu_compression = V100CompressionSpec();
+  spec.cpu_compression = XeonCompressionSpec();
+  return spec;
+}
+
+ClusterSpec PcieCluster(size_t machines, size_t gpus_per_machine) {
+  ClusterSpec spec;
+  spec.machines = machines;
+  spec.gpus_per_machine = gpus_per_machine;
+  spec.intra = PcieIntra();
+  spec.inter = Ethernet25G();
+  spec.gpu_compression = V100CompressionSpec();
+  spec.cpu_compression = XeonCompressionSpec();
+  spec.host_copy_contends_intra = true;
+  return spec;
+}
+
+CompressionCostModel MakeCompressionCostModel(const ClusterSpec& cluster,
+                                              std::string_view algorithm) {
+  return CompressionCostModel(cluster.gpu_compression, cluster.cpu_compression,
+                              AlgorithmCostWeight(algorithm, Device::kGpu),
+                              AlgorithmCostWeight(algorithm, Device::kCpu));
+}
+
+}  // namespace espresso

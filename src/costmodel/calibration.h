@@ -1,0 +1,53 @@
+// Cluster descriptions and calibrated cost constants for the paper's two testbeds
+// (§5.1): 8 machines x 8 V100 GPUs with (a) NVLink + 100Gbps Ethernet and (b) PCIe-only
+// + 25Gbps Ethernet; 2 Xeon 8260 CPUs (48 cores) per machine.
+//
+// The constants are calibrated so the *shapes* of the paper's results hold (see
+// DESIGN.md §5.4 and EXPERIMENTS.md); absolute seconds are simulator units.
+#ifndef SRC_COSTMODEL_CALIBRATION_H_
+#define SRC_COSTMODEL_CALIBRATION_H_
+
+#include <cstddef>
+
+#include "src/costmodel/compression_cost.h"
+#include "src/costmodel/link.h"
+
+namespace espresso {
+
+struct ClusterSpec {
+  size_t machines = 8;
+  size_t gpus_per_machine = 8;
+  LinkSpec intra;
+  LinkSpec inter;
+  DeviceCostSpec gpu_compression;
+  DeviceCostSpec cpu_compression;
+  // Number of CPU compression tasks one GPU's share of the host CPUs can run
+  // concurrently (48 cores / 8 GPUs, a few cores per worker).
+  size_t cpu_workers_per_gpu = 3;
+  // On PCIe-only machines the GPU<->host copies that feed CPU compression ride the
+  // same PCIe fabric the intra-machine collectives use, so they contend with the
+  // intra link (the reason CPU compression backfires on the paper's PCIe testbed,
+  // §5.2.3). NVLink machines carry collectives on NVLink, so host copies do not
+  // contend there.
+  bool host_copy_contends_intra = false;
+
+  size_t total_gpus() const { return machines * gpus_per_machine; }
+};
+
+// Testbed 1: NVLink machines, 100Gbps TCP/IP network.
+ClusterSpec NvlinkCluster(size_t machines = 8, size_t gpus_per_machine = 8);
+
+// Testbed 2: PCIe-only machines, 25Gbps network.
+ClusterSpec PcieCluster(size_t machines = 8, size_t gpus_per_machine = 8);
+
+// Device cost presets (shared by both testbeds; the hosts are identical).
+DeviceCostSpec V100CompressionSpec();
+DeviceCostSpec XeonCompressionSpec();
+
+// Builds the per-algorithm compression cost model for a cluster.
+CompressionCostModel MakeCompressionCostModel(const ClusterSpec& cluster,
+                                              std::string_view algorithm);
+
+}  // namespace espresso
+
+#endif  // SRC_COSTMODEL_CALIBRATION_H_

@@ -1,0 +1,79 @@
+#include "src/costmodel/collective_cost.h"
+
+#include <cmath>
+
+#include "src/util/logging.h"
+
+namespace espresso {
+
+namespace {
+
+double Log2Ceil(size_t p) { return std::ceil(std::log2(static_cast<double>(p))); }
+
+}  // namespace
+
+double AllreduceTime(size_t p, double tensor_bytes, const LinkSpec& link) {
+  ESP_CHECK_GT(p, 0u);
+  if (p == 1) {
+    return 0.0;
+  }
+  const auto rounds = static_cast<double>(2 * (p - 1));
+  return rounds * link.latency_s +
+         2.0 * static_cast<double>(p - 1) / static_cast<double>(p) * tensor_bytes /
+             link.bytes_per_second;
+}
+
+double ReduceScatterTime(size_t p, double tensor_bytes, const LinkSpec& link) {
+  ESP_CHECK_GT(p, 0u);
+  if (p == 1) {
+    return 0.0;
+  }
+  return static_cast<double>(p - 1) * link.latency_s +
+         static_cast<double>(p - 1) / static_cast<double>(p) * tensor_bytes /
+             link.bytes_per_second;
+}
+
+double AllgatherTime(size_t p, double per_rank_bytes, const LinkSpec& link) {
+  ESP_CHECK_GT(p, 0u);
+  if (p == 1) {
+    return 0.0;
+  }
+  return static_cast<double>(p - 1) * link.latency_s +
+         static_cast<double>(p - 1) * per_rank_bytes / link.bytes_per_second;
+}
+
+double ReduceTime(size_t p, double tensor_bytes, const LinkSpec& link) {
+  ESP_CHECK_GT(p, 0u);
+  if (p == 1) {
+    return 0.0;
+  }
+  return Log2Ceil(p) * link.latency_s + tensor_bytes / link.bytes_per_second;
+}
+
+double BroadcastTime(size_t p, double bytes, const LinkSpec& link) {
+  ESP_CHECK_GT(p, 0u);
+  if (p == 1) {
+    return 0.0;
+  }
+  return Log2Ceil(p) * link.latency_s + bytes / link.bytes_per_second;
+}
+
+double AlltoallTime(size_t p, double per_pair_bytes, const LinkSpec& link) {
+  ESP_CHECK_GT(p, 0u);
+  if (p == 1) {
+    return 0.0;
+  }
+  return static_cast<double>(p - 1) * link.latency_s +
+         static_cast<double>(p - 1) * per_pair_bytes / link.bytes_per_second;
+}
+
+double GatherTime(size_t p, double per_rank_bytes, const LinkSpec& link) {
+  ESP_CHECK_GT(p, 0u);
+  if (p == 1) {
+    return 0.0;
+  }
+  return Log2Ceil(p) * link.latency_s +
+         static_cast<double>(p - 1) * per_rank_bytes / link.bytes_per_second;
+}
+
+}  // namespace espresso

@@ -1,0 +1,42 @@
+// Alpha-beta cost models for the collective routines of Table 2 (Thakur et al. [65],
+// the same analysis the paper's communication models follow).
+//
+// Conventions: `p` is the number of participants on the link; `tensor_bytes` is the size
+// of the (possibly already compressed) tensor a routine synchronizes. Each function
+// documents its own traffic shape. All results are wall-clock seconds on `link`.
+#ifndef SRC_COSTMODEL_COLLECTIVE_COST_H_
+#define SRC_COSTMODEL_COLLECTIVE_COST_H_
+
+#include <cstddef>
+
+#include "src/costmodel/link.h"
+
+namespace espresso {
+
+// Ring allreduce of a tensor: 2(p-1) rounds moving tensor/p each.
+double AllreduceTime(size_t p, double tensor_bytes, const LinkSpec& link);
+
+// Ring reduce-scatter: (p-1) rounds of tensor/p.
+double ReduceScatterTime(size_t p, double tensor_bytes, const LinkSpec& link);
+
+// Ring allgather where each rank contributes `per_rank_bytes`: (p-1) rounds of
+// per_rank_bytes. (For uncompressed shard-allgather pass tensor/p; for the compressed
+// indivisible scheme pass the compressed payload size.)
+double AllgatherTime(size_t p, double per_rank_bytes, const LinkSpec& link);
+
+// Pipelined binomial reduce of a tensor to one root.
+double ReduceTime(size_t p, double tensor_bytes, const LinkSpec& link);
+
+// Pipelined binomial broadcast of `bytes` from one root.
+double BroadcastTime(size_t p, double bytes, const LinkSpec& link);
+
+// Alltoall where each rank sends `per_pair_bytes` to each of the p-1 others.
+double AlltoallTime(size_t p, double per_pair_bytes, const LinkSpec& link);
+
+// Gather to a root where each rank contributes `per_rank_bytes`; the root's ingress
+// link is the bottleneck.
+double GatherTime(size_t p, double per_rank_bytes, const LinkSpec& link);
+
+}  // namespace espresso
+
+#endif  // SRC_COSTMODEL_COLLECTIVE_COST_H_

@@ -1,0 +1,69 @@
+// Compression/decompression time models (§4.3 "Compression time").
+//
+// Both operations are modeled as affine in the *original* tensor size: a constant
+// per-invocation overhead (GPU kernel launches — the reason Figure 10's benefit ratio
+// grows with tensor size; §4.4.2 Property 2) plus a throughput term. GPUs compress
+// faster but contend with backward computation; CPUs are slower but run off the GPU's
+// critical path (§2.3, Table 1). The per-algorithm weight captures that e.g. top-k
+// selection costs more per byte than sign extraction.
+#ifndef SRC_COSTMODEL_COMPRESSION_COST_H_
+#define SRC_COSTMODEL_COMPRESSION_COST_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace espresso {
+
+enum class Device {
+  kGpu = 0,
+  kCpu = 1,
+};
+inline constexpr int kNumDevices = 2;
+
+const char* DeviceName(Device device);
+
+struct DeviceCostSpec {
+  double launch_overhead_s = 0.0;     // fixed cost per (de)compression invocation
+  double compress_bytes_per_s = 0.0;  // throughput over the original tensor bytes
+  double decompress_bytes_per_s = 0.0;
+};
+
+class CompressionCostModel {
+ public:
+  CompressionCostModel() = default;
+  // `gpu_weight`/`cpu_weight` scale the throughput term per device: selection-heavy
+  // sparsifiers (top-k) pay a much larger penalty on CPUs than bitwise quantizers do.
+  CompressionCostModel(DeviceCostSpec gpu, DeviceCostSpec cpu, double gpu_weight = 1.0,
+                       double cpu_weight = 1.0);
+
+  // Time to compress a tensor of `original_bytes` on `device`. `invocations` > 1 models
+  // the aggregate of several payload (de)compressions fused at a divisible scheme's
+  // middle stage (one launch each).
+  double CompressTime(Device device, double original_bytes, size_t invocations = 1) const;
+  double DecompressTime(Device device, double original_bytes, size_t invocations = 1) const;
+
+  // Decompress-and-aggregate `fan_in` payloads of `payload_bytes` each into one output
+  // buffer of `original_bytes`: fan_in kernel launches, fan_in payload reads, one output
+  // write. This is what the middle stage of a divisible scheme and the post-allgather
+  // aggregation of an indivisible scheme cost (Figures 3-4).
+  double AggregateDecompressTime(Device device, double original_bytes, double payload_bytes,
+                                 size_t fan_in) const;
+
+  const DeviceCostSpec& spec(Device device) const;
+  double algorithm_weight(Device device) const {
+    return weights_[static_cast<int>(device)];
+  }
+
+ private:
+  DeviceCostSpec specs_[kNumDevices];
+  double weights_[kNumDevices] = {1.0, 1.0};
+};
+
+// Per-algorithm relative cost weight on `device`. Selection-heavy sparsifiers (top-k)
+// are pricier per byte than bitwise quantizers, dramatically so on CPUs.
+double AlgorithmCostWeight(std::string_view algorithm, Device device);
+
+}  // namespace espresso
+
+#endif  // SRC_COSTMODEL_COMPRESSION_COST_H_

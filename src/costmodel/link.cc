@@ -1,0 +1,29 @@
+#include "src/costmodel/link.h"
+
+namespace espresso {
+
+namespace {
+constexpr double kGiB = 1024.0 * 1024.0 * 1024.0;
+}  // namespace
+
+LinkSpec NvLinkIntra() {
+  // NVLink 2.0 gives every V100 1.2 Tb/s aggregate GPU-GPU bandwidth (paper footnote 1).
+  // Effective per-endpoint collective bandwidth after protocol overheads: ~120 GiB/s.
+  return LinkSpec{"nvlink", 4e-6, 120.0 * kGiB};
+}
+
+LinkSpec PcieIntra() {
+  // PCIe 3.0 x16 provides ~100 Gb/s (paper footnote 1); effective ~11 GiB/s.
+  return LinkSpec{"pcie3x16", 5e-6, 6.0 * kGiB};
+}
+
+LinkSpec Ethernet100G() {
+  // 100 Gbps TCP/IP: ~11 GiB/s effective at the NIC, tens-of-microseconds latency.
+  return LinkSpec{"eth100g", 15e-6, 11.0 * kGiB};
+}
+
+LinkSpec Ethernet25G() {
+  return LinkSpec{"eth25g", 15e-6, 2.75 * kGiB};
+}
+
+}  // namespace espresso

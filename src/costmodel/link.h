@@ -1,0 +1,27 @@
+// Network link description used by the alpha-beta collective cost models (§4.3,
+// "The cost models follow the model analysis in the literature [48, 65]" — Thakur et al.).
+#ifndef SRC_COSTMODEL_LINK_H_
+#define SRC_COSTMODEL_LINK_H_
+
+#include <string>
+
+namespace espresso {
+
+struct LinkSpec {
+  std::string name;
+  double latency_s = 0.0;        // alpha: per-message startup cost
+  double bytes_per_second = 0.0; // 1/beta: point-to-point bandwidth per endpoint
+
+  double TransferTime(double bytes) const { return latency_s + bytes / bytes_per_second; }
+};
+
+// Presets matching the paper's two testbeds (§5.1). Bandwidths are effective
+// (protocol-efficiency discounted) endpoint bandwidths.
+LinkSpec NvLinkIntra();      // NVLink 2.0: ~1.2 Tb/s aggregate per GPU
+LinkSpec PcieIntra();        // PCIe 3.0 x16: ~100 Gb/s raw, lower effective through the root complex
+LinkSpec Ethernet100G();     // 100 Gbps TCP/IP inter-machine network
+LinkSpec Ethernet25G();      // 25 Gbps inter-machine network
+
+}  // namespace espresso
+
+#endif  // SRC_COSTMODEL_LINK_H_

@@ -1,0 +1,80 @@
+#include "src/ddl/experiment.h"
+
+#include "src/core/baselines.h"
+#include "src/core/espresso.h"
+#include "src/core/timeline.h"
+#include "src/core/upper_bound.h"
+#include "src/util/logging.h"
+
+namespace espresso {
+
+double SingleGpuThroughput(const ModelProfile& model) {
+  return static_cast<double>(model.batch_size) / model.SingleGpuIterationTime();
+}
+
+namespace {
+
+ThroughputResult FromIterationTime(const ModelProfile& model, const ClusterSpec& cluster,
+                                   double iteration_time) {
+  ThroughputResult result;
+  result.iteration_time_s = iteration_time;
+  const auto n = static_cast<double>(cluster.total_gpus());
+  result.throughput = n * static_cast<double>(model.batch_size) / iteration_time;
+  result.scaling_factor = result.throughput / (n * SingleGpuThroughput(model));
+  return result;
+}
+
+}  // namespace
+
+ThroughputResult MeasureThroughput(const ModelProfile& model, const ClusterSpec& cluster,
+                                   const Compressor& compressor, const Strategy& strategy) {
+  TimelineEvaluator evaluator(model, cluster, compressor);
+  return FromIterationTime(model, cluster, evaluator.IterationTime(strategy));
+}
+
+const char* SchemeName(Scheme scheme) {
+  switch (scheme) {
+    case Scheme::kFp32:
+      return "FP32";
+    case Scheme::kBytePSCompress:
+      return "BytePS-Compress";
+    case Scheme::kHiTopKComm:
+      return "HiTopKComm";
+    case Scheme::kHiPress:
+      return "HiPress";
+    case Scheme::kEspresso:
+      return "Espresso";
+    case Scheme::kUpperBound:
+      return "Upper Bound";
+  }
+  return "?";
+}
+
+ThroughputResult RunScheme(const ModelProfile& model, const ClusterSpec& cluster,
+                           const Compressor& compressor, Scheme scheme) {
+  switch (scheme) {
+    case Scheme::kFp32:
+      return MeasureThroughput(model, cluster, compressor, Fp32Strategy(model, cluster));
+    case Scheme::kBytePSCompress:
+      return MeasureThroughput(model, cluster, compressor,
+                               BytePSCompressStrategy(model, cluster, compressor));
+    case Scheme::kHiTopKComm:
+      return MeasureThroughput(model, cluster, compressor,
+                               HiTopKCommStrategy(model, cluster, compressor));
+    case Scheme::kHiPress:
+      return MeasureThroughput(model, cluster, compressor,
+                               HiPressStrategy(model, cluster, compressor));
+    case Scheme::kEspresso: {
+      EspressoSelector selector(model, cluster, compressor);
+      return FromIterationTime(model, cluster, selector.Select().iteration_time);
+    }
+    case Scheme::kUpperBound: {
+      const UpperBoundResult bound = ComputeUpperBound(model, cluster, compressor);
+      return FromIterationTime(model, cluster, bound.iteration_time);
+    }
+  }
+  ESP_CHECK(false);
+  return {};
+}
+
+}  // namespace espresso

@@ -1,0 +1,48 @@
+// Experiment harness: evaluates a (model, cluster, GC algorithm, scheme) combination and
+// reports the metrics of §5 — aggregate training throughput (images/s or tokens/s),
+// iteration time, and the scaling factor T_n / (n * T) of §2.2.
+#ifndef SRC_DDL_EXPERIMENT_H_
+#define SRC_DDL_EXPERIMENT_H_
+
+#include <string>
+
+#include "src/compress/compressor.h"
+#include "src/core/strategy.h"
+#include "src/costmodel/calibration.h"
+#include "src/models/model_profile.h"
+
+namespace espresso {
+
+struct ThroughputResult {
+  double iteration_time_s = 0.0;
+  double throughput = 0.0;      // aggregate samples (or tokens) per second
+  double scaling_factor = 0.0;  // T_n / (n * T_1)
+};
+
+// Throughput of one GPU with no communication.
+double SingleGpuThroughput(const ModelProfile& model);
+
+// Evaluates a concrete strategy on a cluster.
+ThroughputResult MeasureThroughput(const ModelProfile& model, const ClusterSpec& cluster,
+                                   const Compressor& compressor, const Strategy& strategy);
+
+// The schemes compared throughout §5.
+enum class Scheme {
+  kFp32,
+  kBytePSCompress,
+  kHiTopKComm,
+  kHiPress,
+  kEspresso,
+  kUpperBound,
+};
+
+const char* SchemeName(Scheme scheme);
+
+// Builds the scheme's strategy (running Espresso's selector where applicable) and
+// measures it. For kUpperBound the iteration time is the zero-compression-cost bound.
+ThroughputResult RunScheme(const ModelProfile& model, const ClusterSpec& cluster,
+                           const Compressor& compressor, Scheme scheme);
+
+}  // namespace espresso
+
+#endif  // SRC_DDL_EXPERIMENT_H_

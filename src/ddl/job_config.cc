@@ -1,0 +1,168 @@
+#include "src/ddl/job_config.h"
+
+#include "src/models/model_zoo.h"
+
+namespace espresso {
+
+namespace {
+
+JobConfigResult Fail(const std::string& message) {
+  JobConfigResult result;
+  result.error = message;
+  return result;
+}
+
+bool ParseModel(const ConfigFile& file, ModelProfile* model, std::string* error) {
+  if (const auto name = file.Get("model", "name")) {
+    *model = GetModel(*name);
+  } else {
+    model->name = file.GetOr("model", "label", "custom");
+    model->tensors.clear();
+  }
+  if (const auto v = file.GetDouble("model", "forward_ms")) {
+    model->forward_time_s = *v * 1e-3;
+  }
+  if (const auto v = file.GetDouble("model", "optimizer_ms")) {
+    model->optimizer_time_s = *v * 1e-3;
+  }
+  if (const auto v = file.GetInt("model", "batch_size")) {
+    model->batch_size = static_cast<size_t>(*v);
+  }
+  if (const auto v = file.Get("model", "unit")) {
+    model->throughput_unit = *v;
+  }
+  // Custom tensor list (backward order): "name = elements, backward_ms".
+  const auto tensors = file.Entries("tensors");
+  if (!tensors.empty()) {
+    model->tensors.clear();
+    for (const auto& [name, value] : tensors) {
+      const auto fields = SplitFields(value, ",");
+      if (fields.size() != 2) {
+        *error = "tensor '" + name + "': expected 'elements, backward_ms'";
+        return false;
+      }
+      try {
+        TensorSpec spec;
+        spec.name = name;
+        spec.elements = static_cast<size_t>(std::stoull(fields[0]));
+        spec.backward_time_s = std::stod(fields[1]) * 1e-3;
+        if (spec.elements == 0 || spec.backward_time_s <= 0.0) {
+          *error = "tensor '" + name + "': elements and backward_ms must be positive";
+          return false;
+        }
+        model->tensors.push_back(std::move(spec));
+      } catch (...) {
+        *error = "tensor '" + name + "': malformed numbers";
+        return false;
+      }
+    }
+  }
+  if (model->tensors.empty()) {
+    *error = "model file needs either [model] name = <zoo model> or a [tensors] section";
+    return false;
+  }
+  return true;
+}
+
+bool ParseCompression(const ConfigFile& file, CompressorConfig* config,
+                      size_t* max_compress_ops, std::string* error) {
+  config->algorithm = file.GetOr("compression", "algorithm", "randomk");
+  config->bits = 4;  // QSGD default when the file does not set one
+  if (const auto v = file.GetDouble("compression", "ratio")) {
+    config->ratio = *v;
+  }
+  if (const auto v = file.GetInt("compression", "bits")) {
+    config->bits = static_cast<int>(*v);
+  }
+  if (const auto v = file.GetInt("compression", "max_compress_ops")) {
+    *max_compress_ops = static_cast<size_t>(*v);
+  }
+  if (config->ratio <= 0.0 || config->ratio > 1.0) {
+    *error = "compression ratio must be in (0, 1]";
+    return false;
+  }
+  if (config->bits < 1 || config->bits > 7) {
+    *error = "compression bits must be in [1, 7]";
+    return false;
+  }
+  return true;
+}
+
+bool ParseCluster(const ConfigFile& file, ClusterSpec* cluster, std::string* error) {
+  const std::string testbed = file.GetOr("cluster", "testbed", "nvlink");
+  if (testbed == "nvlink") {
+    *cluster = NvlinkCluster();
+  } else if (testbed == "pcie") {
+    *cluster = PcieCluster();
+  } else {
+    *error = "unknown testbed '" + testbed + "' (expected nvlink or pcie)";
+    return false;
+  }
+  if (const auto v = file.GetInt("cluster", "machines")) {
+    cluster->machines = static_cast<size_t>(*v);
+  }
+  if (const auto v = file.GetInt("cluster", "gpus_per_machine")) {
+    cluster->gpus_per_machine = static_cast<size_t>(*v);
+  }
+  if (const auto v = file.GetDouble("cluster", "inter_gbps")) {
+    cluster->inter.bytes_per_second = *v * 1e9 / 8.0;  // Gb/s -> bytes/s
+  }
+  if (const auto v = file.GetDouble("cluster", "intra_gbps")) {
+    cluster->intra.bytes_per_second = *v * 1e9 / 8.0;
+  }
+  if (const auto v = file.GetDouble("cluster", "inter_latency_us")) {
+    cluster->inter.latency_s = *v * 1e-6;
+  }
+  if (const auto v = file.GetDouble("cluster", "intra_latency_us")) {
+    cluster->intra.latency_s = *v * 1e-6;
+  }
+  if (const auto v = file.GetInt("cluster", "cpu_workers_per_gpu")) {
+    cluster->cpu_workers_per_gpu = static_cast<size_t>(*v);
+  }
+  if (const auto v = file.GetBool("cluster", "host_copy_contends_intra")) {
+    cluster->host_copy_contends_intra = *v;
+  }
+  if (cluster->machines == 0 || cluster->gpus_per_machine == 0) {
+    *error = "cluster must have at least one machine and one GPU";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+JobConfigResult LoadJobConfig(const ConfigFile& model_file, const ConfigFile& gc_file,
+                              const ConfigFile& system_file) {
+  if (!model_file.ok()) {
+    return Fail("model config: " + model_file.error());
+  }
+  if (!gc_file.ok()) {
+    return Fail("gc config: " + gc_file.error());
+  }
+  if (!system_file.ok()) {
+    return Fail("system config: " + system_file.error());
+  }
+  JobConfigResult result;
+  std::string error;
+  if (!ParseModel(model_file, &result.job.model, &error)) {
+    return Fail("model config: " + error);
+  }
+  if (!ParseCompression(gc_file, &result.job.compressor, &result.job.max_compress_ops,
+                        &error)) {
+    return Fail("gc config: " + error);
+  }
+  if (!ParseCluster(system_file, &result.job.cluster, &error)) {
+    return Fail("system config: " + error);
+  }
+  result.ok = true;
+  return result;
+}
+
+JobConfigResult LoadJobConfigFromFiles(const std::string& model_path,
+                                       const std::string& gc_path,
+                                       const std::string& system_path) {
+  return LoadJobConfig(ConfigFile::Load(model_path), ConfigFile::Load(gc_path),
+                       ConfigFile::Load(system_path));
+}
+
+}  // namespace espresso

@@ -1,0 +1,516 @@
+#include "src/ddl/strategy_executor.h"
+
+#include <algorithm>
+#include <map>
+
+#include "src/util/logging.h"
+#include "src/util/rng.h"
+
+namespace espresso {
+
+namespace {
+
+// One compressed payload together with the tensor range it decompresses into.
+struct RangedPayload {
+  size_t offset = 0;
+  size_t length = 0;
+  CompressedTensor payload;
+};
+
+// Per-rank interpreter state: either a raw (sub-)vector of the tensor or a set of
+// compressed payloads awaiting decompression/aggregation. `active` is false for ranks
+// whose data was consumed by a rooted collective (Reduce/Gather).
+struct RankState {
+  bool active = true;
+  // When a rooted collective (Reduce/Gather) consumes a rank's data, the rank goes
+  // dormant at that communication level until the matching Broadcast revives it:
+  // 0 = machine level (intra phases), 1 = inter level, 2 = flat, -1 = not dormant.
+  int dormant_level = -1;
+  size_t offset = 0;
+  size_t length = 0;
+  std::vector<float> raw;               // valid when payloads is empty
+  std::vector<RangedPayload> payloads;  // valid when non-empty
+  bool pending_compress = false;        // a Comp op ran; the next comm compresses
+
+  bool HasPayloads() const { return !payloads.empty(); }
+};
+
+// Splits a sparse payload covering `length` elements into the sub-range
+// [sub_offset, sub_offset + sub_length): indices are re-based to the sub-range. Only
+// sparse layouts split exactly; skip-style pipelines only arise for shared-seed
+// Random-k, which is sparse.
+CompressedTensor SplitSparsePayload(const CompressedTensor& payload, size_t sub_offset,
+                                    size_t sub_length) {
+  ESP_CHECK(payload.kind == PayloadKind::kSparse)
+      << "only sparse payloads can be range-split";
+  CompressedTensor part;
+  part.kind = PayloadKind::kSparse;
+  part.original_elements = sub_length;
+  for (size_t i = 0; i < payload.indices.size(); ++i) {
+    const uint32_t index = payload.indices[i];
+    if (index >= sub_offset && index < sub_offset + sub_length) {
+      part.indices.push_back(static_cast<uint32_t>(index - sub_offset));
+      part.values.push_back(payload.values[i]);
+    }
+  }
+  return part;
+}
+
+int PhaseLevel(CommPhase phase) {
+  switch (phase) {
+    case CommPhase::kIntraFirst:
+    case CommPhase::kIntraSecond:
+      return 0;
+    case CommPhase::kInter:
+      return 1;
+    case CommPhase::kFlat:
+      return 2;
+  }
+  return -1;
+}
+
+class OptionExecutor {
+ public:
+  OptionExecutor(const CompressionOption& option, const ExecutorConfig& config,
+                 uint64_t tensor_id, RankBuffers& buffers)
+      : option_(option),
+        config_(config),
+        tensor_id_(tensor_id),
+        buffers_(buffers),
+        elements_(CheckUniformSize(buffers)),
+        states_(config.ranks()) {
+    ESP_CHECK_EQ(buffers.size(), config.ranks());
+    if (option.Compressed()) {
+      ESP_CHECK(config.compressor != nullptr) << "compressed option needs a compressor";
+    }
+    for (size_t r = 0; r < states_.size(); ++r) {
+      states_[r].offset = 0;
+      states_[r].length = elements_;
+      states_[r].raw = buffers[r];
+    }
+  }
+
+  void Run() {
+    for (const Op& op : option_.ops) {
+      switch (op.task) {
+        case ActionTask::kCompress:
+          for (RankState& s : states_) {
+            if (s.active) {
+              ESP_CHECK(!s.HasPayloads());
+              s.pending_compress = true;
+            }
+          }
+          break;
+        case ActionTask::kDecompress:
+          Decompress(op);
+          break;
+        case ActionTask::kComm:
+          Communicate(op);
+          break;
+      }
+    }
+    // A valid option ends with every rank holding the full aggregated tensor.
+    for (size_t r = 0; r < states_.size(); ++r) {
+      const RankState& s = states_[r];
+      ESP_CHECK(s.active && !s.HasPayloads() && s.offset == 0 && s.length == elements_)
+          << "option did not terminate replicated: " << option_.Describe();
+      buffers_[r] = s.raw;
+    }
+  }
+
+ private:
+  // Rank groups participating in a communication op of the given phase: machine groups
+  // for intra phases; active ranks grouped by their current range for inter/flat (the
+  // cross-machine column groups of Figure 1 fall out of the shared shard offsets).
+  std::vector<std::vector<size_t>> Groups(const Op& op) const {
+    // A Broadcast revives the ranks that a rooted first step (Reduce/Gather) at the
+    // same communication level made dormant — they are recipients.
+    const bool revive = op.routine == Routine::kBroadcast;
+    const int level = PhaseLevel(op.phase);
+    auto participates = [&](size_t r) {
+      return states_[r].active || (revive && states_[r].dormant_level == level);
+    };
+    std::vector<std::vector<size_t>> groups;
+    if (op.phase == CommPhase::kIntraFirst || op.phase == CommPhase::kIntraSecond) {
+      for (size_t m = 0; m < config_.machines; ++m) {
+        std::vector<size_t> group;
+        for (size_t l = 0; l < config_.gpus_per_machine; ++l) {
+          const size_t r = m * config_.gpus_per_machine + l;
+          if (participates(r)) {
+            group.push_back(r);
+          }
+        }
+        if (!group.empty()) {
+          groups.push_back(std::move(group));
+        }
+      }
+      return groups;
+    }
+    if (op.phase == CommPhase::kInter) {
+      // Cross-machine column groups (Figure 1): the l-th GPU of every machine. Columns
+      // whose ranks all went dormant at the machine level (rooted intra) sit out.
+      for (size_t l = 0; l < config_.gpus_per_machine; ++l) {
+        std::vector<size_t> group;
+        for (size_t m = 0; m < config_.machines; ++m) {
+          const size_t r = m * config_.gpus_per_machine + l;
+          if (participates(r)) {
+            group.push_back(r);
+          }
+        }
+        if (!group.empty()) {
+          // The (active) root must lead so Broadcast reads live data.
+          std::stable_partition(group.begin(), group.end(),
+                                [&](size_t r) { return states_[r].active; });
+          groups.push_back(std::move(group));
+        }
+      }
+      return groups;
+    }
+    // Flat: one group over every participating rank.
+    std::vector<size_t> group;
+    for (size_t r = 0; r < states_.size(); ++r) {
+      if (participates(r)) {
+        group.push_back(r);
+      }
+    }
+    if (!group.empty()) {
+      std::stable_partition(group.begin(), group.end(),
+                            [&](size_t r) { return states_[r].active; });
+      groups.push_back(std::move(group));
+    }
+    return groups;
+  }
+
+  // Compresses `view` for rank `rank`. Error feedback applies at the pipeline's FIRST
+  // compression site — whether that is the rank's raw gradient or its post-reduce-
+  // scatter shard — with the residual keyed by (tensor, range) so each rank's
+  // compression site keeps its own memory; re-compressions at later stages (divisible
+  // middle stages, second steps) are transient and carry no residual.
+  CompressedTensor Compress(size_t rank, size_t range_key, std::span<const float> view) {
+    CompressedTensor payload;
+    if (first_compression_ && config_.feedback != nullptr) {
+      ESP_CHECK_LT(rank, config_.feedback->size());
+      (*config_.feedback)[rank].CompressWithFeedback(
+          *config_.compressor, tensor_id_ * 1315423911ULL + range_key, view, config_.seed,
+          &payload);
+    } else {
+      config_.compressor->Compress(view, config_.seed, &payload);
+    }
+    return payload;
+  }
+
+  // --- communication routines -------------------------------------------------------
+
+  void Communicate(const Op& op) {
+    // A payload-set on the wire without a preceding Decompress means the option either
+    // skips the decompress-aggregate-recompress stage (same-range payloads: aggregate
+    // in the compressed domain) or carries a multi-chunk compressed tensor (disjoint
+    // ranges: pass through untouched).
+    for (RankState& s : states_) {
+      if (s.active && s.HasPayloads() && !s.pending_compress) {
+        DedupePayloads(&s);
+      }
+    }
+    for (const auto& group : Groups(op)) {
+      switch (op.routine) {
+        case Routine::kAllreduce:
+          GroupAllreduce(group);
+          break;
+        case Routine::kReduceScatter:
+          GroupReduceScatter(group);
+          break;
+        case Routine::kAllgather:
+          GroupAllgather(group, op.compressed);
+          break;
+        case Routine::kReduce:
+          GroupReduce(group, PhaseLevel(op.phase));
+          break;
+        case Routine::kBroadcast:
+          GroupBroadcast(group, op.compressed);
+          break;
+        case Routine::kAlltoall:
+          GroupAlltoall(group);
+          break;
+        case Routine::kGather:
+          GroupGather(group, PhaseLevel(op.phase));
+          break;
+        case Routine::kNone:
+          ESP_CHECK(false);
+      }
+    }
+    bool consumed_pending = false;
+    for (RankState& s : states_) {
+      consumed_pending = consumed_pending || s.pending_compress;
+      s.pending_compress = false;
+    }
+    if (consumed_pending) {
+      first_compression_ = false;
+    }
+  }
+
+  void GroupAllreduce(const std::vector<size_t>& group) {
+    RankState& first = states_[group.front()];
+    ESP_CHECK(!first.pending_compress && !first.HasPayloads());
+    std::vector<float> sum(first.length, 0.0f);
+    for (size_t r : group) {
+      ESP_CHECK_EQ(states_[r].length, first.length);
+      for (size_t i = 0; i < sum.size(); ++i) {
+        sum[i] += states_[r].raw[i];
+      }
+    }
+    for (size_t r : group) {
+      states_[r].raw = sum;
+    }
+  }
+
+  void GroupReduceScatter(const std::vector<size_t>& group) {
+    const size_t G = group.size();
+    const RankState& first = states_[group.front()];
+    ESP_CHECK(!first.pending_compress && !first.HasPayloads());
+    const Partition part(first.length, G);
+    std::vector<std::vector<float>> shards(G);
+    for (size_t j = 0; j < G; ++j) {
+      shards[j].assign(part.Length(j), 0.0f);
+      for (size_t r : group) {
+        for (size_t i = 0; i < shards[j].size(); ++i) {
+          shards[j][i] += states_[r].raw[part.Offset(j) + i];
+        }
+      }
+    }
+    for (size_t j = 0; j < G; ++j) {
+      RankState& s = states_[group[j]];
+      s.offset += part.Offset(j);
+      s.length = part.Length(j);
+      s.raw = std::move(shards[j]);
+    }
+  }
+
+  void GroupReduce(const std::vector<size_t>& group, int level) {
+    GroupAllreduce(group);
+    for (size_t j = 1; j < group.size(); ++j) {
+      states_[group[j]].active = false;
+      states_[group[j]].dormant_level = level;
+    }
+  }
+
+  void GroupAllgather(const std::vector<size_t>& group, bool compressed) {
+    if (compressed) {
+      // Every member contributes its payloads (compressing its raw range now if a Comp
+      // op is pending); everyone ends with the union of the group's payload sets.
+      std::vector<RangedPayload> gathered;
+      for (size_t r : group) {
+        RankState& s = states_[r];
+        if (s.pending_compress) {
+          ESP_CHECK(!s.HasPayloads());
+          gathered.push_back(
+              RangedPayload{s.offset, s.length, Compress(r, s.offset, s.raw)});
+        } else {
+          ESP_CHECK(s.HasPayloads());
+          gathered.insert(gathered.end(), s.payloads.begin(), s.payloads.end());
+        }
+      }
+      for (size_t r : group) {
+        states_[r].payloads = gathered;
+        states_[r].raw.clear();
+      }
+      return;
+    }
+    // Uncompressed: concatenate the members' (disjoint) ranges on every member.
+    size_t lo = SIZE_MAX, hi = 0;
+    for (size_t r : group) {
+      lo = std::min(lo, states_[r].offset);
+      hi = std::max(hi, states_[r].offset + states_[r].length);
+    }
+    std::vector<float> merged(hi - lo, 0.0f);
+    for (size_t r : group) {
+      const RankState& s = states_[r];
+      std::copy(s.raw.begin(), s.raw.end(), merged.begin() + (s.offset - lo));
+    }
+    for (size_t r : group) {
+      states_[r].offset = lo;
+      states_[r].length = hi - lo;
+      states_[r].raw = merged;
+    }
+  }
+
+  void GroupBroadcast(const std::vector<size_t>& group, bool compressed) {
+    RankState& root = states_[group.front()];
+    if (compressed) {
+      std::vector<RangedPayload> payloads;
+      if (root.pending_compress) {
+        ESP_CHECK(!root.HasPayloads());
+        payloads = {RangedPayload{root.offset, root.length,
+                                  Compress(group.front(), root.offset, root.raw)}};
+      } else {
+        ESP_CHECK(root.HasPayloads());
+        payloads = root.payloads;
+      }
+      size_t lo = SIZE_MAX, hi = 0;
+      for (const RangedPayload& p : payloads) {
+        lo = std::min(lo, p.offset);
+        hi = std::max(hi, p.offset + p.length);
+      }
+      for (size_t r : group) {
+        RankState& s = states_[r];
+        s.active = true;
+        s.dormant_level = -1;
+        s.offset = lo;
+        s.length = hi - lo;
+        s.raw.clear();
+        s.payloads = payloads;
+      }
+      return;
+    }
+    ESP_CHECK(!root.HasPayloads());
+    const std::vector<float> value = root.raw;
+    const size_t offset = root.offset;
+    const size_t length = root.length;
+    for (size_t r : group) {
+      RankState& s = states_[r];
+      s.active = true;
+      s.dormant_level = -1;
+      s.offset = offset;
+      s.length = length;
+      s.raw = value;
+      s.payloads.clear();
+    }
+  }
+
+  void GroupAlltoall(const std::vector<size_t>& group) {
+    // Compressed shuffle: each member splits its range into G parts (compressing now if
+    // a Comp op is pending, range-splitting its carried payload otherwise) and sends
+    // part j to member j. Member j ends with G payloads covering part j.
+    const size_t G = group.size();
+    const RankState& first = states_[group.front()];
+    const Partition part(first.length, G);
+    std::vector<std::vector<RangedPayload>> inbox(G);
+    for (size_t r : group) {
+      RankState& s = states_[r];
+      ESP_CHECK_EQ(s.length, first.length);
+      for (size_t j = 0; j < G; ++j) {
+        if (s.pending_compress) {
+          ESP_CHECK(!s.HasPayloads()) << option_.Describe();
+          const std::span<const float> view(s.raw);
+          inbox[j].push_back(RangedPayload{
+              s.offset + part.Offset(j), part.Length(j),
+              Compress(r, s.offset + part.Offset(j),
+                       view.subspan(part.Offset(j), part.Length(j)))});
+        } else {
+          ESP_CHECK_EQ(s.payloads.size(), 1u);
+          inbox[j].push_back(RangedPayload{
+              s.offset + part.Offset(j), part.Length(j),
+              SplitSparsePayload(s.payloads.front().payload, part.Offset(j),
+                                 part.Length(j))});
+        }
+      }
+    }
+    for (size_t j = 0; j < G; ++j) {
+      RankState& s = states_[group[j]];
+      s.offset += part.Offset(j);
+      s.length = part.Length(j);
+      s.raw.clear();
+      s.payloads = std::move(inbox[j]);
+    }
+  }
+
+  void GroupGather(const std::vector<size_t>& group, int level) {
+    std::vector<RangedPayload> gathered;
+    for (size_t r : group) {
+      RankState& s = states_[r];
+      if (s.pending_compress) {
+        ESP_CHECK(!s.HasPayloads()) << option_.Describe();
+        gathered.push_back(
+            RangedPayload{s.offset, s.length, Compress(r, s.offset, s.raw)});
+      } else {
+        ESP_CHECK(s.HasPayloads()) << option_.Describe();
+        gathered.insert(gathered.end(), s.payloads.begin(), s.payloads.end());
+      }
+    }
+    RankState& root = states_[group.front()];
+    root.raw.clear();
+    root.payloads = std::move(gathered);
+    for (size_t j = 1; j < group.size(); ++j) {
+      states_[group[j]].active = false;
+      states_[group[j]].dormant_level = level;
+    }
+  }
+
+  // --- decompression ------------------------------------------------------------------
+
+  // Deduplicates a payload set by range: payloads covering the same range are partial
+  // sums and get aggregated in the compressed domain (the "skip" shortcut; requires
+  // compressor support, e.g. shared-seed Random-k). Disjoint ranges are chunks of one
+  // logical compressed tensor and pass through untouched.
+  void DedupePayloads(RankState* s) {
+    std::map<size_t, RangedPayload> by_offset;
+    bool aggregated = false;
+    for (RangedPayload& p : s->payloads) {
+      auto [it, inserted] = by_offset.try_emplace(p.offset, p);
+      if (!inserted) {
+        ESP_CHECK(config_.compressor->SupportsCompressedAggregation())
+            << "option skips decompress-aggregate but " << config_.compressor->name()
+            << " cannot aggregate compressed payloads: " << option_.Describe();
+        ESP_CHECK_EQ(it->second.length, p.length);
+        config_.compressor->AggregateCompressed(p.payload, &it->second.payload);
+        aggregated = true;
+      }
+    }
+    if (aggregated || by_offset.size() != s->payloads.size()) {
+      s->payloads.clear();
+      for (auto& [offset, payload] : by_offset) {
+        s->payloads.push_back(std::move(payload));
+      }
+    }
+  }
+
+  void Decompress(const Op& op) {
+    for (RankState& s : states_) {
+      if (!s.active) {
+        continue;
+      }
+      ESP_CHECK(s.HasPayloads()) << "decompress without payloads: " << option_.Describe();
+      if (op.fan_in == 1 && s.payloads.size() > 1) {
+        DedupePayloads(&s);
+      }
+      size_t lo = SIZE_MAX, hi = 0;
+      for (const RangedPayload& p : s.payloads) {
+        lo = std::min(lo, p.offset);
+        hi = std::max(hi, p.offset + p.length);
+      }
+      std::vector<float> merged(hi - lo, 0.0f);
+      for (const RangedPayload& p : s.payloads) {
+        auto view = std::span<float>(merged).subspan(p.offset - lo, p.length);
+        config_.compressor->DecompressAdd(p.payload, view);
+      }
+      s.offset = lo;
+      s.length = hi - lo;
+      s.raw = std::move(merged);
+      s.payloads.clear();
+    }
+  }
+
+  const CompressionOption& option_;
+  const ExecutorConfig& config_;
+  const uint64_t tensor_id_;
+  RankBuffers& buffers_;
+  const size_t elements_;
+  std::vector<RankState> states_;
+  bool first_compression_ = true;  // EF applies until the first compression completes
+};
+
+}  // namespace
+
+void ExecuteOption(const CompressionOption& option, const ExecutorConfig& config,
+                   uint64_t tensor_id, RankBuffers& buffers) {
+  OptionExecutor(option, config, tensor_id, buffers).Run();
+}
+
+void ExecuteStrategy(const Strategy& strategy, const ExecutorConfig& config,
+                     std::vector<RankBuffers>& gradients) {
+  ESP_CHECK_EQ(strategy.options.size(), gradients.size());
+  for (size_t t = 0; t < gradients.size(); ++t) {
+    ExecuteOption(strategy.options[t], config, t, gradients[t]);
+  }
+}
+
+}  // namespace espresso

@@ -1,0 +1,23 @@
+#include "src/models/model_profile.h"
+
+namespace espresso {
+
+size_t ModelProfile::TotalElements() const {
+  size_t total = 0;
+  for (const auto& t : tensors) {
+    total += t.elements;
+  }
+  return total;
+}
+
+size_t ModelProfile::TotalBytes() const { return TotalElements() * sizeof(float); }
+
+double ModelProfile::BackwardTime() const {
+  double total = 0.0;
+  for (const auto& t : tensors) {
+    total += t.backward_time_s;
+  }
+  return total;
+}
+
+}  // namespace espresso

@@ -1,0 +1,51 @@
+// DNN model profiles: per-tensor sizes and backward-computation times.
+//
+// This is exactly the "model information" Espresso consumes (§4.1: "The model
+// information contains the tensor sizes and their tensor computation time", gathered by
+// tracing 100 iterations, §4.3). Tensors are stored in *backward-completion order*:
+// index 0 is the first gradient produced during backprop. Following the paper's
+// terminology (§4.4.2 Property 2), the tensor computed last during backward propagation
+// is the one "closest to the output layer"; DistanceToOutput converts accordingly.
+#ifndef SRC_MODELS_MODEL_PROFILE_H_
+#define SRC_MODELS_MODEL_PROFILE_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace espresso {
+
+struct TensorSpec {
+  std::string name;
+  size_t elements = 0;          // float32 element count
+  double backward_time_s = 0.0; // time to compute this gradient during backprop
+
+  size_t bytes() const { return elements * sizeof(float); }
+};
+
+struct ModelProfile {
+  std::string name;
+  std::vector<TensorSpec> tensors;  // backward-completion order
+  double forward_time_s = 0.0;
+  double optimizer_time_s = 0.0;    // parameter update after synchronization
+  size_t batch_size = 1;            // per-GPU samples (or tokens) per iteration
+  std::string throughput_unit;      // "images/s" or "tokens/s"
+
+  size_t TensorCount() const { return tensors.size(); }
+  size_t TotalElements() const;
+  size_t TotalBytes() const;
+  double BackwardTime() const;
+  // Single-GPU iteration time (no communication).
+  double SingleGpuIterationTime() const {
+    return forward_time_s + BackwardTime() + optimizer_time_s;
+  }
+
+  // Paper's "distance to the output layer": 0 for the tensor computed last in backward.
+  size_t DistanceToOutput(size_t tensor_index) const {
+    return tensors.size() - 1 - tensor_index;
+  }
+};
+
+}  // namespace espresso
+
+#endif  // SRC_MODELS_MODEL_PROFILE_H_

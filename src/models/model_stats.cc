@@ -1,0 +1,34 @@
+#include "src/models/model_stats.h"
+
+#include <algorithm>
+
+namespace espresso {
+
+std::map<size_t, size_t> SizeHistogram(const ModelProfile& model) {
+  std::map<size_t, size_t> histogram;
+  for (const auto& t : model.tensors) {
+    ++histogram[t.elements];
+  }
+  return histogram;
+}
+
+size_t DistinctSizes(const ModelProfile& model) { return SizeHistogram(model).size(); }
+
+std::vector<std::vector<size_t>> GroupBySizeDescending(const ModelProfile& model) {
+  // map is ascending by size; walk it in reverse for descending groups.
+  std::map<size_t, std::vector<size_t>> by_size;
+  for (size_t i = 0; i < model.tensors.size(); ++i) {
+    by_size[model.tensors[i].elements].push_back(i);
+  }
+  std::vector<std::vector<size_t>> groups;
+  groups.reserve(by_size.size());
+  for (auto it = by_size.rbegin(); it != by_size.rend(); ++it) {
+    auto& members = it->second;
+    // Ascending distance-to-output == descending backward index.
+    std::sort(members.begin(), members.end(), std::greater<>());
+    groups.push_back(std::move(members));
+  }
+  return groups;
+}
+
+}  // namespace espresso

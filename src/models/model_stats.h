@@ -1,0 +1,29 @@
+// Model statistics used by the decision algorithm and Figure 11: how many tensors share
+// each size. Algorithm 1 groups same-size tensors (Property 2), and Algorithm 2's search
+// space is the product over these groups (Theorem 1) — Figure 11 is the paper's evidence
+// that the product stays small.
+#ifndef SRC_MODELS_MODEL_STATS_H_
+#define SRC_MODELS_MODEL_STATS_H_
+
+#include <cstddef>
+#include <map>
+#include <vector>
+
+#include "src/models/model_profile.h"
+
+namespace espresso {
+
+// Tensor-size histogram: size in elements -> number of tensors with that size.
+std::map<size_t, size_t> SizeHistogram(const ModelProfile& model);
+
+// Number of distinct tensor sizes.
+size_t DistinctSizes(const ModelProfile& model);
+
+// Tensor indices grouped by size, groups ordered by descending size, members ordered by
+// ascending distance-to-output (i.e. descending backward index) — the exact ordering of
+// Algorithm 1 lines 2-3.
+std::vector<std::vector<size_t>> GroupBySizeDescending(const ModelProfile& model);
+
+}  // namespace espresso
+
+#endif  // SRC_MODELS_MODEL_STATS_H_

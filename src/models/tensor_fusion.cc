@@ -1,0 +1,49 @@
+#include "src/models/tensor_fusion.h"
+
+#include <string>
+
+#include "src/util/logging.h"
+
+namespace espresso {
+
+ModelProfile FuseTensors(const ModelProfile& model, size_t bucket_bytes) {
+  if (bucket_bytes == 0 || model.tensors.empty()) {
+    return model;
+  }
+  ModelProfile fused = model;
+  fused.tensors.clear();
+
+  TensorSpec bucket;
+  size_t members = 0;
+  auto flush = [&] {
+    if (members == 0) {
+      return;
+    }
+    if (members > 1) {
+      bucket.name += "+" + std::to_string(members - 1);
+    }
+    fused.tensors.push_back(bucket);
+    bucket = TensorSpec{};
+    members = 0;
+  };
+
+  for (const TensorSpec& tensor : model.tensors) {
+    if (members > 0 && (bucket.elements + tensor.elements) * sizeof(float) > bucket_bytes) {
+      flush();
+    }
+    if (members == 0) {
+      bucket.name = "bucket(" + tensor.name + ")";
+      bucket.elements = 0;
+      bucket.backward_time_s = 0.0;
+    }
+    bucket.elements += tensor.elements;
+    bucket.backward_time_s += tensor.backward_time_s;
+    ++members;
+  }
+  flush();
+
+  ESP_CHECK_EQ(fused.TotalElements(), model.TotalElements());
+  return fused;
+}
+
+}  // namespace espresso

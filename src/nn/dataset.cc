@@ -1,0 +1,50 @@
+#include "src/nn/dataset.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/util/logging.h"
+#include "src/util/rng.h"
+
+namespace espresso {
+
+Dataset MakeGaussianBlobs(size_t samples, size_t features, size_t classes, double margin,
+                          uint64_t seed) {
+  ESP_CHECK_GT(classes, 1u);
+  Rng rng(seed);
+  // Random unit-ish centroids scaled by the margin.
+  std::vector<std::vector<float>> centroids(classes, std::vector<float>(features));
+  for (auto& c : centroids) {
+    for (auto& v : c) {
+      v = static_cast<float>(rng.Normal(0.0, margin));
+    }
+  }
+  Dataset d;
+  d.x = Matrix(samples, features);
+  d.labels.resize(samples);
+  for (size_t i = 0; i < samples; ++i) {
+    const auto y = static_cast<int>(rng.UniformInt(0, static_cast<int64_t>(classes) - 1));
+    d.labels[i] = y;
+    for (size_t j = 0; j < features; ++j) {
+      d.x.at(i, j) =
+          centroids[static_cast<size_t>(y)][j] + static_cast<float>(rng.Normal(0.0, 1.0));
+    }
+  }
+  return d;
+}
+
+Dataset Slice(const Dataset& d, size_t begin, size_t count) {
+  ESP_CHECK_LE(begin + count, d.size());
+  Dataset out;
+  out.x = Matrix(count, d.x.cols);
+  out.labels.resize(count);
+  for (size_t i = 0; i < count; ++i) {
+    for (size_t j = 0; j < d.x.cols; ++j) {
+      out.x.at(i, j) = d.x.at(begin + i, j);
+    }
+    out.labels[i] = d.labels[begin + i];
+  }
+  return out;
+}
+
+}  // namespace espresso

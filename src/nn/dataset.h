@@ -1,0 +1,31 @@
+// Synthetic classification datasets for the convergence experiments — the offline
+// substitute for ImageNet/SQuAD (DESIGN.md §2): Gaussian class clusters with controlled
+// separation, plus a deterministic train/test split.
+#ifndef SRC_NN_DATASET_H_
+#define SRC_NN_DATASET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/nn/matrix.h"
+
+namespace espresso {
+
+struct Dataset {
+  Matrix x;                 // samples x features
+  std::vector<int> labels;  // size == samples
+
+  size_t size() const { return labels.size(); }
+};
+
+// `margin` scales the distance between class centroids relative to the noise.
+Dataset MakeGaussianBlobs(size_t samples, size_t features, size_t classes, double margin,
+                          uint64_t seed);
+
+// Rows [0, count) of `d` as a new dataset (use after MakeGaussianBlobs, whose rows are
+// already shuffled).
+Dataset Slice(const Dataset& d, size_t begin, size_t count);
+
+}  // namespace espresso
+
+#endif  // SRC_NN_DATASET_H_

@@ -1,0 +1,110 @@
+#include "src/nn/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/logging.h"
+
+namespace espresso {
+
+void MatMul(const Matrix& a, const Matrix& b, Matrix* out) {
+  ESP_CHECK_EQ(a.cols, b.rows);
+  out->rows = a.rows;
+  out->cols = b.cols;
+  out->data.assign(a.rows * b.cols, 0.0f);
+  for (size_t i = 0; i < a.rows; ++i) {
+    for (size_t k = 0; k < a.cols; ++k) {
+      const float av = a.at(i, k);
+      if (av == 0.0f) {
+        continue;
+      }
+      const size_t arow = i * b.cols;
+      const size_t brow = k * b.cols;
+      for (size_t j = 0; j < b.cols; ++j) {
+        out->data[arow + j] += av * b.data[brow + j];
+      }
+    }
+  }
+}
+
+void MatMulBt(const Matrix& a, const Matrix& b, Matrix* out) {
+  ESP_CHECK_EQ(a.cols, b.cols);
+  out->rows = a.rows;
+  out->cols = b.rows;
+  out->data.assign(a.rows * b.rows, 0.0f);
+  for (size_t i = 0; i < a.rows; ++i) {
+    for (size_t j = 0; j < b.rows; ++j) {
+      float sum = 0.0f;
+      for (size_t k = 0; k < a.cols; ++k) {
+        sum += a.at(i, k) * b.at(j, k);
+      }
+      out->at(i, j) = sum;
+    }
+  }
+}
+
+void MatMulAt(const Matrix& a, const Matrix& b, Matrix* out) {
+  ESP_CHECK_EQ(a.rows, b.rows);
+  out->rows = a.cols;
+  out->cols = b.cols;
+  out->data.assign(a.cols * b.cols, 0.0f);
+  for (size_t k = 0; k < a.rows; ++k) {
+    for (size_t i = 0; i < a.cols; ++i) {
+      const float av = a.at(k, i);
+      if (av == 0.0f) {
+        continue;
+      }
+      for (size_t j = 0; j < b.cols; ++j) {
+        out->at(i, j) += av * b.at(k, j);
+      }
+    }
+  }
+}
+
+void AddBiasRows(Matrix* m, std::span<const float> bias) {
+  ESP_CHECK_EQ(m->cols, bias.size());
+  for (size_t i = 0; i < m->rows; ++i) {
+    for (size_t j = 0; j < m->cols; ++j) {
+      m->at(i, j) += bias[j];
+    }
+  }
+}
+
+void ReluForward(Matrix* m, Matrix* mask) {
+  mask->rows = m->rows;
+  mask->cols = m->cols;
+  mask->data.assign(m->size(), 0.0f);
+  for (size_t i = 0; i < m->size(); ++i) {
+    if (m->data[i] > 0.0f) {
+      mask->data[i] = 1.0f;
+    } else {
+      m->data[i] = 0.0f;
+    }
+  }
+}
+
+void ReluBackward(Matrix* grad, const Matrix& mask) {
+  ESP_CHECK_EQ(grad->size(), mask.size());
+  for (size_t i = 0; i < grad->size(); ++i) {
+    grad->data[i] *= mask.data[i];
+  }
+}
+
+void SoftmaxRows(Matrix* m) {
+  for (size_t i = 0; i < m->rows; ++i) {
+    float max_v = m->at(i, 0);
+    for (size_t j = 1; j < m->cols; ++j) {
+      max_v = std::max(max_v, m->at(i, j));
+    }
+    float sum = 0.0f;
+    for (size_t j = 0; j < m->cols; ++j) {
+      m->at(i, j) = std::exp(m->at(i, j) - max_v);
+      sum += m->at(i, j);
+    }
+    for (size_t j = 0; j < m->cols; ++j) {
+      m->at(i, j) /= sum;
+    }
+  }
+}
+
+}  // namespace espresso

@@ -1,0 +1,45 @@
+// Minimal dense linear algebra for the convergence experiments: row-major float
+// matrices with just the kernels an MLP needs. No BLAS dependency — sizes here are
+// laptop-scale (the Figure-16 substitute trains a small classifier; DESIGN.md §2).
+#ifndef SRC_NN_MATRIX_H_
+#define SRC_NN_MATRIX_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace espresso {
+
+struct Matrix {
+  size_t rows = 0;
+  size_t cols = 0;
+  std::vector<float> data;  // row-major
+
+  Matrix() = default;
+  Matrix(size_t r, size_t c) : rows(r), cols(c), data(r * c, 0.0f) {}
+
+  float& at(size_t r, size_t c) { return data[r * cols + c]; }
+  float at(size_t r, size_t c) const { return data[r * cols + c]; }
+  size_t size() const { return data.size(); }
+  std::span<float> flat() { return data; }
+  std::span<const float> flat() const { return data; }
+};
+
+// out = a * b.
+void MatMul(const Matrix& a, const Matrix& b, Matrix* out);
+// out = a * b^T.
+void MatMulBt(const Matrix& a, const Matrix& b, Matrix* out);
+// out = a^T * b.
+void MatMulAt(const Matrix& a, const Matrix& b, Matrix* out);
+// Adds `bias` (1 x cols) to every row of m.
+void AddBiasRows(Matrix* m, std::span<const float> bias);
+// In-place ReLU; `mask` (same shape) records 1 where the input was positive.
+void ReluForward(Matrix* m, Matrix* mask);
+// grad *= mask.
+void ReluBackward(Matrix* grad, const Matrix& mask);
+// Row-wise softmax in place.
+void SoftmaxRows(Matrix* m);
+
+}  // namespace espresso
+
+#endif  // SRC_NN_MATRIX_H_

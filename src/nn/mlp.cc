@@ -1,0 +1,122 @@
+#include "src/nn/mlp.h"
+
+#include <cmath>
+
+#include "src/util/logging.h"
+
+namespace espresso {
+
+Mlp::Mlp(size_t input_dim, size_t hidden_dim, size_t classes, uint64_t seed)
+    : input_dim_(input_dim),
+      hidden_dim_(hidden_dim),
+      classes_(classes),
+      w1_(input_dim, hidden_dim),
+      b1_(hidden_dim, 0.0f),
+      w2_(hidden_dim, classes),
+      b2_(classes, 0.0f) {
+  Rng rng(seed);
+  const double scale1 = std::sqrt(2.0 / static_cast<double>(input_dim));
+  rng.FillNormal(w1_.data, 0.0, scale1);
+  const double scale2 = std::sqrt(2.0 / static_cast<double>(hidden_dim));
+  rng.FillNormal(w2_.data, 0.0, scale2);
+}
+
+void Mlp::Forward(const Matrix& x, Matrix* hidden, Matrix* mask, Matrix* logits) const {
+  MatMul(x, w1_, hidden);
+  AddBiasRows(hidden, b1_);
+  ReluForward(hidden, mask);
+  MatMul(*hidden, w2_, logits);
+  AddBiasRows(logits, b2_);
+}
+
+double Mlp::ComputeGradients(const Matrix& x, const std::vector<int>& labels,
+                             std::vector<std::vector<float>>* grads) {
+  ESP_CHECK_EQ(x.rows, labels.size());
+  Matrix hidden, mask, logits;
+  Forward(x, &hidden, &mask, &logits);
+  Matrix probs = logits;
+  SoftmaxRows(&probs);
+
+  const auto batch = static_cast<double>(x.rows);
+  double loss = 0.0;
+  // dL/dlogits = (probs - onehot) / batch.
+  Matrix dlogits = probs;
+  for (size_t i = 0; i < x.rows; ++i) {
+    const int y = labels[i];
+    ESP_CHECK_GE(y, 0);
+    ESP_CHECK_LT(static_cast<size_t>(y), classes_);
+    loss += -std::log(std::max(probs.at(i, static_cast<size_t>(y)), 1e-12f));
+    dlogits.at(i, static_cast<size_t>(y)) -= 1.0f;
+  }
+  for (float& v : dlogits.data) {
+    v /= static_cast<float>(batch);
+  }
+
+  Matrix dw2;
+  MatMulAt(hidden, dlogits, &dw2);  // hidden^T * dlogits
+  std::vector<float> db2(classes_, 0.0f);
+  for (size_t i = 0; i < dlogits.rows; ++i) {
+    for (size_t j = 0; j < classes_; ++j) {
+      db2[j] += dlogits.at(i, j);
+    }
+  }
+
+  Matrix dhidden;
+  MatMulBt(dlogits, w2_, &dhidden);  // dlogits * W2^T
+  ReluBackward(&dhidden, mask);
+
+  Matrix dw1;
+  MatMulAt(x, dhidden, &dw1);
+  std::vector<float> db1(hidden_dim_, 0.0f);
+  for (size_t i = 0; i < dhidden.rows; ++i) {
+    for (size_t j = 0; j < hidden_dim_; ++j) {
+      db1[j] += dhidden.at(i, j);
+    }
+  }
+
+  grads->clear();
+  grads->push_back(std::move(dw1.data));
+  grads->push_back(std::move(db1));
+  grads->push_back(std::move(dw2.data));
+  grads->push_back(std::move(db2));
+  return loss / batch;
+}
+
+double Mlp::Accuracy(const Matrix& x, const std::vector<int>& labels) const {
+  Matrix hidden, mask, logits;
+  Forward(x, &hidden, &mask, &logits);
+  size_t correct = 0;
+  for (size_t i = 0; i < x.rows; ++i) {
+    size_t best = 0;
+    for (size_t j = 1; j < classes_; ++j) {
+      if (logits.at(i, j) > logits.at(i, best)) {
+        best = j;
+      }
+    }
+    if (static_cast<int>(best) == labels[i]) {
+      ++correct;
+    }
+  }
+  return static_cast<double>(correct) / static_cast<double>(x.rows);
+}
+
+void Mlp::ApplyGradients(const std::vector<std::vector<float>>& grads, double lr) {
+  auto params = Parameters();
+  ESP_CHECK_EQ(grads.size(), params.size());
+  for (size_t t = 0; t < params.size(); ++t) {
+    ESP_CHECK_EQ(grads[t].size(), params[t].size());
+    for (size_t i = 0; i < params[t].size(); ++i) {
+      params[t][i] -= static_cast<float>(lr) * grads[t][i];
+    }
+  }
+}
+
+std::vector<std::span<float>> Mlp::Parameters() {
+  return {w1_.flat(), std::span<float>(b1_), w2_.flat(), std::span<float>(b2_)};
+}
+
+std::vector<size_t> Mlp::ParameterSizes() const {
+  return {w1_.size(), b1_.size(), w2_.size(), b2_.size()};
+}
+
+}  // namespace espresso

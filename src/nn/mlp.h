@@ -1,0 +1,50 @@
+// Two-layer MLP classifier (ReLU hidden layer, softmax cross-entropy loss) with
+// explicit forward/backward — the training substrate for the Figure-16 convergence
+// experiments. Parameters are exposed as four named gradient tensors so the
+// data-parallel trainer can run each through the real compression pipeline.
+#ifndef SRC_NN_MLP_H_
+#define SRC_NN_MLP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/nn/matrix.h"
+#include "src/util/rng.h"
+
+namespace espresso {
+
+class Mlp {
+ public:
+  Mlp(size_t input_dim, size_t hidden_dim, size_t classes, uint64_t seed);
+
+  // Forward + backward over a batch; fills `grads` (same layout as Parameters()) and
+  // returns the mean cross-entropy loss.
+  double ComputeGradients(const Matrix& x, const std::vector<int>& labels,
+                          std::vector<std::vector<float>>* grads);
+
+  // Fraction of correct argmax predictions on (x, labels).
+  double Accuracy(const Matrix& x, const std::vector<int>& labels) const;
+
+  // SGD step: params -= lr * grads.
+  void ApplyGradients(const std::vector<std::vector<float>>& grads, double lr);
+
+  // Mutable views of the four parameter tensors: {W1, b1, W2, b2}.
+  std::vector<std::span<float>> Parameters();
+  std::vector<size_t> ParameterSizes() const;
+
+  size_t input_dim() const { return input_dim_; }
+  size_t classes() const { return classes_; }
+
+ private:
+  void Forward(const Matrix& x, Matrix* hidden, Matrix* mask, Matrix* logits) const;
+
+  size_t input_dim_, hidden_dim_, classes_;
+  Matrix w1_;               // input x hidden
+  std::vector<float> b1_;
+  Matrix w2_;               // hidden x classes
+  std::vector<float> b2_;
+};
+
+}  // namespace espresso
+
+#endif  // SRC_NN_MLP_H_

@@ -1,0 +1,97 @@
+#include "src/nn/parallel_trainer.h"
+
+#include <algorithm>
+
+#include "src/collectives/schemes.h"
+#include "src/util/logging.h"
+
+namespace espresso {
+
+std::vector<EpochStats> TrainDataParallel(const Dataset& train, const Dataset& test,
+                                          const TrainConfig& config) {
+  ESP_CHECK_GT(config.workers, 0u);
+  if (config.scheme != SyncScheme::kExactAllreduce) {
+    ESP_CHECK(config.compressor != nullptr);
+  }
+  Mlp model(train.x.cols, config.hidden_dim,
+            1 + static_cast<size_t>(*std::max_element(train.labels.begin(),
+                                                      train.labels.end())),
+            config.seed);
+  const std::vector<size_t> tensor_sizes = model.ParameterSizes();
+  const size_t tensor_count = tensor_sizes.size();
+
+  // One error-feedback store per (worker); tensor ids distinguish the four tensors.
+  std::vector<ErrorFeedback> feedback(config.workers,
+                                      ErrorFeedback(config.momentum_correction));
+
+  const size_t global_batch = config.workers * config.batch_per_worker;
+  const size_t steps_per_epoch = train.size() / global_batch;
+  ESP_CHECK_GT(steps_per_epoch, 0u);
+
+  std::vector<EpochStats> history;
+  uint64_t step_counter = 0;
+  for (size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    double loss_sum = 0.0;
+    for (size_t step = 0; step < steps_per_epoch; ++step) {
+      // Each worker's gradient on its disjoint shard of the global batch.
+      std::vector<std::vector<std::vector<float>>> worker_grads(config.workers);
+      for (size_t w = 0; w < config.workers; ++w) {
+        const size_t begin = (step * global_batch + w * config.batch_per_worker);
+        Dataset shard = Slice(train, begin, config.batch_per_worker);
+        loss_sum += model.ComputeGradients(shard.x, shard.labels, &worker_grads[w]) /
+                    static_cast<double>(config.workers);
+      }
+
+      // Synchronize tensor by tensor through the configured scheme.
+      std::vector<std::vector<float>> aggregated(tensor_count);
+      for (size_t t = 0; t < tensor_count; ++t) {
+        RankBuffers buffers(config.workers);
+        for (size_t w = 0; w < config.workers; ++w) {
+          buffers[w] = worker_grads[w][t];
+        }
+        switch (config.scheme) {
+          case SyncScheme::kExactAllreduce: {
+            std::vector<float> sum(tensor_sizes[t], 0.0f);
+            for (const auto& b : buffers) {
+              for (size_t i = 0; i < sum.size(); ++i) {
+                sum[i] += b[i];
+              }
+            }
+            aggregated[t] = std::move(sum);
+            break;
+          }
+          case SyncScheme::kCompressedIndivisible:
+          case SyncScheme::kCompressedDivisible: {
+            SchemeContext ctx;
+            ctx.feedback = config.error_feedback ? &feedback : nullptr;
+            ctx.tensor_id = t;
+            ctx.seed = DeriveSeed(config.seed, step_counter * tensor_count + t);
+            if (config.scheme == SyncScheme::kCompressedIndivisible) {
+              CompressedIndivisibleAllgather(*config.compressor, ctx, buffers);
+            } else {
+              CompressedDivisibleAlltoall(*config.compressor, ctx, buffers);
+            }
+            // All ranks hold the same aggregate; take rank 0's.
+            aggregated[t] = std::move(buffers[0]);
+            break;
+          }
+        }
+        // Average over workers.
+        for (float& v : aggregated[t]) {
+          v /= static_cast<float>(config.workers);
+        }
+      }
+      model.ApplyGradients(aggregated, config.learning_rate);
+      ++step_counter;
+    }
+    EpochStats stats;
+    stats.epoch = epoch;
+    stats.train_loss = loss_sum / static_cast<double>(steps_per_epoch);
+    stats.train_accuracy = model.Accuracy(train.x, train.labels);
+    stats.test_accuracy = model.Accuracy(test.x, test.labels);
+    history.push_back(stats);
+  }
+  return history;
+}
+
+}  // namespace espresso

@@ -1,0 +1,50 @@
+// Data-parallel trainer wiring the MLP to the *real* compression pipeline: per-worker
+// gradients flow through error feedback, the compressor, and a functional communication
+// scheme (Figures 3-4) before the update. Because synchronous data-parallel replicas
+// stay identical, one model instance plus per-worker gradient computation is an exact
+// simulation of K workers. This is the engine behind the Figure-16 convergence bench.
+#ifndef SRC_NN_PARALLEL_TRAINER_H_
+#define SRC_NN_PARALLEL_TRAINER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/compress/compressor.h"
+#include "src/nn/dataset.h"
+#include "src/nn/mlp.h"
+
+namespace espresso {
+
+enum class SyncScheme {
+  kExactAllreduce,          // FP32 baseline
+  kCompressedIndivisible,   // Figure 3
+  kCompressedDivisible,     // Figure 4 (alltoall | allgather)
+};
+
+struct TrainConfig {
+  size_t workers = 8;
+  size_t hidden_dim = 64;
+  size_t batch_per_worker = 32;
+  double learning_rate = 0.1;
+  size_t epochs = 10;
+  SyncScheme scheme = SyncScheme::kExactAllreduce;
+  const Compressor* compressor = nullptr;  // required for compressed schemes
+  bool error_feedback = true;
+  // DGC momentum correction factor for the error-feedback store (0 = plain EF).
+  double momentum_correction = 0.0;
+  uint64_t seed = 1;
+};
+
+struct EpochStats {
+  size_t epoch = 0;
+  double train_loss = 0.0;
+  double train_accuracy = 0.0;
+  double test_accuracy = 0.0;
+};
+
+std::vector<EpochStats> TrainDataParallel(const Dataset& train, const Dataset& test,
+                                          const TrainConfig& config);
+
+}  // namespace espresso
+
+#endif  // SRC_NN_PARALLEL_TRAINER_H_

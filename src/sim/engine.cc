@@ -1,0 +1,187 @@
+#include "src/sim/engine.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+
+namespace espresso {
+
+ResourceId SimEngine::AddSerialResource(std::string name) {
+  return AddPoolResource(std::move(name), 1);
+}
+
+ResourceId SimEngine::AddPoolResource(std::string name, size_t lanes) {
+  ESP_CHECK(!ran_);
+  ESP_CHECK_GT(lanes, 0u);
+  Resource res;
+  res.name = std::move(name);
+  res.lanes = lanes;
+  for (size_t i = 0; i < lanes; ++i) {
+    res.lane_free.push(0.0);
+  }
+  resources_.push_back(std::move(res));
+  return static_cast<ResourceId>(resources_.size() - 1);
+}
+
+void SimEngine::AddDependent(TaskId from, TaskId to) {
+  Task& task = tasks_[from];
+  if (task.dependent_count < 2) {
+    task.dependents[task.dependent_count] = to;
+  } else {
+    overflow_dependents_.emplace_back(from, to);
+  }
+  ++task.dependent_count;
+  ++tasks_[to].unmet_deps;
+}
+
+TaskId SimEngine::AddTask(std::string name, ResourceId resource, double duration,
+                          const std::vector<TaskId>& deps, int priority) {
+  const TaskId id = AddTaskAfter(std::move(name), resource, duration, kNoDependency, priority);
+  for (TaskId dep : deps) {
+    ESP_CHECK_GE(dep, 0);
+    ESP_CHECK_LT(dep, id);
+    AddDependent(dep, id);
+  }
+  return id;
+}
+
+TaskId SimEngine::AddTaskAfter(std::string name, ResourceId resource, double duration,
+                               TaskId dep, int priority) {
+  ESP_CHECK(!ran_);
+  ESP_CHECK_GE(resource, 0);
+  ESP_CHECK_LT(static_cast<size_t>(resource), resources_.size());
+  ESP_CHECK_GE(duration, 0.0);
+  const auto id = static_cast<TaskId>(tasks_.size());
+  Task task;
+  task.name = std::move(name);
+  task.resource = resource;
+  task.duration = duration;
+  task.priority = priority;
+  tasks_.push_back(std::move(task));
+  if (dep != kNoDependency) {
+    ESP_CHECK_GE(dep, 0);
+    ESP_CHECK_LT(dep, id);
+    AddDependent(dep, id);
+  }
+  return id;
+}
+
+void SimEngine::MakeEligible(TaskId id) {
+  const Task& task = tasks_[id];
+  resources_[task.resource].eligible.push({task.priority, id});
+}
+
+void SimEngine::Run() {
+  ESP_CHECK(!ran_);
+  ran_ = true;
+
+  // Completion events ordered by (time, task id) for determinism.
+  using Event = std::pair<double, TaskId>;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> events;
+
+  auto dispatch = [&](ResourceId rid, double now) {
+    Resource& res = resources_[rid];
+    while (!res.eligible.empty() && res.lane_free.top() <= now) {
+      res.lane_free.pop();
+      const TaskId id = res.eligible.top().second;
+      res.eligible.pop();
+      Task& task = tasks_[id];
+      task.start = now;
+      task.end = now + task.duration;
+      res.lane_free.push(task.end);
+      events.push({task.end, id});
+    }
+  };
+
+  for (TaskId id = 0; id < static_cast<TaskId>(tasks_.size()); ++id) {
+    if (tasks_[id].unmet_deps == 0) {
+      MakeEligible(id);
+    }
+  }
+  for (ResourceId rid = 0; rid < static_cast<ResourceId>(resources_.size()); ++rid) {
+    dispatch(rid, 0.0);
+  }
+
+  size_t completed = 0;
+  ResourceId touched[8];
+  while (!events.empty()) {
+    const auto [now, id] = events.top();
+    events.pop();
+    ++completed;
+    size_t touched_count = 0;
+    bool touched_overflow = false;
+    touched[touched_count++] = tasks_[id].resource;
+    ForEachDependent(id, [&](TaskId dep) {
+      if (--tasks_[dep].unmet_deps == 0) {
+        MakeEligible(dep);
+        const ResourceId rid = tasks_[dep].resource;
+        bool seen = false;
+        for (size_t i = 0; i < touched_count; ++i) {
+          if (touched[i] == rid) {
+            seen = true;
+            break;
+          }
+        }
+        if (!seen) {
+          if (touched_count < 8) {
+            touched[touched_count++] = rid;
+          } else {
+            touched_overflow = true;
+          }
+        }
+      }
+    });
+    if (touched_overflow) {
+      for (ResourceId rid = 0; rid < static_cast<ResourceId>(resources_.size()); ++rid) {
+        dispatch(rid, now);
+      }
+    } else {
+      for (size_t i = 0; i < touched_count; ++i) {
+        dispatch(touched[i], now);
+      }
+    }
+  }
+  ESP_CHECK_EQ(completed, tasks_.size()) << "dependency cycle or unreachable task";
+}
+
+double SimEngine::TaskStart(TaskId id) const {
+  ESP_CHECK(ran_);
+  ESP_CHECK_GE(id, 0);
+  ESP_CHECK_LT(static_cast<size_t>(id), tasks_.size());
+  return tasks_[id].start;
+}
+
+double SimEngine::TaskEnd(TaskId id) const {
+  ESP_CHECK(ran_);
+  ESP_CHECK_GE(id, 0);
+  ESP_CHECK_LT(static_cast<size_t>(id), tasks_.size());
+  return tasks_[id].end;
+}
+
+double SimEngine::Makespan() const {
+  ESP_CHECK(ran_);
+  double makespan = 0.0;
+  for (const Task& task : tasks_) {
+    makespan = std::max(makespan, task.end);
+  }
+  return makespan;
+}
+
+const std::string& SimEngine::ResourceName(ResourceId id) const {
+  ESP_CHECK_GE(id, 0);
+  ESP_CHECK_LT(static_cast<size_t>(id), resources_.size());
+  return resources_[id].name;
+}
+
+std::vector<TaskRecord> SimEngine::Records() const {
+  ESP_CHECK(ran_);
+  std::vector<TaskRecord> records;
+  records.reserve(tasks_.size());
+  for (const Task& task : tasks_) {
+    records.push_back(
+        TaskRecord{task.name, task.resource, task.start, task.end, task.priority});
+  }
+  return records;
+}
+
+}  // namespace espresso

@@ -1,0 +1,128 @@
+// Deterministic discrete-event engine for deriving training timelines.
+//
+// The engine executes a DAG of tasks over contended resources:
+//   * SerialResource — runs one task at a time (a GPU stream, the intra-machine fabric,
+//     the inter-machine NIC). GPU compression kernels and backward-compute kernels share
+//     the GPU stream, which is exactly how compression "competes for GPU resources with
+//     tensor computation" (§3.1 Reason #1, Figure 2(c)).
+//   * PoolResource — k parallel lanes (the host CPU cores used for CPU compression).
+//
+// A task becomes eligible when all dependencies complete; a free resource picks the
+// eligible task with the smallest (priority, id). Everything is deterministic, so a
+// strategy's timeline — and therefore F(S) — is a pure function of the inputs.
+//
+// This sits on the decision algorithm's innermost loop (thousands of timeline
+// evaluations per strategy selection), so the task storage is allocation-light: names
+// are optional, single dependencies avoid vectors, and the per-task dependent list is
+// inlined for the common fan-outs (<= 2).
+#ifndef SRC_SIM_ENGINE_H_
+#define SRC_SIM_ENGINE_H_
+
+#include <cstdint>
+#include <queue>
+#include <string>
+#include <vector>
+
+namespace espresso {
+
+using TaskId = int32_t;
+using ResourceId = int32_t;
+
+struct TaskRecord {
+  std::string name;
+  ResourceId resource = -1;
+  double start = 0.0;
+  double end = 0.0;
+  int priority = 0;
+};
+
+class SimEngine {
+ public:
+  SimEngine() = default;
+
+  ResourceId AddSerialResource(std::string name);
+  ResourceId AddPoolResource(std::string name, size_t lanes);
+
+  // Reserves task storage (optional; avoids reallocation in hot loops).
+  void ReserveTasks(size_t count) { tasks_.reserve(count); }
+
+  // Adds a task. Dependency ids must be smaller than the new task's id (the DAG is
+  // built in topological order). `priority`: lower runs first among eligible tasks.
+  TaskId AddTask(std::string name, ResourceId resource, double duration,
+                 const std::vector<TaskId>& deps, int priority);
+  // Single-dependency fast path; pass kNoDependency for a root task. (Separate name:
+  // an overload would make AddTask(..., {}, 0) ambiguous — {} converts to TaskId 0.)
+  TaskId AddTaskAfter(std::string name, ResourceId resource, double duration, TaskId dep,
+                      int priority);
+
+  static constexpr TaskId kNoDependency = -1;
+
+  // Runs the simulation to completion. May be called once per engine.
+  void Run();
+
+  double TaskStart(TaskId id) const;
+  double TaskEnd(TaskId id) const;
+  // Completion time of the last task (0.0 for an empty DAG).
+  double Makespan() const;
+
+  const std::string& ResourceName(ResourceId id) const;
+  size_t TaskCount() const { return tasks_.size(); }
+  // Finished-task records in id order; valid after Run().
+  std::vector<TaskRecord> Records() const;
+
+ private:
+  struct Task {
+    std::string name;
+    ResourceId resource;
+    double duration;
+    int priority;
+    // Dependent edges, inlined for fan-out <= 2 (the common case in tensor pipelines);
+    // larger fan-outs spill into overflow_dependents_ keyed by task id.
+    TaskId dependents[2] = {kNoDependency, kNoDependency};
+    int32_t dependent_count = 0;
+    int32_t unmet_deps = 0;
+    double start = -1.0;
+    double end = -1.0;
+  };
+
+  struct Resource {
+    std::string name;
+    size_t lanes = 1;
+    // Free time per lane (min-heap).
+    std::priority_queue<double, std::vector<double>, std::greater<>> lane_free;
+    // Eligible tasks ordered by (priority, id); each task is pushed exactly once.
+    std::priority_queue<std::pair<int, TaskId>, std::vector<std::pair<int, TaskId>>,
+                        std::greater<>>
+        eligible;
+  };
+
+  void AddDependent(TaskId from, TaskId to);
+  void MakeEligible(TaskId id);
+  template <typename Fn>
+  void ForEachDependent(TaskId id, Fn&& fn) const;
+
+  std::vector<Task> tasks_;
+  std::vector<Resource> resources_;
+  // task id -> extra dependents beyond the inline pair (rare).
+  std::vector<std::pair<TaskId, TaskId>> overflow_dependents_;
+  bool ran_ = false;
+};
+
+template <typename Fn>
+void SimEngine::ForEachDependent(TaskId id, Fn&& fn) const {
+  const Task& task = tasks_[id];
+  for (int32_t i = 0; i < task.dependent_count && i < 2; ++i) {
+    fn(task.dependents[i]);
+  }
+  if (task.dependent_count > 2) {
+    for (const auto& [from, to] : overflow_dependents_) {
+      if (from == id) {
+        fn(to);
+      }
+    }
+  }
+}
+
+}  // namespace espresso
+
+#endif  // SRC_SIM_ENGINE_H_

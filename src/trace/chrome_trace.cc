@@ -1,0 +1,52 @@
+#include "src/trace/chrome_trace.h"
+
+#include <map>
+#include <string>
+
+#include "src/util/json_writer.h"
+
+namespace espresso {
+
+void WriteChromeTrace(std::ostream& os, const ModelProfile& model,
+                      const std::vector<TimelineEntry>& entries) {
+  // Stable thread ids per resource track.
+  const std::map<std::string, int> tids = {
+      {"gpu", 0}, {"cpu", 1}, {"intra", 2}, {"inter", 3}};
+
+  JsonWriter w(os);
+  w.BeginObject();
+  w.Key("traceEvents");
+  w.BeginArray();
+  for (const auto& [name, tid] : tids) {
+    w.BeginObject();
+    w.Field("name", "thread_name");
+    w.Field("ph", "M");
+    w.Field("pid", 0);
+    w.Field("tid", tid);
+    w.Key("args");
+    w.BeginObject();
+    w.Field("name", name);
+    w.EndObject();
+    w.EndObject();
+  }
+  for (const auto& e : entries) {
+    auto it = tids.find(e.resource);
+    const int tid = it == tids.end() ? 9 : it->second;
+    w.BeginObject();
+    w.Field("name", e.kind + " " + (e.tensor < model.tensors.size()
+                                        ? model.tensors[e.tensor].name
+                                        : "T" + std::to_string(e.tensor)));
+    w.Field("cat", e.kind);
+    w.Field("ph", "X");
+    w.Field("ts", e.start * 1e6);            // microseconds
+    w.Field("dur", (e.end - e.start) * 1e6);
+    w.Field("pid", 0);
+    w.Field("tid", tid);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Field("displayTimeUnit", "ms");
+  w.EndObject();
+}
+
+}  // namespace espresso

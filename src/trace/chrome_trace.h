@@ -1,0 +1,19 @@
+// Exports a simulated training timeline as a chrome://tracing / Perfetto JSON file, so
+// the strategy timelines of Figures 2, 5, and 9 can be inspected visually. One track per
+// resource (gpu / cpu / intra / inter); event names carry the tensor and op kind.
+#ifndef SRC_TRACE_CHROME_TRACE_H_
+#define SRC_TRACE_CHROME_TRACE_H_
+
+#include <ostream>
+#include <vector>
+
+#include "src/core/timeline.h"
+
+namespace espresso {
+
+void WriteChromeTrace(std::ostream& os, const ModelProfile& model,
+                      const std::vector<TimelineEntry>& entries);
+
+}  // namespace espresso
+
+#endif  // SRC_TRACE_CHROME_TRACE_H_

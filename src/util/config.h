@@ -1,0 +1,61 @@
+// Minimal INI-style configuration parser for Espresso's three input files (§4.1,
+// Figure 6: model information, GC information, training-system information).
+//
+// Supported syntax:
+//   [section]
+//   key = value            # trailing comments with '#' or ';'
+// Keys keep their in-file order within a section (the model file lists tensors in
+// backward order). Parsing never throws; malformed lines are reported via ok()/error().
+#ifndef SRC_UTIL_CONFIG_H_
+#define SRC_UTIL_CONFIG_H_
+
+#include <istream>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace espresso {
+
+class ConfigFile {
+ public:
+  // Parses from a stream or a string; check ok() before use.
+  static ConfigFile Parse(std::istream& in);
+  static ConfigFile ParseString(const std::string& text);
+  // Reads and parses a file; !ok() with an error message if unreadable.
+  static ConfigFile Load(const std::string& path);
+
+  bool ok() const { return error_.empty(); }
+  const std::string& error() const { return error_; }
+
+  bool HasSection(std::string_view section) const;
+  std::optional<std::string> Get(std::string_view section, std::string_view key) const;
+  std::string GetOr(std::string_view section, std::string_view key,
+                    std::string_view fallback) const;
+  std::optional<double> GetDouble(std::string_view section, std::string_view key) const;
+  std::optional<int64_t> GetInt(std::string_view section, std::string_view key) const;
+  std::optional<bool> GetBool(std::string_view section, std::string_view key) const;
+
+  // All (key, value) pairs of a section, in file order. Duplicate keys are preserved.
+  std::vector<std::pair<std::string, std::string>> Entries(std::string_view section) const;
+
+ private:
+  struct Entry {
+    std::string section;
+    std::string key;
+    std::string value;
+  };
+  std::vector<Entry> entries_;
+  std::string error_;
+};
+
+// Trims ASCII whitespace from both ends.
+std::string_view TrimView(std::string_view s);
+
+// Splits on any-of `delims`, trimming each piece and dropping empties.
+std::vector<std::string> SplitFields(std::string_view s, std::string_view delims);
+
+}  // namespace espresso
+
+#endif  // SRC_UTIL_CONFIG_H_

@@ -1,0 +1,119 @@
+#include "src/util/json_writer.h"
+
+#include <cmath>
+#include <iomanip>
+
+#include "src/util/logging.h"
+
+namespace espresso {
+
+void JsonWriter::MaybeComma() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;  // Value directly follows its key; no comma.
+  }
+  if (!scopes_.empty()) {
+    if (!first_in_scope_.back()) {
+      os_ << ",";
+    }
+    first_in_scope_.back() = false;
+  }
+}
+
+void JsonWriter::BeginObject() {
+  MaybeComma();
+  os_ << "{";
+  scopes_.push_back(Scope::kObject);
+  first_in_scope_.push_back(true);
+}
+
+void JsonWriter::EndObject() {
+  ESP_CHECK(!scopes_.empty() && scopes_.back() == Scope::kObject);
+  scopes_.pop_back();
+  first_in_scope_.pop_back();
+  os_ << "}";
+}
+
+void JsonWriter::BeginArray() {
+  MaybeComma();
+  os_ << "[";
+  scopes_.push_back(Scope::kArray);
+  first_in_scope_.push_back(true);
+}
+
+void JsonWriter::EndArray() {
+  ESP_CHECK(!scopes_.empty() && scopes_.back() == Scope::kArray);
+  scopes_.pop_back();
+  first_in_scope_.pop_back();
+  os_ << "]";
+}
+
+void JsonWriter::Key(std::string_view key) {
+  ESP_CHECK(!scopes_.empty() && scopes_.back() == Scope::kObject);
+  MaybeComma();
+  WriteEscaped(key);
+  os_ << ":";
+  pending_key_ = true;
+}
+
+void JsonWriter::Value(std::string_view s) {
+  MaybeComma();
+  WriteEscaped(s);
+}
+
+void JsonWriter::Value(double d) {
+  MaybeComma();
+  if (!std::isfinite(d)) {
+    os_ << "null";
+    return;
+  }
+  os_ << std::setprecision(12) << d;
+}
+
+void JsonWriter::Value(int64_t i) {
+  MaybeComma();
+  os_ << i;
+}
+
+void JsonWriter::Value(uint64_t u) {
+  MaybeComma();
+  os_ << u;
+}
+
+void JsonWriter::Value(bool b) {
+  MaybeComma();
+  os_ << (b ? "true" : "false");
+}
+
+void JsonWriter::WriteEscaped(std::string_view s) {
+  os_ << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        os_ << "\\\"";
+        break;
+      case '\\':
+        os_ << "\\\\";
+        break;
+      case '\n':
+        os_ << "\\n";
+        break;
+      case '\t':
+        os_ << "\\t";
+        break;
+      case '\r':
+        os_ << "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          os_ << "\\u" << std::hex << std::setw(4) << std::setfill('0') << static_cast<int>(c)
+              << std::dec << std::setfill(' ');
+        } else {
+          os_ << c;
+        }
+    }
+  }
+  os_ << '"';
+}
+
+}  // namespace espresso

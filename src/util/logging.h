@@ -1,0 +1,85 @@
+// Lightweight logging and runtime-check facilities shared by every Espresso module.
+//
+// The library deliberately avoids a heavyweight logging dependency: benchmarks and the
+// decision algorithm are measured in milliseconds, so logging must be cheap when disabled.
+#ifndef SRC_UTIL_LOGGING_H_
+#define SRC_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace espresso {
+
+enum class LogLevel {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+};
+
+// Process-wide minimum level; messages below it are discarded.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+const char* LogLevelName(LogLevel level);
+
+namespace internal {
+
+// Accumulates one log line and emits it (with level tag) on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+// Like LogMessage but aborts the process on destruction. Used by ESP_CHECK.
+class FatalMessage {
+ public:
+  FatalMessage(const char* file, int line, const char* condition);
+  [[noreturn]] ~FatalMessage();
+
+  FatalMessage(const FatalMessage&) = delete;
+  FatalMessage& operator=(const FatalMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+}  // namespace espresso
+
+#define ESP_LOG(level)                                                                  \
+  if (::espresso::LogLevel::level < ::espresso::GetLogLevel()) {                        \
+  } else                                                                                \
+    ::espresso::internal::LogMessage(::espresso::LogLevel::level, __FILE__, __LINE__)   \
+        .stream()
+
+// Fatal invariant check. Always on (including release builds): the decision algorithm's
+// correctness arguments (Lemma 1, pruning rules) rely on these holding at runtime.
+#define ESP_CHECK(condition)                                                            \
+  if (condition) {                                                                      \
+  } else                                                                                \
+    ::espresso::internal::FatalMessage(__FILE__, __LINE__, #condition).stream()
+
+#define ESP_CHECK_EQ(a, b) ESP_CHECK((a) == (b)) << " (" << (a) << " vs " << (b) << ") "
+#define ESP_CHECK_NE(a, b) ESP_CHECK((a) != (b)) << " (" << (a) << " vs " << (b) << ") "
+#define ESP_CHECK_LE(a, b) ESP_CHECK((a) <= (b)) << " (" << (a) << " vs " << (b) << ") "
+#define ESP_CHECK_LT(a, b) ESP_CHECK((a) < (b)) << " (" << (a) << " vs " << (b) << ") "
+#define ESP_CHECK_GE(a, b) ESP_CHECK((a) >= (b)) << " (" << (a) << " vs " << (b) << ") "
+#define ESP_CHECK_GT(a, b) ESP_CHECK((a) > (b)) << " (" << (a) << " vs " << (b) << ") "
+
+#endif  // SRC_UTIL_LOGGING_H_

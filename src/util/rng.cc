@@ -1,0 +1,28 @@
+#include "src/util/rng.h"
+
+#include <numeric>
+
+#include "src/util/logging.h"
+
+namespace espresso {
+
+std::vector<uint32_t> Rng::SampleWithoutReplacement(uint32_t n, uint32_t k) {
+  ESP_CHECK_LE(k, n);
+  std::vector<uint32_t> pool(n);
+  std::iota(pool.begin(), pool.end(), 0u);
+  for (uint32_t i = 0; i < k; ++i) {
+    const auto j = static_cast<uint32_t>(UniformInt(i, static_cast<int64_t>(n) - 1));
+    std::swap(pool[i], pool[j]);
+  }
+  pool.resize(k);
+  return pool;
+}
+
+uint64_t DeriveSeed(uint64_t seed, uint64_t stream) {
+  uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (stream + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace espresso

@@ -1,0 +1,59 @@
+#include "src/util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/logging.h"
+
+namespace espresso {
+
+Summary Summarize(const std::vector<double>& values) {
+  Summary s;
+  s.count = values.size();
+  if (values.empty()) {
+    return s;
+  }
+  double sum = 0.0;
+  s.min = values.front();
+  s.max = values.front();
+  for (double v : values) {
+    sum += v;
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+  }
+  s.mean = sum / static_cast<double>(values.size());
+  double sq = 0.0;
+  for (double v : values) {
+    sq += (v - s.mean) * (v - s.mean);
+  }
+  s.stddev = std::sqrt(sq / static_cast<double>(values.size()));
+  return s;
+}
+
+double Percentile(std::vector<double> values, double p) {
+  ESP_CHECK(!values.empty());
+  ESP_CHECK_GE(p, 0.0);
+  ESP_CHECK_LE(p, 100.0);
+  std::sort(values.begin(), values.end());
+  if (values.size() == 1) {
+    return values.front();
+  }
+  const double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<size_t>(std::floor(rank));
+  const auto hi = static_cast<size_t>(std::ceil(rank));
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+std::vector<CdfPoint> EmpiricalCdf(std::vector<double> values) {
+  std::sort(values.begin(), values.end());
+  std::vector<CdfPoint> cdf;
+  cdf.reserve(values.size());
+  const auto n = static_cast<double>(values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    cdf.push_back(CdfPoint{values[i], static_cast<double>(i + 1) / n});
+  }
+  return cdf;
+}
+
+}  // namespace espresso

@@ -1,0 +1,36 @@
+// Small statistics helpers used by benchmarks and the evaluation harness:
+// summary statistics, percentiles, and empirical CDFs (Figure 14 reports CDFs of the
+// performance difference from the Upper Bound).
+#ifndef SRC_UTIL_STATS_H_
+#define SRC_UTIL_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace espresso {
+
+struct Summary {
+  size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+Summary Summarize(const std::vector<double>& values);
+
+// Linear-interpolated percentile, p in [0, 100]. Input need not be sorted.
+double Percentile(std::vector<double> values, double p);
+
+// One point of an empirical CDF.
+struct CdfPoint {
+  double value = 0.0;
+  double cumulative = 0.0;  // fraction of samples <= value, in (0, 1]
+};
+
+// Full empirical CDF (one point per sample, sorted ascending).
+std::vector<CdfPoint> EmpiricalCdf(std::vector<double> values);
+
+}  // namespace espresso
+
+#endif  // SRC_UTIL_STATS_H_

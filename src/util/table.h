@@ -1,0 +1,37 @@
+// Plain-text table rendering for the benchmark harness. Every bench binary prints the
+// rows/series of the paper table or figure it regenerates; this keeps the formatting
+// uniform and diff-friendly.
+#ifndef SRC_UTIL_TABLE_H_
+#define SRC_UTIL_TABLE_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace espresso {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  // Adds one row; the number of cells must match the header width.
+  void AddRow(std::vector<std::string> cells);
+
+  void Print(std::ostream& os) const;
+  std::string ToString() const;
+
+  // Formats a double with `digits` decimal places.
+  static std::string Num(double value, int digits = 2);
+  // Formats a ratio as a percentage string, e.g. 0.154 -> "15.4%".
+  static std::string Percent(double ratio, int digits = 1);
+
+  size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace espresso
+
+#endif  // SRC_UTIL_TABLE_H_

@@ -1,0 +1,47 @@
+// Fixed-size worker pool. The functional collectives and the data-parallel mini-trainer
+// can run each rank's local work on a pool; on single-core hosts callers may pass
+// num_threads == 0 to run inline, keeping results byte-identical either way.
+#ifndef SRC_UTIL_THREAD_POOL_H_
+#define SRC_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace espresso {
+
+class ThreadPool {
+ public:
+  // num_threads == 0 creates an inline pool: Submit runs the task immediately on the
+  // caller's thread. This is deterministic and is the default in tests.
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  void Submit(std::function<void()> task);
+
+  // Blocks until every submitted task has completed.
+  void Wait();
+
+  size_t num_threads() const { return threads_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> threads_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  size_t in_flight_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace espresso
+
+#endif  // SRC_UTIL_THREAD_POOL_H_

@@ -1,0 +1,143 @@
+#include "src/collectives/hierarchical.h"
+
+#include <gtest/gtest.h>
+
+#include "src/collectives/primitives.h"
+#include "src/compress/fp16.h"
+#include "src/compress/topk.h"
+#include "src/util/rng.h"
+
+namespace espresso {
+namespace {
+
+RankBuffers RandomBuffers(size_t ranks, size_t n, uint64_t seed) {
+  RankBuffers buffers(ranks, std::vector<float>(n));
+  for (size_t r = 0; r < ranks; ++r) {
+    Rng rng(DeriveSeed(seed, r));
+    rng.FillNormal(buffers[r], 0.0, 1.0);
+  }
+  return buffers;
+}
+
+class HierarchicalParam
+    : public ::testing::TestWithParam<std::tuple<size_t, size_t, size_t>> {
+ protected:
+  size_t machines() const { return std::get<0>(GetParam()); }
+  size_t gpus() const { return std::get<1>(GetParam()); }
+  size_t n() const { return std::get<2>(GetParam()); }
+};
+
+TEST_P(HierarchicalParam, UncompressedEqualsGlobalAllreduce) {
+  RankBuffers buffers = RandomBuffers(machines() * gpus(), n(), 1);
+  const std::vector<float> expected = NaiveSum(buffers);
+  HierarchicalOptions options;
+  options.machines = machines();
+  options.gpus_per_machine = gpus();
+  HierarchicalSync(options, buffers);
+  for (size_t r = 0; r < buffers.size(); ++r) {
+    for (size_t i = 0; i < n(); ++i) {
+      EXPECT_NEAR(buffers[r][i], expected[i], 1e-3f) << "rank " << r;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Topologies, HierarchicalParam,
+                         ::testing::Combine(::testing::Values(size_t{1}, size_t{2}, size_t{4}),
+                                            ::testing::Values(size_t{1}, size_t{2}, size_t{4}),
+                                            ::testing::Values(size_t{16}, size_t{129})),
+                         [](const auto& info) {
+                           return "m" + std::to_string(std::get<0>(info.param)) + "_g" +
+                                  std::to_string(std::get<1>(info.param)) + "_n" +
+                                  std::to_string(std::get<2>(info.param));
+                         });
+
+TEST(Hierarchical, CompressedInterNearlyLosslessUnderFp16) {
+  const size_t machines = 2, gpus = 4, n = 64;
+  RankBuffers buffers = RandomBuffers(machines * gpus, n, 2);
+  const std::vector<float> expected = NaiveSum(buffers);
+  Fp16Compressor c;
+  HierarchicalOptions options;
+  options.machines = machines;
+  options.gpus_per_machine = gpus;
+  options.inter = InterScheme::kCompressedIndivisible;
+  options.compressor = &c;
+  HierarchicalSync(options, buffers);
+  for (size_t r = 0; r < buffers.size(); ++r) {
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(buffers[r][i], expected[i], 0.05f);
+    }
+  }
+}
+
+TEST(Hierarchical, CompressedDivisibleInterAllRanksIdentical) {
+  const size_t machines = 4, gpus = 2, n = 100;
+  RankBuffers buffers = RandomBuffers(machines * gpus, n, 3);
+  TopKCompressor c(0.2);
+  HierarchicalOptions options;
+  options.machines = machines;
+  options.gpus_per_machine = gpus;
+  options.inter = InterScheme::kCompressedDivisible;
+  options.compressor = &c;
+  HierarchicalSync(options, buffers);
+  for (size_t r = 1; r < buffers.size(); ++r) {
+    EXPECT_EQ(buffers[r], buffers[0]);
+  }
+}
+
+TEST(Hierarchical, InterTrafficShrinksWithCompression) {
+  const size_t machines = 4, gpus = 4, n = 10000;
+  TopKCompressor c(0.01);
+  HierarchicalOptions plain;
+  plain.machines = machines;
+  plain.gpus_per_machine = gpus;
+  RankBuffers a = RandomBuffers(machines * gpus, n, 4);
+  const HierarchicalResult uncompressed = HierarchicalSync(plain, a);
+
+  HierarchicalOptions compressed = plain;
+  compressed.inter = InterScheme::kCompressedDivisible;
+  compressed.compressor = &c;
+  RankBuffers b = RandomBuffers(machines * gpus, n, 4);
+  const HierarchicalResult with_gc = HierarchicalSync(compressed, b);
+
+  EXPECT_LT(with_gc.inter_traffic.bytes_sent_per_rank,
+            uncompressed.inter_traffic.bytes_sent_per_rank / 10);
+  // Intra traffic is untouched by inter-only compression.
+  EXPECT_EQ(with_gc.intra_traffic.bytes_sent_per_rank,
+            uncompressed.intra_traffic.bytes_sent_per_rank);
+}
+
+TEST(Hierarchical, CompressIntraShrinksIntraTraffic) {
+  // Dimension 4's "both intra and inter" choice: compressing the intra steps cuts the
+  // fabric traffic while the aggregation result stays exact in the accounting path.
+  const size_t machines = 2, gpus = 4, n = 100000;
+  TopKCompressor c(0.01);
+  HierarchicalOptions plain;
+  plain.machines = machines;
+  plain.gpus_per_machine = gpus;
+  RankBuffers a = RandomBuffers(machines * gpus, n, 11);
+  const HierarchicalResult uncompressed = HierarchicalSync(plain, a);
+
+  HierarchicalOptions both = plain;
+  both.inter = InterScheme::kCompressedDivisible;
+  both.compress_intra = true;
+  both.compressor = &c;
+  RankBuffers b = RandomBuffers(machines * gpus, n, 11);
+  const HierarchicalResult compressed = HierarchicalSync(both, b);
+
+  EXPECT_LT(compressed.intra_traffic.bytes_sent_per_rank,
+            uncompressed.intra_traffic.bytes_sent_per_rank / 10);
+  EXPECT_LT(compressed.inter_traffic.bytes_sent_per_rank,
+            uncompressed.inter_traffic.bytes_sent_per_rank / 10);
+}
+
+TEST(HierarchicalDeathTest, CompressedStageRequiresCompressor) {
+  RankBuffers buffers = RandomBuffers(4, 16, 5);
+  HierarchicalOptions options;
+  options.machines = 2;
+  options.gpus_per_machine = 2;
+  options.inter = InterScheme::kCompressedIndivisible;
+  EXPECT_DEATH(HierarchicalSync(options, buffers), "");
+}
+
+}  // namespace
+}  // namespace espresso

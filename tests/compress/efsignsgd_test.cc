@@ -1,0 +1,92 @@
+#include "src/compress/efsignsgd.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/util/rng.h"
+
+namespace espresso {
+namespace {
+
+TEST(EfSignSgd, SignsPreserved) {
+  EfSignSgdCompressor c;
+  const std::vector<float> input = {1.0f, -2.0f, 0.5f, -0.25f};
+  CompressedTensor payload;
+  c.Compress(input, 0, &payload);
+  std::vector<float> out(4, 0.0f);
+  c.Decompress(payload, out);
+  for (size_t i = 0; i < input.size(); ++i) {
+    EXPECT_EQ(std::signbit(out[i]), std::signbit(input[i]));
+  }
+}
+
+TEST(EfSignSgd, ScaleIsMeanAbsolute) {
+  EfSignSgdCompressor c;
+  const std::vector<float> input = {1.0f, -2.0f, 3.0f, -4.0f};
+  CompressedTensor payload;
+  c.Compress(input, 0, &payload);
+  ASSERT_EQ(payload.scales.size(), 1u);
+  EXPECT_FLOAT_EQ(payload.scales[0], 2.5f);
+}
+
+TEST(EfSignSgd, CompressedSizeIsOneBitPerElementPlusScale) {
+  EfSignSgdCompressor c;
+  EXPECT_EQ(c.CompressedBytes(8), 1u + 4u);
+  EXPECT_EQ(c.CompressedBytes(9), 2u + 4u);
+  EXPECT_EQ(c.CompressedBytes(1024), 128u + 4u);
+  // 32x reduction (minus the scale constant) as the paper's 1-bit quantization claims.
+  EXPECT_LT(c.CompressedBytes(1 << 20), (1 << 20) * 4 / 30);
+}
+
+TEST(EfSignSgd, ByteSizeMatchesAnalytic) {
+  EfSignSgdCompressor c;
+  std::vector<float> input(1000);
+  Rng rng(3);
+  rng.FillNormal(input, 0.0, 1.0);
+  CompressedTensor payload;
+  c.Compress(input, 0, &payload);
+  EXPECT_EQ(payload.ByteSize(), c.CompressedBytes(1000));
+}
+
+TEST(EfSignSgd, DecompressAddAccumulates) {
+  EfSignSgdCompressor c;
+  const std::vector<float> input = {1.0f, -1.0f};
+  CompressedTensor payload;
+  c.Compress(input, 0, &payload);
+  std::vector<float> out = {10.0f, 10.0f};
+  c.DecompressAdd(payload, out);
+  EXPECT_FLOAT_EQ(out[0], 11.0f);
+  EXPECT_FLOAT_EQ(out[1], 9.0f);
+}
+
+TEST(EfSignSgd, ZeroInputGivesZeroScale) {
+  EfSignSgdCompressor c;
+  const std::vector<float> input(16, 0.0f);
+  CompressedTensor payload;
+  c.Compress(input, 0, &payload);
+  std::vector<float> out(16, 0.0f);
+  c.Decompress(payload, out);
+  for (float v : out) {
+    EXPECT_EQ(v, 0.0f);
+  }
+}
+
+TEST(EfSignSgd, UnbiasedMagnitudeOnUniformSigns) {
+  // For a vector of +-x, decompression reproduces it exactly.
+  EfSignSgdCompressor c;
+  std::vector<float> input(64);
+  for (size_t i = 0; i < input.size(); ++i) {
+    input[i] = (i % 2 == 0) ? 0.75f : -0.75f;
+  }
+  CompressedTensor payload;
+  c.Compress(input, 0, &payload);
+  std::vector<float> out(64, 0.0f);
+  c.Decompress(payload, out);
+  for (size_t i = 0; i < input.size(); ++i) {
+    EXPECT_FLOAT_EQ(out[i], input[i]);
+  }
+}
+
+}  // namespace
+}  // namespace espresso

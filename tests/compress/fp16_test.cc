@@ -1,0 +1,86 @@
+#include "src/compress/fp16.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/util/rng.h"
+
+namespace espresso {
+namespace {
+
+TEST(Fp16Scalar, ExactForSmallIntegers) {
+  for (float v : {0.0f, 1.0f, -1.0f, 2.0f, 1024.0f, -2048.0f, 0.5f, 0.25f}) {
+    EXPECT_EQ(HalfToFloat(FloatToHalf(v)), v) << v;
+  }
+}
+
+TEST(Fp16Scalar, SignedZero) {
+  EXPECT_EQ(FloatToHalf(0.0f), 0x0000);
+  EXPECT_EQ(FloatToHalf(-0.0f), 0x8000);
+}
+
+TEST(Fp16Scalar, Infinity) {
+  const float inf = std::numeric_limits<float>::infinity();
+  EXPECT_EQ(HalfToFloat(FloatToHalf(inf)), inf);
+  EXPECT_EQ(HalfToFloat(FloatToHalf(-inf)), -inf);
+}
+
+TEST(Fp16Scalar, OverflowSaturatesToInf) {
+  EXPECT_TRUE(std::isinf(HalfToFloat(FloatToHalf(1e10f))));
+}
+
+TEST(Fp16Scalar, NanStaysNan) {
+  EXPECT_TRUE(std::isnan(HalfToFloat(FloatToHalf(std::nanf("")))));
+}
+
+TEST(Fp16Scalar, SubnormalRoundTrip) {
+  // Smallest positive half subnormal is 2^-24.
+  const float tiny = std::ldexp(1.0f, -24);
+  EXPECT_EQ(HalfToFloat(FloatToHalf(tiny)), tiny);
+  // Below half precision underflows to zero.
+  EXPECT_EQ(HalfToFloat(FloatToHalf(std::ldexp(1.0f, -26))), 0.0f);
+}
+
+TEST(Fp16Scalar, RelativeErrorBounded) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = static_cast<float>(rng.Uniform(-1000.0, 1000.0));
+    const float r = HalfToFloat(FloatToHalf(v));
+    if (v != 0.0f) {
+      EXPECT_LE(std::fabs(r - v) / std::fabs(v), 1.0f / 1024.0f) << v;
+    }
+  }
+}
+
+TEST(Fp16Scalar, RoundToNearestEven) {
+  // 1 + 2^-11 is exactly halfway between two halves; ties go to even (here: down).
+  const float halfway = 1.0f + std::ldexp(1.0f, -11);
+  EXPECT_EQ(HalfToFloat(FloatToHalf(halfway)), 1.0f);
+  // Slightly above the halfway point rounds up.
+  const float above = 1.0f + std::ldexp(1.0f, -11) + std::ldexp(1.0f, -16);
+  EXPECT_EQ(HalfToFloat(FloatToHalf(above)), 1.0f + std::ldexp(1.0f, -10));
+}
+
+TEST(Fp16Compressor, HalvesTraffic) {
+  Fp16Compressor c;
+  EXPECT_EQ(c.CompressedBytes(1000), 2000u);
+}
+
+TEST(Fp16Compressor, RoundTripVector) {
+  Fp16Compressor c;
+  std::vector<float> input(256);
+  Rng rng(2);
+  rng.FillNormal(input, 0.0, 1.0);
+  CompressedTensor payload;
+  c.Compress(input, 0, &payload);
+  EXPECT_EQ(payload.ByteSize(), c.CompressedBytes(256));
+  std::vector<float> out(256, 0.0f);
+  c.Decompress(payload, out);
+  for (size_t i = 0; i < input.size(); ++i) {
+    EXPECT_NEAR(out[i], input[i], std::fabs(input[i]) / 1024.0f + 1e-6f);
+  }
+}
+
+}  // namespace
+}  // namespace espresso

@@ -1,0 +1,93 @@
+#include "src/compress/qsgd.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/util/rng.h"
+
+namespace espresso {
+namespace {
+
+TEST(Qsgd, RoundTripErrorBounded) {
+  QsgdCompressor c(7);
+  std::vector<float> input(512);
+  Rng rng(1);
+  rng.FillNormal(input, 0.0, 1.0);
+  CompressedTensor payload;
+  c.Compress(input, 4, &payload);
+  std::vector<float> out(input.size(), 0.0f);
+  c.Decompress(payload, out);
+  // Per-element quantization error <= one level unit = ||v|| / levels.
+  const float norm = payload.scales[0];
+  const float unit = norm / 127.0f;
+  for (size_t i = 0; i < input.size(); ++i) {
+    EXPECT_LE(std::fabs(out[i] - input[i]), unit + 1e-5f);
+  }
+}
+
+TEST(Qsgd, StochasticRoundingIsUnbiased) {
+  QsgdCompressor c(2);  // coarse levels to force rounding
+  const std::vector<float> input = {0.5f};
+  double sum = 0.0;
+  const int trials = 4000;
+  for (int t = 0; t < trials; ++t) {
+    CompressedTensor payload;
+    c.Compress(input, static_cast<uint64_t>(t), &payload);
+    std::vector<float> out(1, 0.0f);
+    c.Decompress(payload, out);
+    sum += out[0];
+  }
+  EXPECT_NEAR(sum / trials, 0.5, 0.02);
+}
+
+TEST(Qsgd, SignPreserved) {
+  QsgdCompressor c(7);
+  const std::vector<float> input = {3.0f, -3.0f, 1.5f, -1.5f};
+  CompressedTensor payload;
+  c.Compress(input, 0, &payload);
+  std::vector<float> out(4, 0.0f);
+  c.Decompress(payload, out);
+  for (size_t i = 0; i < input.size(); ++i) {
+    if (out[i] != 0.0f) {
+      EXPECT_EQ(std::signbit(out[i]), std::signbit(input[i]));
+    }
+  }
+}
+
+TEST(Qsgd, SameSeedReproducible) {
+  QsgdCompressor c(4);
+  std::vector<float> input(100);
+  Rng rng(8);
+  rng.FillNormal(input, 0.0, 1.0);
+  CompressedTensor a, b;
+  c.Compress(input, 11, &a);
+  c.Compress(input, 11, &b);
+  EXPECT_EQ(a.bytes, b.bytes);
+  EXPECT_EQ(a.scales, b.scales);
+}
+
+TEST(Qsgd, ZeroVector) {
+  QsgdCompressor c(7);
+  const std::vector<float> input(32, 0.0f);
+  CompressedTensor payload;
+  c.Compress(input, 0, &payload);
+  std::vector<float> out(32, 1.0f);
+  c.Decompress(payload, out);
+  for (float v : out) {
+    EXPECT_EQ(v, 0.0f);
+  }
+}
+
+TEST(Qsgd, CompressedBytesOneBytePerElement) {
+  QsgdCompressor c(7);
+  EXPECT_EQ(c.CompressedBytes(100), 104u);
+}
+
+TEST(Qsgd, RejectsInvalidBits) {
+  EXPECT_DEATH(QsgdCompressor(0), "");
+  EXPECT_DEATH(QsgdCompressor(8), "");
+}
+
+}  // namespace
+}  // namespace espresso

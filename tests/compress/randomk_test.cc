@@ -1,0 +1,107 @@
+#include "src/compress/randomk.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/rng.h"
+
+namespace espresso {
+namespace {
+
+std::vector<float> RandomTensor(size_t n, uint64_t seed) {
+  std::vector<float> v(n);
+  Rng rng(seed);
+  rng.FillNormal(v, 0.0, 1.0);
+  return v;
+}
+
+TEST(RandomK, KeepsExactlyK) {
+  RandomKCompressor c(0.01);
+  EXPECT_EQ(c.KeptElements(1000), 10u);
+  EXPECT_EQ(c.KeptElements(100000), 1000u);
+  EXPECT_EQ(c.KeptElements(5), 1u);  // floor of one element
+  EXPECT_EQ(c.KeptElements(0), 0u);
+}
+
+TEST(RandomK, ValuesMatchInputAtIndices) {
+  RandomKCompressor c(0.1);
+  const auto input = RandomTensor(500, 1);
+  CompressedTensor out;
+  c.Compress(input, 7, &out);
+  ASSERT_EQ(out.indices.size(), 50u);
+  for (size_t i = 0; i < out.indices.size(); ++i) {
+    EXPECT_EQ(out.values[i], input[out.indices[i]]);
+  }
+}
+
+TEST(RandomK, SameSeedSameIndicesAcrossRanks) {
+  RandomKCompressor c(0.05);
+  const auto a = RandomTensor(1024, 1);
+  const auto b = RandomTensor(1024, 2);  // different data
+  CompressedTensor ca, cb;
+  c.Compress(a, 99, &ca);
+  c.Compress(b, 99, &cb);
+  EXPECT_EQ(ca.indices, cb.indices);  // shared seed -> shared coordinates
+}
+
+TEST(RandomK, DifferentSeedsDifferentIndices) {
+  RandomKCompressor c(0.05);
+  const auto a = RandomTensor(1024, 1);
+  CompressedTensor c1, c2;
+  c.Compress(a, 1, &c1);
+  c.Compress(a, 2, &c2);
+  EXPECT_NE(c1.indices, c2.indices);
+}
+
+TEST(RandomK, DecompressRoundTrip) {
+  RandomKCompressor c(0.1);
+  const auto input = RandomTensor(200, 3);
+  CompressedTensor payload;
+  c.Compress(input, 5, &payload);
+  std::vector<float> out(200, 0.0f);
+  c.Decompress(payload, out);
+  size_t nonzero = 0;
+  for (size_t i = 0; i < out.size(); ++i) {
+    if (out[i] != 0.0f) {
+      ++nonzero;
+      EXPECT_EQ(out[i], input[i]);
+    }
+  }
+  EXPECT_EQ(nonzero, payload.indices.size());
+}
+
+TEST(RandomK, CompressedAggregationMatchesDecompressedSum) {
+  RandomKCompressor c(0.1);
+  const auto a = RandomTensor(300, 1);
+  const auto b = RandomTensor(300, 2);
+  CompressedTensor ca, cb;
+  c.Compress(a, 42, &ca);
+  c.Compress(b, 42, &cb);
+  ASSERT_TRUE(c.SupportsCompressedAggregation());
+  CompressedTensor sum = ca;
+  c.AggregateCompressed(cb, &sum);
+
+  std::vector<float> via_compressed(300, 0.0f);
+  c.Decompress(sum, via_compressed);
+  std::vector<float> via_decompressed(300, 0.0f);
+  c.DecompressAdd(ca, via_decompressed);
+  c.DecompressAdd(cb, via_decompressed);
+  for (size_t i = 0; i < 300; ++i) {
+    EXPECT_FLOAT_EQ(via_compressed[i], via_decompressed[i]);
+  }
+}
+
+TEST(RandomK, ByteSizeMatchesAnalytic) {
+  RandomKCompressor c(0.01);
+  const auto input = RandomTensor(4096, 4);
+  CompressedTensor payload;
+  c.Compress(input, 1, &payload);
+  EXPECT_EQ(payload.ByteSize(), c.CompressedBytes(4096));
+}
+
+TEST(RandomK, RejectsInvalidRatio) {
+  EXPECT_DEATH(RandomKCompressor(0.0), "");
+  EXPECT_DEATH(RandomKCompressor(1.5), "");
+}
+
+}  // namespace
+}  // namespace espresso

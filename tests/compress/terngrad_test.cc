@@ -1,0 +1,81 @@
+#include "src/compress/terngrad.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/util/rng.h"
+
+namespace espresso {
+namespace {
+
+TEST(TernGrad, OutputsAreTernary) {
+  TernGradCompressor c;
+  std::vector<float> input(256);
+  Rng rng(1);
+  rng.FillNormal(input, 0.0, 1.0);
+  CompressedTensor payload;
+  c.Compress(input, 3, &payload);
+  std::vector<float> out(input.size(), 0.0f);
+  c.Decompress(payload, out);
+  const float scale = payload.scales[0];
+  for (float v : out) {
+    EXPECT_TRUE(v == 0.0f || std::fabs(std::fabs(v) - scale) < 1e-6f);
+  }
+}
+
+TEST(TernGrad, ScaleIsMaxAbs) {
+  TernGradCompressor c;
+  const std::vector<float> input = {0.5f, -3.5f, 2.0f};
+  CompressedTensor payload;
+  c.Compress(input, 0, &payload);
+  EXPECT_FLOAT_EQ(payload.scales[0], 3.5f);
+}
+
+TEST(TernGrad, MaxMagnitudeElementAlwaysKept) {
+  TernGradCompressor c;
+  const std::vector<float> input = {0.1f, -4.0f, 0.2f};
+  for (uint64_t seed = 0; seed < 50; ++seed) {
+    CompressedTensor payload;
+    c.Compress(input, seed, &payload);
+    std::vector<float> out(3, 0.0f);
+    c.Decompress(payload, out);
+    EXPECT_FLOAT_EQ(out[1], -4.0f);  // keep probability 1.0
+  }
+}
+
+TEST(TernGrad, StochasticKeepIsUnbiased) {
+  TernGradCompressor c;
+  // value = scale/2 -> kept with probability 0.5 at magnitude scale.
+  const std::vector<float> input = {2.0f, 1.0f};
+  double sum = 0.0;
+  const int trials = 4000;
+  for (int t = 0; t < trials; ++t) {
+    CompressedTensor payload;
+    c.Compress(input, static_cast<uint64_t>(t), &payload);
+    std::vector<float> out(2, 0.0f);
+    c.Decompress(payload, out);
+    sum += out[1];
+  }
+  EXPECT_NEAR(sum / trials, 1.0, 0.08);
+}
+
+TEST(TernGrad, TwoBitsPerElement) {
+  TernGradCompressor c;
+  EXPECT_EQ(c.CompressedBytes(4), 1u + 4u);
+  EXPECT_EQ(c.CompressedBytes(5), 2u + 4u);
+  EXPECT_EQ(c.CompressedBytes(1024), 256u + 4u);
+}
+
+TEST(TernGrad, ByteSizeMatchesAnalytic) {
+  TernGradCompressor c;
+  std::vector<float> input(333);
+  Rng rng(4);
+  rng.FillNormal(input, 0.0, 1.0);
+  CompressedTensor payload;
+  c.Compress(input, 0, &payload);
+  EXPECT_EQ(payload.ByteSize(), c.CompressedBytes(333));
+}
+
+}  // namespace
+}  // namespace espresso

@@ -1,0 +1,69 @@
+#include "src/compress/threshold.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/util/rng.h"
+
+namespace espresso {
+namespace {
+
+TEST(Threshold, KeepsExactlyTheLargeCoordinates) {
+  ThresholdCompressor c(1.0);
+  const std::vector<float> input = {0.5f, -1.5f, 1.0f, 0.99f, -2.0f, 0.0f};
+  CompressedTensor payload;
+  c.Compress(input, 0, &payload);
+  EXPECT_EQ(payload.indices, (std::vector<uint32_t>{1, 2, 4}));
+  std::vector<float> out(6, 0.0f);
+  c.Decompress(payload, out);
+  EXPECT_FLOAT_EQ(out[1], -1.5f);
+  EXPECT_FLOAT_EQ(out[2], 1.0f);
+  EXPECT_FLOAT_EQ(out[4], -2.0f);
+  EXPECT_FLOAT_EQ(out[0], 0.0f);
+}
+
+TEST(Threshold, SizeIsContentDependent) {
+  ThresholdCompressor c(1.0);
+  CompressedTensor small, large;
+  c.Compress(std::vector<float>{0.1f, 0.2f, 0.3f}, 0, &small);
+  c.Compress(std::vector<float>{5.0f, 5.0f, 5.0f}, 0, &large);
+  EXPECT_LT(small.ByteSize(), large.ByteSize());
+  EXPECT_FALSE(c.HasDeterministicSize());
+  // The analytic size is a worst-case bound.
+  EXPECT_GE(c.CompressedBytes(3), large.ByteSize());
+}
+
+TEST(Threshold, HigherThresholdKeepsLess) {
+  std::vector<float> input(1000);
+  Rng rng(1);
+  rng.FillNormal(input, 0.0, 1.0);
+  CompressedTensor loose, tight;
+  ThresholdCompressor(0.5).Compress(input, 0, &loose);
+  ThresholdCompressor(2.0).Compress(input, 0, &tight);
+  EXPECT_GT(loose.indices.size(), tight.indices.size());
+  EXPECT_GT(tight.indices.size(), 0u);  // ~5% of N(0,1) exceeds 2 sigma
+}
+
+TEST(Threshold, RegistryAndGuards) {
+  CompressorConfig config;
+  config.algorithm = "threshold";
+  config.threshold = 0.25;
+  auto c = CreateCompressor(config);
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->name(), "threshold");
+  EXPECT_FALSE(c->HasDeterministicSize());
+  EXPECT_DEATH(ThresholdCompressor(0.0), "");
+}
+
+TEST(Threshold, EveryOtherAlgorithmIsDeterministic) {
+  for (const char* name : {"randomk", "dgc", "efsignsgd", "qsgd", "terngrad", "fp16"}) {
+    CompressorConfig config;
+    config.algorithm = name;
+    config.bits = 4;
+    EXPECT_TRUE(CreateCompressor(config)->HasDeterministicSize()) << name;
+  }
+}
+
+}  // namespace
+}  // namespace espresso

@@ -1,0 +1,137 @@
+#include "src/core/baselines.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/decision_tree.h"
+#include "src/core/espresso.h"
+#include "src/core/timeline.h"
+#include "src/models/model_zoo.h"
+
+namespace espresso {
+namespace {
+
+std::unique_ptr<Compressor> Make(const std::string& algo) {
+  return CreateCompressor(CompressorConfig{.algorithm = algo, .ratio = 0.01});
+}
+
+TEST(Baselines, Fp32CompressesNothing) {
+  const ModelProfile model = Gpt2();
+  const Strategy s = Fp32Strategy(model, NvlinkCluster());
+  EXPECT_EQ(s.CompressedTensorCount(), 0u);
+  EXPECT_EQ(s.size(), model.tensors.size());
+}
+
+TEST(Baselines, HiTopKCommCompressesEverythingOnGpu) {
+  const ModelProfile model = ResNet101();
+  const auto compressor = Make("dgc");
+  const Strategy s = HiTopKCommStrategy(model, NvlinkCluster(), *compressor);
+  EXPECT_EQ(s.CompressedTensorCount(), model.tensors.size());
+  EXPECT_EQ(s.TensorsOnDevice(Device::kCpu), 0u);
+}
+
+TEST(Baselines, BytePSCompressUsesCpuOnly) {
+  const ModelProfile model = Gpt2();
+  const auto compressor = Make("efsignsgd");
+  const Strategy s = BytePSCompressStrategy(model, NvlinkCluster(), *compressor);
+  EXPECT_EQ(s.CompressedTensorCount(), model.tensors.size());
+  EXPECT_EQ(s.TensorsOnDevice(Device::kGpu), 0u);
+  for (const Op& op : s.options[0].ops) {
+    if (op.task != ActionTask::kComm) {
+      EXPECT_TRUE(op.machine_level);  // PS-style full-tensor host compression
+    }
+  }
+}
+
+TEST(Baselines, HiPressIsSelective) {
+  // HiPress compresses large tensors (wall-clock win) but skips tiny ones (kernel
+  // launch overhead dominates).
+  const ModelProfile model = BertBase();
+  const auto compressor = Make("randomk");
+  const Strategy s = HiPressStrategy(model, NvlinkCluster(), *compressor);
+  EXPECT_GT(s.CompressedTensorCount(), 0u);
+  EXPECT_LT(s.CompressedTensorCount(), model.tensors.size());
+  for (size_t i = 0; i < model.tensors.size(); ++i) {
+    if (model.tensors[i].elements < 1024) {
+      EXPECT_FALSE(s.options[i].Compressed()) << model.tensors[i].name;
+    }
+  }
+}
+
+TEST(Baselines, BaselineStrategiesValidate) {
+  const ModelProfile model = Lstm();
+  const ClusterSpec cluster = NvlinkCluster();
+  const auto compressor = Make("dgc");
+  const TreeConfig config{cluster.machines, cluster.gpus_per_machine, false};
+  for (const Strategy& s :
+       {Fp32Strategy(model, cluster), HiPressStrategy(model, cluster, *compressor),
+        HiTopKCommStrategy(model, cluster, *compressor),
+        BytePSCompressStrategy(model, cluster, *compressor)}) {
+    for (const auto& option : s.options) {
+      EXPECT_TRUE(ValidateOption(config, option)) << option.Describe();
+    }
+  }
+}
+
+TEST(Baselines, CrippledMechanismsRun) {
+  const ModelProfile model = Lstm();
+  const ClusterSpec cluster = NvlinkCluster();
+  const auto compressor = Make("efsignsgd");
+  TimelineEvaluator evaluator(model, cluster, *compressor);
+  for (CrippledDimension dim :
+       {CrippledDimension::kAllCompression, CrippledDimension::kMyopicCompression,
+        CrippledDimension::kGpuCompression, CrippledDimension::kCpuCompression,
+        CrippledDimension::kInterAllgather, CrippledDimension::kInterAlltoall,
+        CrippledDimension::kAlltoallAlltoall}) {
+    const Strategy s = CrippledStrategy(model, cluster, *compressor, dim);
+    EXPECT_EQ(s.size(), model.tensors.size());
+    EXPECT_GT(evaluator.IterationTime(s), 0.0);
+  }
+}
+
+TEST(Baselines, FullEspressoBeatsEveryCrippledDimension) {
+  // Figure 15's claim: considering all four dimensions is always at least as good.
+  const ModelProfile model = Vgg16();
+  for (bool pcie : {false, true}) {
+    const ClusterSpec cluster = pcie ? PcieCluster() : NvlinkCluster();
+    const auto compressor = Make("efsignsgd");
+    TimelineEvaluator evaluator(model, cluster, *compressor);
+    EspressoSelector selector(model, cluster, *compressor);
+    const double full = selector.Select().iteration_time;
+    for (CrippledDimension dim :
+         {CrippledDimension::kAllCompression, CrippledDimension::kMyopicCompression,
+          CrippledDimension::kGpuCompression, CrippledDimension::kCpuCompression,
+          CrippledDimension::kInterAllgather, CrippledDimension::kInterAlltoall,
+          CrippledDimension::kAlltoallAlltoall}) {
+      const Strategy s = CrippledStrategy(model, cluster, *compressor, dim);
+      EXPECT_LE(full, evaluator.IterationTime(s) + 1e-9)
+          << static_cast<int>(dim) << (pcie ? " pcie" : " nvlink");
+    }
+  }
+}
+
+TEST(Baselines, InterOnlyOptionsLeaveIntraUncompressed) {
+  const ClusterSpec cluster = NvlinkCluster();
+  for (const CompressionOption& option :
+       {InterOnlyIndivisibleOption(cluster, Device::kGpu),
+        InterOnlyDivisibleOption(cluster, Device::kGpu)}) {
+    for (const Op& op : option.ops) {
+      if (op.task == ActionTask::kComm && op.phase != CommPhase::kInter) {
+        EXPECT_FALSE(op.compressed) << option.Describe();
+      }
+    }
+  }
+}
+
+TEST(Baselines, AlltoallAlltoallCompressesIntraFirst) {
+  const CompressionOption option = AlltoallAlltoallOption(NvlinkCluster(), Device::kGpu);
+  bool intra_compressed_comm = false;
+  for (const Op& op : option.ops) {
+    if (op.task == ActionTask::kComm && op.phase == CommPhase::kIntraFirst && op.compressed) {
+      intra_compressed_comm = true;
+    }
+  }
+  EXPECT_TRUE(intra_compressed_comm);
+}
+
+}  // namespace
+}  // namespace espresso

@@ -1,0 +1,97 @@
+#include "src/core/brute_force.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/core/baselines.h"
+#include "src/core/decision_tree.h"
+#include "src/core/espresso.h"
+#include "src/models/model_zoo.h"
+
+namespace espresso {
+namespace {
+
+ModelProfile ToyModel(size_t tensors) {
+  ModelProfile m;
+  m.name = "toy";
+  m.forward_time_s = 5e-3;
+  m.optimizer_time_s = 1e-3;
+  m.batch_size = 1;
+  m.throughput_unit = "it/s";
+  for (size_t i = 0; i < tensors; ++i) {
+    m.tensors.push_back({"T" + std::to_string(i), (1u + i % 3) << 20, 8e-3});
+  }
+  return m;
+}
+
+TEST(BruteForce, FindsExactMinimumOnToyModel) {
+  const ModelProfile model = ToyModel(3);
+  const ClusterSpec cluster = PcieCluster();
+  const auto compressor =
+      CreateCompressor(CompressorConfig{.algorithm = "dgc", .ratio = 0.01});
+  TimelineEvaluator evaluator(model, cluster, *compressor);
+  const TreeConfig config{cluster.machines, cluster.gpus_per_machine, false};
+  const auto candidates = CandidateOptions(config);
+
+  const auto result = BruteForceStrategy(evaluator, candidates, 1u << 20);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->evaluations,
+            static_cast<size_t>(std::pow(candidates.size(), 3)));
+  // No strategy over the same candidates can beat it: spot-check uniform strategies.
+  for (const auto& candidate : candidates) {
+    EXPECT_GE(evaluator.IterationTime(UniformStrategy(3, candidate)),
+              result->iteration_time - 1e-12);
+  }
+}
+
+TEST(BruteForce, RefusesOversizedSpaces) {
+  const ModelProfile model = ToyModel(10);
+  const ClusterSpec cluster = PcieCluster();
+  const auto compressor =
+      CreateCompressor(CompressorConfig{.algorithm = "dgc", .ratio = 0.01});
+  TimelineEvaluator evaluator(model, cluster, *compressor);
+  const auto candidates = CandidateOptions(TreeConfig{8, 8, false});
+  EXPECT_FALSE(BruteForceStrategy(evaluator, candidates, 1000).has_value());
+}
+
+TEST(BruteForce, OffloadSearchMatchesAlgorithm2OnSmallInstances) {
+  // Theorem 1's claim: Algorithm 2's restricted (Lemma 1) search is as good as trying
+  // all 2^k offload subsets.
+  const ModelProfile model = ToyModel(6);
+  const ClusterSpec cluster = NvlinkCluster();
+  const auto compressor =
+      CreateCompressor(CompressorConfig{.algorithm = "dgc", .ratio = 0.01});
+  EspressoSelector selector(model, cluster, *compressor);
+  const Strategy gpu = UniformStrategy(
+      model.tensors.size(), InterOnlyIndivisibleOption(cluster, Device::kGpu));
+  const Strategy offloaded = selector.OffloadToCpu(gpu);
+  const auto brute = BruteForceOffload(selector.evaluator(), gpu, 1u << 20);
+  ASSERT_TRUE(brute.has_value());
+  EXPECT_NEAR(selector.evaluator().IterationTime(offloaded), brute->iteration_time, 1e-9);
+}
+
+TEST(BruteForce, OffloadRefusesHugeSets) {
+  const ModelProfile model = BertBase();
+  const ClusterSpec cluster = NvlinkCluster();
+  const auto compressor =
+      CreateCompressor(CompressorConfig{.algorithm = "randomk", .ratio = 0.01});
+  TimelineEvaluator evaluator(model, cluster, *compressor);
+  const Strategy all_gpu = UniformStrategy(
+      model.tensors.size(), InterOnlyIndivisibleOption(cluster, Device::kGpu));
+  EXPECT_FALSE(BruteForceOffload(evaluator, all_gpu, 1u << 20).has_value());
+}
+
+TEST(EstimateBruteForce, CapsAtProvidedCeiling) {
+  // ResNet101-scale spaces overflow any cap — Table 5's ">24h" entries.
+  const double cap = 24.0 * 3600.0;
+  EXPECT_EQ(EstimateBruteForceSeconds(1e-4, 10, 314, cap), cap);
+  EXPECT_EQ(EstimateBruteForceSeconds(1e-4, 10, 10, cap), cap);  // 10^10 evals * 1e-4
+}
+
+TEST(EstimateBruteForce, SmallSpacesComputeExactly) {
+  EXPECT_NEAR(EstimateBruteForceSeconds(1e-3, 4, 3, 1e9), 64 * 1e-3, 1e-9);
+}
+
+}  // namespace
+}  // namespace espresso

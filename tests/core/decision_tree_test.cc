@@ -1,0 +1,239 @@
+#include "src/core/decision_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace espresso {
+namespace {
+
+TEST(DecisionTree, EveryEnumeratedPathValidates) {
+  for (bool agg : {false, true}) {
+    const TreeConfig config{8, 8, agg};
+    const OptionSpace space = EnumerateOptions(config);
+    EXPECT_GT(space.options.size(), 50u);
+    for (const auto& option : space.options) {
+      EXPECT_TRUE(ValidateOption(config, option)) << option.Describe();
+    }
+  }
+}
+
+TEST(DecisionTree, PathsAreUnique) {
+  const TreeConfig config{8, 8, true};
+  const OptionSpace space = EnumerateOptions(config);
+  for (size_t i = 0; i < space.options.size(); ++i) {
+    for (size_t j = i + 1; j < space.options.size(); ++j) {
+      EXPECT_FALSE(space.options[i] == space.options[j])
+          << i << " vs " << j << ": " << space.options[i].Describe();
+    }
+  }
+}
+
+TEST(DecisionTree, CompressedAggregationEnlargesTheTree) {
+  const TreeConfig without{8, 8, false};
+  const TreeConfig with{8, 8, true};
+  EXPECT_GT(EnumerateOptions(with).options.size(),
+            EnumerateOptions(without).options.size());
+}
+
+TEST(DecisionTree, DeviceChoicesGrowTheSpaceToPaperScale) {
+  // §4.4.1 quotes |C| = 4341 for the full tree; our structural tree times the 2^slots
+  // device assignments lands in the same order of magnitude.
+  const TreeConfig config{8, 8, false};
+  const OptionSpace space = EnumerateOptions(config);
+  const size_t total = space.TotalWithDeviceChoices();
+  EXPECT_GT(total, 1000u);
+  EXPECT_LT(total, 50000u);
+  EXPECT_GT(total, space.options.size());
+}
+
+TEST(DecisionTree, SingleMachineTreeIsFlatOnly) {
+  const TreeConfig config{1, 8, false};
+  EXPECT_FALSE(config.Hierarchical());
+  const OptionSpace space = EnumerateOptions(config);
+  for (const auto& option : space.options) {
+    EXPECT_TRUE(option.flat) << option.Describe();
+  }
+}
+
+TEST(DecisionTree, HierarchicalTreeContainsBothKinds) {
+  const OptionSpace space = EnumerateOptions(TreeConfig{4, 4, false});
+  bool has_flat = false, has_hier = false;
+  for (const auto& option : space.options) {
+    (option.flat ? has_flat : has_hier) = true;
+  }
+  EXPECT_TRUE(has_flat);
+  EXPECT_TRUE(has_hier);
+}
+
+TEST(DecisionTree, ContainsUncompressedSchemeChoices) {
+  // Dimension 1's "no" branch still offers scheme choices (Dimension 3).
+  const OptionSpace space = EnumerateOptions(TreeConfig{8, 8, false});
+  size_t uncompressed = 0;
+  for (const auto& option : space.options) {
+    if (!option.Compressed()) {
+      ++uncompressed;
+    }
+  }
+  EXPECT_GE(uncompressed, 5u);
+}
+
+TEST(DecisionTree, PairingRuleHolds) {
+  // Rule 3: within each (phase, divisible scheme), sharding first steps pair with
+  // allgather-type second steps and rooted first steps with broadcast-type.
+  const OptionSpace space = EnumerateOptions(TreeConfig{8, 8, true});
+  for (const auto& option : space.options) {
+    // Track the first comm op per phase that shards (reduce-scatter/alltoall) or
+    // roots (reduce/gather), then check the next comm op in the same phase.
+    for (size_t i = 0; i < option.ops.size(); ++i) {
+      const Op& op = option.ops[i];
+      if (op.task != ActionTask::kComm) {
+        continue;
+      }
+      const bool shards =
+          op.routine == Routine::kReduceScatter || op.routine == Routine::kAlltoall;
+      const bool roots = op.routine == Routine::kReduce || op.routine == Routine::kGather;
+      if (!shards && !roots) {
+        continue;
+      }
+      for (size_t j = i + 1; j < option.ops.size(); ++j) {
+        const Op& next = option.ops[j];
+        if (next.task != ActionTask::kComm || next.phase != op.phase) {
+          continue;
+        }
+        if (shards) {
+          EXPECT_EQ(next.routine, Routine::kAllgather) << option.Describe();
+        } else {
+          EXPECT_EQ(next.routine, Routine::kBroadcast) << option.Describe();
+        }
+        break;
+      }
+    }
+  }
+}
+
+TEST(DecisionTree, DefaultUncompressedOptionShape) {
+  const CompressionOption hier = DefaultUncompressedOption(TreeConfig{8, 8, false});
+  EXPECT_FALSE(hier.flat);
+  EXPECT_FALSE(hier.Compressed());
+  ASSERT_EQ(hier.ops.size(), 3u);
+  EXPECT_EQ(hier.ops[0].routine, Routine::kReduceScatter);
+  EXPECT_EQ(hier.ops[1].routine, Routine::kAllreduce);
+  EXPECT_EQ(hier.ops[2].routine, Routine::kAllgather);
+
+  const CompressionOption flat = DefaultUncompressedOption(TreeConfig{1, 8, false});
+  EXPECT_TRUE(flat.flat);
+  ASSERT_EQ(flat.ops.size(), 1u);
+  EXPECT_EQ(flat.ops[0].routine, Routine::kAllreduce);
+}
+
+TEST(DecisionTree, CandidatesValidateAndCoverDimensions) {
+  for (bool agg : {false, true}) {
+    const TreeConfig config{8, 8, agg};
+    const auto candidates = CandidateOptions(config);
+    EXPECT_GE(candidates.size(), 7u);
+    bool has_uncompressed = false, has_flat_compressed = false, has_inter_only = false,
+         has_intra_and_inter = false;
+    for (const auto& c : candidates) {
+      EXPECT_TRUE(ValidateOption(config, c)) << c.Describe();
+      if (!c.Compressed()) {
+        has_uncompressed = true;
+      } else if (c.flat) {
+        has_flat_compressed = true;
+      } else {
+        bool intra_comp = false;
+        for (const Op& op : c.ops) {
+          if (op.task == ActionTask::kCompress && op.phase == CommPhase::kIntraFirst) {
+            intra_comp = true;
+          }
+        }
+        (intra_comp ? has_intra_and_inter : has_inter_only) = true;
+      }
+    }
+    EXPECT_TRUE(has_uncompressed);
+    EXPECT_TRUE(has_flat_compressed);
+    EXPECT_TRUE(has_inter_only);
+    EXPECT_TRUE(has_intra_and_inter);
+  }
+}
+
+TEST(DecisionTree, MaxCompressOpsConstraintPrunes) {
+  // §4.2.2: users can limit compression operations per tensor to bound accuracy loss.
+  const TreeConfig unconstrained{8, 8, false, 0};
+  const TreeConfig limited{8, 8, false, 1};
+  const OptionSpace full = EnumerateOptions(unconstrained);
+  const OptionSpace pruned = EnumerateOptions(limited);
+  EXPECT_LT(pruned.options.size(), full.options.size());
+  for (const auto& option : pruned.options) {
+    EXPECT_LE(option.CompressOpCount(), 1u) << option.Describe();
+  }
+  // Uncompressed paths and single-compression paths survive.
+  bool has_uncompressed = false, has_single = false;
+  for (const auto& option : pruned.options) {
+    if (!option.Compressed()) {
+      has_uncompressed = true;
+    } else if (option.CompressOpCount() == 1) {
+      has_single = true;
+    }
+  }
+  EXPECT_TRUE(has_uncompressed);
+  EXPECT_TRUE(has_single);
+
+  for (const auto& option : CandidateOptions(limited)) {
+    EXPECT_LE(option.CompressOpCount(), 1u) << option.Describe();
+  }
+}
+
+TEST(DecisionTree, ValidatorRejectsBrokenPaths) {
+  const TreeConfig config{8, 8, false};
+  // Double compression.
+  CompressionOption bad;
+  bad.flat = true;
+  Op comp;
+  comp.task = ActionTask::kCompress;
+  comp.phase = CommPhase::kFlat;
+  Op comm;
+  comm.task = ActionTask::kComm;
+  comm.phase = CommPhase::kFlat;
+  comm.routine = Routine::kAllgather;
+  comm.compressed = true;
+  Op decomp;
+  decomp.task = ActionTask::kDecompress;
+  decomp.phase = CommPhase::kFlat;
+  bad.ops = {comp, comp, comm, decomp};
+  EXPECT_FALSE(ValidateOption(config, bad));
+
+  // Compressed payload on an allreduce.
+  CompressionOption bad2;
+  bad2.flat = true;
+  Op ar = comm;
+  ar.routine = Routine::kAllreduce;
+  bad2.ops = {comp, ar, decomp};
+  EXPECT_FALSE(ValidateOption(config, bad2));
+
+  // Ends compressed (no final decompression).
+  CompressionOption bad3;
+  bad3.flat = true;
+  bad3.ops = {comp, comm};
+  EXPECT_FALSE(ValidateOption(config, bad3));
+
+  // Empty option / no communication.
+  CompressionOption bad4;
+  EXPECT_FALSE(ValidateOption(config, bad4));
+
+  // Phase order violated (inter before intra-first).
+  CompressionOption bad5;
+  Op inter_op;
+  inter_op.task = ActionTask::kComm;
+  inter_op.phase = CommPhase::kInter;
+  inter_op.routine = Routine::kAllreduce;
+  Op intra_op;
+  intra_op.task = ActionTask::kComm;
+  intra_op.phase = CommPhase::kIntraFirst;
+  intra_op.routine = Routine::kReduceScatter;
+  bad5.ops = {inter_op, intra_op};
+  EXPECT_FALSE(ValidateOption(config, bad5));
+}
+
+}  // namespace
+}  // namespace espresso

@@ -1,0 +1,72 @@
+#include "src/core/option.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/baselines.h"
+#include "src/costmodel/calibration.h"
+
+namespace espresso {
+namespace {
+
+TEST(Option, UncompressedHasNoCompressOps) {
+  CompressionOption option;
+  Op comm;
+  comm.task = ActionTask::kComm;
+  comm.routine = Routine::kAllreduce;
+  option.ops = {comm};
+  EXPECT_FALSE(option.Compressed());
+  EXPECT_EQ(option.CompressOpCount(), 0u);
+  EXPECT_EQ(option.DeviceSlots(), 0u);
+}
+
+TEST(Option, CountsCompressAndDecompress) {
+  const CompressionOption option = InterOnlyDivisibleOption(NvlinkCluster(), Device::kGpu);
+  EXPECT_TRUE(option.Compressed());
+  EXPECT_EQ(option.CompressOpCount(), 2u);
+  EXPECT_EQ(option.DecompressOpCount(), 2u);
+  EXPECT_EQ(option.DeviceSlots(), 4u);
+}
+
+TEST(Option, WithDeviceSwitchesOnlyComputeOps) {
+  const CompressionOption gpu = InterOnlyIndivisibleOption(NvlinkCluster(), Device::kGpu);
+  const CompressionOption cpu = gpu.WithDevice(Device::kCpu);
+  EXPECT_TRUE(gpu.UsesDevice(Device::kGpu));
+  EXPECT_FALSE(gpu.UsesDevice(Device::kCpu));
+  EXPECT_TRUE(cpu.UsesDevice(Device::kCpu));
+  EXPECT_FALSE(cpu.UsesDevice(Device::kGpu));
+  // Comm ops are untouched.
+  ASSERT_EQ(gpu.ops.size(), cpu.ops.size());
+  for (size_t i = 0; i < gpu.ops.size(); ++i) {
+    if (gpu.ops[i].task == ActionTask::kComm) {
+      EXPECT_EQ(gpu.ops[i], cpu.ops[i]);
+    }
+  }
+}
+
+TEST(Option, EqualityIgnoresLabel) {
+  CompressionOption a = InterOnlyIndivisibleOption(NvlinkCluster(), Device::kGpu);
+  CompressionOption b = a;
+  b.label = "renamed";
+  EXPECT_TRUE(a == b);
+  b.ops[0].domain_fraction = 0.5;
+  EXPECT_FALSE(a == b);
+}
+
+TEST(Option, DescribeMentionsEveryOp) {
+  const CompressionOption option = InterOnlyIndivisibleOption(NvlinkCluster(), Device::kGpu);
+  const std::string text = option.Describe();
+  EXPECT_NE(text.find("comp(GPU)"), std::string::npos);
+  EXPECT_NE(text.find("allgather@inter[c]"), std::string::npos);
+  EXPECT_NE(text.find("reduce-scatter@intra1"), std::string::npos);
+  EXPECT_NE(text.find("decomp(GPU,x8)"), std::string::npos);
+}
+
+TEST(Option, RoutineAndPhaseNames) {
+  EXPECT_STREQ(RoutineName(Routine::kAlltoall), "alltoall");
+  EXPECT_STREQ(RoutineName(Routine::kReduceScatter), "reduce-scatter");
+  EXPECT_STREQ(CommPhaseName(CommPhase::kIntraSecond), "intra2");
+  EXPECT_STREQ(CommPhaseName(CommPhase::kFlat), "flat");
+}
+
+}  // namespace
+}  // namespace espresso

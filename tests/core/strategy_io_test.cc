@@ -1,0 +1,98 @@
+#include "src/core/strategy_io.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/baselines.h"
+#include "src/core/decision_tree.h"
+#include "src/core/espresso.h"
+#include "src/models/model_zoo.h"
+
+namespace espresso {
+namespace {
+
+void ExpectStrategiesEqual(const Strategy& a, const Strategy& b) {
+  ASSERT_EQ(a.options.size(), b.options.size());
+  for (size_t t = 0; t < a.options.size(); ++t) {
+    EXPECT_TRUE(a.options[t] == b.options[t]) << "tensor " << t;
+    EXPECT_EQ(a.options[t].flat, b.options[t].flat);
+    EXPECT_EQ(a.options[t].label, b.options[t].label);
+  }
+}
+
+TEST(StrategyIo, RoundTripsBaselineStrategies) {
+  const ModelProfile model = Lstm();
+  const ClusterSpec cluster = NvlinkCluster();
+  const auto compressor = CreateCompressor(CompressorConfig{.algorithm = "dgc"});
+  for (const Strategy& strategy :
+       {Fp32Strategy(model, cluster), HiPressStrategy(model, cluster, *compressor),
+        BytePSCompressStrategy(model, cluster, *compressor)}) {
+    const StrategyParseResult parsed = StrategyFromString(StrategyToString(strategy));
+    ASSERT_TRUE(parsed.ok) << parsed.error;
+    ExpectStrategiesEqual(strategy, parsed.strategy);
+  }
+}
+
+TEST(StrategyIo, RoundTripsSelectedStrategy) {
+  // The actual Figure-6 hand-off: select offline, serialize, load, and verify the
+  // timeline engine prices both identically.
+  const ModelProfile model = Vgg16();
+  const ClusterSpec cluster = PcieCluster();
+  const auto compressor =
+      CreateCompressor(CompressorConfig{.algorithm = "randomk", .ratio = 0.01});
+  EspressoSelector selector(model, cluster, *compressor);
+  const Strategy selected = selector.Select().strategy;
+
+  const StrategyParseResult parsed = StrategyFromString(StrategyToString(selected));
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  ExpectStrategiesEqual(selected, parsed.strategy);
+  EXPECT_EQ(selector.evaluator().IterationTime(selected),
+            selector.evaluator().IterationTime(parsed.strategy));
+}
+
+TEST(StrategyIo, RoundTripsEveryEnumeratedOption) {
+  const TreeConfig config{4, 4, true};
+  for (const CompressionOption& option : EnumerateOptions(config).options) {
+    Strategy strategy;
+    strategy.options = {option};
+    const StrategyParseResult parsed = StrategyFromString(StrategyToString(strategy));
+    ASSERT_TRUE(parsed.ok) << parsed.error << "\n" << option.Describe();
+    EXPECT_TRUE(parsed.strategy.options[0] == option) << option.Describe();
+  }
+}
+
+TEST(StrategyIo, FileRoundTrip) {
+  const ModelProfile model = Lstm();
+  const ClusterSpec cluster = NvlinkCluster();
+  const Strategy strategy = Fp32Strategy(model, cluster);
+  const std::string path = ::testing::TempDir() + "/strategy.esp";
+  ASSERT_TRUE(WriteStrategyFile(path, strategy));
+  const StrategyParseResult parsed = ReadStrategyFile(path);
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  ExpectStrategiesEqual(strategy, parsed.strategy);
+}
+
+TEST(StrategyIo, RejectsMalformedInput) {
+  EXPECT_FALSE(StrategyFromString("").ok);
+  EXPECT_FALSE(StrategyFromString("tensors = 1\n").ok);  // missing section
+  EXPECT_FALSE(StrategyFromString("tensors = 1\n[tensor 0]\nflat = false\n").ok);  // no ops
+  EXPECT_FALSE(
+      StrategyFromString("tensors = 1\n[tensor 0]\nop = comm warp flat domain=1 "
+                         "payload=1 fan=1 raw\n")
+          .ok);  // bad routine
+  EXPECT_FALSE(
+      StrategyFromString("tensors = 1\n[tensor 0]\nop = comm allreduce flat domain=x "
+                         "payload=1 fan=1 raw\n")
+          .ok);  // bad number
+  const StrategyParseResult r = StrategyFromString("tensors = 2\n[tensor 0]\n");
+  EXPECT_FALSE(r.ok);
+  EXPECT_FALSE(r.error.empty());
+}
+
+TEST(StrategyIo, MissingFileReportsPath) {
+  const StrategyParseResult r = ReadStrategyFile("/nonexistent/strategy.esp");
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("/nonexistent"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace espresso

@@ -1,0 +1,37 @@
+#include "src/core/strategy.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/baselines.h"
+#include "src/core/decision_tree.h"
+#include "src/costmodel/calibration.h"
+
+namespace espresso {
+namespace {
+
+TEST(Strategy, UniformStrategy) {
+  const CompressionOption option = DefaultUncompressedOption(TreeConfig{8, 8, false});
+  const Strategy s = UniformStrategy(5, option);
+  EXPECT_EQ(s.size(), 5u);
+  EXPECT_EQ(s.CompressedTensorCount(), 0u);
+}
+
+TEST(Strategy, CountsCompressedAndDevices) {
+  const ClusterSpec cluster = NvlinkCluster();
+  Strategy s = UniformStrategy(4, DefaultUncompressedOption(TreeConfig{8, 8, false}));
+  s.options[1] = InterOnlyIndivisibleOption(cluster, Device::kGpu);
+  s.options[2] = InterOnlyIndivisibleOption(cluster, Device::kCpu);
+  EXPECT_EQ(s.CompressedTensorCount(), 2u);
+  EXPECT_EQ(s.TensorsOnDevice(Device::kGpu), 1u);
+  EXPECT_EQ(s.TensorsOnDevice(Device::kCpu), 1u);
+}
+
+TEST(Strategy, SummaryMentionsCounts) {
+  const ClusterSpec cluster = NvlinkCluster();
+  Strategy s = UniformStrategy(3, InterOnlyIndivisibleOption(cluster, Device::kGpu));
+  const std::string summary = s.Summary();
+  EXPECT_NE(summary.find("3/3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace espresso

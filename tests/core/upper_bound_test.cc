@@ -1,0 +1,71 @@
+#include "src/core/upper_bound.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/baselines.h"
+#include "src/core/espresso.h"
+#include "src/core/timeline.h"
+#include "src/models/model_zoo.h"
+
+namespace espresso {
+namespace {
+
+std::unique_ptr<Compressor> Make(const char* algo) {
+  return CreateCompressor(CompressorConfig{.algorithm = algo, .ratio = 0.01});
+}
+
+TEST(UpperBound, DominatesEveryScheme) {
+  // The definition (§5.1): compression is free and contention-less, so no real
+  // strategy — baseline or Espresso — may beat the bound.
+  for (const char* model_name : {"lstm", "gpt2", "vgg16"}) {
+    for (bool pcie : {false, true}) {
+      const ModelProfile model = GetModel(model_name);
+      const ClusterSpec cluster = pcie ? PcieCluster() : NvlinkCluster();
+      const auto compressor = Make("dgc");
+      const UpperBoundResult bound = ComputeUpperBound(model, cluster, *compressor);
+      TimelineEvaluator evaluator(model, cluster, *compressor);
+
+      EspressoSelector selector(model, cluster, *compressor);
+      EXPECT_LE(bound.iteration_time, selector.Select().iteration_time + 1e-9)
+          << model_name << (pcie ? " pcie" : " nvlink");
+      for (const Strategy& s :
+           {Fp32Strategy(model, cluster), HiPressStrategy(model, cluster, *compressor),
+            HiTopKCommStrategy(model, cluster, *compressor)}) {
+        EXPECT_LE(bound.iteration_time, evaluator.IterationTime(s) + 1e-9);
+      }
+    }
+  }
+}
+
+TEST(UpperBound, AtLeastComputeBound) {
+  // Even free compression cannot beat forward + backward + optimizer.
+  const ModelProfile model = Gpt2();
+  const auto compressor = Make("efsignsgd");
+  const UpperBoundResult bound = ComputeUpperBound(model, NvlinkCluster(), *compressor);
+  EXPECT_GE(bound.iteration_time, model.SingleGpuIterationTime() - 1e-9);
+}
+
+TEST(UpperBound, StrategyPricesToTheReportedTime) {
+  const ModelProfile model = Lstm();
+  const ClusterSpec cluster = PcieCluster();
+  const auto compressor = Make("dgc");
+  const UpperBoundResult bound = ComputeUpperBound(model, cluster, *compressor);
+  TimelineEvaluator zero_cost(model, cluster, *compressor, /*zero_compression_cost=*/true);
+  EXPECT_NEAR(zero_cost.IterationTime(bound.strategy), bound.iteration_time, 1e-12);
+}
+
+TEST(UpperBound, TighterOnSlowerNetworks) {
+  // Free compression buys more on the bandwidth-starved testbed, so the bound sits
+  // further below FP32 there.
+  const ModelProfile model = Vgg16();
+  const auto compressor = Make("randomk");
+  auto gain = [&](const ClusterSpec& cluster) {
+    TimelineEvaluator evaluator(model, cluster, *compressor);
+    const double fp32 = evaluator.IterationTime(Fp32Strategy(model, cluster));
+    return fp32 / ComputeUpperBound(model, cluster, *compressor).iteration_time;
+  };
+  EXPECT_GT(gain(PcieCluster()), gain(NvlinkCluster()));
+}
+
+}  // namespace
+}  // namespace espresso

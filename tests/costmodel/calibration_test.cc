@@ -1,0 +1,54 @@
+#include "src/costmodel/calibration.h"
+
+#include <gtest/gtest.h>
+
+namespace espresso {
+namespace {
+
+TEST(Calibration, NvlinkClusterShape) {
+  const ClusterSpec spec = NvlinkCluster();
+  EXPECT_EQ(spec.machines, 8u);
+  EXPECT_EQ(spec.gpus_per_machine, 8u);
+  EXPECT_EQ(spec.total_gpus(), 64u);
+  EXPECT_EQ(spec.intra.name, "nvlink");
+  EXPECT_EQ(spec.inter.name, "eth100g");
+  EXPECT_FALSE(spec.host_copy_contends_intra);
+}
+
+TEST(Calibration, PcieClusterShape) {
+  const ClusterSpec spec = PcieCluster(4, 2);
+  EXPECT_EQ(spec.machines, 4u);
+  EXPECT_EQ(spec.gpus_per_machine, 2u);
+  EXPECT_EQ(spec.intra.name, "pcie3x16");
+  EXPECT_EQ(spec.inter.name, "eth25g");
+  EXPECT_TRUE(spec.host_copy_contends_intra);
+}
+
+TEST(Calibration, NvlinkMuchFasterThanPcie) {
+  EXPECT_GT(NvLinkIntra().bytes_per_second, 10 * PcieIntra().bytes_per_second);
+}
+
+TEST(Calibration, EthernetTiersOrdered) {
+  EXPECT_GT(Ethernet100G().bytes_per_second, Ethernet25G().bytes_per_second);
+  EXPECT_NEAR(Ethernet100G().bytes_per_second / Ethernet25G().bytes_per_second, 4.0, 0.1);
+}
+
+TEST(Calibration, GpuCompressionFasterPerByteThanCpu) {
+  const DeviceCostSpec gpu = V100CompressionSpec();
+  const DeviceCostSpec cpu = XeonCompressionSpec();
+  EXPECT_GT(gpu.compress_bytes_per_s, 5 * cpu.compress_bytes_per_s);
+  // ... but pays a larger per-kernel overhead (the Figure-10 constant).
+  EXPECT_GT(gpu.launch_overhead_s, cpu.launch_overhead_s);
+}
+
+TEST(Calibration, CompressionModelWiring) {
+  const ClusterSpec cluster = NvlinkCluster();
+  const CompressionCostModel dgc = MakeCompressionCostModel(cluster, "dgc");
+  const CompressionCostModel sign = MakeCompressionCostModel(cluster, "efsignsgd");
+  // DGC (selection-heavy) costs more per byte than sign quantization on both devices.
+  EXPECT_GT(dgc.CompressTime(Device::kGpu, 1e8), sign.CompressTime(Device::kGpu, 1e8));
+  EXPECT_GT(dgc.CompressTime(Device::kCpu, 1e8), sign.CompressTime(Device::kCpu, 1e8));
+}
+
+}  // namespace
+}  // namespace espresso

@@ -1,0 +1,76 @@
+#include "src/costmodel/collective_cost.h"
+
+#include <gtest/gtest.h>
+
+namespace espresso {
+namespace {
+
+const LinkSpec kLink{"test", 10e-6, 1e9};  // 10us latency, 1 GB/s
+
+TEST(CollectiveCost, SingleParticipantIsFree) {
+  EXPECT_EQ(AllreduceTime(1, 1e6, kLink), 0.0);
+  EXPECT_EQ(ReduceScatterTime(1, 1e6, kLink), 0.0);
+  EXPECT_EQ(AllgatherTime(1, 1e6, kLink), 0.0);
+  EXPECT_EQ(BroadcastTime(1, 1e6, kLink), 0.0);
+  EXPECT_EQ(AlltoallTime(1, 1e6, kLink), 0.0);
+  EXPECT_EQ(GatherTime(1, 1e6, kLink), 0.0);
+  EXPECT_EQ(ReduceTime(1, 1e6, kLink), 0.0);
+}
+
+TEST(CollectiveCost, AllreduceIsRsPlusAg) {
+  const size_t p = 8;
+  const double bytes = 1e8;
+  EXPECT_NEAR(AllreduceTime(p, bytes, kLink),
+              ReduceScatterTime(p, bytes, kLink) + AllgatherTime(p, bytes / p, kLink), 1e-9);
+}
+
+TEST(CollectiveCost, BandwidthTermMatchesRing) {
+  // For large tensors the latency term vanishes: allreduce ~ 2(p-1)/p * bytes / B.
+  const size_t p = 4;
+  const double bytes = 1e9;
+  const double t = AllreduceTime(p, bytes, kLink);
+  EXPECT_NEAR(t, 2.0 * 3.0 / 4.0 * bytes / 1e9, 1e-3);
+}
+
+TEST(CollectiveCost, LatencyTermMatchesRounds) {
+  // For tiny tensors the bandwidth term vanishes: allreduce ~ 2(p-1) alpha.
+  const size_t p = 8;
+  const double t = AllreduceTime(p, 4.0, kLink);
+  EXPECT_NEAR(t, 14.0 * 10e-6, 1e-7);
+}
+
+TEST(CollectiveCost, MonotoneInBytes) {
+  for (double b = 1e3; b < 1e9; b *= 10) {
+    EXPECT_LT(AllreduceTime(8, b, kLink), AllreduceTime(8, b * 10, kLink));
+    EXPECT_LT(AllgatherTime(8, b, kLink), AllgatherTime(8, b * 10, kLink));
+    EXPECT_LT(AlltoallTime(8, b, kLink), AlltoallTime(8, b * 10, kLink));
+    EXPECT_LT(BroadcastTime(8, b, kLink), BroadcastTime(8, b * 10, kLink));
+  }
+}
+
+TEST(CollectiveCost, MonotoneInLatency) {
+  const LinkSpec slow{"slow", 100e-6, 1e9};
+  EXPECT_GT(AllreduceTime(8, 1e6, slow), AllreduceTime(8, 1e6, kLink));
+}
+
+TEST(CollectiveCost, AllgatherScalesWithContribution) {
+  // Per-rank contribution doubles -> bandwidth term doubles.
+  const double t1 = AllgatherTime(8, 1e8, kLink);
+  const double t2 = AllgatherTime(8, 2e8, kLink);
+  EXPECT_NEAR(t2 - t1, 7.0 * 1e8 / 1e9, 1e-6);
+}
+
+TEST(CollectiveCost, DivisibleFirstStepCheaperThanIndivisibleAtScale) {
+  // Alltoall of per-pair chunks (tensor/p each) moves less than allgathering the full
+  // compressed tensor from every rank — the Reason-#2 trade-off.
+  const size_t p = 16;
+  const double compressed = 1e7;
+  EXPECT_LT(AlltoallTime(p, compressed / p, kLink), AllgatherTime(p, compressed, kLink));
+}
+
+TEST(CollectiveCost, TransferTime) {
+  EXPECT_NEAR(kLink.TransferTime(1e9), 1.0 + 10e-6, 1e-9);
+}
+
+}  // namespace
+}  // namespace espresso

@@ -1,0 +1,88 @@
+#include "src/costmodel/compression_cost.h"
+
+#include <gtest/gtest.h>
+
+namespace espresso {
+namespace {
+
+CompressionCostModel TestModel() {
+  const DeviceCostSpec gpu{50e-6, 20e9, 40e9};
+  const DeviceCostSpec cpu{5e-6, 2e9, 4e9};
+  return CompressionCostModel(gpu, cpu, 1.0, 1.0);
+}
+
+TEST(CompressionCost, AffineInSize) {
+  const auto model = TestModel();
+  const double t1 = model.CompressTime(Device::kGpu, 1e6);
+  const double t2 = model.CompressTime(Device::kGpu, 2e6);
+  EXPECT_NEAR(t2 - t1, 1e6 / 20e9, 1e-12);
+}
+
+TEST(CompressionCost, LaunchOverheadDominatesSmallTensors) {
+  const auto model = TestModel();
+  EXPECT_NEAR(model.CompressTime(Device::kGpu, 4.0), 50e-6, 1e-6);
+  // Small tensors: GPU is SLOWER than CPU despite higher throughput — the Figure 10
+  // effect that drives Property 2's size prioritization.
+  EXPECT_GT(model.CompressTime(Device::kGpu, 4.0), model.CompressTime(Device::kCpu, 4.0));
+}
+
+TEST(CompressionCost, GpuFasterForLargeTensors) {
+  const auto model = TestModel();
+  EXPECT_LT(model.CompressTime(Device::kGpu, 1e8), model.CompressTime(Device::kCpu, 1e8));
+}
+
+TEST(CompressionCost, InvocationsMultiplyLaunches) {
+  const auto model = TestModel();
+  const double one = model.CompressTime(Device::kGpu, 1e6, 1);
+  const double four = model.CompressTime(Device::kGpu, 1e6, 4);
+  EXPECT_NEAR(four - one, 3 * 50e-6, 1e-12);
+}
+
+TEST(CompressionCost, AggregateDecompressSingleLaunch) {
+  const auto model = TestModel();
+  // Fused aggregation: fan_in affects the data term only, with one launch.
+  const double t = model.AggregateDecompressTime(Device::kGpu, 1e6, 1e4, 8);
+  EXPECT_NEAR(t, 50e-6 + (1e6 + 8 * 1e4) / 40e9, 1e-12);
+}
+
+TEST(CompressionCost, AlgorithmWeightScalesThroughputTerm) {
+  const DeviceCostSpec gpu{0.0, 20e9, 40e9};
+  const DeviceCostSpec cpu{0.0, 2e9, 4e9};
+  CompressionCostModel heavy(gpu, cpu, 2.0, 4.0);
+  CompressionCostModel light(gpu, cpu, 1.0, 1.0);
+  EXPECT_NEAR(heavy.CompressTime(Device::kGpu, 1e6),
+              2.0 * light.CompressTime(Device::kGpu, 1e6), 1e-12);
+  EXPECT_NEAR(heavy.CompressTime(Device::kCpu, 1e6),
+              4.0 * light.CompressTime(Device::kCpu, 1e6), 1e-12);
+}
+
+TEST(CompressionCost, ZeroThroughputMeansFree) {
+  CompressionCostModel zero(DeviceCostSpec{}, DeviceCostSpec{}, 1.0, 1.0);
+  EXPECT_EQ(zero.CompressTime(Device::kGpu, 1e9), 0.0);
+  EXPECT_EQ(zero.DecompressTime(Device::kCpu, 1e9), 0.0);
+  EXPECT_EQ(zero.AggregateDecompressTime(Device::kGpu, 1e9, 1e7, 8), 0.0);
+}
+
+TEST(AlgorithmCostWeight, TopKMostExpensiveOnCpu) {
+  for (const char* algo : {"randomk", "efsignsgd", "terngrad", "qsgd", "fp16"}) {
+    EXPECT_GT(AlgorithmCostWeight("dgc", Device::kCpu),
+              AlgorithmCostWeight(algo, Device::kCpu))
+        << algo;
+  }
+}
+
+TEST(AlgorithmCostWeight, CpuNeverCheaperThanGpuWeight) {
+  for (const char* algo : {"dgc", "randomk", "efsignsgd", "terngrad", "qsgd", "fp16"}) {
+    EXPECT_GE(AlgorithmCostWeight(algo, Device::kCpu),
+              AlgorithmCostWeight(algo, Device::kGpu))
+        << algo;
+  }
+}
+
+TEST(DeviceName, Names) {
+  EXPECT_STREQ(DeviceName(Device::kGpu), "GPU");
+  EXPECT_STREQ(DeviceName(Device::kCpu), "CPU");
+}
+
+}  // namespace
+}  // namespace espresso

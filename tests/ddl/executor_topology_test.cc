@@ -1,0 +1,74 @@
+// Parameterized sweep: the strategy executor must aggregate correctly over every
+// cluster topology shape (flat single-machine, single-GPU-per-machine, and proper
+// hierarchies), for every candidate option valid there.
+#include <gtest/gtest.h>
+
+#include "src/collectives/primitives.h"
+#include "src/core/decision_tree.h"
+#include "src/ddl/strategy_executor.h"
+#include "src/util/rng.h"
+
+namespace espresso {
+namespace {
+
+using Topology = std::pair<size_t, size_t>;  // machines, gpus_per_machine
+
+class ExecutorTopology : public ::testing::TestWithParam<Topology> {};
+
+TEST_P(ExecutorTopology, CandidatesAggregateUnderFp16) {
+  const auto [machines, gpus] = GetParam();
+  const auto fp16 = CreateCompressor(CompressorConfig{.algorithm = "fp16"});
+  ExecutorConfig config{machines, gpus, fp16.get()};
+  const TreeConfig tree{machines, gpus, false};
+  uint64_t seed = 0;
+  for (const CompressionOption& option : CandidateOptions(tree)) {
+    RankBuffers buffers(config.ranks(), std::vector<float>(37));
+    for (size_t r = 0; r < config.ranks(); ++r) {
+      Rng rng(DeriveSeed(100 + seed, r));
+      rng.FillNormal(buffers[r], 0.0, 1.0);
+    }
+    ++seed;
+    const std::vector<float> expected = NaiveSum(buffers);
+    ExecuteOption(option, config, seed, buffers);
+    for (size_t r = 0; r < config.ranks(); ++r) {
+      for (size_t i = 0; i < expected.size(); ++i) {
+        ASSERT_NEAR(buffers[r][i], expected[i], 0.05f)
+            << option.Describe() << " rank " << r << " @" << machines << "x" << gpus;
+      }
+    }
+  }
+}
+
+TEST_P(ExecutorTopology, RandomkSkipPathsAggregateConsistently) {
+  const auto [machines, gpus] = GetParam();
+  const auto randomk =
+      CreateCompressor(CompressorConfig{.algorithm = "randomk", .ratio = 0.3});
+  ExecutorConfig config{machines, gpus, randomk.get()};
+  const TreeConfig tree{machines, gpus, true};
+  for (const CompressionOption& option : CandidateOptions(tree)) {
+    RankBuffers buffers(config.ranks(), std::vector<float>(41));
+    for (size_t r = 0; r < config.ranks(); ++r) {
+      Rng rng(DeriveSeed(7, r));
+      rng.FillNormal(buffers[r], 0.0, 1.0);
+    }
+    ExecuteOption(option, config, 0, buffers);
+    for (size_t r = 1; r < config.ranks(); ++r) {
+      ASSERT_EQ(buffers[r], buffers[0]) << option.Describe();
+    }
+    for (float v : buffers[0]) {
+      ASSERT_TRUE(std::isfinite(v)) << option.Describe();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Topologies, ExecutorTopology,
+                         ::testing::Values(Topology{1, 2}, Topology{1, 8}, Topology{2, 1},
+                                           Topology{8, 1}, Topology{2, 2}, Topology{2, 4},
+                                           Topology{4, 2}, Topology{3, 3}),
+                         [](const auto& info) {
+                           return "m" + std::to_string(info.param.first) + "_g" +
+                                  std::to_string(info.param.second);
+                         });
+
+}  // namespace
+}  // namespace espresso

@@ -1,0 +1,61 @@
+#include "src/ddl/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/baselines.h"
+#include "src/models/model_zoo.h"
+
+namespace espresso {
+namespace {
+
+TEST(Experiment, SingleGpuThroughputDefinition) {
+  const ModelProfile model = Lstm();
+  EXPECT_DOUBLE_EQ(SingleGpuThroughput(model),
+                   static_cast<double>(model.batch_size) / model.SingleGpuIterationTime());
+}
+
+TEST(Experiment, MeasureThroughputConsistency) {
+  const ModelProfile model = Lstm();
+  const ClusterSpec cluster = NvlinkCluster();
+  const auto compressor = CreateCompressor(CompressorConfig{.algorithm = "dgc"});
+  const ThroughputResult r =
+      MeasureThroughput(model, cluster, *compressor, Fp32Strategy(model, cluster));
+  EXPECT_NEAR(r.throughput,
+              64.0 * static_cast<double>(model.batch_size) / r.iteration_time_s, 1e-6);
+  EXPECT_NEAR(r.scaling_factor, r.throughput / (64.0 * SingleGpuThroughput(model)), 1e-9);
+}
+
+TEST(Experiment, SchemeNames) {
+  EXPECT_STREQ(SchemeName(Scheme::kFp32), "FP32");
+  EXPECT_STREQ(SchemeName(Scheme::kBytePSCompress), "BytePS-Compress");
+  EXPECT_STREQ(SchemeName(Scheme::kHiTopKComm), "HiTopKComm");
+  EXPECT_STREQ(SchemeName(Scheme::kHiPress), "HiPress");
+  EXPECT_STREQ(SchemeName(Scheme::kEspresso), "Espresso");
+  EXPECT_STREQ(SchemeName(Scheme::kUpperBound), "Upper Bound");
+}
+
+TEST(Experiment, RunSchemeCoversAllSchemes) {
+  const ModelProfile model = Lstm();
+  const ClusterSpec cluster = NvlinkCluster(2, 2);
+  const auto compressor = CreateCompressor(CompressorConfig{.algorithm = "efsignsgd"});
+  for (Scheme scheme : {Scheme::kFp32, Scheme::kBytePSCompress, Scheme::kHiTopKComm,
+                        Scheme::kHiPress, Scheme::kEspresso, Scheme::kUpperBound}) {
+    const ThroughputResult r = RunScheme(model, cluster, *compressor, scheme);
+    EXPECT_GT(r.iteration_time_s, 0.0) << SchemeName(scheme);
+    EXPECT_GT(r.throughput, 0.0) << SchemeName(scheme);
+  }
+}
+
+TEST(Experiment, ScalingFactorAtMostOnePlusEpsilon) {
+  // Communication can only slow an iteration down relative to a single GPU.
+  const ModelProfile model = Gpt2();
+  const auto compressor = CreateCompressor(CompressorConfig{.algorithm = "randomk"});
+  for (bool pcie : {false, true}) {
+    const ClusterSpec cluster = pcie ? PcieCluster() : NvlinkCluster();
+    const ThroughputResult r = RunScheme(model, cluster, *compressor, Scheme::kUpperBound);
+    EXPECT_LE(r.scaling_factor, 1.0 + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace espresso

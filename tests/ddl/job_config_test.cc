@@ -1,0 +1,116 @@
+#include "src/ddl/job_config.h"
+
+#include <gtest/gtest.h>
+
+namespace espresso {
+namespace {
+
+ConfigFile ModelZooFile() { return ConfigFile::ParseString("[model]\nname = gpt2\n"); }
+ConfigFile GcFile() {
+  return ConfigFile::ParseString("[compression]\nalgorithm = dgc\nratio = 0.01\n");
+}
+ConfigFile SystemFile() {
+  return ConfigFile::ParseString("[cluster]\ntestbed = nvlink\nmachines = 4\n");
+}
+
+TEST(JobConfig, LoadsZooModel) {
+  const JobConfigResult r = LoadJobConfig(ModelZooFile(), GcFile(), SystemFile());
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.job.model.name, "gpt2");
+  EXPECT_EQ(r.job.model.TensorCount(), 148u);
+  EXPECT_EQ(r.job.compressor.algorithm, "dgc");
+  EXPECT_EQ(r.job.cluster.machines, 4u);
+  EXPECT_EQ(r.job.cluster.gpus_per_machine, 8u);  // preset default preserved
+  EXPECT_NE(r.job.MakeCompressor(), nullptr);
+}
+
+TEST(JobConfig, LoadsCustomModelInBackwardOrder) {
+  const ConfigFile model = ConfigFile::ParseString(R"(
+[model]
+label = tiny
+forward_ms = 10
+optimizer_ms = 1
+batch_size = 4
+unit = samples/s
+[tensors]
+out.weight = 1000, 0.5
+in.weight = 2000, 1.5
+)");
+  const JobConfigResult r = LoadJobConfig(model, GcFile(), SystemFile());
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.job.model.name, "tiny");
+  ASSERT_EQ(r.job.model.TensorCount(), 2u);
+  EXPECT_EQ(r.job.model.tensors[0].name, "out.weight");
+  EXPECT_EQ(r.job.model.tensors[1].elements, 2000u);
+  EXPECT_DOUBLE_EQ(r.job.model.tensors[1].backward_time_s, 1.5e-3);
+  EXPECT_DOUBLE_EQ(r.job.model.forward_time_s, 10e-3);
+  EXPECT_EQ(r.job.model.batch_size, 4u);
+}
+
+TEST(JobConfig, ClusterOverrides) {
+  const ConfigFile system = ConfigFile::ParseString(R"(
+[cluster]
+testbed = pcie
+machines = 2
+gpus_per_machine = 4
+inter_gbps = 40
+inter_latency_us = 10
+cpu_workers_per_gpu = 5
+host_copy_contends_intra = false
+)");
+  const JobConfigResult r = LoadJobConfig(ModelZooFile(), GcFile(), system);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.job.cluster.machines, 2u);
+  EXPECT_EQ(r.job.cluster.gpus_per_machine, 4u);
+  EXPECT_DOUBLE_EQ(r.job.cluster.inter.bytes_per_second, 40e9 / 8.0);
+  EXPECT_DOUBLE_EQ(r.job.cluster.inter.latency_s, 10e-6);
+  EXPECT_EQ(r.job.cluster.cpu_workers_per_gpu, 5u);
+  EXPECT_FALSE(r.job.cluster.host_copy_contends_intra);
+}
+
+TEST(JobConfig, MaxCompressOpsConstraint) {
+  const ConfigFile gc = ConfigFile::ParseString(
+      "[compression]\nalgorithm = efsignsgd\nmax_compress_ops = 1\n");
+  const JobConfigResult r = LoadJobConfig(ModelZooFile(), gc, SystemFile());
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.job.max_compress_ops, 1u);
+}
+
+TEST(JobConfig, RejectsBadInputs) {
+  // Missing tensors and no zoo name.
+  EXPECT_FALSE(LoadJobConfig(ConfigFile::ParseString("[model]\nbatch_size = 4\n"),
+                             GcFile(), SystemFile())
+                   .ok);
+  // Malformed tensor entry.
+  EXPECT_FALSE(LoadJobConfig(ConfigFile::ParseString("[tensors]\nw = 100\n"), GcFile(),
+                             SystemFile())
+                   .ok);
+  // Ratio out of range.
+  EXPECT_FALSE(LoadJobConfig(ModelZooFile(),
+                             ConfigFile::ParseString("[compression]\nratio = 1.5\n"),
+                             SystemFile())
+                   .ok);
+  // Unknown testbed.
+  EXPECT_FALSE(LoadJobConfig(ModelZooFile(), GcFile(),
+                             ConfigFile::ParseString("[cluster]\ntestbed = tpu\n"))
+                   .ok);
+  // Parse error propagates with a file tag.
+  const JobConfigResult r =
+      LoadJobConfig(ConfigFile::ParseString("broken"), GcFile(), SystemFile());
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("model config"), std::string::npos);
+}
+
+TEST(JobConfig, ShippedConfigFilesLoad) {
+  // The sample files in configs/ must stay valid.
+  const JobConfigResult r = LoadJobConfigFromFiles(
+      "configs/model_gpt2.ini", "configs/gc_dgc.ini", "configs/system_nvlink.ini");
+  if (!r.ok) {
+    GTEST_SKIP() << "configs/ not reachable from test cwd: " << r.error;
+  }
+  EXPECT_EQ(r.job.model.name, "gpt2");
+  EXPECT_EQ(r.job.cluster.intra.name, "nvlink");
+}
+
+}  // namespace
+}  // namespace espresso

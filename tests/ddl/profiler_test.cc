@@ -1,0 +1,97 @@
+#include "src/ddl/profiler.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/models/model_zoo.h"
+
+namespace espresso {
+namespace {
+
+TEST(ProfileModel, RecoversGroundTruthFromNoisyTraces) {
+  const ModelProfile truth = Lstm();
+  const ModelProfileResult result = ProfileModel(truth, /*iterations=*/100,
+                                                 /*jitter=*/0.05, /*seed=*/7);
+  ASSERT_EQ(result.profile.TensorCount(), truth.TensorCount());
+  EXPECT_EQ(result.iterations, 100u);
+  for (size_t i = 0; i < truth.tensors.size(); ++i) {
+    EXPECT_NEAR(result.profile.tensors[i].backward_time_s, truth.tensors[i].backward_time_s,
+                truth.tensors[i].backward_time_s * 0.03)
+        << truth.tensors[i].name;
+  }
+  // The paper reports <5% normalized standard deviation for these measurements; the
+  // profiler's per-tensor spread should match the injected jitter.
+  EXPECT_LT(result.max_normalized_stddev, 0.10);
+  EXPECT_GT(result.max_normalized_stddev, 0.01);
+}
+
+TEST(ProfileModel, ZeroJitterIsExact) {
+  const ModelProfile truth = Vgg16();
+  const ModelProfileResult result = ProfileModel(truth, 10, 0.0, 1);
+  for (size_t i = 0; i < truth.tensors.size(); ++i) {
+    EXPECT_NEAR(result.profile.tensors[i].backward_time_s,
+                truth.tensors[i].backward_time_s,
+                truth.tensors[i].backward_time_s * 1e-12);
+  }
+  EXPECT_LT(result.max_normalized_stddev, 1e-6);
+}
+
+TEST(ProfileModel, MoreIterationsTightenTheEstimate) {
+  const ModelProfile truth = Lstm();
+  auto worst_error = [&](size_t iterations) {
+    const ModelProfileResult result = ProfileModel(truth, iterations, 0.2, 3);
+    double worst = 0.0;
+    for (size_t i = 0; i < truth.tensors.size(); ++i) {
+      worst = std::max(worst,
+                       std::fabs(result.profile.tensors[i].backward_time_s -
+                                 truth.tensors[i].backward_time_s) /
+                           truth.tensors[i].backward_time_s);
+    }
+    return worst;
+  };
+  EXPECT_LT(worst_error(400), worst_error(4));
+}
+
+TEST(ProfileCompressor, MeasuresRealWallClock) {
+  const auto compressor =
+      CreateCompressor(CompressorConfig{.algorithm = "efsignsgd"});
+  const CompressorProfileResult result =
+      ProfileCompressor(*compressor, {1 << 12, 1 << 14, 1 << 16}, /*repetitions=*/5);
+  ASSERT_EQ(result.points.size(), 3u);
+  for (const auto& p : result.points) {
+    EXPECT_GT(p.compress_seconds, 0.0);
+    EXPECT_GT(p.decompress_seconds, 0.0);
+  }
+  // Bigger tensors take longer.
+  EXPECT_GT(result.points[2].compress_seconds, result.points[0].compress_seconds);
+  // The fitted model is usable by the cost layer.
+  EXPECT_GT(result.fitted.compress_bytes_per_s, 0.0);
+  EXPECT_GT(result.fitted.decompress_bytes_per_s, 0.0);
+  EXPECT_GE(result.fitted.launch_overhead_s, 0.0);
+}
+
+TEST(ProfileCompressor, FitPredictsMeasuredPoints) {
+  const auto compressor =
+      CreateCompressor(CompressorConfig{.algorithm = "fp16"});
+  const CompressorProfileResult result =
+      ProfileCompressor(*compressor, {1 << 13, 1 << 15, 1 << 17, 1 << 19}, 5);
+  // The affine fit should track the largest measured point within ~3x (timer noise on a
+  // loaded host can be substantial; the shape is what matters).
+  const auto& largest = result.points.back();
+  const double predicted =
+      result.fitted.launch_overhead_s +
+      static_cast<double>(largest.elements) * sizeof(float) /
+          result.fitted.compress_bytes_per_s;
+  EXPECT_GT(predicted, largest.compress_seconds / 3.0);
+  EXPECT_LT(predicted, largest.compress_seconds * 3.0);
+}
+
+TEST(ProfileCompressorDeathTest, RejectsEmptyInputs) {
+  const auto compressor = CreateCompressor(CompressorConfig{.algorithm = "fp16"});
+  EXPECT_DEATH(ProfileCompressor(*compressor, {}, 5), "");
+  EXPECT_DEATH(ProfileCompressor(*compressor, {16}, 0), "");
+}
+
+}  // namespace
+}  // namespace espresso

@@ -1,0 +1,220 @@
+#include "src/ddl/strategy_executor.h"
+
+#include <gtest/gtest.h>
+
+#include "src/collectives/primitives.h"
+#include "src/core/baselines.h"
+#include "src/core/decision_tree.h"
+#include "src/util/rng.h"
+
+namespace espresso {
+namespace {
+
+RankBuffers RandomBuffers(size_t ranks, size_t n, uint64_t seed) {
+  RankBuffers buffers(ranks, std::vector<float>(n));
+  for (size_t r = 0; r < ranks; ++r) {
+    Rng rng(DeriveSeed(seed, r));
+    rng.FillNormal(buffers[r], 0.0, 1.0);
+  }
+  return buffers;
+}
+
+void ExpectAllRanksEqual(const RankBuffers& buffers) {
+  for (size_t r = 1; r < buffers.size(); ++r) {
+    ASSERT_EQ(buffers[r].size(), buffers[0].size());
+    for (size_t i = 0; i < buffers[0].size(); ++i) {
+      ASSERT_EQ(buffers[r][i], buffers[0][i]) << "rank " << r << " idx " << i;
+    }
+  }
+}
+
+void ExpectNearNaiveSum(const RankBuffers& buffers, const std::vector<float>& expected,
+                        float tolerance) {
+  for (size_t r = 0; r < buffers.size(); ++r) {
+    for (size_t i = 0; i < expected.size(); ++i) {
+      ASSERT_NEAR(buffers[r][i], expected[i], tolerance)
+          << "rank " << r << " idx " << i;
+    }
+  }
+}
+
+TEST(StrategyExecutor, Fp32HierarchicalMatchesNaiveSum) {
+  const ExecutorConfig config{.machines = 3, .gpus_per_machine = 2};
+  RankBuffers buffers = RandomBuffers(config.ranks(), 97, 1);
+  const std::vector<float> expected = NaiveSum(buffers);
+  const TreeConfig tree{config.machines, config.gpus_per_machine, false};
+  ExecuteOption(DefaultUncompressedOption(tree), config, 0, buffers);
+  ExpectAllRanksEqual(buffers);
+  ExpectNearNaiveSum(buffers, expected, 1e-4f);
+}
+
+TEST(StrategyExecutor, FlatAllreduceMatchesNaiveSum) {
+  const ExecutorConfig config{.machines = 1, .gpus_per_machine = 4};
+  RankBuffers buffers = RandomBuffers(4, 33, 2);
+  const std::vector<float> expected = NaiveSum(buffers);
+  const TreeConfig tree{1, 4, false};
+  ExecuteOption(DefaultUncompressedOption(tree), config, 0, buffers);
+  ExpectNearNaiveSum(buffers, expected, 1e-4f);
+}
+
+// Every candidate option of the decision algorithm must aggregate correctly. FP16 is
+// near-lossless, so the executed result must match the exact sum tightly even through
+// multi-stage compress/decompress pipelines.
+TEST(StrategyExecutor, EveryCandidateOptionAggregatesCorrectlyUnderFp16) {
+  const auto fp16 = CreateCompressor(CompressorConfig{.algorithm = "fp16"});
+  ExecutorConfig config{.machines = 2, .gpus_per_machine = 2, .compressor = fp16.get()};
+  const TreeConfig tree{config.machines, config.gpus_per_machine, false};
+  for (const CompressionOption& option : CandidateOptions(tree)) {
+    RankBuffers buffers = RandomBuffers(config.ranks(), 64, 3);
+    const std::vector<float> expected = NaiveSum(buffers);
+    ExecuteOption(option, config, 0, buffers);
+    ExpectAllRanksEqual(buffers);
+    ExpectNearNaiveSum(buffers, expected, 0.05f);
+  }
+}
+
+// The semantic power test: execute EVERY structural path of the decision tree and
+// check aggregation. With compressed-domain aggregation enabled the skip paths require
+// shared-seed Random-k; those are checked for rank agreement and support containment.
+TEST(StrategyExecutor, EveryEnumeratedPathExecutes) {
+  const auto fp16 = CreateCompressor(CompressorConfig{.algorithm = "fp16"});
+  const auto randomk =
+      CreateCompressor(CompressorConfig{.algorithm = "randomk", .ratio = 0.25});
+  const TreeConfig plain{2, 2, false};
+  const TreeConfig with_agg{2, 2, true};
+
+  for (const CompressionOption& option : EnumerateOptions(plain).options) {
+    ExecutorConfig config{.machines = 2, .gpus_per_machine = 2, .compressor = fp16.get()};
+    RankBuffers buffers = RandomBuffers(4, 48, 4);
+    const std::vector<float> expected = NaiveSum(buffers);
+    ExecuteOption(option, config, 0, buffers);
+    ExpectAllRanksEqual(buffers);
+    ExpectNearNaiveSum(buffers, expected, 0.05f);
+  }
+  for (const CompressionOption& option : EnumerateOptions(with_agg).options) {
+    ExecutorConfig config{.machines = 2, .gpus_per_machine = 2,
+                          .compressor = randomk.get()};
+    RankBuffers buffers = RandomBuffers(4, 48, 5);
+    ExecuteOption(option, config, 0, buffers);
+    ExpectAllRanksEqual(buffers);
+    for (float v : buffers[0]) {
+      ASSERT_TRUE(std::isfinite(v));
+    }
+  }
+}
+
+TEST(StrategyExecutor, SkipVariantEqualsExplicitAggregation) {
+  // With shared-seed Random-k, aggregating in the compressed domain (the skip path)
+  // must produce exactly the decompress-aggregate result of the indivisible scheme.
+  const auto randomk =
+      CreateCompressor(CompressorConfig{.algorithm = "randomk", .ratio = 0.2});
+  ExecutorConfig config{.machines = 1, .gpus_per_machine = 4, .compressor = randomk.get()};
+  const TreeConfig tree{1, 4, true};
+
+  CompressionOption explicit_agg, skip_agg;
+  for (const CompressionOption& option : EnumerateOptions(tree).options) {
+    if (option.label == "flat[comp+agc+dec]") {
+      explicit_agg = option;
+    }
+    if (option.label == "flat[comp+agc+aggc]") {
+      skip_agg = option;
+    }
+  }
+  ASSERT_FALSE(explicit_agg.ops.empty());
+  ASSERT_FALSE(skip_agg.ops.empty());
+
+  RankBuffers a = RandomBuffers(4, 100, 6);
+  RankBuffers b = a;
+  ExecuteOption(explicit_agg, config, 0, a);
+  ExecuteOption(skip_agg, config, 0, b);
+  for (size_t r = 0; r < 4; ++r) {
+    for (size_t i = 0; i < 100; ++i) {
+      ASSERT_NEAR(a[r][i], b[r][i], 1e-5f);
+    }
+  }
+}
+
+TEST(StrategyExecutor, BaselineOptionsExecute) {
+  const auto fp16 = CreateCompressor(CompressorConfig{.algorithm = "fp16"});
+  const ClusterSpec cluster = NvlinkCluster(2, 2);
+  ExecutorConfig config{.machines = 2, .gpus_per_machine = 2, .compressor = fp16.get()};
+  for (const CompressionOption& option :
+       {InterOnlyIndivisibleOption(cluster, Device::kGpu),
+        InterOnlyDivisibleOption(cluster, Device::kGpu),
+        AlltoallAlltoallOption(cluster, Device::kGpu)}) {
+    RankBuffers buffers = RandomBuffers(4, 40, 7);
+    const std::vector<float> expected = NaiveSum(buffers);
+    ExecuteOption(option, config, 0, buffers);
+    ExpectAllRanksEqual(buffers);
+    ExpectNearNaiveSum(buffers, expected, 0.05f);
+  }
+}
+
+TEST(StrategyExecutor, ErrorFeedbackTelescopesThroughExecutor) {
+  const auto topk = CreateCompressor(CompressorConfig{.algorithm = "dgc", .ratio = 0.1});
+  const ClusterSpec cluster = NvlinkCluster(2, 2);
+  std::vector<ErrorFeedback> feedback(4);
+  ExecutorConfig config{.machines = 2, .gpus_per_machine = 2, .compressor = topk.get(),
+                        .feedback = &feedback};
+  const CompressionOption option = InterOnlyIndivisibleOption(cluster, Device::kGpu);
+
+  const size_t n = 50;
+  std::vector<float> grad(n);
+  Rng rng(8);
+  rng.FillNormal(grad, 0.0, 1.0);
+
+  // Synchronize the same per-rank gradient repeatedly; with EF, the accumulated
+  // aggregate converges toward steps * exact-sum (nothing is lost permanently).
+  std::vector<double> accumulated(n, 0.0);
+  const int steps = 40;
+  for (int s = 0; s < steps; ++s) {
+    RankBuffers buffers(4, grad);
+    config.seed = static_cast<uint64_t>(s);
+    ExecuteOption(option, config, /*tensor_id=*/3, buffers);
+    for (size_t i = 0; i < n; ++i) {
+      accumulated[i] += buffers[0][i];
+    }
+  }
+  double err = 0.0, energy = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double target = 4.0 * grad[i] * steps;
+    err += (accumulated[i] - target) * (accumulated[i] - target);
+    energy += target * target;
+  }
+  EXPECT_LT(err, energy * 0.01);
+}
+
+TEST(StrategyExecutor, ExecuteStrategyHandlesMixedOptions) {
+  const auto fp16 = CreateCompressor(CompressorConfig{.algorithm = "fp16"});
+  const ClusterSpec cluster = NvlinkCluster(2, 2);
+  const TreeConfig tree{2, 2, false};
+  ExecutorConfig config{.machines = 2, .gpus_per_machine = 2, .compressor = fp16.get()};
+
+  Strategy strategy;
+  strategy.options = {DefaultUncompressedOption(tree),
+                      InterOnlyIndivisibleOption(cluster, Device::kGpu),
+                      InterOnlyDivisibleOption(cluster, Device::kCpu)};
+  std::vector<RankBuffers> gradients;
+  std::vector<std::vector<float>> expected;
+  for (size_t t = 0; t < 3; ++t) {
+    gradients.push_back(RandomBuffers(4, 30 + 7 * t, 9 + t));
+    expected.push_back(NaiveSum(gradients.back()));
+  }
+  ExecuteStrategy(strategy, config, gradients);
+  for (size_t t = 0; t < 3; ++t) {
+    ExpectAllRanksEqual(gradients[t]);
+    ExpectNearNaiveSum(gradients[t], expected[t], 0.05f);
+  }
+}
+
+TEST(StrategyExecutorDeathTest, CompressedOptionWithoutCompressorDies) {
+  const ClusterSpec cluster = NvlinkCluster(2, 2);
+  ExecutorConfig config{.machines = 2, .gpus_per_machine = 2};
+  RankBuffers buffers = RandomBuffers(4, 16, 10);
+  EXPECT_DEATH(
+      ExecuteOption(InterOnlyIndivisibleOption(cluster, Device::kGpu), config, 0, buffers),
+      "compressor");
+}
+
+}  // namespace
+}  // namespace espresso

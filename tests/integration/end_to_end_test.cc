@@ -1,0 +1,104 @@
+// End-to-end checks across the full (model x testbed x algorithm) grid: Espresso must
+// dominate every baseline, and the Upper Bound must dominate everything — the
+// structural claims behind Figures 12-14.
+#include <gtest/gtest.h>
+
+#include "src/compress/compressor.h"
+#include "src/ddl/experiment.h"
+#include "src/models/model_zoo.h"
+
+namespace espresso {
+namespace {
+
+struct Combo {
+  const char* model;
+  const char* algorithm;
+  bool pcie;
+};
+
+class EndToEnd : public ::testing::TestWithParam<Combo> {};
+
+TEST_P(EndToEnd, EspressoDominatesBaselinesAndBoundHolds) {
+  const Combo& combo = GetParam();
+  const ModelProfile model = GetModel(combo.model);
+  const ClusterSpec cluster = combo.pcie ? PcieCluster() : NvlinkCluster();
+  const auto compressor = CreateCompressor(
+      CompressorConfig{.algorithm = combo.algorithm, .ratio = 0.01});
+
+  const ThroughputResult espresso = RunScheme(model, cluster, *compressor, Scheme::kEspresso);
+  const ThroughputResult bound = RunScheme(model, cluster, *compressor, Scheme::kUpperBound);
+  EXPECT_LE(bound.iteration_time_s, espresso.iteration_time_s + 1e-9);
+
+  for (Scheme scheme : {Scheme::kFp32, Scheme::kBytePSCompress, Scheme::kHiTopKComm,
+                        Scheme::kHiPress}) {
+    const ThroughputResult r = RunScheme(model, cluster, *compressor, scheme);
+    EXPECT_LE(espresso.iteration_time_s, r.iteration_time_s + 1e-9)
+        << SchemeName(scheme) << " beats Espresso on " << combo.model;
+    EXPECT_LE(bound.iteration_time_s, r.iteration_time_s + 1e-9);
+    EXPECT_GT(r.throughput, 0.0);
+    EXPECT_GT(r.scaling_factor, 0.0);
+    EXPECT_LE(r.scaling_factor, 1.05);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperGrid, EndToEnd,
+    ::testing::Values(Combo{"bert-base", "randomk", false}, Combo{"gpt2", "efsignsgd", false},
+                      Combo{"ugatit", "dgc", false}, Combo{"vgg16", "randomk", true},
+                      Combo{"lstm", "efsignsgd", true}, Combo{"resnet101", "dgc", true}),
+    [](const auto& info) {
+      return std::string(info.param.model).substr(0, 4) + "_" + info.param.algorithm +
+             (info.param.pcie ? "_pcie" : "_nvlink");
+    });
+
+TEST(EndToEnd, ScalingFactorDefinition) {
+  const ModelProfile model = Gpt2();
+  const ClusterSpec cluster = NvlinkCluster();
+  const auto compressor = CreateCompressor(CompressorConfig{.algorithm = "dgc"});
+  const ThroughputResult r = RunScheme(model, cluster, *compressor, Scheme::kFp32);
+  // scaling = T_n / (n * T_1).
+  const double t1 = SingleGpuThroughput(model);
+  EXPECT_NEAR(r.scaling_factor, r.throughput / (64.0 * t1), 1e-9);
+}
+
+TEST(EndToEnd, ThroughputScalesWithClusterForEspresso) {
+  const ModelProfile model = BertBase();
+  const auto compressor = CreateCompressor(CompressorConfig{.algorithm = "randomk"});
+  double previous = 0.0;
+  for (size_t machines : {1u, 2u, 4u, 8u}) {
+    const ThroughputResult r =
+        RunScheme(model, NvlinkCluster(machines), *compressor, Scheme::kEspresso);
+    EXPECT_GT(r.throughput, previous);
+    previous = r.throughput;
+  }
+}
+
+TEST(EndToEnd, SingleMachineClusterWorks) {
+  const ModelProfile model = Lstm();
+  const ClusterSpec cluster = NvlinkCluster(1, 8);
+  const auto compressor = CreateCompressor(CompressorConfig{.algorithm = "dgc"});
+  const ThroughputResult espresso = RunScheme(model, cluster, *compressor, Scheme::kEspresso);
+  const ThroughputResult fp32 = RunScheme(model, cluster, *compressor, Scheme::kFp32);
+  EXPECT_LE(espresso.iteration_time_s, fp32.iteration_time_s + 1e-9);
+}
+
+TEST(EndToEnd, Figure2StoryHoldsOnToyTimeline) {
+  // The motivating figure: a good strategy beats FP32; compressing everything on GPUs
+  // can be worse than compressing selectively.
+  ModelProfile model;
+  model.name = "fig2";
+  model.forward_time_s = 4e-3;
+  model.optimizer_time_s = 1e-3;
+  model.batch_size = 1;
+  model.throughput_unit = "it/s";
+  model.tensors = {{"T0", 8 << 20, 6e-3}, {"T1", 8 << 20, 6e-3}, {"T2", 8 << 20, 6e-3}};
+  const ClusterSpec cluster = PcieCluster();
+  const auto compressor = CreateCompressor(CompressorConfig{.algorithm = "dgc"});
+  const double fp32 = RunScheme(model, cluster, *compressor, Scheme::kFp32).iteration_time_s;
+  const double espresso =
+      RunScheme(model, cluster, *compressor, Scheme::kEspresso).iteration_time_s;
+  EXPECT_LT(espresso, fp32);
+}
+
+}  // namespace
+}  // namespace espresso

@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/core/baselines.h"
+#include "src/core/timeline.h"
+#include "src/models/model_zoo.h"
+#include "src/trace/chrome_trace.h"
+
+namespace espresso {
+namespace {
+
+TEST(ChromeTrace, EmitsValidLookingJson) {
+  const ModelProfile model = Lstm();
+  const ClusterSpec cluster = NvlinkCluster();
+  const auto compressor = CreateCompressor(CompressorConfig{.algorithm = "dgc"});
+  TimelineEvaluator evaluator(model, cluster, *compressor);
+  const TimelineResult result =
+      evaluator.Evaluate(HiPressStrategy(model, cluster, *compressor), true);
+
+  std::ostringstream os;
+  WriteChromeTrace(os, model, result.entries);
+  const std::string json = os.str();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("embedding.weight"), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"thread_name\""), std::string::npos);
+
+  // Balanced braces/brackets (cheap structural sanity without a parser).
+  int braces = 0, brackets = 0;
+  bool in_string = false;
+  for (size_t i = 0; i < json.size(); ++i) {
+    const char c = json[i];
+    if (c == '"' && (i == 0 || json[i - 1] != '\\')) {
+      in_string = !in_string;
+    }
+    if (in_string) {
+      continue;
+    }
+    braces += (c == '{') - (c == '}');
+    brackets += (c == '[') - (c == ']');
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+}
+
+TEST(ChromeTrace, EventCountMatchesEntries) {
+  const ModelProfile model = Lstm();
+  const ClusterSpec cluster = NvlinkCluster();
+  const auto compressor = CreateCompressor(CompressorConfig{.algorithm = "dgc"});
+  TimelineEvaluator evaluator(model, cluster, *compressor);
+  const TimelineResult result =
+      evaluator.Evaluate(Fp32Strategy(model, cluster), true);
+  std::ostringstream os;
+  WriteChromeTrace(os, model, result.entries);
+  const std::string json = os.str();
+  size_t events = 0;
+  for (size_t pos = json.find("\"ph\":\"X\""); pos != std::string::npos;
+       pos = json.find("\"ph\":\"X\"", pos + 1)) {
+    ++events;
+  }
+  EXPECT_EQ(events, result.entries.size());
+}
+
+}  // namespace
+}  // namespace espresso

@@ -1,0 +1,84 @@
+#include "src/models/model_stats.h"
+
+#include <gtest/gtest.h>
+
+#include "src/models/model_zoo.h"
+
+namespace espresso {
+namespace {
+
+ModelProfile TinyModel() {
+  ModelProfile m;
+  m.name = "tiny";
+  m.tensors = {
+      {"t0", 100, 1e-3}, {"t1", 50, 1e-3}, {"t2", 100, 1e-3},
+      {"t3", 200, 1e-3}, {"t4", 50, 1e-3},
+  };
+  return m;
+}
+
+TEST(ModelStats, SizeHistogram) {
+  const auto hist = SizeHistogram(TinyModel());
+  EXPECT_EQ(hist.size(), 3u);
+  EXPECT_EQ(hist.at(100), 2u);
+  EXPECT_EQ(hist.at(50), 2u);
+  EXPECT_EQ(hist.at(200), 1u);
+  EXPECT_EQ(DistinctSizes(TinyModel()), 3u);
+}
+
+TEST(ModelStats, GroupsDescendingBySize) {
+  const auto groups = GroupBySizeDescending(TinyModel());
+  ASSERT_EQ(groups.size(), 3u);
+  EXPECT_EQ(groups[0], (std::vector<size_t>{3}));        // 200
+  EXPECT_EQ(groups[1], (std::vector<size_t>{2, 0}));     // 100: closer-to-output first
+  EXPECT_EQ(groups[2], (std::vector<size_t>{4, 1}));     // 50
+}
+
+TEST(ModelStats, GroupMembersOrderedByProximityToOutput) {
+  // Within a group, the paper prioritizes tensors closer to the output layer, i.e.
+  // larger backward index (Algorithm 1 line 3).
+  for (const auto& model : AllModels()) {
+    for (const auto& group : GroupBySizeDescending(model)) {
+      for (size_t i = 1; i < group.size(); ++i) {
+        EXPECT_LT(model.DistanceToOutput(group[i - 1]), model.DistanceToOutput(group[i]));
+      }
+    }
+  }
+}
+
+TEST(ModelStats, GroupsPartitionAllTensors) {
+  for (const auto& model : AllModels()) {
+    const auto groups = GroupBySizeDescending(model);
+    std::vector<bool> seen(model.tensors.size(), false);
+    for (const auto& group : groups) {
+      for (size_t idx : group) {
+        EXPECT_FALSE(seen[idx]);
+        seen[idx] = true;
+      }
+    }
+    for (bool s : seen) {
+      EXPECT_TRUE(s);
+    }
+  }
+}
+
+TEST(ModelStats, BertHasFewDistinctSizesDespiteManyTensors) {
+  // Figure 11's point: BERT's 207 tensors share only a handful of sizes, keeping
+  // Algorithm 2's product space small (Theorem 1 / Table 6).
+  const ModelProfile bert = BertBase();
+  EXPECT_GT(bert.TensorCount(), 200u);
+  EXPECT_LT(DistinctSizes(bert), 20u);
+}
+
+TEST(ModelStats, ResNetGroupsAreLarge) {
+  const ModelProfile resnet = ResNet101();
+  const auto hist = SizeHistogram(resnet);
+  size_t largest_group = 0;
+  for (const auto& [size, count] : hist) {
+    largest_group = std::max(largest_group, count);
+  }
+  EXPECT_GE(largest_group, 20u);  // repeated bottleneck blocks share sizes
+}
+
+}  // namespace
+}  // namespace espresso

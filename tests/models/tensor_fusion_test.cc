@@ -1,0 +1,68 @@
+#include "src/models/tensor_fusion.h"
+
+#include <gtest/gtest.h>
+
+#include "src/models/model_zoo.h"
+
+namespace espresso {
+namespace {
+
+TEST(TensorFusion, PreservesTotals) {
+  for (const ModelProfile& model : AllModels()) {
+    const ModelProfile fused = FuseTensors(model, 4 * 1024 * 1024);
+    EXPECT_EQ(fused.TotalElements(), model.TotalElements()) << model.name;
+    EXPECT_NEAR(fused.BackwardTime(), model.BackwardTime(), 1e-9) << model.name;
+    EXPECT_LE(fused.TensorCount(), model.TensorCount());
+    EXPECT_EQ(fused.forward_time_s, model.forward_time_s);
+    EXPECT_EQ(fused.batch_size, model.batch_size);
+  }
+}
+
+TEST(TensorFusion, RespectsBucketBound) {
+  const size_t bucket = 1 * 1024 * 1024;
+  const ModelProfile fused = FuseTensors(ResNet101(), bucket);
+  for (const TensorSpec& t : fused.tensors) {
+    // A bucket may exceed the bound only if it is a single oversized tensor.
+    if (t.bytes() > bucket) {
+      EXPECT_EQ(t.name.find("bucket("), 0u);
+      EXPECT_EQ(t.name.find('+'), std::string::npos) << t.name;
+    }
+  }
+}
+
+TEST(TensorFusion, ZeroBucketIsIdentity) {
+  const ModelProfile model = Lstm();
+  const ModelProfile fused = FuseTensors(model, 0);
+  EXPECT_EQ(fused.TensorCount(), model.TensorCount());
+  EXPECT_EQ(fused.tensors[0].name, model.tensors[0].name);
+}
+
+TEST(TensorFusion, HugeBucketFusesEverything) {
+  const ModelProfile fused = FuseTensors(ResNet101(), SIZE_MAX / 8);
+  EXPECT_EQ(fused.TensorCount(), 1u);
+}
+
+TEST(TensorFusion, PreservesBackwardOrderSemantics) {
+  // Buckets are consecutive backward-order runs: element counts walk the original
+  // prefix sums.
+  const ModelProfile model = BertBase();
+  const ModelProfile fused = FuseTensors(model, 8 * 1024 * 1024);
+  size_t original_index = 0;
+  for (const TensorSpec& bucket : fused.tensors) {
+    size_t elements = 0;
+    while (elements < bucket.elements) {
+      ASSERT_LT(original_index, model.tensors.size());
+      elements += model.tensors[original_index].elements;
+      ++original_index;
+    }
+    EXPECT_EQ(elements, bucket.elements);
+  }
+  EXPECT_EQ(original_index, model.tensors.size());
+}
+
+TEST(TensorFusion, DramaticallyShrinksResNet) {
+  EXPECT_LT(FuseTensors(ResNet101(), 16 * 1024 * 1024).TensorCount(), 20u);
+}
+
+}  // namespace
+}  // namespace espresso

@@ -1,0 +1,79 @@
+#include "src/nn/dataset.h"
+
+#include <gtest/gtest.h>
+
+namespace espresso {
+namespace {
+
+TEST(Dataset, ShapeAndLabelsInRange) {
+  const Dataset d = MakeGaussianBlobs(100, 8, 3, 2.0, 1);
+  EXPECT_EQ(d.size(), 100u);
+  EXPECT_EQ(d.x.rows, 100u);
+  EXPECT_EQ(d.x.cols, 8u);
+  for (int y : d.labels) {
+    EXPECT_GE(y, 0);
+    EXPECT_LT(y, 3);
+  }
+}
+
+TEST(Dataset, Deterministic) {
+  const Dataset a = MakeGaussianBlobs(50, 4, 2, 2.0, 7);
+  const Dataset b = MakeGaussianBlobs(50, 4, 2, 2.0, 7);
+  EXPECT_EQ(a.labels, b.labels);
+  EXPECT_EQ(a.x.data, b.x.data);
+}
+
+TEST(Dataset, AllClassesRepresented) {
+  const Dataset d = MakeGaussianBlobs(500, 4, 5, 2.0, 3);
+  std::vector<int> counts(5, 0);
+  for (int y : d.labels) {
+    ++counts[y];
+  }
+  for (int c : counts) {
+    EXPECT_GT(c, 50);
+  }
+}
+
+TEST(Dataset, LargerMarginSeparatesClasses) {
+  // With a huge margin, same-class points are much closer than cross-class points.
+  const Dataset d = MakeGaussianBlobs(200, 6, 2, 10.0, 4);
+  double intra = 0.0, inter = 0.0;
+  size_t intra_n = 0, inter_n = 0;
+  for (size_t i = 0; i < 50; ++i) {
+    for (size_t j = i + 1; j < 50; ++j) {
+      double dist = 0.0;
+      for (size_t k = 0; k < d.x.cols; ++k) {
+        const double diff = d.x.at(i, k) - d.x.at(j, k);
+        dist += diff * diff;
+      }
+      if (d.labels[i] == d.labels[j]) {
+        intra += dist;
+        ++intra_n;
+      } else {
+        inter += dist;
+        ++inter_n;
+      }
+    }
+  }
+  EXPECT_LT(intra / intra_n, inter / inter_n);
+}
+
+TEST(Dataset, SliceExtractsRows) {
+  const Dataset d = MakeGaussianBlobs(20, 3, 2, 2.0, 2);
+  const Dataset s = Slice(d, 5, 10);
+  EXPECT_EQ(s.size(), 10u);
+  for (size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(s.labels[i], d.labels[5 + i]);
+    for (size_t j = 0; j < 3; ++j) {
+      EXPECT_EQ(s.x.at(i, j), d.x.at(5 + i, j));
+    }
+  }
+}
+
+TEST(DatasetDeathTest, SliceOutOfRangeDies) {
+  const Dataset d = MakeGaussianBlobs(10, 3, 2, 2.0, 2);
+  EXPECT_DEATH(Slice(d, 5, 10), "");
+}
+
+}  // namespace
+}  // namespace espresso

@@ -1,0 +1,95 @@
+#include "src/nn/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace espresso {
+namespace {
+
+Matrix Make(size_t r, size_t c, std::initializer_list<float> values) {
+  Matrix m(r, c);
+  size_t i = 0;
+  for (float v : values) {
+    m.data[i++] = v;
+  }
+  return m;
+}
+
+TEST(Matrix, MatMul) {
+  const Matrix a = Make(2, 3, {1, 2, 3, 4, 5, 6});
+  const Matrix b = Make(3, 2, {7, 8, 9, 10, 11, 12});
+  Matrix out;
+  MatMul(a, b, &out);
+  EXPECT_EQ(out.rows, 2u);
+  EXPECT_EQ(out.cols, 2u);
+  EXPECT_FLOAT_EQ(out.at(0, 0), 58.0f);
+  EXPECT_FLOAT_EQ(out.at(0, 1), 64.0f);
+  EXPECT_FLOAT_EQ(out.at(1, 0), 139.0f);
+  EXPECT_FLOAT_EQ(out.at(1, 1), 154.0f);
+}
+
+TEST(Matrix, MatMulBtEqualsMatMulWithTranspose) {
+  const Matrix a = Make(2, 3, {1, 2, 3, 4, 5, 6});
+  const Matrix bt = Make(2, 3, {7, 9, 11, 8, 10, 12});  // transpose of b above
+  Matrix out;
+  MatMulBt(a, bt, &out);
+  EXPECT_FLOAT_EQ(out.at(0, 0), 58.0f);
+  EXPECT_FLOAT_EQ(out.at(1, 1), 154.0f);
+}
+
+TEST(Matrix, MatMulAtEqualsTransposedProduct) {
+  const Matrix a = Make(3, 2, {1, 4, 2, 5, 3, 6});  // a^T = [[1,2,3],[4,5,6]]
+  const Matrix b = Make(3, 2, {7, 8, 9, 10, 11, 12});
+  Matrix out;
+  MatMulAt(a, b, &out);
+  EXPECT_EQ(out.rows, 2u);
+  EXPECT_EQ(out.cols, 2u);
+  EXPECT_FLOAT_EQ(out.at(0, 0), 58.0f);
+  EXPECT_FLOAT_EQ(out.at(1, 1), 154.0f);
+}
+
+TEST(Matrix, AddBiasRows) {
+  Matrix m = Make(2, 2, {1, 2, 3, 4});
+  const std::vector<float> bias = {10.0f, 20.0f};
+  AddBiasRows(&m, bias);
+  EXPECT_FLOAT_EQ(m.at(0, 0), 11.0f);
+  EXPECT_FLOAT_EQ(m.at(1, 1), 24.0f);
+}
+
+TEST(Matrix, ReluForwardAndBackward) {
+  Matrix m = Make(1, 4, {-1.0f, 0.0f, 2.0f, -3.0f});
+  Matrix mask;
+  ReluForward(&m, &mask);
+  EXPECT_FLOAT_EQ(m.at(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(m.at(0, 2), 2.0f);
+  Matrix grad = Make(1, 4, {1.0f, 1.0f, 1.0f, 1.0f});
+  ReluBackward(&grad, mask);
+  EXPECT_FLOAT_EQ(grad.at(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(grad.at(0, 2), 1.0f);
+  EXPECT_FLOAT_EQ(grad.at(0, 3), 0.0f);
+}
+
+TEST(Matrix, SoftmaxRowsSumToOne) {
+  Matrix m = Make(2, 3, {1.0f, 2.0f, 3.0f, -5.0f, 0.0f, 5.0f});
+  SoftmaxRows(&m);
+  for (size_t r = 0; r < 2; ++r) {
+    float sum = 0.0f;
+    for (size_t c = 0; c < 3; ++c) {
+      EXPECT_GT(m.at(r, c), 0.0f);
+      sum += m.at(r, c);
+    }
+    EXPECT_NEAR(sum, 1.0f, 1e-6f);
+  }
+  EXPECT_GT(m.at(0, 2), m.at(0, 0));  // larger logits -> larger probabilities
+}
+
+TEST(Matrix, SoftmaxNumericallyStable) {
+  Matrix m = Make(1, 2, {1000.0f, 1001.0f});
+  SoftmaxRows(&m);
+  EXPECT_NEAR(m.at(0, 0) + m.at(0, 1), 1.0f, 1e-6f);
+  EXPECT_FALSE(std::isnan(m.at(0, 0)));
+}
+
+}  // namespace
+}  // namespace espresso

@@ -1,0 +1,87 @@
+#include "src/nn/mlp.h"
+
+#include <gtest/gtest.h>
+
+#include "src/nn/dataset.h"
+
+namespace espresso {
+namespace {
+
+TEST(Mlp, ParameterLayout) {
+  Mlp model(10, 8, 3, 1);
+  const auto sizes = model.ParameterSizes();
+  ASSERT_EQ(sizes.size(), 4u);
+  EXPECT_EQ(sizes[0], 80u);  // W1
+  EXPECT_EQ(sizes[1], 8u);   // b1
+  EXPECT_EQ(sizes[2], 24u);  // W2
+  EXPECT_EQ(sizes[3], 3u);   // b2
+  const auto params = model.Parameters();
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(params[i].size(), sizes[i]);
+  }
+}
+
+TEST(Mlp, GradientsMatchNumericalDifferences) {
+  // Central-difference check on a handful of coordinates of every tensor.
+  Mlp model(4, 5, 3, 7);
+  const Dataset data = MakeGaussianBlobs(8, 4, 3, 2.0, 11);
+
+  std::vector<std::vector<float>> grads;
+  model.ComputeGradients(data.x, data.labels, &grads);
+
+  auto loss_at = [&](Mlp& m) {
+    std::vector<std::vector<float>> g;
+    return m.ComputeGradients(data.x, data.labels, &g);
+  };
+
+  const float eps = 1e-3f;
+  auto params = model.Parameters();
+  for (size_t t = 0; t < params.size(); ++t) {
+    for (size_t i = 0; i < params[t].size(); i += std::max<size_t>(1, params[t].size() / 3)) {
+      const float saved = params[t][i];
+      params[t][i] = saved + eps;
+      const double up = loss_at(model);
+      params[t][i] = saved - eps;
+      const double down = loss_at(model);
+      params[t][i] = saved;
+      const double numeric = (up - down) / (2.0 * eps);
+      EXPECT_NEAR(grads[t][i], numeric, 5e-3)
+          << "tensor " << t << " coord " << i;
+    }
+  }
+}
+
+TEST(Mlp, LossDecreasesUnderSgd) {
+  Mlp model(6, 16, 3, 3);
+  const Dataset data = MakeGaussianBlobs(128, 6, 3, 3.0, 5);
+  std::vector<std::vector<float>> grads;
+  const double initial = model.ComputeGradients(data.x, data.labels, &grads);
+  for (int step = 0; step < 50; ++step) {
+    model.ComputeGradients(data.x, data.labels, &grads);
+    model.ApplyGradients(grads, 0.2);
+  }
+  const double final_loss = model.ComputeGradients(data.x, data.labels, &grads);
+  EXPECT_LT(final_loss, initial * 0.5);
+  EXPECT_GT(model.Accuracy(data.x, data.labels), 0.9);
+}
+
+TEST(Mlp, AccuracyOnRandomInitIsChanceLevel) {
+  Mlp model(6, 16, 4, 3);
+  const Dataset data = MakeGaussianBlobs(1000, 6, 4, 3.0, 5);
+  const double acc = model.Accuracy(data.x, data.labels);
+  EXPECT_GT(acc, 0.05);
+  EXPECT_LT(acc, 0.6);
+}
+
+TEST(Mlp, DeterministicForFixedSeed) {
+  Mlp a(5, 8, 2, 42);
+  Mlp b(5, 8, 2, 42);
+  const Dataset data = MakeGaussianBlobs(16, 5, 2, 2.0, 9);
+  std::vector<std::vector<float>> ga, gb;
+  EXPECT_EQ(a.ComputeGradients(data.x, data.labels, &ga),
+            b.ComputeGradients(data.x, data.labels, &gb));
+  EXPECT_EQ(ga, gb);
+}
+
+}  // namespace
+}  // namespace espresso

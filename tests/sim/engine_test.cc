@@ -1,0 +1,175 @@
+#include "src/sim/engine.h"
+
+#include <gtest/gtest.h>
+
+namespace espresso {
+namespace {
+
+TEST(SimEngine, SingleTask) {
+  SimEngine engine;
+  const ResourceId r = engine.AddSerialResource("r");
+  const TaskId t = engine.AddTask("t", r, 2.5, {}, 0);
+  engine.Run();
+  EXPECT_EQ(engine.TaskStart(t), 0.0);
+  EXPECT_EQ(engine.TaskEnd(t), 2.5);
+  EXPECT_EQ(engine.Makespan(), 2.5);
+}
+
+TEST(SimEngine, ChainSerializesOnDependencies) {
+  SimEngine engine;
+  const ResourceId a = engine.AddSerialResource("a");
+  const ResourceId b = engine.AddSerialResource("b");
+  const TaskId t0 = engine.AddTask("t0", a, 1.0, {}, 0);
+  const TaskId t1 = engine.AddTask("t1", b, 2.0, {t0}, 0);
+  const TaskId t2 = engine.AddTask("t2", a, 1.0, {t1}, 0);
+  engine.Run();
+  EXPECT_EQ(engine.TaskStart(t1), 1.0);
+  EXPECT_EQ(engine.TaskStart(t2), 3.0);
+  EXPECT_EQ(engine.Makespan(), 4.0);
+}
+
+TEST(SimEngine, SerialResourceContention) {
+  SimEngine engine;
+  const ResourceId r = engine.AddSerialResource("r");
+  const TaskId t0 = engine.AddTask("t0", r, 1.0, {}, 0);
+  const TaskId t1 = engine.AddTask("t1", r, 1.0, {}, 1);
+  engine.Run();
+  // Both ready at 0; priority 0 runs first.
+  EXPECT_EQ(engine.TaskEnd(t0), 1.0);
+  EXPECT_EQ(engine.TaskStart(t1), 1.0);
+}
+
+TEST(SimEngine, PriorityBreaksTies) {
+  SimEngine engine;
+  const ResourceId r = engine.AddSerialResource("r");
+  const TaskId low = engine.AddTask("low", r, 1.0, {}, 5);
+  const TaskId high = engine.AddTask("high", r, 1.0, {}, 1);
+  engine.Run();
+  EXPECT_EQ(engine.TaskStart(high), 0.0);
+  EXPECT_EQ(engine.TaskStart(low), 1.0);
+}
+
+TEST(SimEngine, PoolRunsLanesInParallel) {
+  SimEngine engine;
+  const ResourceId pool = engine.AddPoolResource("pool", 2);
+  const TaskId t0 = engine.AddTask("t0", pool, 3.0, {}, 0);
+  const TaskId t1 = engine.AddTask("t1", pool, 3.0, {}, 1);
+  const TaskId t2 = engine.AddTask("t2", pool, 3.0, {}, 2);
+  engine.Run();
+  EXPECT_EQ(engine.TaskStart(t0), 0.0);
+  EXPECT_EQ(engine.TaskStart(t1), 0.0);
+  EXPECT_EQ(engine.TaskStart(t2), 3.0);
+  EXPECT_EQ(engine.Makespan(), 6.0);
+}
+
+TEST(SimEngine, LatecomerWithBetterPriorityWaitsForRunningTask) {
+  // Non-preemptive: a higher-priority task arriving mid-execution waits.
+  SimEngine engine;
+  const ResourceId r = engine.AddSerialResource("r");
+  const ResourceId other = engine.AddSerialResource("other");
+  const TaskId blocker = engine.AddTask("blocker", r, 10.0, {}, 5);
+  const TaskId trigger = engine.AddTask("trigger", other, 1.0, {}, 0);
+  const TaskId urgent = engine.AddTask("urgent", r, 1.0, {trigger}, 0);
+  engine.Run();
+  EXPECT_EQ(engine.TaskEnd(blocker), 10.0);
+  EXPECT_EQ(engine.TaskStart(urgent), 10.0);
+}
+
+TEST(SimEngine, QueuedHigherPriorityOvertakesQueuedLower) {
+  SimEngine engine;
+  const ResourceId r = engine.AddSerialResource("r");
+  engine.AddTask("running", r, 5.0, {}, 0);
+  const TaskId low = engine.AddTask("low", r, 1.0, {}, 9);
+  const TaskId high = engine.AddTask("high", r, 1.0, {}, 1);
+  engine.Run();
+  // When the running task finishes at 5.0, 'high' goes first despite later id.
+  EXPECT_EQ(engine.TaskStart(high), 5.0);
+  EXPECT_EQ(engine.TaskStart(low), 6.0);
+}
+
+TEST(SimEngine, ZeroDurationTasks) {
+  SimEngine engine;
+  const ResourceId r = engine.AddSerialResource("r");
+  const TaskId t0 = engine.AddTask("t0", r, 0.0, {}, 0);
+  const TaskId t1 = engine.AddTask("t1", r, 1.0, {t0}, 0);
+  engine.Run();
+  EXPECT_EQ(engine.TaskEnd(t0), 0.0);
+  EXPECT_EQ(engine.TaskEnd(t1), 1.0);
+}
+
+TEST(SimEngine, DiamondDependencies) {
+  SimEngine engine;
+  const ResourceId r = engine.AddPoolResource("pool", 4);
+  const TaskId root = engine.AddTask("root", r, 1.0, {}, 0);
+  const TaskId left = engine.AddTask("left", r, 2.0, {root}, 0);
+  const TaskId right = engine.AddTask("right", r, 3.0, {root}, 0);
+  const TaskId join = engine.AddTask("join", r, 1.0, {left, right}, 0);
+  engine.Run();
+  EXPECT_EQ(engine.TaskStart(join), 4.0);
+  EXPECT_EQ(engine.Makespan(), 5.0);
+}
+
+TEST(SimEngine, PoolWithMoreLanesThanTasks) {
+  SimEngine engine;
+  const ResourceId pool = engine.AddPoolResource("pool", 16);
+  const TaskId a = engine.AddTask("a", pool, 2.0, {}, 0);
+  const TaskId b = engine.AddTask("b", pool, 3.0, {}, 0);
+  engine.Run();
+  EXPECT_EQ(engine.TaskStart(a), 0.0);
+  EXPECT_EQ(engine.TaskStart(b), 0.0);
+  EXPECT_EQ(engine.Makespan(), 3.0);
+}
+
+TEST(SimEngine, EmptyDagRuns) {
+  SimEngine engine;
+  engine.AddSerialResource("r");
+  engine.Run();
+  EXPECT_EQ(engine.Makespan(), 0.0);
+  EXPECT_EQ(engine.TaskCount(), 0u);
+}
+
+TEST(SimEngine, RecordsMatchSchedule) {
+  SimEngine engine;
+  const ResourceId r = engine.AddSerialResource("gpu");
+  engine.AddTask("a", r, 1.5, {}, 0);
+  engine.AddTask("b", r, 0.5, {}, 1);
+  engine.Run();
+  const auto records = engine.Records();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].name, "a");
+  EXPECT_EQ(records[0].end, 1.5);
+  EXPECT_EQ(records[1].start, 1.5);
+  EXPECT_EQ(engine.ResourceName(r), "gpu");
+}
+
+TEST(SimEngine, DeterministicAcrossRuns) {
+  auto build_and_run = [] {
+    SimEngine engine;
+    const ResourceId r = engine.AddSerialResource("r");
+    const ResourceId pool = engine.AddPoolResource("p", 2);
+    TaskId prev = -1;
+    for (int i = 0; i < 50; ++i) {
+      const std::vector<TaskId> deps =
+          prev >= 0 ? std::vector<TaskId>{prev} : std::vector<TaskId>{};
+      prev = engine.AddTask("", i % 2 == 0 ? r : pool, 0.1 * (i % 7 + 1), deps, i % 3);
+    }
+    engine.Run();
+    return engine.Makespan();
+  };
+  EXPECT_EQ(build_and_run(), build_and_run());
+}
+
+TEST(SimEngineDeathTest, ForwardDependencyRejected) {
+  SimEngine engine;
+  const ResourceId r = engine.AddSerialResource("r");
+  EXPECT_DEATH(engine.AddTask("bad", r, 1.0, {5}, 0), "");
+}
+
+TEST(SimEngineDeathTest, NegativeDurationRejected) {
+  SimEngine engine;
+  const ResourceId r = engine.AddSerialResource("r");
+  EXPECT_DEATH(engine.AddTask("bad", r, -1.0, {}, 0), "");
+}
+
+}  // namespace
+}  // namespace espresso

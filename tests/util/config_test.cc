@@ -1,0 +1,96 @@
+#include "src/util/config.h"
+
+#include <gtest/gtest.h>
+
+namespace espresso {
+namespace {
+
+TEST(ConfigFile, ParsesSectionsKeysAndComments) {
+  const ConfigFile c = ConfigFile::ParseString(R"(
+# leading comment
+[model]
+name = gpt2      # trailing comment
+batch_size = 80
+[cluster]
+testbed = nvlink ; another comment style
+)");
+  ASSERT_TRUE(c.ok()) << c.error();
+  EXPECT_EQ(c.Get("model", "name"), "gpt2");
+  EXPECT_EQ(c.GetInt("model", "batch_size"), 80);
+  EXPECT_EQ(c.Get("cluster", "testbed"), "nvlink");
+  EXPECT_TRUE(c.HasSection("model"));
+  EXPECT_FALSE(c.HasSection("compression"));
+}
+
+TEST(ConfigFile, MissingKeysReturnNullopt) {
+  const ConfigFile c = ConfigFile::ParseString("[a]\nx = 1\n");
+  ASSERT_TRUE(c.ok());
+  EXPECT_FALSE(c.Get("a", "y").has_value());
+  EXPECT_FALSE(c.Get("b", "x").has_value());
+  EXPECT_EQ(c.GetOr("a", "y", "fallback"), "fallback");
+}
+
+TEST(ConfigFile, TypedGettersRejectGarbage) {
+  const ConfigFile c = ConfigFile::ParseString("[a]\nx = 12abc\ny = maybe\nz = 2.5\n");
+  ASSERT_TRUE(c.ok());
+  EXPECT_FALSE(c.GetInt("a", "x").has_value());
+  EXPECT_FALSE(c.GetBool("a", "y").has_value());
+  EXPECT_EQ(c.GetDouble("a", "z"), 2.5);
+}
+
+TEST(ConfigFile, BoolSpellings) {
+  const ConfigFile c =
+      ConfigFile::ParseString("[a]\nt1 = true\nt2 = 1\nt3 = on\nf1 = false\nf2 = no\n");
+  for (const char* key : {"t1", "t2", "t3"}) {
+    EXPECT_EQ(c.GetBool("a", key), true) << key;
+  }
+  for (const char* key : {"f1", "f2"}) {
+    EXPECT_EQ(c.GetBool("a", key), false) << key;
+  }
+}
+
+TEST(ConfigFile, EntriesPreserveOrderAndDuplicates) {
+  const ConfigFile c = ConfigFile::ParseString(R"(
+[tensors]
+c = 3, 1
+a = 1, 2
+a = 9, 9
+b = 2, 3
+)");
+  const auto entries = c.Entries("tensors");
+  ASSERT_EQ(entries.size(), 4u);
+  EXPECT_EQ(entries[0].first, "c");
+  EXPECT_EQ(entries[1].first, "a");
+  EXPECT_EQ(entries[2].second, "9, 9");
+  EXPECT_EQ(entries[3].first, "b");
+}
+
+TEST(ConfigFile, MalformedInputReportsLine) {
+  EXPECT_FALSE(ConfigFile::ParseString("[oops\n").ok());
+  EXPECT_FALSE(ConfigFile::ParseString("[a]\nno_equals_here\n").ok());
+  EXPECT_FALSE(ConfigFile::ParseString("[a]\n = value\n").ok());
+  const ConfigFile bad = ConfigFile::ParseString("[a]\nx = 1\nbroken\n");
+  EXPECT_NE(bad.error().find("line 3"), std::string::npos);
+}
+
+TEST(ConfigFile, LoadMissingFileFails) {
+  const ConfigFile c = ConfigFile::Load("/nonexistent/path.ini");
+  EXPECT_FALSE(c.ok());
+  EXPECT_NE(c.error().find("cannot open"), std::string::npos);
+}
+
+TEST(SplitFields, SplitsAndTrims) {
+  const auto fields = SplitFields(" a ,  b,c ,, d ", ",");
+  ASSERT_EQ(fields.size(), 4u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[3], "d");
+}
+
+TEST(TrimView, Trims) {
+  EXPECT_EQ(TrimView("  x  "), "x");
+  EXPECT_EQ(TrimView("\t\n"), "");
+  EXPECT_EQ(TrimView("abc"), "abc");
+}
+
+}  // namespace
+}  // namespace espresso

@@ -1,0 +1,65 @@
+#include "src/util/json_writer.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace espresso {
+namespace {
+
+TEST(JsonWriter, ObjectWithFields) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.BeginObject();
+  w.Field("name", "espresso");
+  w.Field("count", 3);
+  w.Field("ok", true);
+  w.EndObject();
+  EXPECT_EQ(os.str(), R"({"name":"espresso","count":3,"ok":true})");
+}
+
+TEST(JsonWriter, NestedArray) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.BeginObject();
+  w.Key("xs");
+  w.BeginArray();
+  w.Value(int64_t{1});
+  w.Value(int64_t{2});
+  w.EndArray();
+  w.EndObject();
+  EXPECT_EQ(os.str(), R"({"xs":[1,2]})");
+}
+
+TEST(JsonWriter, EscapesStrings) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.Value(std::string_view("a\"b\\c\nd"));
+  EXPECT_EQ(os.str(), R"("a\"b\\c\nd")");
+}
+
+TEST(JsonWriter, NonFiniteDoublesBecomeNull) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.BeginArray();
+  w.Value(1.5);
+  w.Value(std::numeric_limits<double>::infinity());
+  w.EndArray();
+  EXPECT_EQ(os.str(), "[1.5,null]");
+}
+
+TEST(JsonWriter, ArrayOfObjects) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.BeginArray();
+  for (int i = 0; i < 2; ++i) {
+    w.BeginObject();
+    w.Field("i", i);
+    w.EndObject();
+  }
+  w.EndArray();
+  EXPECT_EQ(os.str(), R"([{"i":0},{"i":1}])");
+}
+
+}  // namespace
+}  // namespace espresso

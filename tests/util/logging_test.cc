@@ -1,0 +1,52 @@
+#include "src/util/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace espresso {
+namespace {
+
+TEST(Logging, LevelRoundTrip) {
+  const LogLevel saved = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(saved);
+}
+
+TEST(Logging, LevelNames) {
+  EXPECT_STREQ(LogLevelName(LogLevel::kDebug), "DEBUG");
+  EXPECT_STREQ(LogLevelName(LogLevel::kInfo), "INFO");
+  EXPECT_STREQ(LogLevelName(LogLevel::kWarning), "WARN");
+  EXPECT_STREQ(LogLevelName(LogLevel::kError), "ERROR");
+}
+
+TEST(Logging, BelowThresholdDoesNotEvaluate) {
+  const LogLevel saved = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  // The streaming expression after ESP_LOG must not run when filtered out.
+  int evaluations = 0;
+  auto count = [&]() {
+    ++evaluations;
+    return "x";
+  };
+  ESP_LOG(kDebug) << count();
+  EXPECT_EQ(evaluations, 0);
+  SetLogLevel(saved);
+}
+
+TEST(CheckMacros, PassingChecksAreSilent) {
+  ESP_CHECK(true);
+  ESP_CHECK_EQ(1, 1);
+  ESP_CHECK_NE(1, 2);
+  ESP_CHECK_LT(1, 2);
+  ESP_CHECK_LE(2, 2);
+  ESP_CHECK_GT(3, 2);
+  ESP_CHECK_GE(3, 3);
+}
+
+TEST(CheckMacrosDeathTest, FailingCheckAborts) {
+  EXPECT_DEATH(ESP_CHECK(false) << "boom", "Check failed");
+  EXPECT_DEATH(ESP_CHECK_EQ(1, 2), "1 vs 2");
+}
+
+}  // namespace
+}  // namespace espresso

@@ -1,0 +1,127 @@
+#include "src/util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace espresso {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.UniformInt(0, 1000000), b.UniformInt(0, 1000000));
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.UniformInt(0, 1000000) == b.UniformInt(0, 1000000)) {
+      ++same;
+    }
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, UniformIntBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+  }
+}
+
+TEST(Rng, UniformRealBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.Uniform(0.25, 0.75);
+    EXPECT_GE(v, 0.25);
+    EXPECT_LT(v, 0.75);
+  }
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(11);
+  double sum = 0.0, sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.Normal(5.0, 2.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 5.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.3);
+}
+
+TEST(Rng, SampleWithoutReplacementIsDistinctAndInRange) {
+  Rng rng(3);
+  const auto sample = rng.SampleWithoutReplacement(100, 30);
+  EXPECT_EQ(sample.size(), 30u);
+  std::set<uint32_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 30u);
+  for (uint32_t v : sample) {
+    EXPECT_LT(v, 100u);
+  }
+}
+
+TEST(Rng, SampleWithoutReplacementFullRange) {
+  Rng rng(3);
+  auto sample = rng.SampleWithoutReplacement(16, 16);
+  std::sort(sample.begin(), sample.end());
+  for (uint32_t i = 0; i < 16; ++i) {
+    EXPECT_EQ(sample[i], i);
+  }
+}
+
+TEST(Rng, SampleWithoutReplacementCoversUniformly) {
+  // Each index should be picked roughly k/n of the time across many draws.
+  std::vector<int> hits(20, 0);
+  for (uint64_t s = 0; s < 2000; ++s) {
+    Rng rng(s);
+    for (uint32_t v : rng.SampleWithoutReplacement(20, 5)) {
+      ++hits[v];
+    }
+  }
+  for (int h : hits) {
+    EXPECT_GT(h, 350);  // expectation 500
+    EXPECT_LT(h, 650);
+  }
+}
+
+TEST(DeriveSeed, DistinctStreams) {
+  std::set<uint64_t> seeds;
+  for (uint64_t s = 0; s < 1000; ++s) {
+    seeds.insert(DeriveSeed(123, s));
+  }
+  EXPECT_EQ(seeds.size(), 1000u);
+}
+
+TEST(DeriveSeed, Deterministic) {
+  EXPECT_EQ(DeriveSeed(5, 9), DeriveSeed(5, 9));
+  EXPECT_NE(DeriveSeed(5, 9), DeriveSeed(5, 10));
+  EXPECT_NE(DeriveSeed(5, 9), DeriveSeed(6, 9));
+}
+
+TEST(Rng, FillNormalFillsEveryElement) {
+  Rng rng(1);
+  std::vector<float> v(257, 123.0f);
+  rng.FillNormal(v, 0.0, 1.0);
+  int unchanged = 0;
+  for (float x : v) {
+    if (x == 123.0f) {
+      ++unchanged;
+    }
+  }
+  EXPECT_EQ(unchanged, 0);
+}
+
+}  // namespace
+}  // namespace espresso

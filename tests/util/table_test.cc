@@ -1,0 +1,44 @@
+#include "src/util/table.h"
+
+#include <gtest/gtest.h>
+
+namespace espresso {
+namespace {
+
+TEST(TextTable, RendersHeaderAndRows) {
+  TextTable t({"model", "scaling"});
+  t.AddRow({"gpt2", "0.58"});
+  t.AddRow({"bert-base", "0.51"});
+  const std::string out = t.ToString();
+  EXPECT_NE(out.find("model"), std::string::npos);
+  EXPECT_NE(out.find("bert-base"), std::string::npos);
+  EXPECT_NE(out.find("0.58"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TextTable, ColumnsAligned) {
+  TextTable t({"a", "bbbb"});
+  t.AddRow({"xxxxxxxx", "y"});
+  const std::string out = t.ToString();
+  // Every line has the same length when columns are padded.
+  size_t first_len = out.find('\n');
+  size_t pos = first_len + 1;
+  while (pos < out.size()) {
+    const size_t next = out.find('\n', pos);
+    EXPECT_EQ(next - pos, first_len);
+    pos = next + 1;
+  }
+}
+
+TEST(TextTable, NumFormatting) {
+  EXPECT_EQ(TextTable::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::Num(2.0, 0), "2");
+}
+
+TEST(TextTable, PercentFormatting) {
+  EXPECT_EQ(TextTable::Percent(0.154, 1), "15.4%");
+  EXPECT_EQ(TextTable::Percent(-0.06, 0), "-6%");
+}
+
+}  // namespace
+}  // namespace espresso

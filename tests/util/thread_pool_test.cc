@@ -1,0 +1,52 @@
+#include "src/util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+namespace espresso {
+namespace {
+
+TEST(ThreadPool, InlineModeRunsImmediately) {
+  ThreadPool pool(0);
+  int value = 0;
+  pool.Submit([&] { value = 42; });
+  EXPECT_EQ(value, 42);  // no Wait needed: inline execution
+  pool.Wait();
+}
+
+TEST(ThreadPool, RunsAllTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, WaitIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.Submit([&] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 1);
+  pool.Submit([&] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 2);
+}
+
+TEST(ThreadPool, DestructorJoinsCleanly) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(4);
+    for (int i = 0; i < 32; ++i) {
+      pool.Submit([&] { counter.fetch_add(1); });
+    }
+    pool.Wait();
+  }
+  EXPECT_EQ(counter.load(), 32);
+}
+
+}  // namespace
+}  // namespace espresso
