@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_optionspace.dir/bench_optionspace.cpp.o"
+  "CMakeFiles/bench_optionspace.dir/bench_optionspace.cpp.o.d"
+  "bench_optionspace"
+  "bench_optionspace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_optionspace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_timeline.dir/bench_timeline.cpp.o"
+  "CMakeFiles/bench_timeline.dir/bench_timeline.cpp.o.d"
+  "bench_timeline"
+  "bench_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

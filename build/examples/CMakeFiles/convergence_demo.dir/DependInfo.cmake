@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/convergence_demo.cpp" "examples/CMakeFiles/convergence_demo.dir/convergence_demo.cpp.o" "gcc" "examples/CMakeFiles/convergence_demo.dir/convergence_demo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/espresso_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/collectives/CMakeFiles/espresso_collectives.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/espresso_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/espresso_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timeline_gallery.dir/timeline_gallery.cpp.o"
+  "CMakeFiles/timeline_gallery.dir/timeline_gallery.cpp.o.d"
+  "timeline_gallery"
+  "timeline_gallery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timeline_gallery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

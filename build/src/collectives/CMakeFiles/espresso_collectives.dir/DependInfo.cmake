@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/collectives/hierarchical.cc" "src/collectives/CMakeFiles/espresso_collectives.dir/hierarchical.cc.o" "gcc" "src/collectives/CMakeFiles/espresso_collectives.dir/hierarchical.cc.o.d"
+  "/root/repo/src/collectives/primitives.cc" "src/collectives/CMakeFiles/espresso_collectives.dir/primitives.cc.o" "gcc" "src/collectives/CMakeFiles/espresso_collectives.dir/primitives.cc.o.d"
+  "/root/repo/src/collectives/rank_group.cc" "src/collectives/CMakeFiles/espresso_collectives.dir/rank_group.cc.o" "gcc" "src/collectives/CMakeFiles/espresso_collectives.dir/rank_group.cc.o.d"
+  "/root/repo/src/collectives/schemes.cc" "src/collectives/CMakeFiles/espresso_collectives.dir/schemes.cc.o" "gcc" "src/collectives/CMakeFiles/espresso_collectives.dir/schemes.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/espresso_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/espresso_compress.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

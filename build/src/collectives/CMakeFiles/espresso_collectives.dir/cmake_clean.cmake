@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/espresso_collectives.dir/hierarchical.cc.o"
+  "CMakeFiles/espresso_collectives.dir/hierarchical.cc.o.d"
+  "CMakeFiles/espresso_collectives.dir/primitives.cc.o"
+  "CMakeFiles/espresso_collectives.dir/primitives.cc.o.d"
+  "CMakeFiles/espresso_collectives.dir/rank_group.cc.o"
+  "CMakeFiles/espresso_collectives.dir/rank_group.cc.o.d"
+  "CMakeFiles/espresso_collectives.dir/schemes.cc.o"
+  "CMakeFiles/espresso_collectives.dir/schemes.cc.o.d"
+  "libespresso_collectives.a"
+  "libespresso_collectives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/espresso_collectives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

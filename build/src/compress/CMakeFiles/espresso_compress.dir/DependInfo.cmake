@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compress/compressor.cc" "src/compress/CMakeFiles/espresso_compress.dir/compressor.cc.o" "gcc" "src/compress/CMakeFiles/espresso_compress.dir/compressor.cc.o.d"
+  "/root/repo/src/compress/efsignsgd.cc" "src/compress/CMakeFiles/espresso_compress.dir/efsignsgd.cc.o" "gcc" "src/compress/CMakeFiles/espresso_compress.dir/efsignsgd.cc.o.d"
+  "/root/repo/src/compress/error_feedback.cc" "src/compress/CMakeFiles/espresso_compress.dir/error_feedback.cc.o" "gcc" "src/compress/CMakeFiles/espresso_compress.dir/error_feedback.cc.o.d"
+  "/root/repo/src/compress/fp16.cc" "src/compress/CMakeFiles/espresso_compress.dir/fp16.cc.o" "gcc" "src/compress/CMakeFiles/espresso_compress.dir/fp16.cc.o.d"
+  "/root/repo/src/compress/qsgd.cc" "src/compress/CMakeFiles/espresso_compress.dir/qsgd.cc.o" "gcc" "src/compress/CMakeFiles/espresso_compress.dir/qsgd.cc.o.d"
+  "/root/repo/src/compress/randomk.cc" "src/compress/CMakeFiles/espresso_compress.dir/randomk.cc.o" "gcc" "src/compress/CMakeFiles/espresso_compress.dir/randomk.cc.o.d"
+  "/root/repo/src/compress/terngrad.cc" "src/compress/CMakeFiles/espresso_compress.dir/terngrad.cc.o" "gcc" "src/compress/CMakeFiles/espresso_compress.dir/terngrad.cc.o.d"
+  "/root/repo/src/compress/threshold.cc" "src/compress/CMakeFiles/espresso_compress.dir/threshold.cc.o" "gcc" "src/compress/CMakeFiles/espresso_compress.dir/threshold.cc.o.d"
+  "/root/repo/src/compress/topk.cc" "src/compress/CMakeFiles/espresso_compress.dir/topk.cc.o" "gcc" "src/compress/CMakeFiles/espresso_compress.dir/topk.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/espresso_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/espresso_compress.dir/compressor.cc.o"
+  "CMakeFiles/espresso_compress.dir/compressor.cc.o.d"
+  "CMakeFiles/espresso_compress.dir/efsignsgd.cc.o"
+  "CMakeFiles/espresso_compress.dir/efsignsgd.cc.o.d"
+  "CMakeFiles/espresso_compress.dir/error_feedback.cc.o"
+  "CMakeFiles/espresso_compress.dir/error_feedback.cc.o.d"
+  "CMakeFiles/espresso_compress.dir/fp16.cc.o"
+  "CMakeFiles/espresso_compress.dir/fp16.cc.o.d"
+  "CMakeFiles/espresso_compress.dir/qsgd.cc.o"
+  "CMakeFiles/espresso_compress.dir/qsgd.cc.o.d"
+  "CMakeFiles/espresso_compress.dir/randomk.cc.o"
+  "CMakeFiles/espresso_compress.dir/randomk.cc.o.d"
+  "CMakeFiles/espresso_compress.dir/terngrad.cc.o"
+  "CMakeFiles/espresso_compress.dir/terngrad.cc.o.d"
+  "CMakeFiles/espresso_compress.dir/threshold.cc.o"
+  "CMakeFiles/espresso_compress.dir/threshold.cc.o.d"
+  "CMakeFiles/espresso_compress.dir/topk.cc.o"
+  "CMakeFiles/espresso_compress.dir/topk.cc.o.d"
+  "libespresso_compress.a"
+  "libespresso_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/espresso_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

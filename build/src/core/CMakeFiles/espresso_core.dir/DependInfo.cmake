@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/baselines.cc" "src/core/CMakeFiles/espresso_core.dir/baselines.cc.o" "gcc" "src/core/CMakeFiles/espresso_core.dir/baselines.cc.o.d"
+  "/root/repo/src/core/brute_force.cc" "src/core/CMakeFiles/espresso_core.dir/brute_force.cc.o" "gcc" "src/core/CMakeFiles/espresso_core.dir/brute_force.cc.o.d"
+  "/root/repo/src/core/decision_tree.cc" "src/core/CMakeFiles/espresso_core.dir/decision_tree.cc.o" "gcc" "src/core/CMakeFiles/espresso_core.dir/decision_tree.cc.o.d"
+  "/root/repo/src/core/espresso.cc" "src/core/CMakeFiles/espresso_core.dir/espresso.cc.o" "gcc" "src/core/CMakeFiles/espresso_core.dir/espresso.cc.o.d"
+  "/root/repo/src/core/option.cc" "src/core/CMakeFiles/espresso_core.dir/option.cc.o" "gcc" "src/core/CMakeFiles/espresso_core.dir/option.cc.o.d"
+  "/root/repo/src/core/strategy.cc" "src/core/CMakeFiles/espresso_core.dir/strategy.cc.o" "gcc" "src/core/CMakeFiles/espresso_core.dir/strategy.cc.o.d"
+  "/root/repo/src/core/strategy_io.cc" "src/core/CMakeFiles/espresso_core.dir/strategy_io.cc.o" "gcc" "src/core/CMakeFiles/espresso_core.dir/strategy_io.cc.o.d"
+  "/root/repo/src/core/timeline.cc" "src/core/CMakeFiles/espresso_core.dir/timeline.cc.o" "gcc" "src/core/CMakeFiles/espresso_core.dir/timeline.cc.o.d"
+  "/root/repo/src/core/upper_bound.cc" "src/core/CMakeFiles/espresso_core.dir/upper_bound.cc.o" "gcc" "src/core/CMakeFiles/espresso_core.dir/upper_bound.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/espresso_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/espresso_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/costmodel/CMakeFiles/espresso_costmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/espresso_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/espresso_models.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

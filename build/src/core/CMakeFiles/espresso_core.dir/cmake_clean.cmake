@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/espresso_core.dir/baselines.cc.o"
+  "CMakeFiles/espresso_core.dir/baselines.cc.o.d"
+  "CMakeFiles/espresso_core.dir/brute_force.cc.o"
+  "CMakeFiles/espresso_core.dir/brute_force.cc.o.d"
+  "CMakeFiles/espresso_core.dir/decision_tree.cc.o"
+  "CMakeFiles/espresso_core.dir/decision_tree.cc.o.d"
+  "CMakeFiles/espresso_core.dir/espresso.cc.o"
+  "CMakeFiles/espresso_core.dir/espresso.cc.o.d"
+  "CMakeFiles/espresso_core.dir/option.cc.o"
+  "CMakeFiles/espresso_core.dir/option.cc.o.d"
+  "CMakeFiles/espresso_core.dir/strategy.cc.o"
+  "CMakeFiles/espresso_core.dir/strategy.cc.o.d"
+  "CMakeFiles/espresso_core.dir/strategy_io.cc.o"
+  "CMakeFiles/espresso_core.dir/strategy_io.cc.o.d"
+  "CMakeFiles/espresso_core.dir/timeline.cc.o"
+  "CMakeFiles/espresso_core.dir/timeline.cc.o.d"
+  "CMakeFiles/espresso_core.dir/upper_bound.cc.o"
+  "CMakeFiles/espresso_core.dir/upper_bound.cc.o.d"
+  "libespresso_core.a"
+  "libespresso_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/espresso_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

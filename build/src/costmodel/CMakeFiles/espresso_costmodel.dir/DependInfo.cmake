@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/costmodel/calibration.cc" "src/costmodel/CMakeFiles/espresso_costmodel.dir/calibration.cc.o" "gcc" "src/costmodel/CMakeFiles/espresso_costmodel.dir/calibration.cc.o.d"
+  "/root/repo/src/costmodel/collective_cost.cc" "src/costmodel/CMakeFiles/espresso_costmodel.dir/collective_cost.cc.o" "gcc" "src/costmodel/CMakeFiles/espresso_costmodel.dir/collective_cost.cc.o.d"
+  "/root/repo/src/costmodel/compression_cost.cc" "src/costmodel/CMakeFiles/espresso_costmodel.dir/compression_cost.cc.o" "gcc" "src/costmodel/CMakeFiles/espresso_costmodel.dir/compression_cost.cc.o.d"
+  "/root/repo/src/costmodel/link.cc" "src/costmodel/CMakeFiles/espresso_costmodel.dir/link.cc.o" "gcc" "src/costmodel/CMakeFiles/espresso_costmodel.dir/link.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/espresso_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/espresso_costmodel.dir/calibration.cc.o"
+  "CMakeFiles/espresso_costmodel.dir/calibration.cc.o.d"
+  "CMakeFiles/espresso_costmodel.dir/collective_cost.cc.o"
+  "CMakeFiles/espresso_costmodel.dir/collective_cost.cc.o.d"
+  "CMakeFiles/espresso_costmodel.dir/compression_cost.cc.o"
+  "CMakeFiles/espresso_costmodel.dir/compression_cost.cc.o.d"
+  "CMakeFiles/espresso_costmodel.dir/link.cc.o"
+  "CMakeFiles/espresso_costmodel.dir/link.cc.o.d"
+  "libespresso_costmodel.a"
+  "libespresso_costmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/espresso_costmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/espresso_ddl.dir/experiment.cc.o"
+  "CMakeFiles/espresso_ddl.dir/experiment.cc.o.d"
+  "CMakeFiles/espresso_ddl.dir/job_config.cc.o"
+  "CMakeFiles/espresso_ddl.dir/job_config.cc.o.d"
+  "CMakeFiles/espresso_ddl.dir/profiler.cc.o"
+  "CMakeFiles/espresso_ddl.dir/profiler.cc.o.d"
+  "CMakeFiles/espresso_ddl.dir/strategy_executor.cc.o"
+  "CMakeFiles/espresso_ddl.dir/strategy_executor.cc.o.d"
+  "libespresso_ddl.a"
+  "libespresso_ddl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/espresso_ddl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/model_profile.cc" "src/models/CMakeFiles/espresso_models.dir/model_profile.cc.o" "gcc" "src/models/CMakeFiles/espresso_models.dir/model_profile.cc.o.d"
+  "/root/repo/src/models/model_stats.cc" "src/models/CMakeFiles/espresso_models.dir/model_stats.cc.o" "gcc" "src/models/CMakeFiles/espresso_models.dir/model_stats.cc.o.d"
+  "/root/repo/src/models/model_zoo.cc" "src/models/CMakeFiles/espresso_models.dir/model_zoo.cc.o" "gcc" "src/models/CMakeFiles/espresso_models.dir/model_zoo.cc.o.d"
+  "/root/repo/src/models/tensor_fusion.cc" "src/models/CMakeFiles/espresso_models.dir/tensor_fusion.cc.o" "gcc" "src/models/CMakeFiles/espresso_models.dir/tensor_fusion.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/espresso_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

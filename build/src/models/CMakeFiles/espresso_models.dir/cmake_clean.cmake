@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/espresso_models.dir/model_profile.cc.o"
+  "CMakeFiles/espresso_models.dir/model_profile.cc.o.d"
+  "CMakeFiles/espresso_models.dir/model_stats.cc.o"
+  "CMakeFiles/espresso_models.dir/model_stats.cc.o.d"
+  "CMakeFiles/espresso_models.dir/model_zoo.cc.o"
+  "CMakeFiles/espresso_models.dir/model_zoo.cc.o.d"
+  "CMakeFiles/espresso_models.dir/tensor_fusion.cc.o"
+  "CMakeFiles/espresso_models.dir/tensor_fusion.cc.o.d"
+  "libespresso_models.a"
+  "libespresso_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/espresso_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/espresso_nn.dir/dataset.cc.o"
+  "CMakeFiles/espresso_nn.dir/dataset.cc.o.d"
+  "CMakeFiles/espresso_nn.dir/matrix.cc.o"
+  "CMakeFiles/espresso_nn.dir/matrix.cc.o.d"
+  "CMakeFiles/espresso_nn.dir/mlp.cc.o"
+  "CMakeFiles/espresso_nn.dir/mlp.cc.o.d"
+  "CMakeFiles/espresso_nn.dir/parallel_trainer.cc.o"
+  "CMakeFiles/espresso_nn.dir/parallel_trainer.cc.o.d"
+  "libespresso_nn.a"
+  "libespresso_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/espresso_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

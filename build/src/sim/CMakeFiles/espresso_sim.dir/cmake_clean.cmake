@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/espresso_sim.dir/engine.cc.o"
+  "CMakeFiles/espresso_sim.dir/engine.cc.o.d"
+  "libespresso_sim.a"
+  "libespresso_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/espresso_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

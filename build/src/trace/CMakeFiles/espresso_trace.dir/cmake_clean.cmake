@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/espresso_trace.dir/chrome_trace.cc.o"
+  "CMakeFiles/espresso_trace.dir/chrome_trace.cc.o.d"
+  "libespresso_trace.a"
+  "libespresso_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/espresso_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/espresso_util.dir/config.cc.o"
+  "CMakeFiles/espresso_util.dir/config.cc.o.d"
+  "CMakeFiles/espresso_util.dir/json_writer.cc.o"
+  "CMakeFiles/espresso_util.dir/json_writer.cc.o.d"
+  "CMakeFiles/espresso_util.dir/logging.cc.o"
+  "CMakeFiles/espresso_util.dir/logging.cc.o.d"
+  "CMakeFiles/espresso_util.dir/rng.cc.o"
+  "CMakeFiles/espresso_util.dir/rng.cc.o.d"
+  "CMakeFiles/espresso_util.dir/stats.cc.o"
+  "CMakeFiles/espresso_util.dir/stats.cc.o.d"
+  "CMakeFiles/espresso_util.dir/table.cc.o"
+  "CMakeFiles/espresso_util.dir/table.cc.o.d"
+  "CMakeFiles/espresso_util.dir/thread_pool.cc.o"
+  "CMakeFiles/espresso_util.dir/thread_pool.cc.o.d"
+  "libespresso_util.a"
+  "libespresso_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/espresso_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

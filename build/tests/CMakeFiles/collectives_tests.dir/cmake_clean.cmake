@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collectives_tests.dir/collectives/hierarchical_test.cc.o"
+  "CMakeFiles/collectives_tests.dir/collectives/hierarchical_test.cc.o.d"
+  "CMakeFiles/collectives_tests.dir/collectives/primitives_test.cc.o"
+  "CMakeFiles/collectives_tests.dir/collectives/primitives_test.cc.o.d"
+  "CMakeFiles/collectives_tests.dir/collectives/schemes_test.cc.o"
+  "CMakeFiles/collectives_tests.dir/collectives/schemes_test.cc.o.d"
+  "collectives_tests"
+  "collectives_tests.pdb"
+  "collectives_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collectives_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

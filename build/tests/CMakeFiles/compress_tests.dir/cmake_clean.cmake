@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compress_tests.dir/compress/compressor_property_test.cc.o"
+  "CMakeFiles/compress_tests.dir/compress/compressor_property_test.cc.o.d"
+  "CMakeFiles/compress_tests.dir/compress/efsignsgd_test.cc.o"
+  "CMakeFiles/compress_tests.dir/compress/efsignsgd_test.cc.o.d"
+  "CMakeFiles/compress_tests.dir/compress/error_feedback_test.cc.o"
+  "CMakeFiles/compress_tests.dir/compress/error_feedback_test.cc.o.d"
+  "CMakeFiles/compress_tests.dir/compress/fp16_test.cc.o"
+  "CMakeFiles/compress_tests.dir/compress/fp16_test.cc.o.d"
+  "CMakeFiles/compress_tests.dir/compress/qsgd_test.cc.o"
+  "CMakeFiles/compress_tests.dir/compress/qsgd_test.cc.o.d"
+  "CMakeFiles/compress_tests.dir/compress/randomk_test.cc.o"
+  "CMakeFiles/compress_tests.dir/compress/randomk_test.cc.o.d"
+  "CMakeFiles/compress_tests.dir/compress/terngrad_test.cc.o"
+  "CMakeFiles/compress_tests.dir/compress/terngrad_test.cc.o.d"
+  "CMakeFiles/compress_tests.dir/compress/threshold_test.cc.o"
+  "CMakeFiles/compress_tests.dir/compress/threshold_test.cc.o.d"
+  "CMakeFiles/compress_tests.dir/compress/topk_test.cc.o"
+  "CMakeFiles/compress_tests.dir/compress/topk_test.cc.o.d"
+  "compress_tests"
+  "compress_tests.pdb"
+  "compress_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compress_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

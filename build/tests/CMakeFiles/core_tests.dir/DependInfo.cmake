@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/baselines_test.cc" "tests/CMakeFiles/core_tests.dir/core/baselines_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/baselines_test.cc.o.d"
+  "/root/repo/tests/core/brute_force_test.cc" "tests/CMakeFiles/core_tests.dir/core/brute_force_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/brute_force_test.cc.o.d"
+  "/root/repo/tests/core/decision_tree_test.cc" "tests/CMakeFiles/core_tests.dir/core/decision_tree_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/decision_tree_test.cc.o.d"
+  "/root/repo/tests/core/espresso_test.cc" "tests/CMakeFiles/core_tests.dir/core/espresso_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/espresso_test.cc.o.d"
+  "/root/repo/tests/core/option_test.cc" "tests/CMakeFiles/core_tests.dir/core/option_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/option_test.cc.o.d"
+  "/root/repo/tests/core/strategy_io_test.cc" "tests/CMakeFiles/core_tests.dir/core/strategy_io_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/strategy_io_test.cc.o.d"
+  "/root/repo/tests/core/strategy_test.cc" "tests/CMakeFiles/core_tests.dir/core/strategy_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/strategy_test.cc.o.d"
+  "/root/repo/tests/core/timeline_test.cc" "tests/CMakeFiles/core_tests.dir/core/timeline_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/timeline_test.cc.o.d"
+  "/root/repo/tests/core/upper_bound_test.cc" "tests/CMakeFiles/core_tests.dir/core/upper_bound_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/upper_bound_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ddl/CMakeFiles/espresso_ddl.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/espresso_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/espresso_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/espresso_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/costmodel/CMakeFiles/espresso_costmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/collectives/CMakeFiles/espresso_collectives.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/espresso_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/espresso_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/espresso_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/espresso_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

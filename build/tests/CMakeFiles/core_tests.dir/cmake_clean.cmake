@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tests.dir/core/baselines_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/baselines_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/brute_force_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/brute_force_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/decision_tree_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/decision_tree_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/espresso_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/espresso_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/option_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/option_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/strategy_io_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/strategy_io_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/strategy_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/strategy_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/timeline_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/timeline_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/upper_bound_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/upper_bound_test.cc.o.d"
+  "core_tests"
+  "core_tests.pdb"
+  "core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/costmodel_tests.dir/costmodel/calibration_test.cc.o"
+  "CMakeFiles/costmodel_tests.dir/costmodel/calibration_test.cc.o.d"
+  "CMakeFiles/costmodel_tests.dir/costmodel/collective_cost_test.cc.o"
+  "CMakeFiles/costmodel_tests.dir/costmodel/collective_cost_test.cc.o.d"
+  "CMakeFiles/costmodel_tests.dir/costmodel/compression_cost_test.cc.o"
+  "CMakeFiles/costmodel_tests.dir/costmodel/compression_cost_test.cc.o.d"
+  "costmodel_tests"
+  "costmodel_tests.pdb"
+  "costmodel_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/costmodel_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ddl/executor_topology_test.cc" "tests/CMakeFiles/ddl_tests.dir/ddl/executor_topology_test.cc.o" "gcc" "tests/CMakeFiles/ddl_tests.dir/ddl/executor_topology_test.cc.o.d"
+  "/root/repo/tests/ddl/experiment_test.cc" "tests/CMakeFiles/ddl_tests.dir/ddl/experiment_test.cc.o" "gcc" "tests/CMakeFiles/ddl_tests.dir/ddl/experiment_test.cc.o.d"
+  "/root/repo/tests/ddl/job_config_test.cc" "tests/CMakeFiles/ddl_tests.dir/ddl/job_config_test.cc.o" "gcc" "tests/CMakeFiles/ddl_tests.dir/ddl/job_config_test.cc.o.d"
+  "/root/repo/tests/ddl/profiler_test.cc" "tests/CMakeFiles/ddl_tests.dir/ddl/profiler_test.cc.o" "gcc" "tests/CMakeFiles/ddl_tests.dir/ddl/profiler_test.cc.o.d"
+  "/root/repo/tests/ddl/strategy_executor_test.cc" "tests/CMakeFiles/ddl_tests.dir/ddl/strategy_executor_test.cc.o" "gcc" "tests/CMakeFiles/ddl_tests.dir/ddl/strategy_executor_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ddl/CMakeFiles/espresso_ddl.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/espresso_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/espresso_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/espresso_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/costmodel/CMakeFiles/espresso_costmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/collectives/CMakeFiles/espresso_collectives.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/espresso_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/espresso_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/espresso_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/espresso_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddl_tests.dir/ddl/executor_topology_test.cc.o"
+  "CMakeFiles/ddl_tests.dir/ddl/executor_topology_test.cc.o.d"
+  "CMakeFiles/ddl_tests.dir/ddl/experiment_test.cc.o"
+  "CMakeFiles/ddl_tests.dir/ddl/experiment_test.cc.o.d"
+  "CMakeFiles/ddl_tests.dir/ddl/job_config_test.cc.o"
+  "CMakeFiles/ddl_tests.dir/ddl/job_config_test.cc.o.d"
+  "CMakeFiles/ddl_tests.dir/ddl/profiler_test.cc.o"
+  "CMakeFiles/ddl_tests.dir/ddl/profiler_test.cc.o.d"
+  "CMakeFiles/ddl_tests.dir/ddl/strategy_executor_test.cc.o"
+  "CMakeFiles/ddl_tests.dir/ddl/strategy_executor_test.cc.o.d"
+  "ddl_tests"
+  "ddl_tests.pdb"
+  "ddl_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddl_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

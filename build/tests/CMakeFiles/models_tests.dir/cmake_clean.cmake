@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/models_tests.dir/models/model_stats_test.cc.o"
+  "CMakeFiles/models_tests.dir/models/model_stats_test.cc.o.d"
+  "CMakeFiles/models_tests.dir/models/model_zoo_test.cc.o"
+  "CMakeFiles/models_tests.dir/models/model_zoo_test.cc.o.d"
+  "CMakeFiles/models_tests.dir/models/tensor_fusion_test.cc.o"
+  "CMakeFiles/models_tests.dir/models/tensor_fusion_test.cc.o.d"
+  "models_tests"
+  "models_tests.pdb"
+  "models_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/models_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nn_tests.dir/nn/convergence_test.cc.o"
+  "CMakeFiles/nn_tests.dir/nn/convergence_test.cc.o.d"
+  "CMakeFiles/nn_tests.dir/nn/dataset_test.cc.o"
+  "CMakeFiles/nn_tests.dir/nn/dataset_test.cc.o.d"
+  "CMakeFiles/nn_tests.dir/nn/matrix_test.cc.o"
+  "CMakeFiles/nn_tests.dir/nn/matrix_test.cc.o.d"
+  "CMakeFiles/nn_tests.dir/nn/mlp_test.cc.o"
+  "CMakeFiles/nn_tests.dir/nn/mlp_test.cc.o.d"
+  "nn_tests"
+  "nn_tests.pdb"
+  "nn_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nn_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
