@@ -1,0 +1,17 @@
+#include "src/collectives/channel.h"
+
+namespace espresso {
+
+const char* PayloadFateName(PayloadFate fate) {
+  switch (fate) {
+    case PayloadFate::kDelivered:
+      return "delivered";
+    case PayloadFate::kDropped:
+      return "dropped";
+    case PayloadFate::kCorrupted:
+      return "corrupted";
+  }
+  return "?";
+}
+
+}  // namespace espresso

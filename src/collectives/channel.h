@@ -1,0 +1,44 @@
+// Transport abstraction for compressed payloads crossing the (functional) network.
+//
+// The collectives normally move payloads between in-process rank buffers perfectly;
+// a PayloadChannel models an imperfect transport: a transmission can be delivered,
+// dropped outright, or delivered with corrupted contents. The fault subsystem
+// (src/fault) provides implementations — a raw chaos transport and a reliable wrapper
+// that adds checksums plus retry/backoff — while the schemes stay transport-agnostic.
+#ifndef SRC_COLLECTIVES_CHANNEL_H_
+#define SRC_COLLECTIVES_CHANNEL_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/compress/compressed_tensor.h"
+
+namespace espresso {
+
+// Final outcome of transmitting one payload (after whatever retries the channel
+// implementation performs internally).
+enum class PayloadFate {
+  kDelivered,  // payload arrives intact
+  kDropped,    // payload lost; the sender's update must be preserved elsewhere (EF)
+  kCorrupted,  // payload arrives with mutated contents (undetected corruption)
+};
+
+const char* PayloadFateName(PayloadFate fate);
+
+class PayloadChannel {
+ public:
+  virtual ~PayloadChannel() = default;
+
+  // Called once per training step before any Transmit, so deterministic fault
+  // schedules can key their draws on the iteration index.
+  virtual void BeginIteration(uint64_t iteration) { (void)iteration; }
+
+  // Transmits `payload` from `rank`. May mutate the payload in place (corruption).
+  // Returns the final fate; kDropped payloads must be excluded from aggregation.
+  virtual PayloadFate Transmit(size_t rank, uint64_t tensor_id,
+                               CompressedTensor* payload) = 0;
+};
+
+}  // namespace espresso
+
+#endif  // SRC_COLLECTIVES_CHANNEL_H_

@@ -61,15 +61,21 @@ HierarchicalResult HierarchicalSync(const HierarchicalOptions& options, RankBuff
         break;
       }
       case InterScheme::kCompressedIndivisible: {
-        SchemeContext ctx{options.feedback, options.tensor_id * 131 + l, options.seed};
+        SchemeContext ctx{options.feedback, options.channel, options.tensor_id * 131 + l,
+                          options.seed};
         SchemeResult r = CompressedIndivisibleAllgather(*options.compressor, ctx, across);
         t = r.traffic;
+        result.payloads_dropped += r.payloads_dropped;
+        result.payloads_corrupted += r.payloads_corrupted;
         break;
       }
       case InterScheme::kCompressedDivisible: {
-        SchemeContext ctx{options.feedback, options.tensor_id * 131 + l, options.seed};
+        SchemeContext ctx{options.feedback, options.channel, options.tensor_id * 131 + l,
+                          options.seed};
         SchemeResult r = CompressedDivisibleAlltoall(*options.compressor, ctx, across);
         t = r.traffic;
+        result.payloads_dropped += r.payloads_dropped;
+        result.payloads_corrupted += r.payloads_corrupted;
         break;
       }
     }

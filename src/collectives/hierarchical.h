@@ -31,6 +31,7 @@ struct HierarchicalOptions {
   bool compress_intra = false;
   const Compressor* compressor = nullptr;    // required for any compressed stage
   std::vector<ErrorFeedback>* feedback = nullptr;  // one per global rank, optional
+  PayloadChannel* channel = nullptr;         // inter-machine payload transport, optional
   uint64_t tensor_id = 0;
   uint64_t seed = 0;
 };
@@ -38,6 +39,8 @@ struct HierarchicalOptions {
 struct HierarchicalResult {
   CollectiveTraffic intra_traffic;  // per-GPU bytes on the intra-machine fabric
   CollectiveTraffic inter_traffic;  // per-machine bytes on the inter-machine network
+  size_t payloads_dropped = 0;      // inter-machine payloads lost in transit
+  size_t payloads_corrupted = 0;    // inter-machine payloads delivered corrupted
 };
 
 // Synchronizes `buffers` (one per global rank, machine-major order: rank = m * g + l).

@@ -20,6 +20,33 @@ void CompressRank(const Compressor& compressor, const SchemeContext& ctx, size_t
   }
 }
 
+// Routes rank r's uplink payload through the context's channel (if any). Returns false
+// when the payload is dropped: the caller must exclude it from aggregation. A drop is
+// total — no rank (including the sender) aggregates it, which keeps the synchronous
+// replicas bit-identical; with EF on, the dropped update is folded back into the
+// sender's residual and re-emitted on the next step. Corrupted payloads are delivered
+// as-is (a channel that wants reliability adds checksums + retries internally).
+bool TransmitRank(const Compressor& compressor, const SchemeContext& ctx, size_t rank,
+                  uint64_t tensor_id, CompressedTensor* payload, SchemeResult* result) {
+  if (ctx.channel == nullptr) {
+    return true;
+  }
+  switch (ctx.channel->Transmit(rank, tensor_id, payload)) {
+    case PayloadFate::kDelivered:
+      return true;
+    case PayloadFate::kCorrupted:
+      ++result->payloads_corrupted;
+      return true;
+    case PayloadFate::kDropped:
+      ++result->payloads_dropped;
+      if (ctx.feedback != nullptr) {
+        (*ctx.feedback)[rank].AbsorbLostPayload(compressor, tensor_id, *payload);
+      }
+      return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 SchemeResult CompressedIndivisibleAllgather(const Compressor& compressor,
@@ -28,10 +55,13 @@ SchemeResult CompressedIndivisibleAllgather(const Compressor& compressor,
   const size_t p = buffers.size();
   SchemeResult result;
 
-  // Each rank compresses its full tensor.
+  // Each rank compresses its full tensor; the allgathered payload set keeps only the
+  // payloads the channel delivered.
   std::vector<CompressedTensor> payloads(p);
+  std::vector<bool> delivered(p, true);
   for (size_t r = 0; r < p; ++r) {
     CompressRank(compressor, ctx, r, buffers[r], &payloads[r]);
+    delivered[r] = TransmitRank(compressor, ctx, r, ctx.tensor_id, &payloads[r], &result);
   }
   result.compress_calls = p;
 
@@ -46,11 +76,13 @@ SchemeResult CompressedIndivisibleAllgather(const Compressor& compressor,
   // Decompress + aggregate on every rank.
   for (size_t r = 0; r < p; ++r) {
     std::fill(buffers[r].begin(), buffers[r].end(), 0.0f);
-    for (const auto& payload : payloads) {
-      compressor.DecompressAdd(payload, buffers[r]);
+    for (size_t s = 0; s < p; ++s) {
+      if (delivered[s]) {
+        compressor.DecompressAdd(payloads[s], buffers[r]);
+        ++result.decompress_calls;
+      }
     }
   }
-  result.decompress_calls = p * p;
   (void)n;
   return result;
 }
@@ -68,8 +100,10 @@ SchemeResult DivisibleScheme(const Compressor& compressor, const SchemeContext& 
   const Partition part(n, parts);
 
   // Step 0: every rank compresses each index-range part of its tensor.
-  // payloads[r][j] = rank r's compressed part j.
+  // payloads[r][j] = rank r's compressed part j. Parts whose aggregator is another rank
+  // cross the wire and may be dropped by the channel; a rank's own part stays local.
   std::vector<std::vector<CompressedTensor>> payloads(p, std::vector<CompressedTensor>(parts));
+  std::vector<std::vector<bool>> delivered(p, std::vector<bool>(parts, true));
   for (size_t r = 0; r < p; ++r) {
     for (size_t j = 0; j < parts; ++j) {
       const std::span<const float> full(buffers[r]);
@@ -80,6 +114,11 @@ SchemeResult DivisibleScheme(const Compressor& compressor, const SchemeContext& 
       SchemeContext part_ctx = ctx;
       part_ctx.tensor_id = ctx.tensor_id * 1315423911ULL + j;
       CompressRank(compressor, part_ctx, r, view, &payloads[r][j]);
+      const size_t aggregator = rooted ? 0 : j;
+      if (aggregator != r) {
+        delivered[r][j] = TransmitRank(compressor, part_ctx, r, part_ctx.tensor_id,
+                                       &payloads[r][j], &result);
+      }
     }
   }
   result.compress_calls = p * parts;
@@ -105,18 +144,33 @@ SchemeResult DivisibleScheme(const Compressor& compressor, const SchemeContext& 
   std::vector<CompressedTensor> aggregated(parts);
   if (compressor.SupportsCompressedAggregation()) {
     for (size_t j = 0; j < parts; ++j) {
-      aggregated[j] = payloads[0][j];
-      for (size_t r = 1; r < p; ++r) {
-        compressor.AggregateCompressed(payloads[r][j], &aggregated[j]);
+      bool seeded = false;
+      for (size_t r = 0; r < p; ++r) {
+        if (!delivered[r][j]) {
+          continue;
+        }
+        if (!seeded) {
+          aggregated[j] = payloads[r][j];
+          seeded = true;
+        } else {
+          compressor.AggregateCompressed(payloads[r][j], &aggregated[j]);
+        }
+      }
+      // Every payload of part j dropped: aggregate the part as all-zeros.
+      if (!seeded) {
+        std::vector<float> zeros(part.Length(j), 0.0f);
+        compressor.Compress(zeros, ctx.seed, &aggregated[j]);
       }
     }
   } else {
     for (size_t j = 0; j < parts; ++j) {
       std::vector<float> scratch(part.Length(j), 0.0f);
       for (size_t r = 0; r < p; ++r) {
-        compressor.DecompressAdd(payloads[r][j], scratch);
+        if (delivered[r][j]) {
+          compressor.DecompressAdd(payloads[r][j], scratch);
+          ++result.decompress_calls;
+        }
       }
-      result.decompress_calls += p;
       compressor.Compress(scratch, ctx.seed, &aggregated[j]);
       ++result.compress_calls;
     }

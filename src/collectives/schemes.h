@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/collectives/channel.h"
 #include "src/collectives/rank_group.h"
 #include "src/compress/compressor.h"
 #include "src/compress/error_feedback.h"
@@ -28,12 +29,20 @@ struct SchemeResult {
   CollectiveTraffic traffic;
   size_t compress_calls = 0;
   size_t decompress_calls = 0;
+  // Fault accounting (zero on a perfect channel). A dropped payload is excluded from
+  // aggregation; when error feedback is on, its content is folded back into the
+  // sender's residual so the update is delayed rather than lost.
+  size_t payloads_dropped = 0;
+  size_t payloads_corrupted = 0;
 };
 
 // Per-call context: one ErrorFeedback per rank (may be null to disable EF), a tensor id
 // for the residual store, and the compression seed shared by all ranks this step.
+// `channel` (optional) routes each rank's uplink payload through an imperfect
+// transport; the second-stage (already aggregated) payloads are considered local.
 struct SchemeContext {
   std::vector<ErrorFeedback>* feedback = nullptr;  // size == ranks, or nullptr
+  PayloadChannel* channel = nullptr;               // nullptr = perfect network
   uint64_t tensor_id = 0;
   uint64_t seed = 0;
 };

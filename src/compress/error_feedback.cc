@@ -47,6 +47,15 @@ void ErrorFeedback::CompressWithFeedback(const Compressor& compressor, uint64_t 
   }
 }
 
+void ErrorFeedback::AbsorbLostPayload(const Compressor& compressor, uint64_t tensor_id,
+                                      const CompressedTensor& payload) {
+  auto it = residuals_.find(tensor_id);
+  ESP_CHECK(it != residuals_.end())
+      << "AbsorbLostPayload without a prior CompressWithFeedback for tensor " << tensor_id;
+  ESP_CHECK_EQ(it->second.size(), payload.original_elements);
+  compressor.DecompressAdd(payload, it->second);
+}
+
 std::span<const float> ErrorFeedback::residual(uint64_t tensor_id) const {
   auto it = residuals_.find(tensor_id);
   if (it == residuals_.end()) {

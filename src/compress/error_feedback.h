@@ -29,6 +29,14 @@ class ErrorFeedback {
   void CompressWithFeedback(const Compressor& compressor, uint64_t tensor_id,
                             std::span<const float> grad, uint64_t seed, CompressedTensor* out);
 
+  // Folds a payload that was LOST on the wire back into the residual. After
+  // CompressWithFeedback, the residual is corrected - decompress(payload); if the
+  // payload never reaches the aggregation, the whole corrected gradient should carry
+  // over, so residual += decompress(payload) restores it. This is how graceful
+  // degradation preserves a dropped update instead of silently discarding it.
+  void AbsorbLostPayload(const Compressor& compressor, uint64_t tensor_id,
+                         const CompressedTensor& payload);
+
   // Read-only access to the residual (empty span if none yet). Exposed for tests, which
   // verify the telescoping identity residual = corrected - decompressed.
   std::span<const float> residual(uint64_t tensor_id) const;

@@ -141,6 +141,14 @@ double TimelineEvaluator::OpDuration(const Op& op, size_t elements) const {
   return 0.0;
 }
 
+void TimelineEvaluator::SetResourceScales(const ResourceScales& scales) {
+  ESP_CHECK_GT(scales.gpu, 0.0);
+  ESP_CHECK_GT(scales.cpu, 0.0);
+  ESP_CHECK_GT(scales.intra, 0.0);
+  ESP_CHECK_GT(scales.inter, 0.0);
+  resource_scales_ = scales;
+}
+
 double TimelineEvaluator::RunRaw(const Strategy& strategy,
                                  std::vector<RawEntry>* raw) const {
   ESP_CHECK_EQ(strategy.options.size(), model_.tensors.size());
@@ -155,6 +163,12 @@ double TimelineEvaluator::RunRaw(const Strategy& strategy,
   ESP_CHECK_EQ(cpu, kCpuResource);
   ESP_CHECK_EQ(intra, kIntraResource);
   ESP_CHECK_EQ(inter, kInterResource);
+  if (!resource_scales_.Neutral()) {
+    engine.SetResourceSpeedFactor(gpu, resource_scales_.gpu);
+    engine.SetResourceSpeedFactor(cpu, resource_scales_.cpu);
+    engine.SetResourceSpeedFactor(intra, resource_scales_.intra);
+    engine.SetResourceSpeedFactor(inter, resource_scales_.inter);
+  }
 
   auto resource_for = [&](const Op& op) -> ResourceId {
     if (op.task == ActionTask::kComm) {

@@ -44,6 +44,18 @@ struct TimelineResult {
   std::vector<TimelineEntry> entries;  // only filled when record_entries is set
 };
 
+// Per-resource execution-speed multipliers applied to the simulated iteration. Factors
+// below 1 slow the resource down (a straggler GPU, a CPU-contention spike, a congested
+// fabric); 1 is the profiled baseline. The fault injector produces these per iteration.
+struct ResourceScales {
+  double gpu = 1.0;
+  double cpu = 1.0;
+  double intra = 1.0;
+  double inter = 1.0;
+
+  bool Neutral() const { return gpu == 1.0 && cpu == 1.0 && intra == 1.0 && inter == 1.0; }
+};
+
 class TimelineEvaluator {
  public:
   // `compressor` supplies payload sizing (CompressedBytes); it must outlive the
@@ -54,6 +66,11 @@ class TimelineEvaluator {
 
   // Iteration time F(S). The hot path of the decision algorithm.
   double IterationTime(const Strategy& strategy) const;
+
+  // Installs fault-injected speed multipliers applied to every subsequent simulation
+  // (compute on the gpu scale as well as pipeline ops). Scales must be positive.
+  void SetResourceScales(const ResourceScales& scales);
+  const ResourceScales& resource_scales() const { return resource_scales_; }
 
   // Full evaluation with per-op entries for traces/plots.
   TimelineResult Evaluate(const Strategy& strategy, bool record_entries) const;
@@ -92,6 +109,7 @@ class TimelineEvaluator {
   const Compressor& compressor_;
   CompressionCostModel cost_model_;
   bool zero_compression_cost_;
+  ResourceScales resource_scales_;
   LinkSpec inter_link_;  // NIC bandwidth divided by the g flows sharing it
   LinkSpec flat_link_;
 };

@@ -1,6 +1,17 @@
 #include "src/costmodel/link.h"
 
+#include "src/util/logging.h"
+
 namespace espresso {
+
+LinkSpec LinkSpec::Degraded(double bandwidth_factor, double extra_latency_s) const {
+  ESP_CHECK_GT(bandwidth_factor, 0.0) << "degraded link needs positive bandwidth";
+  ESP_CHECK_GE(extra_latency_s, 0.0);
+  LinkSpec degraded = *this;
+  degraded.bytes_per_second *= bandwidth_factor;
+  degraded.latency_s += extra_latency_s;
+  return degraded;
+}
 
 namespace {
 constexpr double kGiB = 1024.0 * 1024.0 * 1024.0;

@@ -13,6 +13,11 @@ struct LinkSpec {
   double bytes_per_second = 0.0; // 1/beta: point-to-point bandwidth per endpoint
 
   double TransferTime(double bytes) const { return latency_s + bytes / bytes_per_second; }
+
+  // Returns this link with bandwidth scaled by `bandwidth_factor` (in (0, 1] for
+  // degradation, > 1 for recovery headroom) and `extra_latency_s` added to alpha.
+  // The fault injector uses this to model congested or jittery links.
+  LinkSpec Degraded(double bandwidth_factor, double extra_latency_s = 0.0) const;
 };
 
 // Presets matching the paper's two testbeds (§5.1). Bandwidths are effective

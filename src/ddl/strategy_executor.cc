@@ -79,10 +79,21 @@ class OptionExecutor {
         buffers_(buffers),
         elements_(CheckUniformSize(buffers)),
         states_(config.ranks()) {
-    ESP_CHECK_EQ(buffers.size(), config.ranks());
+    ESP_CHECK_GT(config.machines, 0u) << "ExecutorConfig needs at least one machine";
+    ESP_CHECK_GT(config.gpus_per_machine, 0u)
+        << "ExecutorConfig needs at least one GPU per machine";
+    ESP_CHECK_EQ(buffers.size(), config.ranks())
+        << "buffer count must match the rank topology (machines=" << config.machines
+        << " x gpus_per_machine=" << config.gpus_per_machine << ")";
+    ESP_CHECK_GT(elements_, 0u) << "rank buffers must be non-empty";
+    if (config.feedback != nullptr) {
+      ESP_CHECK_EQ(config.feedback->size(), config.ranks())
+          << "error-feedback store count must match the rank topology";
+    }
     if (option.Compressed()) {
       ESP_CHECK(config.compressor != nullptr) << "compressed option needs a compressor";
     }
+    ESP_CHECK(!option.ops.empty()) << "option has no ops: " << option.Describe();
     for (size_t r = 0; r < states_.size(); ++r) {
       states_[r].offset = 0;
       states_[r].length = elements_;
@@ -507,7 +518,8 @@ void ExecuteOption(const CompressionOption& option, const ExecutorConfig& config
 
 void ExecuteStrategy(const Strategy& strategy, const ExecutorConfig& config,
                      std::vector<RankBuffers>& gradients) {
-  ESP_CHECK_EQ(strategy.options.size(), gradients.size());
+  ESP_CHECK_EQ(strategy.options.size(), gradients.size())
+      << "strategy has one option per tensor; gradient tensor count must match";
   for (size_t t = 0; t < gradients.size(); ++t) {
     ExecuteOption(strategy.options[t], config, t, gradients[t]);
   }

@@ -1,0 +1,66 @@
+#include "src/fault/checksum.h"
+
+#include <array>
+#include <cstring>
+
+namespace espresso {
+
+namespace {
+
+std::array<uint32_t, 256> MakeCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+const std::array<uint32_t, 256>& CrcTable() {
+  static const std::array<uint32_t, 256> table = MakeCrcTable();
+  return table;
+}
+
+// Extends `crc` (already inverted) over the object representation of a vector.
+template <typename T>
+uint32_t CrcOver(uint32_t crc, const std::vector<T>& values) {
+  const auto& table = CrcTable();
+  const auto* bytes = reinterpret_cast<const uint8_t*>(values.data());
+  const size_t count = values.size() * sizeof(T);
+  for (size_t i = 0; i < count; ++i) {
+    crc = table[(crc ^ bytes[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc;
+}
+
+}  // namespace
+
+uint32_t Crc32(std::span<const uint8_t> bytes, uint32_t seed) {
+  const auto& table = CrcTable();
+  uint32_t crc = ~seed;
+  for (const uint8_t b : bytes) {
+    crc = table[(crc ^ b) & 0xFFu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+uint32_t PayloadChecksum(const CompressedTensor& payload) {
+  uint32_t crc = ~0u;
+  const auto& table = CrcTable();
+  uint8_t header[9];
+  header[0] = static_cast<uint8_t>(payload.kind);
+  std::memcpy(header + 1, &payload.original_elements, sizeof(payload.original_elements));
+  for (const uint8_t b : header) {
+    crc = table[(crc ^ b) & 0xFFu] ^ (crc >> 8);
+  }
+  crc = CrcOver(crc, payload.indices);
+  crc = CrcOver(crc, payload.values);
+  crc = CrcOver(crc, payload.scales);
+  crc = CrcOver(crc, payload.bytes);
+  return ~crc;
+}
+
+}  // namespace espresso

@@ -1,0 +1,26 @@
+// Payload integrity checksums for compressed gradient wire buffers.
+//
+// CRC-32 (IEEE polynomial, table-driven) over every field of a CompressedTensor.
+// The reliable channel stamps a checksum before transmission and verifies it on
+// receipt; a mismatch marks the payload corrupted and triggers retransmission. The
+// checksum covers structure (kind, element count) as well as contents, so a bit flip
+// anywhere in indices, values, scales, or packed bytes is detected.
+#ifndef SRC_FAULT_CHECKSUM_H_
+#define SRC_FAULT_CHECKSUM_H_
+
+#include <cstdint>
+#include <span>
+
+#include "src/compress/compressed_tensor.h"
+
+namespace espresso {
+
+// CRC-32 of a raw byte span (init 0xFFFFFFFF, final xor, reflected polynomial).
+uint32_t Crc32(std::span<const uint8_t> bytes, uint32_t seed = 0);
+
+// Checksum over all payload fields.
+uint32_t PayloadChecksum(const CompressedTensor& payload);
+
+}  // namespace espresso
+
+#endif  // SRC_FAULT_CHECKSUM_H_

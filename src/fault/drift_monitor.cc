@@ -1,0 +1,107 @@
+#include "src/fault/drift_monitor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/logging.h"
+
+namespace espresso {
+
+namespace {
+
+double RelativeDeviation(double observed, double profiled) {
+  ESP_CHECK_GT(profiled, 0.0) << "profiled link parameter must be positive";
+  return std::abs(observed / profiled - 1.0);
+}
+
+}  // namespace
+
+DriftConfig DriftConfig::FromConfig(const ConfigFile& config) {
+  DriftConfig drift;
+  drift.threshold = config.GetDoubleOr("drift", "threshold", drift.threshold, 0.0, 100.0);
+  drift.smoothing = config.GetDoubleOr("drift", "smoothing", drift.smoothing, 1e-6, 1.0);
+  drift.cooldown_iterations = static_cast<uint64_t>(config.GetIntOr(
+      "drift", "cooldown_iterations", static_cast<int64_t>(drift.cooldown_iterations), 0,
+      1'000'000));
+  return drift;
+}
+
+DriftMonitor::DriftMonitor(const DriftConfig& config, const ClusterSpec& profiled)
+    : config_(config), profiled_(profiled) {
+  ESP_CHECK_GT(config.smoothing, 0.0);
+  ESP_CHECK_LE(config.smoothing, 1.0);
+  ESP_CHECK_GE(config.threshold, 0.0);
+  ESP_CHECK_GT(profiled.inter.bytes_per_second, 0.0);
+  ESP_CHECK_GT(profiled.intra.bytes_per_second, 0.0);
+  ewma_inter_bw_ = profiled.inter.bytes_per_second;
+  ewma_intra_bw_ = profiled.intra.bytes_per_second;
+  ewma_inter_latency_ = profiled.inter.latency_s;
+}
+
+bool DriftMonitor::Observe(uint64_t iteration, const ClusterSpec& observed) {
+  const double a = config_.smoothing;
+  ewma_inter_bw_ = a * observed.inter.bytes_per_second + (1.0 - a) * ewma_inter_bw_;
+  ewma_intra_bw_ = a * observed.intra.bytes_per_second + (1.0 - a) * ewma_intra_bw_;
+  ewma_inter_latency_ = a * observed.inter.latency_s + (1.0 - a) * ewma_inter_latency_;
+  has_observation_ = true;
+  if (reselected_once_ &&
+      iteration < last_reselection_ + config_.cooldown_iterations) {
+    return false;
+  }
+  return drift() > config_.threshold;
+}
+
+double DriftMonitor::drift() const {
+  if (!has_observation_) return 0.0;
+  return std::max(RelativeDeviation(ewma_inter_bw_, profiled_.inter.bytes_per_second),
+                  RelativeDeviation(ewma_intra_bw_, profiled_.intra.bytes_per_second));
+}
+
+ClusterSpec DriftMonitor::SmoothedCluster() const {
+  ClusterSpec drifted = profiled_;
+  drifted.inter.bytes_per_second = ewma_inter_bw_;
+  drifted.inter.latency_s = ewma_inter_latency_;
+  drifted.intra.bytes_per_second = ewma_intra_bw_;
+  return drifted;
+}
+
+void DriftMonitor::AcknowledgeReselection(uint64_t iteration) {
+  reselected_once_ = true;
+  last_reselection_ = iteration;
+}
+
+OnlineReselector::OnlineReselector(const ModelProfile& model, const ClusterSpec& profiled,
+                                   const Compressor& compressor,
+                                   const SelectorOptions& selector_options,
+                                   const DriftConfig& drift_config)
+    : model_(model),
+      compressor_(compressor),
+      selector_options_(selector_options),
+      monitor_(drift_config, profiled) {
+  EspressoSelector selector(model_, profiled, compressor_, selector_options_);
+  current_ = selector.Select().strategy;
+}
+
+std::optional<ReselectionEvent> OnlineReselector::Step(uint64_t iteration,
+                                                       const ClusterSpec& observed) {
+  if (!monitor_.Observe(iteration, observed)) return std::nullopt;
+
+  const ClusterSpec drifted = monitor_.SmoothedCluster();
+  EspressoSelector selector(model_, drifted, compressor_, selector_options_);
+  const SelectionResult result = selector.Select();
+
+  ReselectionEvent event;
+  event.iteration = iteration;
+  event.drift = monitor_.drift();
+  event.stale_iteration_time = selector.evaluator().IterationTime(current_);
+  event.new_iteration_time = result.iteration_time;
+  ESP_CHECK_EQ(result.strategy.options.size(), current_.options.size());
+  for (size_t t = 0; t < current_.options.size(); ++t) {
+    if (!(result.strategy.options[t] == current_.options[t])) ++event.options_changed;
+  }
+  current_ = result.strategy;
+  monitor_.AcknowledgeReselection(iteration);
+  return event;
+}
+
+}  // namespace espresso

@@ -1,0 +1,77 @@
+#include "src/fault/resilient_executor.h"
+
+#include "src/util/logging.h"
+#include "src/util/rng.h"
+
+namespace espresso {
+
+namespace {
+
+// The FP32 degradation path: exact allreduce of the raw per-rank gradients.
+void ExactAllreduce(RankBuffers& buffers) {
+  const size_t elements = CheckUniformSize(buffers);
+  std::vector<float> sum(elements, 0.0f);
+  for (const auto& buffer : buffers) {
+    for (size_t i = 0; i < elements; ++i) {
+      sum[i] += buffer[i];
+    }
+  }
+  for (auto& buffer : buffers) {
+    buffer = sum;
+  }
+}
+
+}  // namespace
+
+void ResilientExecuteOption(const CompressionOption& option, const ExecutorConfig& config,
+                            uint64_t tensor_id, RankBuffers& buffers,
+                            const FaultInjector& injector, const RetryPolicy& policy,
+                            uint64_t iteration, ResilienceReport* report) {
+  ESP_CHECK(report != nullptr);
+  ++report->tensors;
+  Rng backoff_rng(DeriveSeed(DeriveSeed(injector.plan().spec().seed, iteration),
+                             tensor_id * 0x7F4A7C15ULL));
+  // The failure draw happens before the phase commits any state: a failed attempt
+  // leaves buffers and error-feedback residuals exactly as they were, so a retry (or
+  // the fallback) starts from clean inputs.
+  for (uint32_t attempt = 1;; ++attempt) {
+    if (!injector.CollectivePhaseFails(iteration, tensor_id, attempt)) {
+      ExecuteOption(option, config, tensor_id, buffers);
+      if (attempt == 1) {
+        ++report->clean;
+      } else {
+        ++report->retried;
+      }
+      return;
+    }
+    if (!policy.ShouldRetry(attempt)) {
+      report->events.push_back(
+          FaultEventRecord{iteration, static_cast<size_t>(tensor_id), "fp32_fallback",
+                           attempt});
+      ++report->fallbacks;
+      ExactAllreduce(buffers);
+      return;
+    }
+    report->events.push_back(FaultEventRecord{iteration, static_cast<size_t>(tensor_id),
+                                              "phase_retry", attempt});
+    ++report->total_retries;
+    report->backoff_seconds += policy.Delay(attempt, backoff_rng);
+  }
+}
+
+ResilienceReport ResilientExecuteStrategy(const Strategy& strategy,
+                                          const ExecutorConfig& config,
+                                          std::vector<RankBuffers>& gradients,
+                                          const FaultInjector& injector,
+                                          const RetryPolicy& policy, uint64_t iteration) {
+  ESP_CHECK_EQ(strategy.options.size(), gradients.size())
+      << "strategy has one option per tensor; gradient tensor count must match";
+  ResilienceReport report;
+  for (size_t t = 0; t < gradients.size(); ++t) {
+    ResilientExecuteOption(strategy.options[t], config, t, gradients[t], injector, policy,
+                           iteration, &report);
+  }
+  return report;
+}
+
+}  // namespace espresso

@@ -1,0 +1,34 @@
+#include "src/fault/retry_policy.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/logging.h"
+
+namespace espresso {
+
+double RetryPolicy::Delay(uint32_t retry, Rng& rng) const {
+  ESP_CHECK_GE(retry, 1u) << "retry numbers are 1-based";
+  ESP_CHECK_GE(jitter, 0.0);
+  ESP_CHECK_LT(jitter, 1.0);
+  const double exponential = base_delay_s * std::pow(2.0, static_cast<double>(retry - 1));
+  const double capped = std::min(max_delay_s, exponential);
+  if (jitter == 0.0) {
+    return capped;
+  }
+  return capped * (1.0 + jitter * rng.Uniform(-1.0, 1.0));
+}
+
+RetryPolicy RetryPolicy::FromConfig(const ConfigFile& config) {
+  RetryPolicy policy;
+  policy.max_attempts = static_cast<uint32_t>(
+      config.GetIntOr("retry", "max_attempts", policy.max_attempts, 1, 64));
+  policy.base_delay_s =
+      config.GetDoubleOr("retry", "base_delay_s", policy.base_delay_s, 0.0, 10.0);
+  policy.max_delay_s =
+      config.GetDoubleOr("retry", "max_delay_s", policy.max_delay_s, 0.0, 60.0);
+  policy.jitter = config.GetDoubleOr("retry", "jitter", policy.jitter, 0.0, 0.99);
+  return policy;
+}
+
+}  // namespace espresso

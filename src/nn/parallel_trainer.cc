@@ -32,7 +32,12 @@ std::vector<EpochStats> TrainDataParallel(const Dataset& train, const Dataset& t
   uint64_t step_counter = 0;
   for (size_t epoch = 0; epoch < config.epochs; ++epoch) {
     double loss_sum = 0.0;
+    size_t dropped = 0;
+    size_t corrupted = 0;
     for (size_t step = 0; step < steps_per_epoch; ++step) {
+      if (config.channel != nullptr) {
+        config.channel->BeginIteration(step_counter);
+      }
       // Each worker's gradient on its disjoint shard of the global batch.
       std::vector<std::vector<std::vector<float>>> worker_grads(config.workers);
       for (size_t w = 0; w < config.workers; ++w) {
@@ -64,13 +69,17 @@ std::vector<EpochStats> TrainDataParallel(const Dataset& train, const Dataset& t
           case SyncScheme::kCompressedDivisible: {
             SchemeContext ctx;
             ctx.feedback = config.error_feedback ? &feedback : nullptr;
+            ctx.channel = config.channel;
             ctx.tensor_id = t;
             ctx.seed = DeriveSeed(config.seed, step_counter * tensor_count + t);
+            SchemeResult scheme_result;
             if (config.scheme == SyncScheme::kCompressedIndivisible) {
-              CompressedIndivisibleAllgather(*config.compressor, ctx, buffers);
+              scheme_result = CompressedIndivisibleAllgather(*config.compressor, ctx, buffers);
             } else {
-              CompressedDivisibleAlltoall(*config.compressor, ctx, buffers);
+              scheme_result = CompressedDivisibleAlltoall(*config.compressor, ctx, buffers);
             }
+            dropped += scheme_result.payloads_dropped;
+            corrupted += scheme_result.payloads_corrupted;
             // All ranks hold the same aggregate; take rank 0's.
             aggregated[t] = std::move(buffers[0]);
             break;
@@ -89,6 +98,8 @@ std::vector<EpochStats> TrainDataParallel(const Dataset& train, const Dataset& t
     stats.train_loss = loss_sum / static_cast<double>(steps_per_epoch);
     stats.train_accuracy = model.Accuracy(train.x, train.labels);
     stats.test_accuracy = model.Accuracy(test.x, test.labels);
+    stats.payloads_dropped = dropped;
+    stats.payloads_corrupted = corrupted;
     history.push_back(stats);
   }
   return history;

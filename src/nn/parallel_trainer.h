@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/collectives/channel.h"
 #include "src/compress/compressor.h"
 #include "src/nn/dataset.h"
 #include "src/nn/mlp.h"
@@ -29,6 +30,10 @@ struct TrainConfig {
   size_t epochs = 10;
   SyncScheme scheme = SyncScheme::kExactAllreduce;
   const Compressor* compressor = nullptr;  // required for compressed schemes
+  // Optional imperfect transport for compressed payloads (fault injection); the
+  // trainer announces each global step via BeginIteration so schedules stay
+  // deterministic. nullptr = perfect network.
+  PayloadChannel* channel = nullptr;
   bool error_feedback = true;
   // DGC momentum correction factor for the error-feedback store (0 = plain EF).
   double momentum_correction = 0.0;
@@ -40,6 +45,9 @@ struct EpochStats {
   double train_loss = 0.0;
   double train_accuracy = 0.0;
   double test_accuracy = 0.0;
+  // Fault accounting for the epoch (zero on a perfect channel).
+  size_t payloads_dropped = 0;
+  size_t payloads_corrupted = 0;
 };
 
 std::vector<EpochStats> TrainDataParallel(const Dataset& train, const Dataset& test,

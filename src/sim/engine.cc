@@ -66,6 +66,14 @@ TaskId SimEngine::AddTaskAfter(std::string name, ResourceId resource, double dur
   return id;
 }
 
+void SimEngine::SetResourceSpeedFactor(ResourceId id, double factor) {
+  ESP_CHECK(!ran_);
+  ESP_CHECK_GE(id, 0);
+  ESP_CHECK_LT(static_cast<size_t>(id), resources_.size());
+  ESP_CHECK_GT(factor, 0.0) << "resource speed factor must be positive";
+  resources_[id].speed_factor = factor;
+}
+
 void SimEngine::MakeEligible(TaskId id) {
   const Task& task = tasks_[id];
   resources_[task.resource].eligible.push({task.priority, id});
@@ -87,7 +95,7 @@ void SimEngine::Run() {
       res.eligible.pop();
       Task& task = tasks_[id];
       task.start = now;
-      task.end = now + task.duration;
+      task.end = now + task.duration / res.speed_factor;
       res.lane_free.push(task.end);
       events.push({task.end, id});
     }

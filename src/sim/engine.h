@@ -43,6 +43,11 @@ class SimEngine {
   ResourceId AddSerialResource(std::string name);
   ResourceId AddPoolResource(std::string name, size_t lanes);
 
+  // Scales a resource's execution speed: tasks on it take duration / factor. Factors
+  // below 1 model degraded hardware (a straggler GPU, a contended link); the fault
+  // injector drives this. Must be called before Run().
+  void SetResourceSpeedFactor(ResourceId id, double factor);
+
   // Reserves task storage (optional; avoids reallocation in hot loops).
   void ReserveTasks(size_t count) { tasks_.reserve(count); }
 
@@ -88,6 +93,7 @@ class SimEngine {
   struct Resource {
     std::string name;
     size_t lanes = 1;
+    double speed_factor = 1.0;
     // Free time per lane (min-heap).
     std::priority_queue<double, std::vector<double>, std::greater<>> lane_free;
     // Eligible tasks ordered by (priority, id); each task is pushed exactly once.

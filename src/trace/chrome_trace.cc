@@ -8,10 +8,11 @@
 namespace espresso {
 
 void WriteChromeTrace(std::ostream& os, const ModelProfile& model,
-                      const std::vector<TimelineEntry>& entries) {
-  // Stable thread ids per resource track.
+                      const std::vector<TimelineEntry>& entries,
+                      const std::vector<TraceInstant>& instants) {
+  // Stable thread ids per resource track; faults get their own track.
   const std::map<std::string, int> tids = {
-      {"gpu", 0}, {"cpu", 1}, {"intra", 2}, {"inter", 3}};
+      {"gpu", 0}, {"cpu", 1}, {"intra", 2}, {"inter", 3}, {"faults", 4}};
 
   JsonWriter w(os);
   w.BeginObject();
@@ -42,6 +43,23 @@ void WriteChromeTrace(std::ostream& os, const ModelProfile& model,
     w.Field("dur", (e.end - e.start) * 1e6);
     w.Field("pid", 0);
     w.Field("tid", tid);
+    w.EndObject();
+  }
+  for (const auto& instant : instants) {
+    w.BeginObject();
+    w.Field("name", instant.name);
+    w.Field("cat", "fault");
+    w.Field("ph", "i");
+    w.Field("s", "t");  // thread-scoped instant
+    w.Field("ts", instant.time_s * 1e6);
+    w.Field("pid", 0);
+    w.Field("tid", tids.at("faults"));
+    if (!instant.detail.empty()) {
+      w.Key("args");
+      w.BeginObject();
+      w.Field("detail", instant.detail);
+      w.EndObject();
+    }
     w.EndObject();
   }
   w.EndArray();

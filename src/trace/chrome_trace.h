@@ -9,10 +9,21 @@
 
 #include "src/core/timeline.h"
 
+#include <string>
+
 namespace espresso {
 
+// A point event overlaid on the timeline (chrome "instant" event, ph = "i"): fault
+// injections, retries, strategy hot-swaps. Rendered on a dedicated "faults" track.
+struct TraceInstant {
+  double time_s = 0.0;
+  std::string name;    // e.g. "payload_drop", "strategy_reselect"
+  std::string detail;  // free-form args payload shown in the event inspector
+};
+
 void WriteChromeTrace(std::ostream& os, const ModelProfile& model,
-                      const std::vector<TimelineEntry>& entries);
+                      const std::vector<TimelineEntry>& entries,
+                      const std::vector<TraceInstant>& instants = {});
 
 }  // namespace espresso
 

@@ -65,6 +65,7 @@ ConfigFile ConfigFile::Parse(std::istream& in) {
     entry.section = section;
     entry.key = std::string(TrimView(trimmed.substr(0, eq)));
     entry.value = std::string(TrimView(trimmed.substr(eq + 1)));
+    entry.line = line_number;
     if (entry.key.empty()) {
       config.error_ = "line " + std::to_string(line_number) + ": empty key";
       return config;
@@ -87,10 +88,27 @@ ConfigFile ConfigFile::Load(const std::string& path) {
     return config;
   }
   ConfigFile config = Parse(in);
+  config.source_ = path;
   if (!config.ok()) {
     config.error_ = path + ": " + config.error_;
   }
   return config;
+}
+
+const ConfigFile::Entry* ConfigFile::Find(std::string_view section,
+                                          std::string_view key) const {
+  for (const Entry& e : entries_) {
+    if (e.section == section && e.key == key) {
+      return &e;
+    }
+  }
+  return nullptr;
+}
+
+void ConfigFile::Warn(const Entry& entry, const std::string& reason) const {
+  warnings_.push_back(source_ + " line " + std::to_string(entry.line) + ": [" +
+                      entry.section + "] " + entry.key + " = " + entry.value + " " +
+                      reason);
 }
 
 bool ConfigFile::HasSection(std::string_view section) const {
@@ -162,6 +180,44 @@ std::optional<bool> ConfigFile::GetBool(std::string_view section,
     return false;
   }
   return std::nullopt;
+}
+
+double ConfigFile::GetDoubleOr(std::string_view section, std::string_view key,
+                               double fallback, double min, double max) const {
+  const Entry* entry = Find(section, key);
+  if (entry == nullptr) {
+    return fallback;
+  }
+  const auto parsed = GetDouble(section, key);
+  if (!parsed) {
+    Warn(*entry, "is not a number; using " + std::to_string(fallback));
+    return fallback;
+  }
+  if (*parsed < min || *parsed > max) {
+    Warn(*entry, "out of range [" + std::to_string(min) + ", " + std::to_string(max) +
+                     "]; using " + std::to_string(fallback));
+    return fallback;
+  }
+  return *parsed;
+}
+
+int64_t ConfigFile::GetIntOr(std::string_view section, std::string_view key,
+                             int64_t fallback, int64_t min, int64_t max) const {
+  const Entry* entry = Find(section, key);
+  if (entry == nullptr) {
+    return fallback;
+  }
+  const auto parsed = GetInt(section, key);
+  if (!parsed) {
+    Warn(*entry, "is not an integer; using " + std::to_string(fallback));
+    return fallback;
+  }
+  if (*parsed < min || *parsed > max) {
+    Warn(*entry, "out of range [" + std::to_string(min) + ", " + std::to_string(max) +
+                     "]; using " + std::to_string(fallback));
+    return fallback;
+  }
+  return *parsed;
 }
 
 std::vector<std::pair<std::string, std::string>> ConfigFile::Entries(

@@ -37,6 +37,19 @@ class ConfigFile {
   std::optional<int64_t> GetInt(std::string_view section, std::string_view key) const;
   std::optional<bool> GetBool(std::string_view section, std::string_view key) const;
 
+  // Range-checked lookups with diagnostics: a present-but-malformed value, or one
+  // outside [min, max], returns `fallback` AND records a warning citing the file and
+  // line — bad knobs (fault-plan probabilities, retry caps) must not vanish silently.
+  // A missing key is not an error; it returns `fallback` with no warning.
+  double GetDoubleOr(std::string_view section, std::string_view key, double fallback,
+                     double min, double max) const;
+  int64_t GetIntOr(std::string_view section, std::string_view key, int64_t fallback,
+                   int64_t min, int64_t max) const;
+
+  // Diagnostics accumulated by the range-checked getters, e.g.
+  // "faults.ini line 7: [faults] drop_probability = 1.7 out of range [0, 1]".
+  const std::vector<std::string>& warnings() const { return warnings_; }
+
   // All (key, value) pairs of a section, in file order. Duplicate keys are preserved.
   std::vector<std::pair<std::string, std::string>> Entries(std::string_view section) const;
 
@@ -45,9 +58,16 @@ class ConfigFile {
     std::string section;
     std::string key;
     std::string value;
+    int line = 0;
   };
+  const Entry* Find(std::string_view section, std::string_view key) const;
+  void Warn(const Entry& entry, const std::string& reason) const;
+
   std::vector<Entry> entries_;
   std::string error_;
+  std::string source_ = "<string>";  // file path for Load(), "<string>" otherwise
+  // Collected by const getters; mutable so lookups stay const like the rest of the API.
+  mutable std::vector<std::string> warnings_;
 };
 
 // Trims ASCII whitespace from both ends.

@@ -79,6 +79,42 @@ TEST(ConfigFile, LoadMissingFileFails) {
   EXPECT_NE(c.error().find("cannot open"), std::string::npos);
 }
 
+TEST(ConfigFile, GetDoubleOrRangeChecksWithDiagnostics) {
+  const ConfigFile c = ConfigFile::ParseString(
+      "[faults]\n"
+      "ok = 0.5\n"
+      "too_big = 1.7\n"
+      "not_a_number = oops\n");
+  ASSERT_TRUE(c.ok());
+  EXPECT_DOUBLE_EQ(c.GetDoubleOr("faults", "ok", 0.1, 0.0, 1.0), 0.5);
+  // Missing key: silent fallback, no warning.
+  EXPECT_DOUBLE_EQ(c.GetDoubleOr("faults", "absent", 0.1, 0.0, 1.0), 0.1);
+  EXPECT_TRUE(c.warnings().empty());
+  // Out of range and malformed values fall back AND warn, citing the line.
+  EXPECT_DOUBLE_EQ(c.GetDoubleOr("faults", "too_big", 0.2, 0.0, 1.0), 0.2);
+  EXPECT_DOUBLE_EQ(c.GetDoubleOr("faults", "not_a_number", 0.3, 0.0, 1.0), 0.3);
+  ASSERT_EQ(c.warnings().size(), 2u);
+  EXPECT_NE(c.warnings()[0].find("line 3"), std::string::npos);
+  EXPECT_NE(c.warnings()[0].find("too_big"), std::string::npos);
+  EXPECT_NE(c.warnings()[0].find("out of range"), std::string::npos);
+  EXPECT_NE(c.warnings()[1].find("line 4"), std::string::npos);
+}
+
+TEST(ConfigFile, GetIntOrRangeChecksWithDiagnostics) {
+  const ConfigFile c = ConfigFile::ParseString(
+      "[retry]\n"
+      "max_attempts = 100\n"
+      "base = 3\n");
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c.GetIntOr("retry", "base", 1, 0, 10), 3);
+  EXPECT_EQ(c.GetIntOr("retry", "missing", 7, 0, 10), 7);
+  EXPECT_TRUE(c.warnings().empty());
+  EXPECT_EQ(c.GetIntOr("retry", "max_attempts", 4, 1, 64), 4);
+  ASSERT_EQ(c.warnings().size(), 1u);
+  EXPECT_NE(c.warnings()[0].find("max_attempts"), std::string::npos);
+  EXPECT_NE(c.warnings()[0].find("[1, 64]"), std::string::npos);
+}
+
 TEST(SplitFields, SplitsAndTrims) {
   const auto fields = SplitFields(" a ,  b,c ,, d ", ",");
   ASSERT_EQ(fields.size(), 4u);
