@@ -1,0 +1,143 @@
+#include "src/analysis/diagnostics.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "src/util/json_writer.h"
+
+namespace espresso {
+
+const char* SeverityName(Severity severity) {
+  switch (severity) {
+    case Severity::kNote:
+      return "note";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "?";
+}
+
+void DiagnosticReport::Add(Diagnostic diagnostic) {
+  diagnostics_.push_back(std::move(diagnostic));
+}
+
+void DiagnosticReport::AddError(const std::string& rule, size_t tensor,
+                                const std::string& message, const std::string& fix_hint) {
+  Add(Diagnostic{Severity::kError, rule, message, fix_hint, tensor, {}});
+}
+
+void DiagnosticReport::AddWarning(const std::string& rule, size_t tensor,
+                                  const std::string& message, const std::string& fix_hint) {
+  Add(Diagnostic{Severity::kWarning, rule, message, fix_hint, tensor, {}});
+}
+
+void DiagnosticReport::AddNote(const std::string& rule, size_t tensor,
+                               const std::string& message) {
+  Add(Diagnostic{Severity::kNote, rule, message, "", tensor, {}});
+}
+
+void DiagnosticReport::Merge(DiagnosticReport other) {
+  for (auto& d : other.diagnostics_) {
+    diagnostics_.push_back(std::move(d));
+  }
+}
+
+size_t DiagnosticReport::ErrorCount() const {
+  return static_cast<size_t>(
+      std::count_if(diagnostics_.begin(), diagnostics_.end(),
+                    [](const Diagnostic& d) { return d.severity == Severity::kError; }));
+}
+
+size_t DiagnosticReport::WarningCount() const {
+  return static_cast<size_t>(
+      std::count_if(diagnostics_.begin(), diagnostics_.end(),
+                    [](const Diagnostic& d) { return d.severity == Severity::kWarning; }));
+}
+
+bool DiagnosticReport::HasRule(const std::string& rule) const {
+  return std::any_of(diagnostics_.begin(), diagnostics_.end(),
+                     [&](const Diagnostic& d) { return d.rule == rule; });
+}
+
+namespace {
+
+std::string TensorLabel(size_t tensor) {
+  return tensor == Diagnostic::kStrategyScope ? std::string("-") : std::to_string(tensor);
+}
+
+void PrintWitness(std::ostream& os, const WitnessInterval& w) {
+  os << "      witness: tensor " << w.tensor << " " << w.kind << " on " << w.resource
+     << " [" << std::setprecision(9) << w.start << ", " << w.end << ")\n";
+}
+
+}  // namespace
+
+void DiagnosticReport::PrintTable(std::ostream& os) const {
+  if (diagnostics_.empty()) {
+    os << "no diagnostics\n";
+    return;
+  }
+  for (const Diagnostic& d : diagnostics_) {
+    os << std::left << std::setw(7) << SeverityName(d.severity) << " " << std::setw(36)
+       << d.rule << " tensor " << std::setw(5) << TensorLabel(d.tensor) << " "
+       << d.message << "\n";
+    if (!d.fix_hint.empty()) {
+      os << "      fix: " << d.fix_hint << "\n";
+    }
+    for (const WitnessInterval& w : d.witnesses) {
+      PrintWitness(os, w);
+    }
+  }
+  os << ErrorCount() << " error(s), " << WarningCount() << " warning(s), "
+     << diagnostics_.size() - ErrorCount() - WarningCount() << " note(s)\n";
+}
+
+std::string DiagnosticReport::ToString() const {
+  std::ostringstream os;
+  PrintTable(os);
+  return os.str();
+}
+
+void DiagnosticReport::WriteJson(std::ostream& os) const {
+  JsonWriter json(os);
+  json.BeginObject();
+  json.Field("errors", static_cast<uint64_t>(ErrorCount()));
+  json.Field("warnings", static_cast<uint64_t>(WarningCount()));
+  json.Key("diagnostics");
+  json.BeginArray();
+  for (const Diagnostic& d : diagnostics_) {
+    json.BeginObject();
+    json.Field("severity", SeverityName(d.severity));
+    json.Field("rule", d.rule);
+    if (d.tensor != Diagnostic::kStrategyScope) {
+      json.Field("tensor", static_cast<uint64_t>(d.tensor));
+    }
+    json.Field("message", d.message);
+    if (!d.fix_hint.empty()) {
+      json.Field("fix_hint", d.fix_hint);
+    }
+    if (!d.witnesses.empty()) {
+      json.Key("witnesses");
+      json.BeginArray();
+      for (const WitnessInterval& w : d.witnesses) {
+        json.BeginObject();
+        json.Field("tensor", static_cast<uint64_t>(w.tensor));
+        json.Field("kind", w.kind);
+        json.Field("resource", w.resource);
+        json.Field("start", w.start);
+        json.Field("end", w.end);
+        json.EndObject();
+      }
+      json.EndArray();
+    }
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+  os << "\n";
+}
+
+}  // namespace espresso

@@ -1,0 +1,92 @@
+// Structured diagnostics for the static-analysis passes (StrategyLinter,
+// ScheduleVerifier, DominanceChecker). A Diagnostic pins one invariant violation to a
+// rule id, the tensor (or strategy-level scope) it concerns, and — for schedule
+// violations — a minimal witness: the one or two timeline intervals that prove the
+// violation. Reports render as a diff-friendly text table or as a JSON object for CI.
+//
+// Rule ids are stable, dot-separated strings grouped by pass:
+//   strategy.*   — decision-tree legality (StrategyLinter)
+//   schedule.*   — timeline race/causality invariants (ScheduleVerifier)
+//   dominance.*  — F(S) ordering against baselines and the Upper Bound
+//   costmodel.*  — cost-model sanity (alpha/beta ranges, negative durations)
+// The catalog lives in docs/ANALYSIS.md; tests assert on ids, so renaming one is a
+// breaking change.
+#ifndef SRC_ANALYSIS_DIAGNOSTICS_H_
+#define SRC_ANALYSIS_DIAGNOSTICS_H_
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace espresso {
+
+enum class Severity {
+  kNote = 0,
+  kWarning = 1,
+  kError = 2,
+};
+
+const char* SeverityName(Severity severity);
+
+// One interval cited as evidence for a schedule violation (mirrors TimelineEntry, kept
+// dependency-free so diagnostics stay usable from every layer).
+struct WitnessInterval {
+  size_t tensor = 0;
+  std::string kind;
+  std::string resource;
+  double start = 0.0;
+  double end = 0.0;
+};
+
+struct Diagnostic {
+  Severity severity = Severity::kError;
+  std::string rule;      // stable rule id, e.g. "strategy.double-compress"
+  std::string message;   // what is wrong, with concrete values
+  std::string fix_hint;  // how to repair it (may be empty for notes)
+  // Scope: tensor index the violation concerns, or kStrategyScope for whole-strategy /
+  // whole-schedule findings.
+  size_t tensor = kStrategyScope;
+  std::vector<WitnessInterval> witnesses;  // at most 2: the conflicting intervals
+
+  static constexpr size_t kStrategyScope = static_cast<size_t>(-1);
+};
+
+class DiagnosticReport {
+ public:
+  void Add(Diagnostic diagnostic);
+
+  // Convenience builders used by the passes.
+  void AddError(const std::string& rule, size_t tensor, const std::string& message,
+                const std::string& fix_hint = "");
+  void AddWarning(const std::string& rule, size_t tensor, const std::string& message,
+                  const std::string& fix_hint = "");
+  void AddNote(const std::string& rule, size_t tensor, const std::string& message);
+
+  // Merges another report's diagnostics into this one (pass composition).
+  void Merge(DiagnosticReport other);
+
+  const std::vector<Diagnostic>& diagnostics() const { return diagnostics_; }
+  size_t ErrorCount() const;
+  size_t WarningCount() const;
+  bool HasErrors() const { return ErrorCount() > 0; }
+  bool empty() const { return diagnostics_.empty(); }
+
+  // True if any diagnostic carries `rule`. Mutation tests key off this.
+  bool HasRule(const std::string& rule) const;
+
+  // Renders a fixed-width table (severity | rule | tensor | message | fix hint) plus a
+  // one-line summary. Witnesses print as indented follow-up lines.
+  void PrintTable(std::ostream& os) const;
+  std::string ToString() const;
+
+  // Emits {"errors": N, "warnings": N, "diagnostics": [...]} for CI consumption.
+  void WriteJson(std::ostream& os) const;
+
+ private:
+  std::vector<Diagnostic> diagnostics_;
+};
+
+}  // namespace espresso
+
+#endif  // SRC_ANALYSIS_DIAGNOSTICS_H_

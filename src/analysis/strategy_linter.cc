@@ -1,0 +1,465 @@
+#include "src/analysis/strategy_linter.h"
+
+#include <cmath>
+#include <sstream>
+#include <string>
+
+namespace espresso {
+
+namespace {
+
+constexpr double kFractionEps = 1e-9;
+
+// Data topology of one communication level (flat, intra-machine, inter-machine) as the
+// option's ops transform it. Every level starts replicated (each participant holds the
+// full, unaggregated tensor domain relevant to it) and must end replicated.
+enum class LevelState { kReplicated, kSharded, kRooted };
+
+const char* LevelStateName(LevelState state) {
+  switch (state) {
+    case LevelState::kReplicated:
+      return "replicated";
+    case LevelState::kSharded:
+      return "sharded";
+    case LevelState::kRooted:
+      return "rooted";
+  }
+  return "?";
+}
+
+// Communication levels the three phases act on. Flat options use only kFlatLevel;
+// hierarchical options use the intra and inter levels.
+enum Level { kFlatLevel = 0, kIntraLevel = 1, kInterLevel = 2, kLevelCount = 3 };
+
+Level LevelOf(CommPhase phase) {
+  switch (phase) {
+    case CommPhase::kFlat:
+      return kFlatLevel;
+    case CommPhase::kIntraFirst:
+    case CommPhase::kIntraSecond:
+      return kIntraLevel;
+    case CommPhase::kInter:
+      return kInterLevel;
+  }
+  return kFlatLevel;
+}
+
+size_t GroupSize(const TreeConfig& config, Level level) {
+  switch (level) {
+    case kFlatLevel:
+      return config.machines * config.gpus_per_machine;
+    case kIntraLevel:
+      return config.gpus_per_machine;
+    case kInterLevel:
+      return config.machines;
+    default:
+      return 1;
+  }
+}
+
+std::string OpLabel(const CompressionOption& option, size_t op_index) {
+  const Op& op = option.ops[op_index];
+  std::ostringstream os;
+  os << "op " << op_index << " (";
+  switch (op.task) {
+    case ActionTask::kCompress:
+      os << "compress";
+      break;
+    case ActionTask::kDecompress:
+      os << "decompress";
+      break;
+    case ActionTask::kComm:
+      os << RoutineName(op.routine);
+      break;
+  }
+  os << " @" << CommPhaseName(op.phase) << ")";
+  return os.str();
+}
+
+// The linter's walk state: payload compression, outstanding unmerged payload count, and
+// the per-level topology.
+struct WalkState {
+  bool compressed = false;
+  // Number of separate compressed payloads currently held for the tensor's domain that
+  // still need aggregation. 0 when raw; 1 after a compress; multiplied by the group
+  // size when a collect-type routine gathers everyone's (unaggregated) payloads.
+  size_t pending_payloads = 0;
+  LevelState level[kLevelCount] = {LevelState::kReplicated, LevelState::kReplicated,
+                                   LevelState::kReplicated};
+};
+
+class OptionLinter {
+ public:
+  OptionLinter(const TreeConfig& config, const CompressionOption& option,
+               size_t tensor_index, DiagnosticReport* report)
+      : config_(config), option_(option), tensor_(tensor_index), report_(report) {}
+
+  void Run() {
+    if (option_.ops.empty()) {
+      Error(rules::kEmptyOption, "option has no ops",
+            "every tensor needs at least one communication op; use "
+            "DefaultUncompressedOption for the no-compression path");
+      return;
+    }
+    CheckPhases();
+    CheckUserConstraints();
+    WalkOps();
+  }
+
+ private:
+  void Error(const char* rule, const std::string& message, const std::string& hint = "") {
+    report_->AddError(rule, tensor_, Prefix() + message, hint);
+  }
+  void Warning(const char* rule, const std::string& message, const std::string& hint = "") {
+    report_->AddWarning(rule, tensor_, Prefix() + message, hint);
+  }
+  std::string Prefix() const {
+    return option_.label.empty() ? std::string() : "[" + option_.label + "] ";
+  }
+
+  // Rule 2: phases must be flat-only for flat options, or run intra1 -> inter -> intra2
+  // without going backwards; hierarchical options need a hierarchical cluster.
+  void CheckPhases() {
+    int max_rank = -1;
+    for (size_t k = 0; k < option_.ops.size(); ++k) {
+      const Op& op = option_.ops[k];
+      if (option_.flat) {
+        if (op.phase != CommPhase::kFlat) {
+          Error(rules::kFlatPhaseMix,
+                OpLabel(option_, k) + " uses a hierarchical phase in a flat option",
+                "flat options may only contain flat-phase ops; clear the flat flag to "
+                "use intra/inter phases");
+        }
+        continue;
+      }
+      if (op.phase == CommPhase::kFlat) {
+        Error(rules::kFlatPhaseMix,
+              OpLabel(option_, k) + " uses the flat phase in a hierarchical option",
+              "set the option's flat flag or move the op to intra1/inter/intra2");
+        continue;
+      }
+      const int rank = op.phase == CommPhase::kIntraFirst ? 0
+                       : op.phase == CommPhase::kInter    ? 1
+                                                          : 2;
+      if (rank < max_rank) {
+        Error(rules::kPhaseOrder,
+              OpLabel(option_, k) + " runs after a later phase already started",
+              "order ops intra1 -> inter -> intra2 (Figure 1's three-step pipeline)");
+      }
+      max_rank = rank > max_rank ? rank : max_rank;
+    }
+    if (!option_.flat && !config_.Hierarchical()) {
+      Error(rules::kHierarchicalOnFlatCluster,
+            "hierarchical option on a single-level cluster (machines=" +
+                std::to_string(config_.machines) +
+                ", gpus/machine=" + std::to_string(config_.gpus_per_machine) + ")",
+            "single-level clusters only support flat options");
+    }
+  }
+
+  void CheckUserConstraints() {
+    if (config_.max_compress_ops > 0 &&
+        option_.CompressOpCount() > config_.max_compress_ops) {
+      Error(rules::kMaxCompressOps,
+            "option uses " + std::to_string(option_.CompressOpCount()) +
+                " compression ops; the user constraint allows at most " +
+                std::to_string(config_.max_compress_ops),
+            "pick a path with fewer re-compressions (e.g. the indivisible scheme) or "
+            "raise max_compress_ops");
+    }
+  }
+
+  void CheckFractions(size_t k) {
+    const Op& op = option_.ops[k];
+    if (op.domain_fraction <= 0.0 || op.domain_fraction > 1.0 + kFractionEps ||
+        op.payload_fraction <= 0.0 || op.payload_fraction > 1.0 + kFractionEps) {
+      Error(rules::kOpFractionRange,
+            OpLabel(option_, k) + " has domain/payload fractions outside (0, 1]: domain=" +
+                std::to_string(op.domain_fraction) +
+                " payload=" + std::to_string(op.payload_fraction),
+            "fractions are tensor-relative shares and must be positive and at most 1");
+    }
+    if (op.fan_in == 0) {
+      Error(rules::kOpFractionRange, OpLabel(option_, k) + " has fan_in == 0",
+            "fan_in counts aggregated payloads and must be at least 1");
+    }
+    if (op.task == ActionTask::kComm &&
+        op.payload_fraction > op.domain_fraction + kFractionEps) {
+      Error(rules::kPayloadExceedsDomain,
+            OpLabel(option_, k) + " sends a payload (" +
+                std::to_string(op.payload_fraction) + ") larger than its domain (" +
+                std::to_string(op.domain_fraction) + ")",
+            "a rank cannot contribute more data than the domain it holds");
+    }
+    if (op.task == ActionTask::kCompress &&
+        std::abs(op.payload_fraction - op.domain_fraction) > kFractionEps) {
+      Error(rules::kCompressPayloadMismatch,
+            OpLabel(option_, k) + " compresses domain " +
+                std::to_string(op.domain_fraction) + " into payload coverage " +
+                std::to_string(op.payload_fraction),
+            "a compress op's payload must cover exactly the domain it compressed");
+    }
+    if (op.task == ActionTask::kDecompress &&
+        static_cast<double>(op.fan_in) * op.payload_fraction <
+            op.domain_fraction - kFractionEps) {
+      Error(rules::kDecompressCoverage,
+            OpLabel(option_, k) + " decompresses " + std::to_string(op.fan_in) +
+                " payload(s) of coverage " + std::to_string(op.payload_fraction) +
+                " but must reconstruct domain " + std::to_string(op.domain_fraction),
+            "fan_in * payload_fraction must cover the domain; bytes would be created "
+            "from nothing otherwise");
+    }
+  }
+
+  // Requires the level topology to be `want` before a routine runs; reports Rule-3
+  // violations otherwise.
+  bool RequireTopology(size_t k, Level level, LevelState want, const char* why) {
+    if (state_.level[level] == want) {
+      return true;
+    }
+    Error(rules::kTopologyPairing,
+          OpLabel(option_, k) + " requires " + LevelStateName(want) + " data but the " +
+              (level == kFlatLevel  ? "flat"
+               : level == kIntraLevel ? "intra"
+                                      : "inter") +
+              " level is " + LevelStateName(state_.level[level]),
+          why);
+    return false;
+  }
+
+  // Every communication step on a payload set that still needs aggregation forces the
+  // aggregation into the compressed domain first (the skip-stage of §4.2.2); gate it on
+  // the GC algorithm's capability.
+  void ConsumePendingBeforeComm(size_t k) {
+    if (state_.pending_payloads > 1) {
+      if (!config_.supports_compressed_aggregation) {
+        Error(rules::kCompressedAggUnsupported,
+              OpLabel(option_, k) + " communicates " +
+                  std::to_string(state_.pending_payloads) +
+                  " unmerged compressed payloads, which requires compressed-domain "
+                  "aggregation the GC algorithm does not support",
+              "insert a decompress(fan_in=" + std::to_string(state_.pending_payloads) +
+                  ") + compress stage, or use a shared-seed algorithm that supports "
+                  "compressed aggregation");
+      }
+      state_.pending_payloads = 1;  // merged (in the compressed domain)
+    }
+  }
+
+  void WalkComm(size_t k) {
+    const Op& op = option_.ops[k];
+    if (op.routine == Routine::kNone) {
+      Error(rules::kCommMissingRoutine, OpLabel(option_, k) + " has no routine",
+            "comm ops must name a collective routine");
+      return;
+    }
+    // Rule 1: the wire flag must match the payload state, and compressed payloads may
+    // not ride reduction routines (their aggregation is not associative, §4.2.1).
+    if (op.compressed != state_.compressed) {
+      Error(rules::kCommStateMismatch,
+            OpLabel(option_, k) + std::string(" is marked ") +
+                (op.compressed ? "compressed" : "raw") + " but the payload is " +
+                (state_.compressed ? "compressed" : "raw"),
+            state_.compressed ? "insert a decompress before this op or mark it compressed"
+                              : "insert a compress before this op or mark it raw");
+      return;  // downstream state tracking would be noise
+    }
+    const bool reduction = op.routine == Routine::kAllreduce ||
+                           op.routine == Routine::kReduceScatter ||
+                           op.routine == Routine::kReduce;
+    if (op.compressed && reduction) {
+      Error(rules::kCompressedReduction,
+            OpLabel(option_, k) + " reduces compressed payloads",
+            "compressed payloads can only be collected (allgather/alltoall/gather) and "
+            "aggregated after decompression");
+      return;
+    }
+    if (state_.compressed) {
+      ConsumePendingBeforeComm(k);
+    }
+
+    const Level level = LevelOf(op.phase);
+    const size_t group = GroupSize(config_, level);
+    LevelState& topo = state_.level[level];
+
+    // Rule 2 (divisible-only intra steps): indivisible allreduce may not appear on the
+    // intra level of a hierarchical option (§4.2.1, Dimension 4).
+    if (op.routine == Routine::kAllreduce && level == kIntraLevel) {
+      Error(rules::kIntraDivisibleOnly,
+            OpLabel(option_, k) + " uses indivisible allreduce on the intra level",
+            "intra-machine steps use divisible schemes only: reduce-scatter/alltoall "
+            "with a closing allgather, or reduce/gather with a closing broadcast");
+      return;
+    }
+
+    switch (op.routine) {
+      case Routine::kAllreduce:
+        RequireTopology(k, level, LevelState::kReplicated,
+                        "allreduce starts from every participant's full-domain copy");
+        break;
+      case Routine::kReduceScatter:
+        if (RequireTopology(k, level, LevelState::kReplicated,
+                            "reduce-scatter shards replicated data; its second step "
+                            "must be an allgather")) {
+          topo = LevelState::kSharded;
+        }
+        break;
+      case Routine::kReduce:
+        if (RequireTopology(k, level, LevelState::kReplicated,
+                            "reduce roots replicated data; its second step must be a "
+                            "broadcast")) {
+          topo = LevelState::kRooted;
+        }
+        break;
+      case Routine::kAlltoall:
+        if (RequireTopology(k, level, LevelState::kReplicated,
+                            "alltoall shuffles each participant's full-domain copy; "
+                            "its second step must be an allgather")) {
+          topo = LevelState::kSharded;
+          if (state_.compressed) {
+            // Each participant now holds `group` payload shards of its sub-domain that
+            // still need aggregation.
+            state_.pending_payloads *= group;
+          }
+        }
+        break;
+      case Routine::kGather:
+        if (RequireTopology(k, level, LevelState::kReplicated,
+                            "gather roots each participant's payload; its second step "
+                            "must be a broadcast")) {
+          topo = LevelState::kRooted;
+          if (state_.compressed) {
+            state_.pending_payloads *= group;
+          }
+        }
+        break;
+      case Routine::kAllgather:
+        if (topo == LevelState::kSharded) {
+          // Closing a sharding first step: the collected payloads tile disjoint
+          // sub-domains, so no aggregation is owed.
+          topo = LevelState::kReplicated;
+        } else if (topo == LevelState::kReplicated && state_.compressed) {
+          // Collect of everyone's compressed payload (indivisible compressed scheme);
+          // the payloads overlap and must be aggregated downstream.
+          state_.pending_payloads *= group;
+        } else {
+          Error(rules::kTopologyPairing,
+                OpLabel(option_, k) + " allgathers " + LevelStateName(topo) +
+                    " raw data",
+                "allgather closes a reduce-scatter/alltoall first step, or collects "
+                "compressed payloads from replicated data");
+        }
+        break;
+      case Routine::kBroadcast:
+        if (RequireTopology(k, level, LevelState::kRooted,
+                            "broadcast closes a reduce/gather first step")) {
+          topo = LevelState::kReplicated;
+        }
+        break;
+      case Routine::kNone:
+        break;
+    }
+  }
+
+  void WalkOps() {
+    bool has_comm = false;
+    for (size_t k = 0; k < option_.ops.size(); ++k) {
+      const Op& op = option_.ops[k];
+      CheckFractions(k);
+      if (op.task != ActionTask::kComm && op.routine != Routine::kNone) {
+        Error(rules::kRoutineOnNonComm,
+              OpLabel(option_, k) + " is a compression op but names routine '" +
+                  RoutineName(op.routine) + "'",
+              "only comm ops carry routines");
+      }
+      switch (op.task) {
+        case ActionTask::kCompress:
+          if (state_.compressed) {
+            Error(rules::kDoubleCompress,
+                  OpLabel(option_, k) + " compresses an already-compressed payload",
+                  "decompress (and aggregate) before re-compressing");
+          }
+          state_.compressed = true;
+          state_.pending_payloads = 1;
+          break;
+        case ActionTask::kDecompress:
+          if (!state_.compressed) {
+            Error(rules::kDecompressRaw,
+                  OpLabel(option_, k) + " decompresses a raw payload",
+                  "remove the decompress or insert the matching compress upstream");
+          } else if (op.fan_in < state_.pending_payloads &&
+                     !config_.supports_compressed_aggregation) {
+            Error(rules::kCompressedAggUnsupported,
+                  OpLabel(option_, k) + " decompresses " + std::to_string(op.fan_in) +
+                      " payload(s) but " + std::to_string(state_.pending_payloads) +
+                      " unmerged payloads are outstanding; merging them first requires "
+                      "compressed-domain aggregation",
+                  "decompress with fan_in=" + std::to_string(state_.pending_payloads) +
+                      " or use a GC algorithm with compressed aggregation");
+          }
+          state_.compressed = false;
+          state_.pending_payloads = 0;
+          break;
+        case ActionTask::kComm:
+          has_comm = true;
+          WalkComm(k);
+          break;
+      }
+    }
+    if (!has_comm) {
+      Error(rules::kNoComm, "option never communicates",
+            "a synchronization pipeline needs at least one collective routine");
+    }
+    if (state_.compressed) {
+      Error(rules::kEndsCompressed, "option leaves the payload compressed",
+            "append a decompress so the optimizer sees raw gradients");
+    }
+    for (int level = 0; level < kLevelCount; ++level) {
+      if (state_.level[level] != LevelState::kReplicated) {
+        Error(rules::kUnresolvedTopology,
+              std::string("option ends with ") + LevelStateName(state_.level[level]) +
+                  " data on the " +
+                  (level == kFlatLevel  ? "flat"
+                   : level == kIntraLevel ? "intra"
+                                          : "inter") +
+                  " level",
+              state_.level[level] == LevelState::kSharded
+                  ? "close the sharding first step with an allgather"
+                  : "close the rooting first step with a broadcast");
+      }
+    }
+  }
+
+  const TreeConfig& config_;
+  const CompressionOption& option_;
+  size_t tensor_;
+  DiagnosticReport* report_;
+  WalkState state_;
+};
+
+}  // namespace
+
+DiagnosticReport LintOption(const TreeConfig& config, const CompressionOption& option,
+                            size_t tensor_index) {
+  DiagnosticReport report;
+  OptionLinter(config, option, tensor_index, &report).Run();
+  return report;
+}
+
+DiagnosticReport LintStrategy(const TreeConfig& config, const Strategy& strategy,
+                              const LintOptions& options) {
+  DiagnosticReport report;
+  if (options.expected_tensors > 0 && strategy.size() != options.expected_tensors) {
+    report.AddError(rules::kSizeMismatch, Diagnostic::kStrategyScope,
+                    "strategy assigns " + std::to_string(strategy.size()) +
+                        " tensors but the model has " +
+                        std::to_string(options.expected_tensors),
+                    "strategies are index-aligned with ModelProfile::tensors");
+  }
+  for (size_t i = 0; i < strategy.options.size(); ++i) {
+    report.Merge(LintOption(config, strategy.options[i], i));
+  }
+  return report;
+}
+
+}  // namespace espresso

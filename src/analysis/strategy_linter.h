@@ -1,0 +1,75 @@
+// StrategyLinter: re-derives the legality of every per-tensor compression option
+// against the decision-tree pruning rules (§4.2), emitting structured diagnostics
+// instead of crashing or silently simulating an impossible pipeline.
+//
+// The linter is deliberately independent of the enumeration code in
+// src/core/decision_tree.cc: it walks each option with two state machines —
+//   * payload state (raw/compressed, plus outstanding unaggregated payload sets), which
+//     encodes Rule 1 (valid connections) and the compressed-aggregation gating of
+//     §4.2.2's footnote;
+//   * per-level data topology (replicated/sharded/rooted for the flat, intra, and inter
+//     communication levels), which encodes Rule 2 (step matching) and Rule 3 (topology
+//     pairing: Reduce-scatter/Alltoall shard, so their second step is an Allgather;
+//     Reduce/Gather root, so their second step is a Broadcast).
+// A property test asserts the linter accepts exactly what EnumerateOptions emits and
+// rejects one-edit mutations of it.
+#ifndef SRC_ANALYSIS_STRATEGY_LINTER_H_
+#define SRC_ANALYSIS_STRATEGY_LINTER_H_
+
+#include <cstddef>
+
+#include "src/analysis/diagnostics.h"
+#include "src/core/decision_tree.h"
+#include "src/core/strategy.h"
+
+namespace espresso {
+
+// Stable rule ids (see docs/ANALYSIS.md for the catalog).
+namespace rules {
+// Rule 1 — valid connections (payload state machine).
+inline constexpr const char* kDoubleCompress = "strategy.double-compress";
+inline constexpr const char* kDecompressRaw = "strategy.decompress-raw";
+inline constexpr const char* kEndsCompressed = "strategy.ends-compressed";
+inline constexpr const char* kCommStateMismatch = "strategy.comm-state-mismatch";
+inline constexpr const char* kCompressedReduction = "strategy.compressed-reduction";
+inline constexpr const char* kCompressedAggUnsupported = "strategy.compressed-agg-unsupported";
+// Rule 2 — step/phase matching.
+inline constexpr const char* kPhaseOrder = "strategy.phase-order";
+inline constexpr const char* kFlatPhaseMix = "strategy.flat-phase-mix";
+inline constexpr const char* kHierarchicalOnFlatCluster = "strategy.hier-on-flat-cluster";
+inline constexpr const char* kIntraDivisibleOnly = "strategy.intra-divisible-only";
+// Rule 3 — topology pairing.
+inline constexpr const char* kTopologyPairing = "strategy.topology-pairing";
+inline constexpr const char* kUnresolvedTopology = "strategy.unresolved-topology";
+// Structural / user-constraint rules.
+inline constexpr const char* kEmptyOption = "strategy.empty-option";
+inline constexpr const char* kNoComm = "strategy.no-comm";
+inline constexpr const char* kCommMissingRoutine = "strategy.comm-missing-routine";
+inline constexpr const char* kRoutineOnNonComm = "strategy.routine-on-noncomm";
+inline constexpr const char* kOpFractionRange = "strategy.op-fraction-range";
+inline constexpr const char* kMaxCompressOps = "strategy.max-compress-ops";
+// Byte/payload conservation across compress -> comm -> decompress.
+inline constexpr const char* kPayloadExceedsDomain = "strategy.payload-exceeds-domain";
+inline constexpr const char* kCompressPayloadMismatch = "strategy.compress-payload-mismatch";
+inline constexpr const char* kDecompressCoverage = "strategy.decompress-coverage";
+// Strategy-level rules.
+inline constexpr const char* kSizeMismatch = "strategy.size-mismatch";
+}  // namespace rules
+
+struct LintOptions {
+  // When non-zero, the strategy must assign exactly this many tensors (the model's
+  // tensor count); mismatches are errors.
+  size_t expected_tensors = 0;
+};
+
+// Lints a single option as tensor `tensor_index` (used for diagnostics scoping).
+DiagnosticReport LintOption(const TreeConfig& config, const CompressionOption& option,
+                            size_t tensor_index);
+
+// Lints every option of the strategy plus strategy-level invariants.
+DiagnosticReport LintStrategy(const TreeConfig& config, const Strategy& strategy,
+                              const LintOptions& options = {});
+
+}  // namespace espresso
+
+#endif  // SRC_ANALYSIS_STRATEGY_LINTER_H_

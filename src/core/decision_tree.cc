@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <string>
 
+#include "src/util/checked_math.h"
 #include "src/util/logging.h"
 
 namespace espresso {
@@ -360,9 +361,11 @@ void EnumerateHierarchical(const TreeConfig& config, std::vector<CompressionOpti
 }  // namespace
 
 size_t OptionSpace::TotalWithDeviceChoices() const {
+  // Saturating: 2^slots wraps to 0 once slots reaches the word size, and the sum can
+  // wrap even when each term fits; SIZE_MAX is the honest "too many to enumerate".
   size_t total = 0;
   for (const auto& option : options) {
-    total += size_t{1} << option.DeviceSlots();
+    total = SaturatingAdd(total, SaturatingPow2(option.DeviceSlots()));
   }
   return total;
 }

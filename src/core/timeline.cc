@@ -6,6 +6,10 @@
 #include "src/costmodel/collective_cost.h"
 #include "src/util/logging.h"
 
+#ifdef ESPRESSO_VERIFY_SCHEDULES
+#include "src/analysis/schedule_verifier.h"
+#endif
+
 namespace espresso {
 
 namespace {
@@ -208,8 +212,13 @@ double TimelineEvaluator::RunRaw(const Strategy& strategy,
     ResourceId resource;
     TaskId task;
   };
+#ifdef ESPRESSO_VERIFY_SCHEDULES
+  const bool record_ops = true;  // the verifier audits every schedule, recorded or not
+#else
+  const bool record_ops = raw != nullptr;
+#endif
   std::vector<OpTask> op_tasks;
-  if (raw != nullptr) {
+  if (record_ops) {
     op_tasks.reserve(task_estimate - n);
   }
   const bool host_copies = cluster_.host_copy_contends_intra && !zero_compression_cost_;
@@ -224,7 +233,7 @@ double TimelineEvaluator::RunRaw(const Strategy& strategy,
       if (host_copies && op.task == ActionTask::kCompress && op.device == Device::kCpu) {
         prev = engine.AddTaskAfter("", intra, cluster_.intra.TransferTime(domain_bytes),
                                    prev, static_cast<int>(i));
-        if (raw != nullptr) {
+        if (record_ops) {
           op_tasks.push_back({i, kHostCopyOp, intra, prev});
         }
       }
@@ -232,14 +241,14 @@ double TimelineEvaluator::RunRaw(const Strategy& strategy,
       const ResourceId resource = resource_for(op);
       const TaskId id =
           engine.AddTaskAfter("", resource, duration, prev, static_cast<int>(i));
-      if (raw != nullptr) {
+      if (record_ops) {
         op_tasks.push_back({i, k, resource, id});
       }
       prev = id;
       if (host_copies && op.task == ActionTask::kDecompress && op.device == Device::kCpu) {
         prev = engine.AddTaskAfter("", intra, cluster_.intra.TransferTime(domain_bytes),
                                    prev, static_cast<int>(i));
-        if (raw != nullptr) {
+        if (record_ops) {
           op_tasks.push_back({i, kHostCopyOp, intra, prev});
         }
       }
@@ -261,11 +270,71 @@ double TimelineEvaluator::RunRaw(const Strategy& strategy,
                               engine.TaskStart(ot.task), engine.TaskEnd(ot.task)});
     }
   }
+#ifdef ESPRESSO_VERIFY_SCHEDULES
+  {
+    // Verification build: every simulated timeline — the decision algorithm's hot loop
+    // included — must satisfy the scheduling invariants. The ops we just scheduled are
+    // re-collected when the caller did not ask for records.
+    std::vector<RawEntry> verify_raw;
+    if (raw == nullptr) {
+      verify_raw.reserve(n + op_tasks.size());
+      for (size_t i = 0; i < n; ++i) {
+        verify_raw.push_back(RawEntry{i, kComputeOp, kGpuResource,
+                                      engine.TaskStart(compute_tasks[i]),
+                                      engine.TaskEnd(compute_tasks[i])});
+      }
+      for (const OpTask& ot : op_tasks) {
+        verify_raw.push_back(RawEntry{ot.tensor, ot.op_index, ot.resource,
+                                      engine.TaskStart(ot.task), engine.TaskEnd(ot.task)});
+      }
+    }
+    VerifierConfig verifier_config;
+    verifier_config.cpu_workers = cluster_.cpu_workers_per_gpu;
+    const DiagnosticReport report = VerifySimulatedTimeline(
+        strategy, ToEntries(strategy, raw != nullptr ? *raw : verify_raw),
+        verifier_config);
+    ESP_CHECK(!report.HasErrors()) << "schedule verification failed:\n"
+                                   << report.ToString();
+  }
+#endif
   return engine.Makespan();
 }
 
 double TimelineEvaluator::IterationTime(const Strategy& strategy) const {
   return model_.forward_time_s + RunRaw(strategy, nullptr) + model_.optimizer_time_s;
+}
+
+std::vector<TimelineEntry> TimelineEvaluator::ToEntries(
+    const Strategy& strategy, const std::vector<RawEntry>& raw) const {
+  std::vector<TimelineEntry> entries;
+  entries.reserve(raw.size());
+  for (const RawEntry& e : raw) {
+    TimelineEntry entry;
+    entry.tensor = e.tensor;
+    entry.resource = FixedResourceName(e.resource);
+    entry.start = e.start;
+    entry.end = e.end;
+    if (e.op_index == kComputeOp) {
+      entry.kind = "compute";
+    } else if (e.op_index == kHostCopyOp) {
+      entry.kind = "hostcopy";
+    } else {
+      const Op& op = strategy.options[e.tensor].ops[e.op_index];
+      switch (op.task) {
+        case ActionTask::kCompress:
+          entry.kind = "compress";
+          break;
+        case ActionTask::kDecompress:
+          entry.kind = "decompress";
+          break;
+        case ActionTask::kComm:
+          entry.kind = RoutineName(op.routine);
+          break;
+      }
+    }
+    entries.push_back(std::move(entry));
+  }
+  return entries;
 }
 
 TimelineResult TimelineEvaluator::Evaluate(const Strategy& strategy,
@@ -276,33 +345,7 @@ TimelineResult TimelineEvaluator::Evaluate(const Strategy& strategy,
   } else {
     std::vector<RawEntry> raw;
     result.makespan = RunRaw(strategy, &raw);
-    result.entries.reserve(raw.size());
-    for (const RawEntry& e : raw) {
-      TimelineEntry entry;
-      entry.tensor = e.tensor;
-      entry.resource = FixedResourceName(e.resource);
-      entry.start = e.start;
-      entry.end = e.end;
-      if (e.op_index == kComputeOp) {
-        entry.kind = "compute";
-      } else if (e.op_index == kHostCopyOp) {
-        entry.kind = "hostcopy";
-      } else {
-        const Op& op = strategy.options[e.tensor].ops[e.op_index];
-        switch (op.task) {
-          case ActionTask::kCompress:
-            entry.kind = "compress";
-            break;
-          case ActionTask::kDecompress:
-            entry.kind = "decompress";
-            break;
-          case ActionTask::kComm:
-            entry.kind = RoutineName(op.routine);
-            break;
-        }
-      }
-      result.entries.push_back(std::move(entry));
-    }
+    result.entries = ToEntries(strategy, raw);
   }
   result.iteration_time = model_.forward_time_s + result.makespan + model_.optimizer_time_s;
   return result;

@@ -104,6 +104,10 @@ class TimelineEvaluator {
   // Builds and runs the schedule; fills per-op raw records when requested.
   double RunRaw(const Strategy& strategy, std::vector<RawEntry>* raw) const;
 
+  // Converts raw records to named entries (trace/verifier representation).
+  std::vector<TimelineEntry> ToEntries(const Strategy& strategy,
+                                       const std::vector<RawEntry>& raw) const;
+
   ModelProfile model_;
   ClusterSpec cluster_;
   const Compressor& compressor_;

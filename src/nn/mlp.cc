@@ -30,7 +30,7 @@ void Mlp::Forward(const Matrix& x, Matrix* hidden, Matrix* mask, Matrix* logits)
 }
 
 double Mlp::ComputeGradients(const Matrix& x, const std::vector<int>& labels,
-                             std::vector<std::vector<float>>* grads) {
+                             std::vector<std::vector<float>>* grads) const {
   ESP_CHECK_EQ(x.rows, labels.size());
   Matrix hidden, mask, logits;
   Forward(x, &hidden, &mask, &logits);

@@ -18,9 +18,10 @@ class Mlp {
   Mlp(size_t input_dim, size_t hidden_dim, size_t classes, uint64_t seed);
 
   // Forward + backward over a batch; fills `grads` (same layout as Parameters()) and
-  // returns the mean cross-entropy loss.
+  // returns the mean cross-entropy loss. Const: safe to call concurrently from several
+  // worker threads against one model instance (data-parallel replicas stay identical).
   double ComputeGradients(const Matrix& x, const std::vector<int>& labels,
-                          std::vector<std::vector<float>>* grads);
+                          std::vector<std::vector<float>>* grads) const;
 
   // Fraction of correct argmax predictions on (x, labels).
   double Accuracy(const Matrix& x, const std::vector<int>& labels) const;

@@ -4,6 +4,7 @@
 
 #include "src/collectives/schemes.h"
 #include "src/util/logging.h"
+#include "src/util/thread_pool.h"
 
 namespace espresso {
 
@@ -28,6 +29,11 @@ std::vector<EpochStats> TrainDataParallel(const Dataset& train, const Dataset& t
   const size_t steps_per_epoch = train.size() / global_batch;
   ESP_CHECK_GT(steps_per_epoch, 0u);
 
+  // The per-worker backward passes are independent reads of the shared model, so they
+  // fan out over the pool; each worker writes only its own grads/loss slot, and the
+  // loss reduction happens in worker order after Wait() to keep results deterministic.
+  ThreadPool pool(config.threads);
+
   std::vector<EpochStats> history;
   uint64_t step_counter = 0;
   for (size_t epoch = 0; epoch < config.epochs; ++epoch) {
@@ -40,11 +46,17 @@ std::vector<EpochStats> TrainDataParallel(const Dataset& train, const Dataset& t
       }
       // Each worker's gradient on its disjoint shard of the global batch.
       std::vector<std::vector<std::vector<float>>> worker_grads(config.workers);
+      std::vector<double> worker_loss(config.workers, 0.0);
       for (size_t w = 0; w < config.workers; ++w) {
-        const size_t begin = (step * global_batch + w * config.batch_per_worker);
-        Dataset shard = Slice(train, begin, config.batch_per_worker);
-        loss_sum += model.ComputeGradients(shard.x, shard.labels, &worker_grads[w]) /
-                    static_cast<double>(config.workers);
+        pool.Submit([&, w] {
+          const size_t begin = (step * global_batch + w * config.batch_per_worker);
+          Dataset shard = Slice(train, begin, config.batch_per_worker);
+          worker_loss[w] = model.ComputeGradients(shard.x, shard.labels, &worker_grads[w]);
+        });
+      }
+      pool.Wait();
+      for (size_t w = 0; w < config.workers; ++w) {
+        loss_sum += worker_loss[w] / static_cast<double>(config.workers);
       }
 
       // Synchronize tensor by tensor through the configured scheme.

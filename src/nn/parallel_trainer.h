@@ -38,6 +38,10 @@ struct TrainConfig {
   // DGC momentum correction factor for the error-feedback store (0 = plain EF).
   double momentum_correction = 0.0;
   uint64_t seed = 1;
+  // Worker-gradient threads. 0 runs the per-worker backward passes inline on the
+  // calling thread; >= 1 fans them out over a ThreadPool. The schedule is
+  // deterministic either way: losses are reduced in worker order after the barrier.
+  size_t threads = 0;
 };
 
 struct EpochStats {

@@ -1,0 +1,111 @@
+#include "src/analysis/dominance.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/baselines.h"
+#include "src/core/espresso.h"
+#include "src/costmodel/calibration.h"
+#include "src/models/model_zoo.h"
+
+namespace espresso {
+namespace {
+
+ModelProfile SmallModel() {
+  ModelProfile m;
+  m.name = "toy";
+  m.forward_time_s = 5e-3;
+  m.optimizer_time_s = 1e-3;
+  m.batch_size = 1;
+  m.throughput_unit = "it/s";
+  m.tensors = {
+      {"T0", 4 << 20, 10e-3},
+      {"T1", 4 << 20, 10e-3},
+      {"T2", 4 << 20, 10e-3},
+  };
+  return m;
+}
+
+std::unique_ptr<Compressor> Dgc() {
+  return CreateCompressor(CompressorConfig{.algorithm = "dgc", .ratio = 0.01});
+}
+
+TEST(Dominance, SelectedStrategyPasses) {
+  const ModelProfile model = SmallModel();
+  const ClusterSpec cluster = NvlinkCluster();
+  const auto compressor = Dgc();
+  EspressoSelector selector(model, cluster, *compressor);
+  const DominanceResult result =
+      CheckDominance(model, cluster, *compressor, selector.Select().strategy);
+  EXPECT_FALSE(result.report.HasErrors()) << result.report.ToString();
+  EXPECT_EQ(result.baselines.size(), 4u);
+  EXPECT_GT(result.checked_iteration_time, 0.0);
+  // The Upper Bound is a lower bound on F(S).
+  EXPECT_GE(result.checked_iteration_time,
+            result.upper_bound_iteration_time * (1.0 - 0.005));
+}
+
+TEST(Dominance, BaselinesThemselvesAreNotDominatedByThemselves) {
+  // fp32 compared against the baseline set that includes fp32: at worst a tie-note.
+  const ModelProfile model = SmallModel();
+  const ClusterSpec cluster = NvlinkCluster();
+  const auto compressor = Dgc();
+  const DominanceResult result =
+      CheckDominance(model, cluster, *compressor, Fp32Strategy(model, cluster));
+  EXPECT_FALSE(result.report.HasRule(rules::kBeatsUpperBound)) << result.report.ToString();
+}
+
+TEST(Dominance, FiresOnDominatedStrategy) {
+  // FP32 communication plus a pointless full-size compress/decompress round trip: pure
+  // GPU cost, zero wire savings — strictly worse than the FP32 baseline.
+  const ModelProfile model = SmallModel();
+  const ClusterSpec cluster = NvlinkCluster();
+  const auto compressor = Dgc();
+  Strategy wasteful = Fp32Strategy(model, cluster);
+  for (CompressionOption& option : wasteful.options) {
+    const CommPhase phase = option.flat ? CommPhase::kFlat : CommPhase::kIntraFirst;
+    Op compress;
+    compress.task = ActionTask::kCompress;
+    compress.phase = phase;
+    Op decompress;
+    decompress.task = ActionTask::kDecompress;
+    decompress.phase = phase;
+    option.ops.insert(option.ops.begin(), {compress, decompress});
+  }
+  const DominanceResult result =
+      CheckDominance(model, cluster, *compressor, wasteful);
+  EXPECT_TRUE(result.report.HasRule(rules::kWorseThanBaseline))
+      << result.report.ToString();
+  EXPECT_TRUE(result.report.HasErrors());
+}
+
+TEST(Dominance, CostModelSanityPassesOnCalibratedClusters) {
+  const ModelProfile model = SmallModel();
+  const auto compressor = Dgc();
+  for (const ClusterSpec& cluster : {NvlinkCluster(), PcieCluster()}) {
+    const DiagnosticReport report = CheckCostModelSanity(model, cluster, *compressor);
+    EXPECT_FALSE(report.HasErrors()) << report.ToString();
+  }
+}
+
+TEST(Dominance, CostModelSanityFiresOnBrokenCalibration) {
+  const ModelProfile model = SmallModel();
+  const auto compressor = Dgc();
+
+  ClusterSpec bad_beta = NvlinkCluster();
+  bad_beta.inter.bytes_per_second = 0.0;
+  EXPECT_TRUE(CheckCostModelSanity(model, bad_beta, *compressor)
+                  .HasRule(rules::kBetaRange));
+
+  ClusterSpec bad_alpha = NvlinkCluster();
+  bad_alpha.intra.latency_s = -1e-6;
+  EXPECT_TRUE(CheckCostModelSanity(model, bad_alpha, *compressor)
+                  .HasRule(rules::kAlphaRange));
+
+  ClusterSpec bad_device = NvlinkCluster();
+  bad_device.gpu_compression.compress_bytes_per_s = -1.0;
+  EXPECT_TRUE(CheckCostModelSanity(model, bad_device, *compressor)
+                  .HasRule(rules::kNegativeDurationModel));
+}
+
+}  // namespace
+}  // namespace espresso

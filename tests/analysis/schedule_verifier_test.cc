@@ -1,0 +1,235 @@
+#include "src/analysis/schedule_verifier.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+
+#include "src/core/baselines.h"
+#include "src/core/espresso.h"
+#include "src/costmodel/calibration.h"
+#include "src/models/model_zoo.h"
+
+namespace espresso {
+namespace {
+
+ModelProfile SmallModel() {
+  ModelProfile m;
+  m.name = "toy";
+  m.forward_time_s = 5e-3;
+  m.optimizer_time_s = 1e-3;
+  m.batch_size = 1;
+  m.throughput_unit = "it/s";
+  m.tensors = {
+      {"T0", 4 << 20, 10e-3},
+      {"T1", 4 << 20, 10e-3},
+      {"T2", 4 << 20, 10e-3},
+  };
+  return m;
+}
+
+std::unique_ptr<Compressor> Dgc() {
+  return CreateCompressor(CompressorConfig{.algorithm = "dgc", .ratio = 0.01});
+}
+
+const Diagnostic* FindRule(const DiagnosticReport& report, const char* rule) {
+  for (const Diagnostic& d : report.diagnostics()) {
+    if (d.rule == rule) {
+      return &d;
+    }
+  }
+  return nullptr;
+}
+
+class ScheduleVerifierTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    model_ = SmallModel();
+    cluster_ = NvlinkCluster();
+    compressor_ = Dgc();
+    evaluator_ = std::make_unique<TimelineEvaluator>(model_, cluster_, *compressor_);
+    config_.cpu_workers = cluster_.cpu_workers_per_gpu;
+  }
+
+  TimelineResult Simulate(const Strategy& strategy) {
+    return evaluator_->Evaluate(strategy, /*record_entries=*/true);
+  }
+
+  ModelProfile model_;
+  ClusterSpec cluster_;
+  std::unique_ptr<Compressor> compressor_;
+  std::unique_ptr<TimelineEvaluator> evaluator_;
+  VerifierConfig config_;
+};
+
+TEST_F(ScheduleVerifierTest, RealTimelinesVerifyClean) {
+  for (const Strategy& strategy :
+       {Fp32Strategy(model_, cluster_), HiPressStrategy(model_, cluster_, *compressor_),
+        BytePSCompressStrategy(model_, cluster_, *compressor_)}) {
+    const TimelineResult result = Simulate(strategy);
+    ASSERT_FALSE(result.entries.empty());
+    const DiagnosticReport report =
+        VerifySimulatedTimeline(strategy, result.entries, config_);
+    EXPECT_FALSE(report.HasErrors()) << strategy.Summary() << "\n" << report.ToString();
+  }
+}
+
+TEST_F(ScheduleVerifierTest, SelectedStrategyVerifiesClean) {
+  EspressoSelector selector(model_, cluster_, *compressor_);
+  const Strategy strategy = selector.Select().strategy;
+  const TimelineResult result = Simulate(strategy);
+  const DiagnosticReport report =
+      VerifySimulatedTimeline(strategy, result.entries, config_);
+  EXPECT_FALSE(report.HasErrors()) << report.ToString();
+}
+
+TEST_F(ScheduleVerifierTest, DetectsSerialOverlapWithWitness) {
+  const Strategy strategy = Fp32Strategy(model_, cluster_);
+  std::vector<TimelineEntry> entries = Simulate(strategy).entries;
+  // Drag the second gpu compute back over the first.
+  entries[1].start = entries[0].start;
+  const DiagnosticReport report = VerifySchedule(entries, config_);
+  const Diagnostic* d = FindRule(report, rules::kSerialOverlap);
+  ASSERT_NE(d, nullptr) << report.ToString();
+  // The minimal witness: exactly the two conflicting intervals.
+  ASSERT_EQ(d->witnesses.size(), 2u);
+  EXPECT_EQ(d->witnesses[0].resource, "gpu");
+  EXPECT_EQ(d->witnesses[1].resource, "gpu");
+}
+
+TEST_F(ScheduleVerifierTest, ZeroDurationIntervalsDoNotOverlap) {
+  // A zero-length op coinciding with another task's boundary occupies no time.
+  std::vector<TimelineEntry> entries = {
+      {0, "compute", "gpu", 0.0, 1.0},
+      {0, "compress", "gpu", 1.0, 1.0},
+      {1, "compute", "gpu", 1.0, 2.0},
+  };
+  VerifierConfig config = config_;
+  config.check_priority = false;
+  EXPECT_FALSE(VerifySchedule(entries, config).HasErrors());
+}
+
+TEST_F(ScheduleVerifierTest, DetectsNestedOverlap) {
+  // The long interval contains a later short one; adjacent-pair scanning would miss
+  // the third interval against the first.
+  std::vector<TimelineEntry> entries = {
+      {0, "allreduce", "inter", 0.0, 10.0},
+      {1, "allreduce", "inter", 1.0, 2.0},
+      {2, "allreduce", "inter", 5.0, 6.0},
+  };
+  VerifierConfig config = config_;
+  config.check_priority = false;
+  const DiagnosticReport report = VerifySchedule(entries, config);
+  EXPECT_GE(report.ErrorCount(), 2u) << report.ToString();
+  EXPECT_TRUE(report.HasRule(rules::kSerialOverlap));
+}
+
+TEST_F(ScheduleVerifierTest, DetectsCausalityViolation) {
+  const Strategy strategy = Fp32Strategy(model_, cluster_);
+  std::vector<TimelineEntry> entries = Simulate(strategy).entries;
+  // Find a comm entry and start it before its tensor's compute finished.
+  const auto comm = std::find_if(entries.begin(), entries.end(), [](const TimelineEntry& e) {
+    return e.kind != "compute" && e.kind != "hostcopy";
+  });
+  ASSERT_NE(comm, entries.end());
+  comm->start = 0.0;
+  const DiagnosticReport report = VerifySchedule(entries, config_);
+  EXPECT_TRUE(report.HasRule(rules::kCausality)) << report.ToString();
+}
+
+TEST_F(ScheduleVerifierTest, DetectsPoolOvercommit) {
+  // cpu is a pool: `workers` concurrent lanes are fine, workers + 1 is a violation.
+  std::vector<TimelineEntry> entries;
+  entries.reserve(config_.cpu_workers + 2);
+  for (size_t i = 0; i < config_.cpu_workers + 1; ++i) {
+    entries.push_back(TimelineEntry{i, "compress", "cpu", 0.0, 1.0});
+  }
+  VerifierConfig config = config_;
+  config.check_priority = false;
+  EXPECT_TRUE(VerifySchedule(entries, config).HasRule(rules::kPoolOvercommit));
+
+  entries.pop_back();
+  EXPECT_FALSE(VerifySchedule(entries, config).HasErrors());
+}
+
+TEST_F(ScheduleVerifierTest, DetectsPriorityInversion) {
+  // Tensor 1's comm runs first even though tensor 0's was ready (both computes done).
+  std::vector<TimelineEntry> entries = {
+      {0, "compute", "gpu", 0.0, 1.0},
+      {0, "allreduce", "inter", 5.0, 6.0},
+      {1, "compute", "gpu", 1.0, 2.0},
+      {1, "allreduce", "inter", 2.0, 5.0},
+  };
+  const DiagnosticReport report = VerifySchedule(entries, config_);
+  const Diagnostic* d = FindRule(report, rules::kPriorityInversion);
+  ASSERT_NE(d, nullptr) << report.ToString();
+  EXPECT_EQ(d->witnesses.size(), 2u);
+}
+
+TEST_F(ScheduleVerifierTest, FifoOrderIsNotAnInversion) {
+  std::vector<TimelineEntry> entries = {
+      {0, "compute", "gpu", 0.0, 1.0},
+      {0, "allreduce", "inter", 1.0, 3.0},
+      {1, "compute", "gpu", 1.0, 2.0},
+      {1, "allreduce", "inter", 3.0, 4.0},
+  };
+  EXPECT_FALSE(VerifySchedule(entries, config_).HasErrors());
+}
+
+TEST_F(ScheduleVerifierTest, DetectsNonFiniteAndNegativeDurations) {
+  std::vector<TimelineEntry> entries = {
+      {0, "compute", "gpu", 0.0, std::numeric_limits<double>::infinity()},
+      {1, "compute", "gpu", 2.0, 1.0},
+  };
+  VerifierConfig config = config_;
+  config.check_priority = false;
+  const DiagnosticReport report = VerifySchedule(entries, config);
+  EXPECT_TRUE(report.HasRule(rules::kNonFiniteTime));
+  EXPECT_TRUE(report.HasRule(rules::kNegativeDuration));
+}
+
+TEST_F(ScheduleVerifierTest, DetectsOpCountMismatch) {
+  const Strategy strategy = Fp32Strategy(model_, cluster_);
+  std::vector<TimelineEntry> entries = Simulate(strategy).entries;
+  // Drop tensor 0's comm entry: the option says it must exist.
+  const auto comm = std::find_if(entries.begin(), entries.end(), [](const TimelineEntry& e) {
+    return e.tensor == 0 && e.kind != "compute" && e.kind != "hostcopy";
+  });
+  ASSERT_NE(comm, entries.end());
+  entries.erase(comm);
+  const DiagnosticReport report = VerifySimulatedTimeline(strategy, entries, config_);
+  EXPECT_TRUE(report.HasRule(rules::kOpCountMismatch)) << report.ToString();
+}
+
+TEST_F(ScheduleVerifierTest, DetectsBytesNotConserved) {
+  // A strategy whose compress op claims to cover less than the domain it compressed.
+  // The entries are simulated from the legal FP32 strategy and extended by hand (the
+  // evaluator itself refuses to run illegal strategies in verification builds).
+  Strategy strategy = Fp32Strategy(model_, cluster_);
+  std::vector<TimelineEntry> entries = Simulate(strategy).entries;
+
+  Op compress;
+  compress.task = ActionTask::kCompress;
+  compress.phase = strategy.options[0].flat ? CommPhase::kFlat : CommPhase::kIntraFirst;
+  compress.domain_fraction = 1.0;
+  compress.payload_fraction = 0.25;
+  Op decompress = compress;
+  decompress.task = ActionTask::kDecompress;
+  decompress.payload_fraction = 1.0;
+  strategy.options[0].ops.insert(strategy.options[0].ops.begin(), {compress, decompress});
+
+  // Mirror the new ops as zero-duration entries right before tensor 0's first comm so
+  // the stream still corresponds to the (now illegal) option.
+  const auto comm = std::find_if(entries.begin(), entries.end(), [](const TimelineEntry& e) {
+    return e.tensor == 0 && e.kind != "compute" && e.kind != "hostcopy";
+  });
+  ASSERT_NE(comm, entries.end());
+  const double t = comm->start;
+  entries.insert(comm, {TimelineEntry{0, "compress", "gpu", t, t},
+                        TimelineEntry{0, "decompress", "gpu", t, t}});
+  const DiagnosticReport report = VerifySimulatedTimeline(strategy, entries, config_);
+  EXPECT_TRUE(report.HasRule(rules::kBytesNotConserved)) << report.ToString();
+}
+
+}  // namespace
+}  // namespace espresso

@@ -1,0 +1,120 @@
+// Subprocess tests for the strategy_lint executable: the mutation-mode contract (each
+// --inject mode trips its pass with the expected rule id and a non-zero exit) and the
+// clean-run contract over the committed example configs.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace espresso {
+namespace {
+
+#ifndef STRATEGY_LINT_PATH
+#error "STRATEGY_LINT_PATH must point at the strategy_lint executable"
+#endif
+#ifndef ESPRESSO_CONFIG_DIR
+#error "ESPRESSO_CONFIG_DIR must point at the repository's configs/ directory"
+#endif
+
+struct RunResult {
+  int exit_code = -1;
+  std::string output;
+};
+
+std::string ConfigPath(const std::string& name) {
+  return std::string(ESPRESSO_CONFIG_DIR) + "/" + name;
+}
+
+std::string JobArgs() {
+  return ConfigPath("model_gpt2.ini") + " " + ConfigPath("gc_dgc.ini") + " " +
+         ConfigPath("system_nvlink.ini");
+}
+
+RunResult RunLint(const std::string& args) {
+  // Unique per test AND per call: ctest runs the cases of this binary in parallel,
+  // so a shared capture file would race.
+  static int call_count = 0;
+  const std::string out_path =
+      ::testing::TempDir() + "/strategy_lint_out_" +
+      ::testing::UnitTest::GetInstance()->current_test_info()->name() + "_" +
+      std::to_string(call_count++) + ".txt";
+  const std::string command =
+      std::string(STRATEGY_LINT_PATH) + " " + args + " > " + out_path + " 2>&1";
+  const int status = std::system(command.c_str());
+  RunResult result;
+#ifdef WIFEXITED
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+#else
+  result.exit_code = status;
+#endif
+  std::ifstream in(out_path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  result.output = buffer.str();
+  std::remove(out_path.c_str());
+  return result;
+}
+
+TEST(StrategyLintCli, CleanRunOverCommittedConfigs) {
+  const RunResult result = RunLint(JobArgs());
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("no diagnostics"), std::string::npos) << result.output;
+}
+
+TEST(StrategyLintCli, CleanRunOnPcieTestbed) {
+  const RunResult result = RunLint(ConfigPath("model_gpt2.ini") + " " +
+                                   ConfigPath("gc_efsignsgd_limited.ini") + " " +
+                                   ConfigPath("system_pcie.ini"));
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+}
+
+TEST(StrategyLintCli, InjectIllegalOptionFailsWithLinterRule) {
+  const RunResult result = RunLint(JobArgs() + " --inject illegal-option");
+  EXPECT_EQ(result.exit_code, 1) << result.output;
+  EXPECT_NE(result.output.find("strategy.double-compress"), std::string::npos)
+      << result.output;
+}
+
+TEST(StrategyLintCli, InjectOverlapFailsWithVerifierRule) {
+  const RunResult result = RunLint(JobArgs() + " --inject overlap");
+  EXPECT_EQ(result.exit_code, 1) << result.output;
+  EXPECT_NE(result.output.find("schedule.serial-overlap"), std::string::npos)
+      << result.output;
+}
+
+TEST(StrategyLintCli, InjectDominatedFailsWithDominanceRule) {
+  const RunResult result = RunLint(JobArgs() + " --inject dominated");
+  EXPECT_EQ(result.exit_code, 1) << result.output;
+  EXPECT_NE(result.output.find("dominance.worse-than-baseline"), std::string::npos)
+      << result.output;
+}
+
+TEST(StrategyLintCli, WritesJsonReport) {
+  const std::string json_path = ::testing::TempDir() + "/strategy_lint_report.json";
+  const RunResult result =
+      RunLint(JobArgs() + " --inject illegal-option --json " + json_path);
+  EXPECT_EQ(result.exit_code, 1);
+  std::ifstream in(json_path);
+  ASSERT_TRUE(in.good());
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string json = buffer.str();
+  EXPECT_NE(json.find("\"errors\""), std::string::npos) << json;
+  EXPECT_NE(json.find("strategy.double-compress"), std::string::npos) << json;
+  std::remove(json_path.c_str());
+}
+
+TEST(StrategyLintCli, UsageErrorsExitTwo) {
+  EXPECT_EQ(RunLint("").exit_code, 2);
+  EXPECT_EQ(RunLint(JobArgs() + " --inject bogus").exit_code, 2);
+  EXPECT_EQ(RunLint(ConfigPath("does_not_exist.ini") + " " + ConfigPath("gc_dgc.ini") +
+                    " " + ConfigPath("system_nvlink.ini"))
+                .exit_code,
+            2);
+}
+
+}  // namespace
+}  // namespace espresso

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <set>
 
 namespace espresso {
@@ -45,6 +46,32 @@ TEST(DecisionTree, DeviceChoicesGrowTheSpaceToPaperScale) {
   EXPECT_GT(total, 1000u);
   EXPECT_LT(total, 50000u);
   EXPECT_GT(total, space.options.size());
+}
+
+TEST(DecisionTree, TotalWithDeviceChoicesSaturatesInsteadOfWrapping) {
+  // An option with >= 64 device slots would shift past the word size; the count must
+  // saturate at SIZE_MAX rather than wrap to a small number.
+  OptionSpace space;
+  CompressionOption huge;
+  for (int i = 0; i < 35; ++i) {
+    Op compress;
+    compress.task = ActionTask::kCompress;
+    Op decompress;
+    decompress.task = ActionTask::kDecompress;
+    huge.ops.push_back(compress);
+    huge.ops.push_back(decompress);
+  }
+  ASSERT_GE(huge.DeviceSlots(), 64u);
+  space.options.push_back(huge);
+  EXPECT_EQ(space.TotalWithDeviceChoices(), SIZE_MAX);
+
+  // Saturation also survives accumulating further options on top.
+  CompressionOption small;
+  Op compress;
+  compress.task = ActionTask::kCompress;
+  small.ops.push_back(compress);
+  space.options.push_back(small);
+  EXPECT_EQ(space.TotalWithDeviceChoices(), SIZE_MAX);
 }
 
 TEST(DecisionTree, SingleMachineTreeIsFlatOnly) {

@@ -87,7 +87,13 @@ TEST(NearOptimality, SelectionTimeOrdersOfMagnitudeBelowBruteForce) {
   EspressoSelector selector(model, cluster, *compressor);
   const SelectionResult result = selector.Select();
   const double selection_seconds = result.gpu_stage_seconds + result.offload_stage_seconds;
+#ifdef ESPRESSO_VERIFY_SCHEDULES
+  // Verification builds audit every simulated timeline, so the wall-clock claim is
+  // about the production configuration only; keep a loose sanity bound here.
+  EXPECT_LT(selection_seconds, 120.0);
+#else
   EXPECT_LT(selection_seconds, 5.0);
+#endif
 
   const double per_eval = selection_seconds /
                           static_cast<double>(std::max<size_t>(1, result.timeline_evaluations));
