@@ -1,0 +1,287 @@
+// Selector hot-path benchmark: times EspressoSelector::Select() in two arms per
+// (model, GC, system) combo —
+//   serial:      threads = 0, memoization off (the pre-acceleration configuration);
+//   accelerated: threads = N (default: hardware concurrency), memoized F(S) cache on —
+// asserts the two arms select byte-identical strategies (64-bit fingerprint equality),
+// and emits a JSON report suitable for committing as BENCH_selector.json.
+//
+// Usage:
+//   bench_selector [--quick] [--threads N] [--configs DIR] [--out FILE] [--check FILE]
+//
+// --quick       one repetition per arm instead of three (CI perf-smoke mode)
+// --threads N   worker threads for the accelerated arm
+// --configs DIR directory holding the shipped .ini files (default: configs)
+// --out FILE    write the JSON report to FILE instead of stdout
+// --check FILE  compare this run's strategy fingerprints against a committed report;
+//               exit 1 on any divergence (catches nondeterminism regressions — the
+//               committed timings are informational and are not compared)
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/core/espresso.h"
+#include "src/core/eval_cache.h"
+#include "src/ddl/job_config.h"
+#include "src/util/json_writer.h"
+
+namespace {
+
+using namespace espresso;
+
+struct Combo {
+  std::string name;
+  std::string model;
+  std::string gc;
+  std::string system;
+};
+
+const Combo kCombos[] = {
+    {"custom-dgc-nvlink", "model_custom.ini", "gc_dgc.ini", "system_nvlink.ini"},
+    {"custom-efsignsgd-pcie", "model_custom.ini", "gc_efsignsgd_limited.ini",
+     "system_pcie.ini"},
+    {"gpt2-dgc-nvlink", "model_gpt2.ini", "gc_dgc.ini", "system_nvlink.ini"},
+    {"gpt2-efsignsgd-pcie", "model_gpt2.ini", "gc_efsignsgd_limited.ini",
+     "system_pcie.ini"},
+};
+
+struct ArmResult {
+  double seconds = 0.0;  // min over repetitions
+  double warm_seconds = 0.0;  // re-selection on the same selector (warm cache); 0 = n/a
+  SelectorTelemetry telemetry;
+  SelectorTelemetry warm_telemetry;
+  uint64_t fingerprint = 0;
+  double iteration_time = 0.0;
+};
+
+std::string HexFingerprint(uint64_t fp) {
+  char buf[19];
+  std::snprintf(buf, sizeof(buf), "0x%016" PRIx64, fp);
+  return buf;
+}
+
+ArmResult RunArm(const JobConfig& job, const Compressor& compressor, size_t threads,
+                 size_t cache_capacity, int repetitions) {
+  ArmResult arm;
+  arm.seconds = 1e300;
+  for (int rep = 0; rep < repetitions; ++rep) {
+    SelectorOptions options;
+    options.threads = threads;
+    options.cache_capacity = cache_capacity;
+    EspressoSelector selector(job.model, job.cluster, compressor, options);
+    const SelectionResult result = selector.Select();  // cold: fresh selector + cache
+    const uint64_t fp = StrategyFingerprint(result.strategy);
+    if (rep > 0 && fp != arm.fingerprint) {
+      std::cerr << "FATAL: selector nondeterministic across repetitions\n";
+      std::exit(1);
+    }
+    arm.fingerprint = fp;
+    arm.iteration_time = result.iteration_time;
+    if (result.telemetry.total_seconds < arm.seconds) {
+      arm.seconds = result.telemetry.total_seconds;
+      arm.telemetry = result.telemetry;
+    }
+    // Warm re-selection: the steady-state cost of re-deciding with unchanged inputs
+    // (e.g. after a periodic profiler refresh) — nearly every F(S) query hits the memo.
+    if (cache_capacity > 0 && rep + 1 == repetitions) {
+      arm.warm_seconds = 1e300;
+      for (int warm = 0; warm < repetitions; ++warm) {
+        const SelectionResult rewarm = selector.Select();
+        if (StrategyFingerprint(rewarm.strategy) != fp) {
+          std::cerr << "FATAL: warm re-selection diverged from cold selection\n";
+          std::exit(1);
+        }
+        if (rewarm.telemetry.total_seconds < arm.warm_seconds) {
+          arm.warm_seconds = rewarm.telemetry.total_seconds;
+          arm.warm_telemetry = rewarm.telemetry;
+        }
+      }
+    }
+  }
+  return arm;
+}
+
+void WriteArm(JsonWriter& json, const char* key, const ArmResult& arm) {
+  json.Key(key);
+  json.BeginObject();
+  json.Field("seconds", arm.seconds);
+  json.Field("evaluations", arm.telemetry.evaluations);
+  json.Field("simulations", arm.telemetry.simulations);
+  json.Field("threads", static_cast<uint64_t>(arm.telemetry.threads));
+  json.Field("cache_hits", arm.telemetry.cache_hits);
+  json.Field("cache_misses", arm.telemetry.cache_misses);
+  json.Field("cache_hit_rate", arm.telemetry.CacheHitRate());
+  if (arm.warm_seconds > 0.0) {
+    json.Field("warm_seconds", arm.warm_seconds);
+    json.Field("warm_evaluations", arm.warm_telemetry.evaluations);
+    json.Field("warm_simulations", arm.warm_telemetry.simulations);
+    json.Field("warm_cache_hit_rate", arm.warm_telemetry.CacheHitRate());
+  }
+  json.EndObject();
+}
+
+// Pulls "name" -> "strategy_fingerprint" pairs out of a committed report. The report
+// is machine-written by this binary, so a positional scan is sufficient — no JSON
+// parser needed (the repo deliberately ships only a writer).
+bool BaselineFingerprint(const std::string& text, const std::string& combo,
+                         std::string* fingerprint) {
+  const std::string name_marker = "\"name\":\"" + combo + "\"";
+  const size_t at = text.find(name_marker);
+  if (at == std::string::npos) {
+    return false;
+  }
+  const std::string fp_marker = "\"strategy_fingerprint\":\"";
+  const size_t fp_at = text.find(fp_marker, at);
+  if (fp_at == std::string::npos) {
+    return false;
+  }
+  const size_t begin = fp_at + fp_marker.size();
+  const size_t end = text.find('"', begin);
+  if (end == std::string::npos) {
+    return false;
+  }
+  *fingerprint = text.substr(begin, end - begin);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  size_t threads = std::max(1u, std::thread::hardware_concurrency());
+  std::string configs_dir = "configs";
+  std::string out_path;
+  std::string check_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << arg << "\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--quick") {
+      quick = true;
+    } else if (arg == "--threads") {
+      threads = std::stoul(next());
+    } else if (arg == "--configs") {
+      configs_dir = next();
+    } else if (arg == "--out") {
+      out_path = next();
+    } else if (arg == "--check") {
+      check_path = next();
+    } else {
+      std::cerr << "unknown flag " << arg << "\n";
+      return 2;
+    }
+  }
+  const int repetitions = quick ? 1 : 3;
+
+  std::string baseline;
+  if (!check_path.empty()) {
+    std::ifstream in(check_path);
+    if (!in) {
+      std::cerr << "cannot read baseline " << check_path << "\n";
+      return 1;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    baseline = buf.str();
+  }
+
+  std::ostringstream report;
+  JsonWriter json(report);
+  json.BeginObject();
+  json.Field("benchmark", "bench_selector");
+  json.Field("quick", quick);
+  json.Field("repetitions", static_cast<int64_t>(repetitions));
+  json.Key("combos");
+  json.BeginArray();
+
+  bool check_failed = false;
+  for (const Combo& combo : kCombos) {
+    const JobConfigResult loaded = LoadJobConfigFromFiles(
+        configs_dir + "/" + combo.model, configs_dir + "/" + combo.gc,
+        configs_dir + "/" + combo.system);
+    if (!loaded.ok) {
+      std::cerr << combo.name << ": " << loaded.error << "\n";
+      return 1;
+    }
+    const JobConfig& job = loaded.job;
+    const auto compressor = job.MakeCompressor();
+
+    const ArmResult serial = RunArm(job, *compressor, 0, 0, repetitions);
+    const ArmResult accel =
+        RunArm(job, *compressor, threads, SelectorOptions{}.cache_capacity, repetitions);
+    if (serial.fingerprint != accel.fingerprint) {
+      std::cerr << "FATAL: " << combo.name
+                << ": accelerated arm diverged from serial (serial "
+                << HexFingerprint(serial.fingerprint) << ", accelerated "
+                << HexFingerprint(accel.fingerprint) << ")\n";
+      return 1;
+    }
+    const double speedup = accel.seconds > 0 ? serial.seconds / accel.seconds : 0.0;
+    const double warm_speedup =
+        accel.warm_seconds > 0 ? serial.seconds / accel.warm_seconds : 0.0;
+    const std::string fingerprint = HexFingerprint(serial.fingerprint);
+
+    json.BeginObject();
+    json.Field("name", combo.name);
+    json.Field("model", combo.model);
+    json.Field("gc", combo.gc);
+    json.Field("system", combo.system);
+    json.Field("tensors", static_cast<uint64_t>(job.model.tensors.size()));
+    json.Field("strategy_fingerprint", fingerprint);
+    json.Field("iteration_time_ms", serial.iteration_time * 1e3);
+    WriteArm(json, "serial", serial);
+    WriteArm(json, "accelerated", accel);
+    json.Field("speedup", speedup);
+    json.Field("warm_speedup", warm_speedup);
+    json.EndObject();
+
+    std::fprintf(stderr,
+                 "%-24s serial %8.2fms  accelerated %8.2fms (%.2fx)  warm %7.2fms "
+                 "(%.1fx)  hit-rate %5.1f%%  %s\n",
+                 combo.name.c_str(), serial.seconds * 1e3, accel.seconds * 1e3, speedup,
+                 accel.warm_seconds * 1e3, warm_speedup,
+                 accel.telemetry.CacheHitRate() * 100.0, fingerprint.c_str());
+
+    if (!check_path.empty()) {
+      std::string expected;
+      if (!BaselineFingerprint(baseline, combo.name, &expected)) {
+        std::fprintf(stderr, "%-24s not in baseline, skipping check\n",
+                     combo.name.c_str());
+      } else if (expected != fingerprint) {
+        std::fprintf(stderr, "FAIL: %s fingerprint %s != committed %s\n",
+                     combo.name.c_str(), fingerprint.c_str(), expected.c_str());
+        check_failed = true;
+      }
+    }
+  }
+
+  json.EndArray();
+  json.EndObject();
+  report << "\n";
+
+  if (out_path.empty()) {
+    std::cout << report.str();
+  } else {
+    std::ofstream out(out_path);
+    out << report.str();
+    if (!out) {
+      std::cerr << "cannot write " << out_path << "\n";
+      return 1;
+    }
+  }
+  if (check_failed) {
+    std::cerr << "selector diverged from the committed baseline\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,10 +1,11 @@
 #include "src/core/espresso.h"
 
 #include <algorithm>
-#include <limits>
-#include <optional>
 #include <chrono>
+#include <limits>
 #include <map>
+#include <optional>
+#include <utility>
 
 #include "src/models/model_stats.h"
 #include "src/util/logging.h"
@@ -12,6 +13,8 @@
 namespace espresso {
 
 namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
 
 double Seconds(std::chrono::steady_clock::time_point from,
                std::chrono::steady_clock::time_point to) {
@@ -28,10 +31,28 @@ EspressoSelector::EspressoSelector(const ModelProfile& model, const ClusterSpec&
       options_(std::move(options)),
       evaluator_(model, cluster, compressor),
       default_option_(DefaultUncompressedOption(tree_config_)) {
+  Init();
+}
+
+EspressoSelector::EspressoSelector(const ModelProfile& model, const ClusterSpec& cluster,
+                                   const Compressor& compressor, SelectorOptions options,
+                                   std::shared_ptr<EvaluationCache> shared_cache)
+    : model_(model),
+      tree_config_{cluster.machines, cluster.gpus_per_machine,
+                   compressor.SupportsCompressedAggregation()},
+      options_(std::move(options)),
+      evaluator_(model, cluster, compressor),
+      default_option_(DefaultUncompressedOption(tree_config_)),
+      cache_(std::move(shared_cache)) {
+  Init();
+}
+
+void EspressoSelector::Init() {
   // §4.3: the selector's cost models need a deterministic compression ratio; reject
   // content-dependent algorithms (they remain usable on the execution path).
-  ESP_CHECK(compressor.HasDeterministicSize())
-      << compressor.name() << " has a content-dependent compressed size and cannot "
+  ESP_CHECK(evaluator_.compressor().HasDeterministicSize())
+      << evaluator_.compressor().name()
+      << " has a content-dependent compressed size and cannot "
       << "drive strategy selection (see §4.3's applicability requirement)";
   candidates_ =
       options_.candidates.empty() ? CandidateOptions(tree_config_) : options_.candidates;
@@ -44,33 +65,106 @@ EspressoSelector::EspressoSelector(const ModelProfile& model, const ClusterSpec&
       candidate = candidate.WithDevice(Device::kCpu);
     }
   }
+  if (options_.cache_capacity > 0 && cache_ == nullptr) {
+    cache_ = std::make_shared<EvaluationCache>(options_.cache_capacity);
+  }
+  pool_ = std::make_unique<ThreadPool>(options_.threads);
+  const size_t chunk_count = std::max<size_t>(1, options_.threads);
+  for (size_t i = 0; i < chunk_count; ++i) {
+    contexts_.emplace_back();
+  }
 }
 
-double EspressoSelector::Score(Strategy& strategy, size_t index,
-                               const CompressionOption& candidate) const {
+template <typename Fn>
+void EspressoSelector::ParallelFor(size_t count, const Fn& fn) const {
+  if (count == 0) {
+    return;
+  }
+  const size_t chunks = std::min(contexts_.size(), count);
+  if (chunks <= 1) {
+    for (size_t i = 0; i < count; ++i) {
+      fn(i, size_t{0}, &contexts_[0]);
+    }
+    return;
+  }
+  for (size_t c = 0; c < chunks; ++c) {
+    pool_->Submit([this, &fn, c, chunks, count] {
+      const size_t begin = c * count / chunks;
+      const size_t end = (c + 1) * count / chunks;
+      for (size_t i = begin; i < end; ++i) {
+        fn(i, c, &contexts_[c]);
+      }
+    });
+  }
+  pool_->Wait();
+}
+
+double EspressoSelector::CachedScore(const Strategy& base, const StrategyHasher& hasher,
+                                     size_t index, const CompressionOption& candidate,
+                                     TimelineEvaluator::EvalContext* ctx) const {
+  evaluations_.fetch_add(1, std::memory_order_relaxed);
   if (options_.myopic) {
     // Wall-clock scoring: the sum of the candidate's own op durations, ignoring all
     // interactions among tensors (§3.1: "Only considering tau_comm and tau_comp ...
-    // can harm the performance"). Kept as the crippled Dimension-1 mechanism.
+    // can harm the performance"). Kept as the crippled Dimension-1 mechanism. Not
+    // memoized: the values are not F(S) and the sum is cheaper than a cache probe.
     double total = 0.0;
     for (const Op& op : candidate.ops) {
       total += evaluator_.OpDuration(op, model_.tensors[index].elements);
     }
     return total;
   }
-  CompressionOption saved = strategy.options[index];
-  strategy.options[index] = candidate;
-  const double time = evaluator_.IterationTime(strategy);
-  strategy.options[index] = std::move(saved);
-  return time;
+  if (cache_ == nullptr) {
+    return evaluator_.ScoreWithOption(base, index, candidate, ctx);
+  }
+  const uint64_t key = hasher.KeyWith(index, candidate);
+  double value = 0.0;
+  if (cache_->Lookup(key, &value)) {
+    return value;
+  }
+  value = evaluator_.ScoreWithOption(base, index, candidate, ctx);
+  cache_->Insert(key, value);
+  return value;
+}
+
+double EspressoSelector::CachedIterationTime(const Strategy& strategy,
+                                             TimelineEvaluator::EvalContext* ctx) const {
+  evaluations_.fetch_add(1, std::memory_order_relaxed);
+  if (cache_ == nullptr) {
+    return evaluator_.IterationTime(strategy, ctx);
+  }
+  const uint64_t key = StrategyFingerprint(strategy);
+  double value = 0.0;
+  if (cache_->Lookup(key, &value)) {
+    return value;
+  }
+  value = evaluator_.IterationTime(strategy, ctx);
+  cache_->Insert(key, value);
+  return value;
+}
+
+void EspressoSelector::ScoreCandidates(const Strategy& base, const StrategyHasher& hasher,
+                                       size_t index, std::vector<double>* times,
+                                       const CompressionOption* skip) const {
+  const size_t m = candidates_.size();
+  times->assign(m, kInf);
+  ParallelFor(m, [&](size_t j, size_t, TimelineEvaluator::EvalContext* ctx) {
+    if (skip != nullptr && candidates_[j] == *skip) {
+      return;  // the caller already scored the current assignment
+    }
+    (*times)[j] = CachedScore(base, hasher, index, candidates_[j], ctx);
+  });
 }
 
 Strategy EspressoSelector::SelectGpuCompression(size_t* evaluations) const {
+  const uint64_t evals_before = evaluations_.load(std::memory_order_relaxed);
   const size_t n = model_.tensors.size();
   Strategy strategy = UniformStrategy(n, options_.force_cpu
                                              ? default_option_.WithDevice(Device::kCpu)
                                              : default_option_);
-  size_t evals = 0;
+  StrategyHasher hasher;
+  hasher.Reset(strategy);
+  TimelineEvaluator::EvalContext* ctx0 = &contexts_[0];
 
   // Lines 2-3: sort descending by size, tie-break by proximity to the output layer.
   const std::vector<std::vector<size_t>> groups = GroupBySizeDescending(model_);
@@ -81,8 +175,8 @@ Strategy EspressoSelector::SelectGpuCompression(size_t* evaluations) const {
     if (options_.force_compress_all || options_.disable_bubble_elimination) {
       return;  // every tensor stays in play
     }
-    const std::vector<bool> before = evaluator_.BeforeBubble(strategy);
-    ++evals;
+    const std::vector<bool> before = evaluator_.BeforeBubble(strategy, ctx0);
+    evaluations_.fetch_add(1, std::memory_order_relaxed);
     for (size_t i = 0; i < n; ++i) {
       if (before[i] && !strategy.options[i].Compressed()) {
         removed[i] = true;
@@ -91,6 +185,7 @@ Strategy EspressoSelector::SelectGpuCompression(size_t* evaluations) const {
   };
   remove_before_bubbles();
 
+  std::vector<double> times;
   for (const auto& group : groups) {
     for (size_t index : group) {
       if (removed[index]) {
@@ -101,20 +196,22 @@ Strategy EspressoSelector::SelectGpuCompression(size_t* evaluations) const {
       // assignment is not a legal outcome, so candidates compete from scratch.
       double best_time = options_.force_compress_all &&
                                  !strategy.options[index].Compressed()
-                             ? std::numeric_limits<double>::infinity()
-                             : Score(strategy, index, strategy.options[index]);
-      ++evals;
+                             ? kInf
+                             : CachedScore(strategy, hasher, index,
+                                           strategy.options[index], ctx0);
+      ScoreCandidates(strategy, hasher, index, &times, nullptr);
+      // Deterministic reduction: strict improvement only, so ties keep the earlier
+      // (lower-index) candidate — byte-identical to the serial scan.
       const CompressionOption* best = nullptr;
-      for (const auto& candidate : candidates_) {
-        const double t = Score(strategy, index, candidate);
-        ++evals;
-        if (t < best_time) {
-          best_time = t;
-          best = &candidate;
+      for (size_t j = 0; j < candidates_.size(); ++j) {
+        if (times[j] < best_time) {
+          best_time = times[j];
+          best = &candidates_[j];
         }
       }
       if (best != nullptr) {
         strategy.options[index] = *best;
+        hasher.Set(index, *best);
         // Line 8: new bubbles can appear after each assignment; nothing moved if the
         // option is unchanged, so re-derive only on a change.
         remove_before_bubbles();
@@ -122,28 +219,52 @@ Strategy EspressoSelector::SelectGpuCompression(size_t* evaluations) const {
     }
   }
   if (evaluations != nullptr) {
-    *evaluations += evals;
+    *evaluations += evaluations_.load(std::memory_order_relaxed) - evals_before;
   }
   return strategy;
 }
 
 Strategy EspressoSelector::OffloadToCpu(const Strategy& gpu_strategy, size_t* combinations,
                                         bool* exact, size_t* evaluations) const {
+  const uint64_t evals_before = evaluations_.load(std::memory_order_relaxed);
   const size_t n = gpu_strategy.options.size();
-  // T_gpu: tensors whose option compresses (on GPUs). Group by (size, option identity);
-  // groups keep backward order, i.e. members are already sorted by descending distance
-  // to the output layer (Lemma 1's offload order is a prefix).
-  std::map<std::pair<size_t, std::string>, std::vector<size_t>> grouped;
+
+  // T_gpu: tensors whose option compresses (on GPUs). Group by (size, option
+  // identity); groups keep backward order, i.e. members are already sorted by
+  // descending distance to the output layer (Lemma 1's offload order is a prefix).
+  // Option identity is interned into small integers so the grouping key is a pure
+  // integer pair — no per-tensor string copies on this path.
+  struct OffloadGroup {
+    std::vector<size_t> members;
+  };
+  std::vector<const CompressionOption*> distinct;
+  auto intern = [&](const CompressionOption& option) -> size_t {
+    for (size_t d = 0; d < distinct.size(); ++d) {
+      if (*distinct[d] == option) {
+        return d;
+      }
+    }
+    distinct.push_back(&option);
+    return distinct.size() - 1;
+  };
+  std::map<std::pair<size_t, size_t>, size_t> group_index;  // (elements, option id)
+  std::vector<OffloadGroup> unordered_groups;
   for (size_t i = 0; i < n; ++i) {
     if (gpu_strategy.options[i].Compressed() &&
         gpu_strategy.options[i].UsesDevice(Device::kGpu)) {
-      grouped[{model_.tensors[i].elements, gpu_strategy.options[i].label}].push_back(i);
+      const std::pair<size_t, size_t> key{model_.tensors[i].elements,
+                                          intern(gpu_strategy.options[i])};
+      const auto [it, inserted] = group_index.try_emplace(key, unordered_groups.size());
+      if (inserted) {
+        unordered_groups.emplace_back();
+      }
+      unordered_groups[it->second].members.push_back(i);
     }
   }
-  std::vector<std::vector<size_t>> groups;
-  groups.reserve(grouped.size());
-  for (auto& [key, members] : grouped) {
-    groups.push_back(std::move(members));
+  std::vector<OffloadGroup> groups;
+  groups.reserve(unordered_groups.size());
+  for (const auto& [key, gi] : group_index) {
+    groups.push_back(std::move(unordered_groups[gi]));
   }
   if (groups.empty()) {
     if (combinations != nullptr) {
@@ -151,6 +272,7 @@ Strategy EspressoSelector::OffloadToCpu(const Strategy& gpu_strategy, size_t* co
     }
     return gpu_strategy;
   }
+  const size_t num_groups = groups.size();
 
   // Search-space size: prod(|G_i| + 1) (Theorem 1).
   size_t product = 1;
@@ -160,164 +282,268 @@ Strategy EspressoSelector::OffloadToCpu(const Strategy& gpu_strategy, size_t* co
       overflow = true;
       break;
     }
-    product *= g.size() + 1;
+    product *= g.members.size() + 1;
   }
   overflow = overflow || product > options_.offload_search_budget;
   if (exact != nullptr) {
     *exact = !overflow;
   }
 
-  Strategy best = gpu_strategy;
-  double best_time = evaluator_.IterationTime(best);
-  size_t evals = 1;
-  size_t visited = 0;
+  // Per-group CPU variant (identical content across a group's members) and the
+  // wrapping fingerprint deltas of offloading the first c members, so a combo's cache
+  // key is O(groups) to derive from the base strategy's additive total.
+  std::vector<CompressionOption> cpu_variants;
+  cpu_variants.reserve(num_groups);
+  std::vector<std::vector<uint64_t>> delta_prefix(num_groups);
+  StrategyHasher base_hasher;
+  base_hasher.Reset(gpu_strategy);
+  const uint64_t base_total = base_hasher.Total();
+  for (size_t gi = 0; gi < num_groups; ++gi) {
+    const auto& members = groups[gi].members;
+    cpu_variants.push_back(gpu_strategy.options[members[0]].WithDevice(Device::kCpu));
+    delta_prefix[gi].resize(members.size() + 1);
+    delta_prefix[gi][0] = 0;
+    for (size_t k = 0; k < members.size(); ++k) {
+      const uint64_t delta =
+          MixIndexedOption(members[k], cpu_variants[gi]) -
+          MixIndexedOption(members[k], gpu_strategy.options[members[k]]);
+      delta_prefix[gi][k + 1] = delta_prefix[gi][k] + delta;
+    }
+  }
 
-  auto apply = [&](const std::vector<size_t>& counts) {
+  // Scores a batch of odometer states (flattened per-group counts). Each chunk worker
+  // keeps one override table and applies/undoes the per-combo deltas on it — the full
+  // strategy is never copied per visit.
+  std::vector<std::vector<const CompressionOption*>> tables(contexts_.size());
+  auto score_combos = [&](const std::vector<size_t>& flat, size_t count,
+                          std::vector<double>* times) {
+    times->resize(count);
+    ParallelFor(count, [&](size_t b, size_t chunk, TimelineEvaluator::EvalContext* ctx) {
+      const size_t* counts = flat.data() + b * num_groups;
+      evaluations_.fetch_add(1, std::memory_order_relaxed);
+      uint64_t key = 0;
+      if (cache_ != nullptr) {
+        uint64_t total = base_total;
+        for (size_t gi = 0; gi < num_groups; ++gi) {
+          total += delta_prefix[gi][counts[gi]];
+        }
+        key = FinalizeStrategyKey(total);
+        double value = 0.0;
+        if (cache_->Lookup(key, &value)) {
+          (*times)[b] = value;
+          return;
+        }
+      }
+      std::vector<const CompressionOption*>& table = tables[chunk];
+      if (table.size() != n) {
+        table.assign(n, nullptr);
+      }
+      for (size_t gi = 0; gi < num_groups; ++gi) {
+        for (size_t k = 0; k < counts[gi]; ++k) {
+          table[groups[gi].members[k]] = &cpu_variants[gi];
+        }
+      }
+      const double t = evaluator_.ScoreWithOverrides(gpu_strategy, table.data(), ctx);
+      for (size_t gi = 0; gi < num_groups; ++gi) {
+        for (size_t k = 0; k < counts[gi]; ++k) {
+          table[groups[gi].members[k]] = nullptr;
+        }
+      }
+      if (cache_ != nullptr) {
+        cache_->Insert(key, t);
+      }
+      (*times)[b] = t;
+    });
+  };
+
+  // Materializes the winning odometer state — the only place a strategy is copied.
+  auto materialize = [&](const size_t* counts) {
     Strategy s = gpu_strategy;
-    for (size_t gi = 0; gi < groups.size(); ++gi) {
+    for (size_t gi = 0; gi < num_groups; ++gi) {
       for (size_t k = 0; k < counts[gi]; ++k) {
-        const size_t index = groups[gi][k];
-        s.options[index] = s.options[index].WithDevice(Device::kCpu);
+        s.options[groups[gi].members[k]] = cpu_variants[gi];
       }
     }
     return s;
   };
 
+  size_t visited = 0;
+  std::vector<size_t> best_counts(num_groups, 0);
+  double best_time = kInf;
+  std::vector<size_t> flat;
+  std::vector<double> times;
+
   if (!overflow) {
-    // Exhaustive traversal of U (odometer over per-group counts).
-    std::vector<size_t> counts(groups.size(), 0);
+    // Exhaustive traversal of U (odometer over per-group counts), scored as one batch.
+    // The reduction keeps the earliest odometer state on ties, matching the serial
+    // visit order exactly.
+    flat.reserve(product * num_groups);
+    std::vector<size_t> counts(num_groups, 0);
     for (;;) {
-      ++visited;
-      Strategy s = apply(counts);
-      const double t = evaluator_.IterationTime(s);
-      ++evals;
-      if (t < best_time) {
-        best_time = t;
-        best = std::move(s);
-      }
+      flat.insert(flat.end(), counts.begin(), counts.end());
       size_t gi = 0;
-      while (gi < groups.size()) {
-        if (++counts[gi] <= groups[gi].size()) {
+      while (gi < num_groups) {
+        if (++counts[gi] <= groups[gi].members.size()) {
           break;
         }
         counts[gi] = 0;
         ++gi;
       }
-      if (gi == groups.size()) {
+      if (gi == num_groups) {
         break;
       }
     }
+    const size_t combo_count = flat.size() / num_groups;
+    score_combos(flat, combo_count, &times);
+    visited = combo_count;
+    size_t best_index = 0;
+    best_time = times[0];  // state 0 is the all-GPU input strategy
+    for (size_t b = 1; b < combo_count; ++b) {
+      if (times[b] < best_time) {
+        best_time = times[b];
+        best_index = b;
+      }
+    }
+    std::copy_n(flat.data() + best_index * num_groups, num_groups, best_counts.begin());
   } else {
-    // Coordinate descent over group counts until a fixpoint.
-    std::vector<size_t> counts(groups.size(), 0);
+    // Coordinate descent over group counts until a fixpoint. Each group sweep scores
+    // every count in one batch; the reduction scans counts in ascending order with
+    // strict improvement, reproducing the serial sweep's tie-breaking.
+    std::vector<size_t> counts(num_groups, 0);
+    flat.assign(counts.begin(), counts.end());
+    score_combos(flat, 1, &times);
+    best_time = times[0];
+    ++visited;
+    std::vector<size_t> swept;
     bool improved = true;
     while (improved) {
       improved = false;
-      for (size_t gi = 0; gi < groups.size(); ++gi) {
-        size_t best_count = counts[gi];
-        for (size_t c = 0; c <= groups[gi].size(); ++c) {
-          if (c == best_count) {
-            continue;
+      for (size_t gi = 0; gi < num_groups; ++gi) {
+        flat.clear();
+        swept.clear();
+        for (size_t c = 0; c <= groups[gi].members.size(); ++c) {
+          if (c == counts[gi]) {
+            continue;  // the incumbent count's time is already <= best_time
           }
-          counts[gi] = c;
-          ++visited;
-          Strategy s = apply(counts);
-          const double t = evaluator_.IterationTime(s);
-          ++evals;
-          if (t < best_time) {
-            best_time = t;
-            best = std::move(s);
-            best_count = c;
+          for (size_t gj = 0; gj < num_groups; ++gj) {
+            flat.push_back(gj == gi ? c : counts[gj]);
+          }
+          swept.push_back(c);
+        }
+        score_combos(flat, swept.size(), &times);
+        visited += swept.size();
+        size_t best_count = counts[gi];
+        for (size_t j = 0; j < swept.size(); ++j) {
+          if (times[j] < best_time) {
+            best_time = times[j];
+            best_count = swept[j];
             improved = true;
           }
         }
         counts[gi] = best_count;
       }
     }
+    best_counts = counts;
   }
 
   if (combinations != nullptr) {
     *combinations = visited;
   }
   if (evaluations != nullptr) {
-    *evaluations += evals;
+    *evaluations += evaluations_.load(std::memory_order_relaxed) - evals_before;
   }
-  return best;
+  return materialize(best_counts.data());
 }
 
 bool EspressoSelector::RefineSweep(Strategy* strategy, size_t* evaluations) const {
   ESP_CHECK(strategy != nullptr);
-  size_t evals = 0;
+  const uint64_t evals_before = evaluations_.load(std::memory_order_relaxed);
+  StrategyHasher hasher;
+  hasher.Reset(*strategy);
+  TimelineEvaluator::EvalContext* ctx0 = &contexts_[0];
   bool improved = false;
+  std::vector<double> times;
   for (size_t index = 0; index < strategy->options.size(); ++index) {
-    double best_time = Score(*strategy, index, strategy->options[index]);
-    ++evals;
+    double best_time =
+        CachedScore(*strategy, hasher, index, strategy->options[index], ctx0);
+    ScoreCandidates(*strategy, hasher, index, &times, &strategy->options[index]);
     const CompressionOption* best = nullptr;
-    for (const auto& candidate : candidates_) {
-      if (candidate == strategy->options[index]) {
-        continue;
-      }
-      const double t = Score(*strategy, index, candidate);
-      ++evals;
-      if (t < best_time) {
-        best_time = t;
-        best = &candidate;
+    for (size_t j = 0; j < candidates_.size(); ++j) {
+      if (times[j] < best_time) {
+        best_time = times[j];
+        best = &candidates_[j];
       }
     }
     if (best != nullptr) {
       strategy->options[index] = *best;
+      hasher.Set(index, *best);
       improved = true;
     }
   }
   if (evaluations != nullptr) {
-    *evaluations += evals;
+    *evaluations += evaluations_.load(std::memory_order_relaxed) - evals_before;
   }
   return improved;
 }
 
 SelectionResult EspressoSelector::Select() const {
   SelectionResult result;
+  const uint64_t evals_start = evaluations_.load(std::memory_order_relaxed);
+  const uint64_t sims_start = evaluator_.simulations();
+  const EvalCacheStats cache_start = cache_ != nullptr ? cache_->stats() : EvalCacheStats{};
+  uint64_t nested_evals = 0;
+  uint64_t nested_sims = 0;
+  TimelineEvaluator::EvalContext* ctx0 = &contexts_[0];
+
   const auto t0 = std::chrono::steady_clock::now();
   std::optional<Strategy> forced_trajectory;
-  Strategy gpu = SelectGpuCompression(&result.timeline_evaluations);
+  Strategy gpu = SelectGpuCompression(nullptr);
+  const auto t_alg1 = std::chrono::steady_clock::now();
+  result.telemetry.algorithm1_seconds = Seconds(t0, t_alg1);
+
   // Greedy refinement to a fixpoint: the first pass's assignments were made against a
   // partially-uncompressed strategy; re-visiting each tensor against the final mix
   // removes that order dependence (and keeps Espresso ahead of every restricted
   // mechanism in §5.3's study). Skipped in myopic mode, whose scoring is context-free.
   if (!options_.myopic) {
     for (int pass = 0; pass < 2; ++pass) {
-      if (!RefineSweep(&gpu, &result.timeline_evaluations)) {
+      if (!RefineSweep(&gpu, nullptr)) {
         break;
       }
     }
+    const auto t_refine = std::chrono::steady_clock::now();
+    result.telemetry.refine_seconds = Seconds(t_alg1, t_refine);
+
     // Multi-start escape hatch: greedy trajectories from a mixed strategy can miss
     // optima where most tensors share one option (e.g. a uniformly-divisible pipeline).
     // Seed a second trajectory from the best uniform assignment — when it is remotely
     // competitive — and keep the winner.
     const size_t n = model_.tensors.size();
-    const double gpu_time = evaluator_.IterationTime(gpu);
-    double best_uniform_time = std::numeric_limits<double>::infinity();
+    const double gpu_time = CachedIterationTime(gpu, ctx0);
+    std::vector<double> uniform_times(candidates_.size(), kInf);
+    ParallelFor(candidates_.size(),
+                [&](size_t j, size_t, TimelineEvaluator::EvalContext* ctx) {
+                  uniform_times[j] =
+                      CachedIterationTime(UniformStrategy(n, candidates_[j]), ctx);
+                });
+    double best_uniform_time = kInf;
     const CompressionOption* best_uniform = nullptr;
-    for (const auto& candidate : candidates_) {
-      const Strategy uniform = UniformStrategy(n, candidate);
-      const double t = evaluator_.IterationTime(uniform);
-      ++result.timeline_evaluations;
-      if (t < best_uniform_time) {
-        best_uniform_time = t;
-        best_uniform = &candidate;
+    for (size_t j = 0; j < candidates_.size(); ++j) {
+      if (uniform_times[j] < best_uniform_time) {
+        best_uniform_time = uniform_times[j];
+        best_uniform = &candidates_[j];
       }
     }
     if (best_uniform != nullptr && best_uniform_time < 1.3 * gpu_time) {
       Strategy alternative = UniformStrategy(n, *best_uniform);
       for (int pass = 0; pass < 2; ++pass) {
-        if (!RefineSweep(&alternative, &result.timeline_evaluations)) {
+        if (!RefineSweep(&alternative, nullptr)) {
           break;
         }
       }
-      if (evaluator_.IterationTime(alternative) < evaluator_.IterationTime(gpu)) {
+      if (CachedIterationTime(alternative, ctx0) < CachedIterationTime(gpu, ctx0)) {
         gpu = std::move(alternative);
       }
-      result.timeline_evaluations += 2;
     }
     // Third trajectory: greedy with compression forced everywhere. Joint optima where
     // *every* tensor compresses are separated from the FP32-seeded trajectory by
@@ -327,24 +553,28 @@ SelectionResult EspressoSelector::Select() const {
       SelectorOptions forced = options_;
       forced.force_compress_all = true;
       forced.candidates = candidates_;
-      EspressoSelector all_compressed(model_, evaluator_.cluster(), evaluator_.compressor(),
-                                      std::move(forced));
-      forced_trajectory =
-          all_compressed.SelectGpuCompression(&result.timeline_evaluations);
+      // The nested selector shares this selector's evaluation cache: its evaluator is
+      // configured identically, so fingerprints and F(S) values agree.
+      EspressoSelector all_compressed(model_, evaluator_.cluster(),
+                                      evaluator_.compressor(), std::move(forced), cache_);
+      forced_trajectory = all_compressed.SelectGpuCompression(nullptr);
       // Refine within the forced (compressed-only) space: refining against the full
       // candidate set would greedily decompress tensors and collapse back into the
       // first trajectory's basin before offloading can pay for the compression.
-      if (all_compressed.RefineSweep(&*forced_trajectory, &result.timeline_evaluations)) {
-        all_compressed.RefineSweep(&*forced_trajectory, &result.timeline_evaluations);
+      if (all_compressed.RefineSweep(&*forced_trajectory, nullptr)) {
+        all_compressed.RefineSweep(&*forced_trajectory, nullptr);
       }
       // Keep even much-worse pre-offload trajectories alive: CPU offloading is what
       // rescues an everything-compressed strategy from its GPU contention.
-      if (evaluator_.IterationTime(*forced_trajectory) >
-          2.0 * evaluator_.IterationTime(gpu)) {
+      if (CachedIterationTime(*forced_trajectory, ctx0) >
+          2.0 * CachedIterationTime(gpu, ctx0)) {
         forced_trajectory.reset();
       }
-      result.timeline_evaluations += 2;
+      nested_evals = all_compressed.evaluations_.load(std::memory_order_relaxed);
+      nested_sims = all_compressed.evaluator_.simulations();
     }
+    result.telemetry.trajectory_seconds =
+        Seconds(t_refine, std::chrono::steady_clock::now());
   }
   const auto t1 = std::chrono::steady_clock::now();
   result.gpu_stage_seconds = Seconds(t0, t1);
@@ -357,22 +587,35 @@ SelectionResult EspressoSelector::Select() const {
   }
 
   if (options_.enable_cpu_offload && !options_.force_cpu) {
-    result.strategy = OffloadToCpu(gpu, &result.offload_combinations, &result.offload_exact,
-                                   &result.timeline_evaluations);
+    result.strategy =
+        OffloadToCpu(gpu, &result.offload_combinations, &result.offload_exact, nullptr);
     if (forced_trajectory.has_value()) {
-      const Strategy alternative =
-          OffloadToCpu(*forced_trajectory, nullptr, nullptr, &result.timeline_evaluations);
-      if (evaluator_.IterationTime(alternative) <
-          evaluator_.IterationTime(result.strategy)) {
+      const Strategy alternative = OffloadToCpu(*forced_trajectory, nullptr, nullptr,
+                                                nullptr);
+      if (CachedIterationTime(alternative, ctx0) <
+          CachedIterationTime(result.strategy, ctx0)) {
         result.strategy = alternative;
       }
-      result.timeline_evaluations += 2;
     }
     result.offload_stage_seconds = Seconds(t1, std::chrono::steady_clock::now());
+    result.telemetry.offload_seconds = result.offload_stage_seconds;
   } else {
     result.strategy = std::move(gpu);
   }
-  result.iteration_time = evaluator_.IterationTime(result.strategy);
+  result.iteration_time = CachedIterationTime(result.strategy, ctx0);
+
+  result.timeline_evaluations =
+      (evaluations_.load(std::memory_order_relaxed) - evals_start) + nested_evals;
+  result.telemetry.evaluations = result.timeline_evaluations;
+  result.telemetry.simulations = (evaluator_.simulations() - sims_start) + nested_sims;
+  if (cache_ != nullptr) {
+    const EvalCacheStats stats = cache_->stats();
+    result.telemetry.cache_hits = stats.hits - cache_start.hits;
+    result.telemetry.cache_misses = stats.misses - cache_start.misses;
+    result.telemetry.cache_evictions = stats.evictions - cache_start.evictions;
+  }
+  result.telemetry.threads = options_.threads;
+  result.telemetry.total_seconds = Seconds(t0, std::chrono::steady_clock::now());
   return result;
 }
 

@@ -13,15 +13,28 @@
 // farthest from the output layer, so only the product space over per-group offload
 // counts U = {u_1..u_d} needs searching (Theorem 1). When that product exceeds a
 // budget, per-group coordinate descent is used instead (and flagged in the result).
+//
+// Search acceleration: candidate scoring fans out across a ThreadPool
+// (SelectorOptions::threads) through TimelineEvaluator's thread-safe non-mutating
+// scoring entry points, and every F(S) query is memoized in a fingerprint-keyed LRU
+// (SelectorOptions::cache_capacity). Both knobs are bit-exact: the accelerated
+// selector returns the same strategy as the serial, uncached one — ties always resolve
+// to the lowest candidate index. See docs/PERFORMANCE.md.
 #ifndef SRC_CORE_ESPRESSO_H_
 #define SRC_CORE_ESPRESSO_H_
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
 #include <vector>
 
 #include "src/core/decision_tree.h"
+#include "src/core/eval_cache.h"
 #include "src/core/strategy.h"
 #include "src/core/timeline.h"
+#include "src/util/thread_pool.h"
 
 namespace espresso {
 
@@ -40,6 +53,35 @@ struct SelectorOptions {
   // Algorithm 2 exhaustive-search budget; beyond it coordinate descent over the group
   // counts takes over (Lemma 1 still fixes the within-group order either way).
   size_t offload_search_budget = 3000;
+  // Worker threads for candidate scoring (0 = score on the caller's thread). The
+  // selected strategy is identical for any thread count.
+  size_t threads = 0;
+  // Capacity of the memoized F(S) cache (0 disables memoization). The cache is keyed
+  // by 64-bit strategy fingerprints and scoped to this selector's evaluator
+  // configuration; it is shared with the nested forced-compression trajectory.
+  size_t cache_capacity = 1 << 16;
+};
+
+// Per-selection performance counters. Stage walls partition total_seconds; evaluation
+// counts come from a single atomic incremented at the scoring chokepoint, so they stay
+// accurate under parallel scoring (no hand-maintained tallies).
+struct SelectorTelemetry {
+  double algorithm1_seconds = 0.0;   // Algorithm 1 greedy pass
+  double refine_seconds = 0.0;       // fixpoint refinement sweeps
+  double trajectory_seconds = 0.0;   // uniform-seed + forced-compression trajectories
+  double offload_seconds = 0.0;      // Algorithm 2
+  double total_seconds = 0.0;
+  uint64_t evaluations = 0;          // logical F(S) queries (cache hits included)
+  uint64_t simulations = 0;          // timelines actually simulated (cache misses)
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t cache_evictions = 0;
+  size_t threads = 0;                // scoring workers used
+
+  double CacheHitRate() const {
+    const uint64_t total = cache_hits + cache_misses;
+    return total == 0 ? 0.0 : static_cast<double>(cache_hits) / static_cast<double>(total);
+  }
 };
 
 struct SelectionResult {
@@ -51,6 +93,7 @@ struct SelectionResult {
   size_t offload_combinations = 0;     // |U| actually traversed
   size_t offload_tensor_count = 0;     // |T_gpu|
   bool offload_exact = true;           // false if coordinate descent was used
+  SelectorTelemetry telemetry;
 };
 
 class EspressoSelector {
@@ -58,7 +101,8 @@ class EspressoSelector {
   EspressoSelector(const ModelProfile& model, const ClusterSpec& cluster,
                    const Compressor& compressor, SelectorOptions options = {});
 
-  // Full pipeline: Algorithm 1, then (if enabled) Algorithm 2.
+  // Full pipeline: Algorithm 1, then (if enabled) Algorithm 2. One selection at a
+  // time per selector instance (scoring scratch and counters are per-instance).
   SelectionResult Select() const;
 
   // Algorithm 1 only. `evaluations` (optional) accumulates timeline-eval counts.
@@ -74,10 +118,40 @@ class EspressoSelector {
   bool RefineSweep(Strategy* strategy, size_t* evaluations = nullptr) const;
 
   const TimelineEvaluator& evaluator() const { return evaluator_; }
+  // Null when SelectorOptions::cache_capacity == 0.
+  const EvaluationCache* cache() const { return cache_.get(); }
 
  private:
-  // Scores `candidate_option` for tensor `index` within `strategy`.
-  double Score(Strategy& strategy, size_t index, const CompressionOption& candidate) const;
+  // Shares the parent's evaluation cache with the nested forced-compression selector
+  // (same evaluator configuration, so fingerprints agree).
+  EspressoSelector(const ModelProfile& model, const ClusterSpec& cluster,
+                   const Compressor& compressor, SelectorOptions options,
+                   std::shared_ptr<EvaluationCache> shared_cache);
+
+  void Init();
+
+  // Memoized, non-mutating score of `candidate` at `index` within `base` (whose
+  // fingerprint is tracked by `hasher`). The only place evaluations are counted.
+  double CachedScore(const Strategy& base, const StrategyHasher& hasher, size_t index,
+                     const CompressionOption& candidate,
+                     TimelineEvaluator::EvalContext* ctx) const;
+
+  // Memoized full-strategy F(S) (fingerprint computed from scratch).
+  double CachedIterationTime(const Strategy& strategy,
+                             TimelineEvaluator::EvalContext* ctx) const;
+
+  // Runs fn(first..last-1, context) over `count` items, chunked across the pool with
+  // one EvalContext per chunk. Deterministic: with threads == 0 everything runs inline
+  // on the caller's thread in index order.
+  template <typename Fn>
+  void ParallelFor(size_t count, const Fn& fn) const;
+
+  // Scores every candidate against `base` with options[index] substituted, into
+  // `times` (resized to candidates_.size()). Parallel when threads > 0. A candidate
+  // equal to `skip` (if non-null) is left at +inf — the caller already scored it.
+  void ScoreCandidates(const Strategy& base, const StrategyHasher& hasher, size_t index,
+                       std::vector<double>* times,
+                       const CompressionOption* skip) const;
 
   ModelProfile model_;
   TreeConfig tree_config_;
@@ -85,6 +159,10 @@ class EspressoSelector {
   TimelineEvaluator evaluator_;
   std::vector<CompressionOption> candidates_;
   CompressionOption default_option_;
+  std::shared_ptr<EvaluationCache> cache_;        // null = memoization disabled
+  mutable std::unique_ptr<ThreadPool> pool_;      // scoring workers (inline when 0)
+  mutable std::deque<TimelineEvaluator::EvalContext> contexts_;  // one per chunk
+  mutable std::atomic<uint64_t> evaluations_{0};  // logical F(S) queries
 };
 
 }  // namespace espresso

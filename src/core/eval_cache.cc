@@ -1,0 +1,116 @@
+#include "src/core/eval_cache.h"
+
+#include <bit>
+
+#include "src/util/logging.h"
+
+namespace espresso {
+
+namespace {
+
+// splitmix64 finalizer: full-avalanche 64-bit mix.
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+inline uint64_t HashCombine(uint64_t seed, uint64_t value) {
+  return Mix64(seed ^ (value + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2)));
+}
+
+inline uint64_t DoubleBits(double d) { return std::bit_cast<uint64_t>(d); }
+
+}  // namespace
+
+uint64_t OptionFingerprint(const CompressionOption& option) {
+  uint64_t h = Mix64(option.ops.size());
+  for (const Op& op : option.ops) {
+    uint64_t fields = static_cast<uint64_t>(op.task);
+    fields = fields * 8 + static_cast<uint64_t>(op.phase);
+    fields = fields * 16 + static_cast<uint64_t>(op.routine);
+    fields = fields * 4 + static_cast<uint64_t>(op.device);
+    fields = fields * 2 + static_cast<uint64_t>(op.compressed);
+    fields = fields * 2 + static_cast<uint64_t>(op.machine_level);
+    h = HashCombine(h, fields);
+    h = HashCombine(h, DoubleBits(op.domain_fraction));
+    h = HashCombine(h, DoubleBits(op.payload_fraction));
+    h = HashCombine(h, static_cast<uint64_t>(op.fan_in));
+  }
+  return h;
+}
+
+uint64_t MixIndexedOption(size_t index, const CompressionOption& option) {
+  return Mix64(OptionFingerprint(option) + Mix64(static_cast<uint64_t>(index) + 1));
+}
+
+uint64_t FinalizeStrategyKey(uint64_t total) { return Mix64(total); }
+
+uint64_t StrategyFingerprint(const Strategy& strategy) {
+  uint64_t total = 0;
+  for (size_t i = 0; i < strategy.options.size(); ++i) {
+    total += MixIndexedOption(i, strategy.options[i]);
+  }
+  return FinalizeStrategyKey(total);
+}
+
+void StrategyHasher::Reset(const Strategy& strategy) {
+  mixed_.resize(strategy.options.size());
+  total_ = 0;
+  for (size_t i = 0; i < strategy.options.size(); ++i) {
+    mixed_[i] = MixIndexedOption(i, strategy.options[i]);
+    total_ += mixed_[i];
+  }
+}
+
+uint64_t StrategyHasher::KeyWith(size_t index, const CompressionOption& option) const {
+  ESP_CHECK_LT(index, mixed_.size());
+  return FinalizeStrategyKey(total_ - mixed_[index] + MixIndexedOption(index, option));
+}
+
+void StrategyHasher::Set(size_t index, const CompressionOption& option) {
+  ESP_CHECK_LT(index, mixed_.size());
+  const uint64_t mixed = MixIndexedOption(index, option);
+  total_ += mixed - mixed_[index];
+  mixed_[index] = mixed;
+}
+
+bool EvaluationCache::Lookup(uint64_t key, double* value) {
+  ESP_CHECK(value != nullptr);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (const double* found = lru_.Get(key)) {
+    *value = *found;
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return false;
+}
+
+void EvaluationCache::Insert(uint64_t key, double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (lru_.Put(key, value)) {
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+EvalCacheStats EvaluationCache::stats() const {
+  EvalCacheStats stats;
+  stats.hits = hits_.load(std::memory_order_relaxed);
+  stats.misses = misses_.load(std::memory_order_relaxed);
+  stats.evictions = evictions_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+size_t EvaluationCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+size_t EvaluationCache::capacity() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.capacity();
+}
+
+}  // namespace espresso

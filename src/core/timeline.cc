@@ -153,20 +153,37 @@ void TimelineEvaluator::SetResourceScales(const ResourceScales& scales) {
   resource_scales_ = scales;
 }
 
-double TimelineEvaluator::RunRaw(const Strategy& strategy,
-                                 std::vector<RawEntry>* raw) const {
+double TimelineEvaluator::RunRaw(const OptionView& view, std::vector<RawEntry>* raw,
+                                 EvalContext* ctx) const {
+  const Strategy& strategy = *view.strategy;
   ESP_CHECK_EQ(strategy.options.size(), model_.tensors.size());
   const size_t n = model_.tensors.size();
+  simulations_.fetch_add(1, std::memory_order_relaxed);
 
-  SimEngine engine;
-  const ResourceId gpu = engine.AddSerialResource("gpu");
-  const ResourceId cpu = engine.AddPoolResource("cpu", cluster_.cpu_workers_per_gpu);
-  const ResourceId intra = engine.AddSerialResource("intra");
-  const ResourceId inter = engine.AddSerialResource("inter");
-  ESP_CHECK_EQ(gpu, kGpuResource);
-  ESP_CHECK_EQ(cpu, kCpuResource);
-  ESP_CHECK_EQ(intra, kIntraResource);
-  ESP_CHECK_EQ(inter, kInterResource);
+  EvalContext local;
+  if (ctx == nullptr) {
+    ctx = &local;
+  }
+  SimEngine& engine = ctx->engine;
+  if (ctx->engine_ready && ctx->cpu_lanes == cluster_.cpu_workers_per_gpu) {
+    engine.Reset();  // keeps task storage, event heap, and resource allocations
+  } else {
+    engine = SimEngine();
+    const ResourceId gpu_id = engine.AddSerialResource("gpu");
+    const ResourceId cpu_id = engine.AddPoolResource("cpu", cluster_.cpu_workers_per_gpu);
+    const ResourceId intra_id = engine.AddSerialResource("intra");
+    const ResourceId inter_id = engine.AddSerialResource("inter");
+    ESP_CHECK_EQ(gpu_id, kGpuResource);
+    ESP_CHECK_EQ(cpu_id, kCpuResource);
+    ESP_CHECK_EQ(intra_id, kIntraResource);
+    ESP_CHECK_EQ(inter_id, kInterResource);
+    ctx->engine_ready = true;
+    ctx->cpu_lanes = cluster_.cpu_workers_per_gpu;
+  }
+  constexpr ResourceId gpu = kGpuResource;
+  constexpr ResourceId cpu = kCpuResource;
+  constexpr ResourceId intra = kIntraResource;
+  constexpr ResourceId inter = kInterResource;
   if (!resource_scales_.Neutral()) {
     engine.SetResourceSpeedFactor(gpu, resource_scales_.gpu);
     engine.SetResourceSpeedFactor(cpu, resource_scales_.cpu);
@@ -190,8 +207,8 @@ double TimelineEvaluator::RunRaw(const Strategy& strategy,
   };
 
   size_t task_estimate = n;
-  for (const auto& option : strategy.options) {
-    task_estimate += option.ops.size() + 2;
+  for (size_t i = 0; i < n; ++i) {
+    task_estimate += view.at(i).ops.size() + 2;
   }
   engine.ReserveTasks(task_estimate);
 
@@ -199,39 +216,35 @@ double TimelineEvaluator::RunRaw(const Strategy& strategy,
   // compute tasks have ids 0..n-1; pipeline ops of tensor i carry priority i, so a
   // compression kernel of tensor i wins the GPU over compute of tensor i+1 — the
   // contention of Figure 2(c).
-  std::vector<TaskId> compute_tasks(n);
+  std::vector<TaskId>& compute_tasks = ctx->compute_tasks;
+  compute_tasks.resize(n);
   for (size_t i = 0; i < n; ++i) {
-    compute_tasks[i] = engine.AddTaskAfter(
-        "", gpu, model_.tensors[i].backward_time_s,
+    compute_tasks[i] = engine.AddChainTask(
+        gpu, model_.tensors[i].backward_time_s,
         i == 0 ? SimEngine::kNoDependency : compute_tasks[i - 1], static_cast<int>(i));
   }
 
-  struct OpTask {
-    size_t tensor;
-    size_t op_index;  // kHostCopyOp marks a host copy
-    ResourceId resource;
-    TaskId task;
-  };
 #ifdef ESPRESSO_VERIFY_SCHEDULES
   const bool record_ops = true;  // the verifier audits every schedule, recorded or not
 #else
   const bool record_ops = raw != nullptr;
 #endif
-  std::vector<OpTask> op_tasks;
+  std::vector<OpTaskRec>& op_tasks = ctx->op_tasks;
+  op_tasks.clear();
   if (record_ops) {
     op_tasks.reserve(task_estimate - n);
   }
   const bool host_copies = cluster_.host_copy_contends_intra && !zero_compression_cost_;
   for (size_t i = 0; i < n; ++i) {
     TaskId prev = compute_tasks[i];
-    const auto& option = strategy.options[i];
+    const auto& option = view.at(i);
     for (size_t k = 0; k < option.ops.size(); ++k) {
       const Op& op = option.ops[k];
       const double domain_bytes =
           op.domain_fraction * static_cast<double>(model_.tensors[i].elements) * sizeof(float);
       // On PCIe machines the host copy feeding a CPU compressor shares the intra fabric.
       if (host_copies && op.task == ActionTask::kCompress && op.device == Device::kCpu) {
-        prev = engine.AddTaskAfter("", intra, cluster_.intra.TransferTime(domain_bytes),
+        prev = engine.AddChainTask(intra, cluster_.intra.TransferTime(domain_bytes),
                                    prev, static_cast<int>(i));
         if (record_ops) {
           op_tasks.push_back({i, kHostCopyOp, intra, prev});
@@ -240,13 +253,13 @@ double TimelineEvaluator::RunRaw(const Strategy& strategy,
       const double duration = OpDuration(op, model_.tensors[i].elements);
       const ResourceId resource = resource_for(op);
       const TaskId id =
-          engine.AddTaskAfter("", resource, duration, prev, static_cast<int>(i));
+          engine.AddChainTask(resource, duration, prev, static_cast<int>(i));
       if (record_ops) {
         op_tasks.push_back({i, k, resource, id});
       }
       prev = id;
       if (host_copies && op.task == ActionTask::kDecompress && op.device == Device::kCpu) {
-        prev = engine.AddTaskAfter("", intra, cluster_.intra.TransferTime(domain_bytes),
+        prev = engine.AddChainTask(intra, cluster_.intra.TransferTime(domain_bytes),
                                    prev, static_cast<int>(i));
         if (record_ops) {
           op_tasks.push_back({i, kHostCopyOp, intra, prev});
@@ -265,7 +278,7 @@ double TimelineEvaluator::RunRaw(const Strategy& strategy,
                               engine.TaskStart(compute_tasks[i]),
                               engine.TaskEnd(compute_tasks[i])});
     }
-    for (const OpTask& ot : op_tasks) {
+    for (const OpTaskRec& ot : op_tasks) {
       raw->push_back(RawEntry{ot.tensor, ot.op_index, ot.resource,
                               engine.TaskStart(ot.task), engine.TaskEnd(ot.task)});
     }
@@ -273,8 +286,12 @@ double TimelineEvaluator::RunRaw(const Strategy& strategy,
 #ifdef ESPRESSO_VERIFY_SCHEDULES
   {
     // Verification build: every simulated timeline — the decision algorithm's hot loop
-    // included — must satisfy the scheduling invariants. The ops we just scheduled are
-    // re-collected when the caller did not ask for records.
+    // included, from serial and parallel scoring workers alike — must satisfy the
+    // scheduling invariants. Cache hits in the selector never reach this point; they
+    // return a previously verified F(S) without re-simulating (see docs/PERFORMANCE.md).
+    // The ops we just scheduled are re-collected when the caller did not ask for
+    // records, and any scoring overrides are materialized for the verifier's
+    // strategy-conformance audits.
     std::vector<RawEntry> verify_raw;
     if (raw == nullptr) {
       verify_raw.reserve(n + op_tasks.size());
@@ -283,15 +300,22 @@ double TimelineEvaluator::RunRaw(const Strategy& strategy,
                                       engine.TaskStart(compute_tasks[i]),
                                       engine.TaskEnd(compute_tasks[i])});
       }
-      for (const OpTask& ot : op_tasks) {
+      for (const OpTaskRec& ot : op_tasks) {
         verify_raw.push_back(RawEntry{ot.tensor, ot.op_index, ot.resource,
                                       engine.TaskStart(ot.task), engine.TaskEnd(ot.task)});
+      }
+    }
+    Strategy verified = strategy;
+    for (size_t i = 0; i < n; ++i) {
+      const CompressionOption& effective = view.at(i);
+      if (&effective != &strategy.options[i]) {
+        verified.options[i] = effective;
       }
     }
     VerifierConfig verifier_config;
     verifier_config.cpu_workers = cluster_.cpu_workers_per_gpu;
     const DiagnosticReport report = VerifySimulatedTimeline(
-        strategy, ToEntries(strategy, raw != nullptr ? *raw : verify_raw),
+        verified, ToEntries(verified, raw != nullptr ? *raw : verify_raw),
         verifier_config);
     ESP_CHECK(!report.HasErrors()) << "schedule verification failed:\n"
                                    << report.ToString();
@@ -301,7 +325,33 @@ double TimelineEvaluator::RunRaw(const Strategy& strategy,
 }
 
 double TimelineEvaluator::IterationTime(const Strategy& strategy) const {
-  return model_.forward_time_s + RunRaw(strategy, nullptr) + model_.optimizer_time_s;
+  return IterationTime(strategy, nullptr);
+}
+
+double TimelineEvaluator::IterationTime(const Strategy& strategy, EvalContext* ctx) const {
+  OptionView view;
+  view.strategy = &strategy;
+  return model_.forward_time_s + RunRaw(view, nullptr, ctx) + model_.optimizer_time_s;
+}
+
+double TimelineEvaluator::ScoreWithOption(const Strategy& strategy, size_t index,
+                                          const CompressionOption& candidate,
+                                          EvalContext* ctx) const {
+  ESP_CHECK_LT(index, strategy.options.size());
+  OptionView view;
+  view.strategy = &strategy;
+  view.index = index;
+  view.single = &candidate;
+  return model_.forward_time_s + RunRaw(view, nullptr, ctx) + model_.optimizer_time_s;
+}
+
+double TimelineEvaluator::ScoreWithOverrides(const Strategy& strategy,
+                                             const CompressionOption* const* overrides,
+                                             EvalContext* ctx) const {
+  OptionView view;
+  view.strategy = &strategy;
+  view.table = overrides;
+  return model_.forward_time_s + RunRaw(view, nullptr, ctx) + model_.optimizer_time_s;
 }
 
 std::vector<TimelineEntry> TimelineEvaluator::ToEntries(
@@ -340,20 +390,29 @@ std::vector<TimelineEntry> TimelineEvaluator::ToEntries(
 TimelineResult TimelineEvaluator::Evaluate(const Strategy& strategy,
                                            bool record_entries) const {
   TimelineResult result;
+  OptionView view;
+  view.strategy = &strategy;
   if (!record_entries) {
-    result.makespan = RunRaw(strategy, nullptr);
+    result.makespan = RunRaw(view, nullptr, nullptr);
   } else {
     std::vector<RawEntry> raw;
-    result.makespan = RunRaw(strategy, &raw);
+    result.makespan = RunRaw(view, &raw, nullptr);
     result.entries = ToEntries(strategy, raw);
   }
   result.iteration_time = model_.forward_time_s + result.makespan + model_.optimizer_time_s;
   return result;
 }
 
-std::vector<bool> TimelineEvaluator::BeforeBubble(const Strategy& strategy) const {
-  std::vector<RawEntry> raw;
-  RunRaw(strategy, &raw);
+std::vector<bool> TimelineEvaluator::BeforeBubble(const Strategy& strategy,
+                                                  EvalContext* ctx) const {
+  EvalContext local;
+  if (ctx == nullptr) {
+    ctx = &local;
+  }
+  std::vector<RawEntry>& raw = ctx->raw_scratch;
+  OptionView view;
+  view.strategy = &strategy;
+  RunRaw(view, &raw, ctx);
   const size_t n = model_.tensors.size();
 
   // Reconstruct per-tensor pipeline times from the deterministic entry layout: the

@@ -17,6 +17,8 @@
 #ifndef SRC_CORE_TIMELINE_H_
 #define SRC_CORE_TIMELINE_H_
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -58,14 +60,42 @@ struct ResourceScales {
 
 class TimelineEvaluator {
  public:
+  // Reusable per-call scratch for the simulation: the engine (tasks, event heap,
+  // resources) and the op-record buffers survive across evaluations, so the decision
+  // algorithm's hot loop runs allocation-free after warm-up. A context belongs to one
+  // caller thread at a time; parallel scoring workers each own one. Evaluation results
+  // are byte-identical with and without a context.
+  class EvalContext;
+
   // `compressor` supplies payload sizing (CompressedBytes); it must outlive the
   // evaluator. `zero_compression_cost` prices all (de)compression at zero — the Upper
   // Bound configuration of §5.1.
   TimelineEvaluator(const ModelProfile& model, const ClusterSpec& cluster,
                     const Compressor& compressor, bool zero_compression_cost = false);
 
-  // Iteration time F(S). The hot path of the decision algorithm.
+  // Iteration time F(S). The hot path of the decision algorithm. Thread-safe: the
+  // evaluator keeps no mutable simulation state — each call works off its own (or the
+  // supplied) EvalContext.
   double IterationTime(const Strategy& strategy) const;
+  double IterationTime(const Strategy& strategy, EvalContext* ctx) const;
+
+  // F(S') where S' is `strategy` with options[index] replaced by `candidate`, WITHOUT
+  // mutating (or copying) the caller's strategy. This is the selector's candidate
+  // scoring entry point; it replaces the old save/mutate/evaluate/restore dance.
+  double ScoreWithOption(const Strategy& strategy, size_t index,
+                         const CompressionOption& candidate,
+                         EvalContext* ctx = nullptr) const;
+
+  // F(S') where S' substitutes overrides[i] (when non-null) for options[i]. Used by
+  // the CPU-offload odometer to evaluate many-tensor device moves without
+  // materializing a strategy per visit. `overrides` must have strategy.size() entries.
+  double ScoreWithOverrides(const Strategy& strategy,
+                            const CompressionOption* const* overrides,
+                            EvalContext* ctx = nullptr) const;
+
+  // Number of timeline simulations actually run (cache hits in the selector skip the
+  // simulation and do not count). Accurate under parallel scoring.
+  uint64_t simulations() const { return simulations_.load(std::memory_order_relaxed); }
 
   // Installs fault-injected speed multipliers applied to every subsequent simulation
   // (compute on the gpu scale as well as pipeline ops). Scales must be positive.
@@ -78,7 +108,8 @@ class TimelineEvaluator {
   // Bubble analysis for Algorithm 1's Remove(): flags tensors whose communications all
   // complete before the last bubble (idle gap) of the links they use — compressing them
   // only widens the gap (§4.4.2 Property 1, Figure 9).
-  std::vector<bool> BeforeBubble(const Strategy& strategy) const;
+  std::vector<bool> BeforeBubble(const Strategy& strategy,
+                                 EvalContext* ctx = nullptr) const;
 
   // Wall-clock duration of a single op on a tensor with `elements` floats. Exposed for
   // tests and for Figure 10 (benefit-ratio) style analyses.
@@ -101,8 +132,39 @@ class TimelineEvaluator {
   static constexpr size_t kComputeOp = SIZE_MAX - 1;
   static constexpr size_t kHostCopyOp = SIZE_MAX;
 
-  // Builds and runs the schedule; fills per-op raw records when requested.
-  double RunRaw(const Strategy& strategy, std::vector<RawEntry>* raw) const;
+  // Scheduled-op bookkeeping kept only when records are requested (or under
+  // ESPRESSO_VERIFY_SCHEDULES).
+  struct OpTaskRec {
+    size_t tensor;
+    size_t op_index;  // kHostCopyOp marks a host copy
+    ResourceId resource;
+    TaskId task;
+  };
+
+  // The strategy being simulated, with up to one substitution scheme applied: a single
+  // (index, option) override, or a per-index override table. Lets the scoring entry
+  // points evaluate modified strategies with zero copies.
+  struct OptionView {
+    const Strategy* strategy = nullptr;
+    size_t index = SIZE_MAX;                              // single-override index
+    const CompressionOption* single = nullptr;            // single-override option
+    const CompressionOption* const* table = nullptr;      // per-index override table
+
+    const CompressionOption& at(size_t i) const {
+      if (table != nullptr && table[i] != nullptr) {
+        return *table[i];
+      }
+      if (single != nullptr && i == index) {
+        return *single;
+      }
+      return strategy->options[i];
+    }
+  };
+
+  // Builds and runs the schedule; fills per-op raw records when requested. Uses the
+  // context's engine and buffers (a local context when ctx is null).
+  double RunRaw(const OptionView& view, std::vector<RawEntry>* raw,
+                EvalContext* ctx) const;
 
   // Converts raw records to named entries (trace/verifier representation).
   std::vector<TimelineEntry> ToEntries(const Strategy& strategy,
@@ -116,6 +178,23 @@ class TimelineEvaluator {
   ResourceScales resource_scales_;
   LinkSpec inter_link_;  // NIC bandwidth divided by the g flows sharing it
   LinkSpec flat_link_;
+  mutable std::atomic<uint64_t> simulations_{0};
+};
+
+class TimelineEvaluator::EvalContext {
+ public:
+  EvalContext() = default;
+  EvalContext(const EvalContext&) = delete;
+  EvalContext& operator=(const EvalContext&) = delete;
+
+ private:
+  friend class TimelineEvaluator;
+  SimEngine engine;
+  bool engine_ready = false;  // resources added and matching cpu_lanes
+  size_t cpu_lanes = 0;
+  std::vector<TaskId> compute_tasks;
+  std::vector<OpTaskRec> op_tasks;
+  std::vector<RawEntry> raw_scratch;  // BeforeBubble / verification records
 };
 
 }  // namespace espresso

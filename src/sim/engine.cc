@@ -15,23 +15,9 @@ ResourceId SimEngine::AddPoolResource(std::string name, size_t lanes) {
   ESP_CHECK_GT(lanes, 0u);
   Resource res;
   res.name = std::move(name);
-  res.lanes = lanes;
-  for (size_t i = 0; i < lanes; ++i) {
-    res.lane_free.push(0.0);
-  }
+  res.lane_free.assign(lanes, 0.0);
   resources_.push_back(std::move(res));
   return static_cast<ResourceId>(resources_.size() - 1);
-}
-
-void SimEngine::AddDependent(TaskId from, TaskId to) {
-  Task& task = tasks_[from];
-  if (task.dependent_count < 2) {
-    task.dependents[task.dependent_count] = to;
-  } else {
-    overflow_dependents_.emplace_back(from, to);
-  }
-  ++task.dependent_count;
-  ++tasks_[to].unmet_deps;
 }
 
 TaskId SimEngine::AddTask(std::string name, ResourceId resource, double duration,
@@ -53,11 +39,13 @@ TaskId SimEngine::AddTaskAfter(std::string name, ResourceId resource, double dur
   ESP_CHECK_GE(duration, 0.0);
   const auto id = static_cast<TaskId>(tasks_.size());
   Task task;
-  task.name = std::move(name);
   task.resource = resource;
   task.duration = duration;
   task.priority = priority;
-  tasks_.push_back(std::move(task));
+  tasks_.push_back(task);
+  if (!name.empty()) {
+    names_.emplace_back(id, std::move(name));
+  }
   if (dep != kNoDependency) {
     ESP_CHECK_GE(dep, 0);
     ESP_CHECK_LT(dep, id);
@@ -74,55 +62,93 @@ void SimEngine::SetResourceSpeedFactor(ResourceId id, double factor) {
   resources_[id].speed_factor = factor;
 }
 
-void SimEngine::MakeEligible(TaskId id) {
-  const Task& task = tasks_[id];
-  resources_[task.resource].eligible.push({task.priority, id});
+void SimEngine::Reset() {
+  tasks_.clear();
+  names_.clear();
+  overflow_dependents_.clear();
+  event_heap_.clear();
+  makespan_ = 0.0;
+  ran_ = false;
+  for (Resource& res : resources_) {
+    // After Run() every eligible task has been dispatched; only the lane clocks need
+    // rewinding. Speed factors go back to the profiled baseline as well, so a reused
+    // engine starts from the same state as a freshly built one.
+    ESP_CHECK(res.eligible.empty()) << "Reset() before Run() drained resource " << res.name;
+    std::fill(res.lane_free.begin(), res.lane_free.end(), 0.0);
+    res.speed_factor = 1.0;
+  }
+}
+
+void SimEngine::Dispatch(Resource& res, double now) {
+  const size_t lanes = res.lane_free.size();
+  while (!res.eligible.empty()) {
+    // Earliest-free lane by linear scan; lane counts here are 1 (serial resources) or
+    // a handful of CPU workers, where the scan beats heap maintenance.
+    size_t lane = 0;
+    if (lanes > 1) {
+      for (size_t l = 1; l < lanes; ++l) {
+        if (res.lane_free[l] < res.lane_free[lane]) {
+          lane = l;
+        }
+      }
+    }
+    if (res.lane_free[lane] > now) {
+      break;
+    }
+    std::pop_heap(res.eligible.begin(), res.eligible.end(), std::greater<>());
+    const TaskId id = static_cast<TaskId>(res.eligible.back() & 0xffffffffu);
+    res.eligible.pop_back();
+    Task& task = tasks_[id];
+    task.start = now;
+    task.end = now + task.duration / res.speed_factor;
+    if (task.end > makespan_) {
+      makespan_ = task.end;
+    }
+    res.lane_free[lane] = task.end;
+    // Insertion into the descending-sorted event list; the list length tracks the
+    // number of busy lanes (a handful), where a memmove beats heap maintenance.
+    const std::pair<double, TaskId> event{task.end, id};
+    auto it = std::lower_bound(
+        event_heap_.begin(), event_heap_.end(), event,
+        [](const std::pair<double, TaskId>& a, const std::pair<double, TaskId>& b) {
+          return b < a;
+        });
+    event_heap_.insert(it, event);
+  }
 }
 
 void SimEngine::Run() {
   ESP_CHECK(!ran_);
   ran_ = true;
 
-  // Completion events ordered by (time, task id) for determinism.
-  using Event = std::pair<double, TaskId>;
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> events;
-
-  auto dispatch = [&](ResourceId rid, double now) {
-    Resource& res = resources_[rid];
-    while (!res.eligible.empty() && res.lane_free.top() <= now) {
-      res.lane_free.pop();
-      const TaskId id = res.eligible.top().second;
-      res.eligible.pop();
-      Task& task = tasks_[id];
-      task.start = now;
-      task.end = now + task.duration / res.speed_factor;
-      res.lane_free.push(task.end);
-      events.push({task.end, id});
-    }
-  };
-
   for (TaskId id = 0; id < static_cast<TaskId>(tasks_.size()); ++id) {
-    if (tasks_[id].unmet_deps == 0) {
-      MakeEligible(id);
+    const Task& task = tasks_[id];
+    if (task.unmet_deps == 0) {
+      Resource& res = resources_[task.resource];
+      res.eligible.push_back(EligibleKey(task.priority, id));
+      std::push_heap(res.eligible.begin(), res.eligible.end(), std::greater<>());
     }
   }
-  for (ResourceId rid = 0; rid < static_cast<ResourceId>(resources_.size()); ++rid) {
-    dispatch(rid, 0.0);
+  for (Resource& res : resources_) {
+    Dispatch(res, 0.0);
   }
 
   size_t completed = 0;
   ResourceId touched[8];
-  while (!events.empty()) {
-    const auto [now, id] = events.top();
-    events.pop();
+  while (!event_heap_.empty()) {
+    const auto [now, id] = event_heap_.back();
+    event_heap_.pop_back();
     ++completed;
     size_t touched_count = 0;
     bool touched_overflow = false;
     touched[touched_count++] = tasks_[id].resource;
     ForEachDependent(id, [&](TaskId dep) {
       if (--tasks_[dep].unmet_deps == 0) {
-        MakeEligible(dep);
-        const ResourceId rid = tasks_[dep].resource;
+        const Task& task = tasks_[dep];
+        Resource& res = resources_[task.resource];
+        res.eligible.push_back(EligibleKey(task.priority, dep));
+        std::push_heap(res.eligible.begin(), res.eligible.end(), std::greater<>());
+        const ResourceId rid = task.resource;
         bool seen = false;
         for (size_t i = 0; i < touched_count; ++i) {
           if (touched[i] == rid) {
@@ -140,12 +166,12 @@ void SimEngine::Run() {
       }
     });
     if (touched_overflow) {
-      for (ResourceId rid = 0; rid < static_cast<ResourceId>(resources_.size()); ++rid) {
-        dispatch(rid, now);
+      for (Resource& res : resources_) {
+        Dispatch(res, now);
       }
     } else {
       for (size_t i = 0; i < touched_count; ++i) {
-        dispatch(touched[i], now);
+        Dispatch(resources_[touched[i]], now);
       }
     }
   }
@@ -168,11 +194,7 @@ double SimEngine::TaskEnd(TaskId id) const {
 
 double SimEngine::Makespan() const {
   ESP_CHECK(ran_);
-  double makespan = 0.0;
-  for (const Task& task : tasks_) {
-    makespan = std::max(makespan, task.end);
-  }
-  return makespan;
+  return makespan_;
 }
 
 const std::string& SimEngine::ResourceName(ResourceId id) const {
@@ -186,8 +208,10 @@ std::vector<TaskRecord> SimEngine::Records() const {
   std::vector<TaskRecord> records;
   records.reserve(tasks_.size());
   for (const Task& task : tasks_) {
-    records.push_back(
-        TaskRecord{task.name, task.resource, task.start, task.end, task.priority});
+    records.push_back(TaskRecord{"", task.resource, task.start, task.end, task.priority});
+  }
+  for (const auto& [id, name] : names_) {
+    records[id].name = name;
   }
   return records;
 }

@@ -12,15 +12,17 @@
 // strategy's timeline — and therefore F(S) — is a pure function of the inputs.
 //
 // This sits on the decision algorithm's innermost loop (thousands of timeline
-// evaluations per strategy selection), so the task storage is allocation-light: names
-// are optional, single dependencies avoid vectors, and the per-task dependent list is
-// inlined for the common fan-outs (<= 2).
+// evaluations per strategy selection), so the task storage is tuned for it: Task is a
+// small POD (names live in a side table and are stored only when non-empty), single
+// dependencies avoid vectors, the per-task dependent list is inlined for the common
+// fan-outs (<= 2), eligible tasks order by one packed 64-bit key, and lane clocks are
+// flat arrays rather than heaps (lane counts are tiny).
 #ifndef SRC_SIM_ENGINE_H_
 #define SRC_SIM_ENGINE_H_
 
 #include <cstdint>
-#include <queue>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace espresso {
@@ -59,11 +61,33 @@ class SimEngine {
   // an overload would make AddTask(..., {}, 0) ambiguous — {} converts to TaskId 0.)
   TaskId AddTaskAfter(std::string name, ResourceId resource, double duration, TaskId dep,
                       int priority);
+  // AddTaskAfter without a name or per-call argument checks: the timeline evaluator's
+  // inner loop, which adds tens of millions of tasks per strategy selection.
+  TaskId AddChainTask(ResourceId resource, double duration, TaskId dep, int priority) {
+    const auto id = static_cast<TaskId>(tasks_.size());
+    Task task;
+    task.resource = resource;
+    task.duration = duration;
+    task.priority = priority;
+    tasks_.push_back(task);
+    if (dep != kNoDependency) {
+      AddDependent(dep, id);
+    }
+    return id;
+  }
 
   static constexpr TaskId kNoDependency = -1;
 
-  // Runs the simulation to completion. May be called once per engine.
+  // Runs the simulation to completion. May be called once per engine (or once per
+  // Reset() cycle).
   void Run();
+
+  // Returns the engine to its pre-Run, no-tasks state while keeping every allocation:
+  // task storage, the event heap, and the resources themselves (names, lanes) survive,
+  // with lane clocks and speed factors reset. This is the hot-loop reuse path — the
+  // decision algorithm's evaluation contexts run thousands of simulations on one
+  // engine without reallocating.
+  void Reset();
 
   double TaskStart(TaskId id) const;
   double TaskEnd(TaskId id) const;
@@ -77,10 +101,9 @@ class SimEngine {
 
  private:
   struct Task {
-    std::string name;
     ResourceId resource;
-    double duration;
     int priority;
+    double duration;
     // Dependent edges, inlined for fan-out <= 2 (the common case in tensor pipelines);
     // larger fan-outs spill into overflow_dependents_ keyed by task id.
     TaskId dependents[2] = {kNoDependency, kNoDependency};
@@ -92,25 +115,47 @@ class SimEngine {
 
   struct Resource {
     std::string name;
-    size_t lanes = 1;
     double speed_factor = 1.0;
-    // Free time per lane (min-heap).
-    std::priority_queue<double, std::vector<double>, std::greater<>> lane_free;
-    // Eligible tasks ordered by (priority, id); each task is pushed exactly once.
-    std::priority_queue<std::pair<int, TaskId>, std::vector<std::pair<int, TaskId>>,
-                        std::greater<>>
-        eligible;
+    // Free time per lane; linear scans beat a heap at the lane counts that occur here
+    // (1 for serial resources, a handful of CPU workers for the pool).
+    std::vector<double> lane_free;
+    // Eligible tasks as a binary min-heap of packed (priority, id) keys; each task is
+    // pushed exactly once.
+    std::vector<uint64_t> eligible;
   };
 
-  void AddDependent(TaskId from, TaskId to);
-  void MakeEligible(TaskId id);
+  // Packs (priority, id) so one integer comparison reproduces the (priority, id)
+  // ordering; the sign-bit flip keeps negative priorities ordered correctly.
+  static uint64_t EligibleKey(int priority, TaskId id) {
+    return (static_cast<uint64_t>(static_cast<uint32_t>(priority) ^ 0x80000000u) << 32) |
+           static_cast<uint32_t>(id);
+  }
+
+  void AddDependent(TaskId from, TaskId to) {
+    Task& task = tasks_[from];
+    if (task.dependent_count < 2) {
+      task.dependents[task.dependent_count] = to;
+    } else {
+      overflow_dependents_.emplace_back(from, to);
+    }
+    ++task.dependent_count;
+    ++tasks_[to].unmet_deps;
+  }
+  void Dispatch(Resource& res, double now);
   template <typename Fn>
   void ForEachDependent(TaskId id, Fn&& fn) const;
 
   std::vector<Task> tasks_;
   std::vector<Resource> resources_;
+  // task id -> name, only for tasks added with a non-empty name (cold path).
+  std::vector<std::pair<TaskId, std::string>> names_;
   // task id -> extra dependents beyond the inline pair (rare).
   std::vector<std::pair<TaskId, TaskId>> overflow_dependents_;
+  // Outstanding completion events sorted descending by (time, task id) — back() is the
+  // next event. The list stays as short as the number of busy lanes, so sorted
+  // insertion beats a binary heap. A member so Reset() keeps capacity.
+  std::vector<std::pair<double, TaskId>> event_heap_;
+  double makespan_ = 0.0;  // tracked during Run() to avoid a full post-run scan
   bool ran_ = false;
 };
 

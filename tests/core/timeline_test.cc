@@ -231,5 +231,77 @@ TEST(Timeline, DeterministicEvaluation) {
   EXPECT_EQ(evaluator.IterationTime(s), evaluator.IterationTime(s));
 }
 
+TEST(Timeline, EvalContextReuseIsByteIdentical) {
+  // The selector's hot loop reuses one EvalContext across thousands of simulations;
+  // results must match the context-free path exactly, for every strategy shape.
+  const ModelProfile model = ToyModel();
+  const ClusterSpec cluster = PcieCluster();
+  const auto compressor = Dgc();
+  TimelineEvaluator evaluator(model, cluster, *compressor);
+  TimelineEvaluator::EvalContext ctx;
+  const std::vector<CompressionOption> candidates =
+      CandidateOptions(TreeConfig{cluster.machines, cluster.gpus_per_machine,
+                                  compressor->SupportsCompressedAggregation()});
+  for (const CompressionOption& option : candidates) {
+    const Strategy s = UniformStrategy(model.tensors.size(), option);
+    EXPECT_EQ(evaluator.IterationTime(s, &ctx), evaluator.IterationTime(s))
+        << option.label;
+    // Re-running on the warm context (engine Reset() path) stays identical.
+    EXPECT_EQ(evaluator.IterationTime(s, &ctx), evaluator.IterationTime(s, &ctx))
+        << option.label;
+  }
+}
+
+TEST(Timeline, ScoreWithOptionMatchesSubstitutionWithoutMutation) {
+  // ScoreWithOption(base, i, c) must equal F(base with options[i] = c) and must leave
+  // the caller's strategy untouched — the selector relies on this to score candidates
+  // concurrently against one shared base strategy.
+  const ModelProfile model = ToyModel();
+  const ClusterSpec cluster = NvlinkCluster();
+  const auto compressor = Dgc();
+  TimelineEvaluator evaluator(model, cluster, *compressor);
+  const std::vector<CompressionOption> candidates =
+      CandidateOptions(TreeConfig{cluster.machines, cluster.gpus_per_machine,
+                                  compressor->SupportsCompressedAggregation()});
+  ASSERT_GE(candidates.size(), 2u);
+  const Strategy base = Fp32Strategy(model, cluster);
+  const Strategy before = base;
+  TimelineEvaluator::EvalContext ctx;
+  for (size_t i = 0; i < base.size(); ++i) {
+    for (const CompressionOption& candidate : candidates) {
+      Strategy substituted = base;
+      substituted.options[i] = candidate;
+      EXPECT_EQ(evaluator.ScoreWithOption(base, i, candidate, &ctx),
+                evaluator.IterationTime(substituted))
+          << "tensor " << i << " candidate " << candidate.label;
+    }
+  }
+  for (size_t i = 0; i < base.size(); ++i) {
+    EXPECT_EQ(base.options[i], before.options[i]) << "base mutated at " << i;
+  }
+}
+
+TEST(Timeline, ScoreWithOverridesMatchesMaterializedStrategy) {
+  const ModelProfile model = ToyModel();
+  const ClusterSpec cluster = NvlinkCluster();
+  const auto compressor = Dgc();
+  TimelineEvaluator evaluator(model, cluster, *compressor);
+  const std::vector<CompressionOption> candidates =
+      CandidateOptions(TreeConfig{cluster.machines, cluster.gpus_per_machine,
+                                  compressor->SupportsCompressedAggregation()});
+  ASSERT_GE(candidates.size(), 2u);
+  const Strategy base = UniformStrategy(model.tensors.size(), candidates[0]);
+  const CompressionOption moved = candidates[1].WithDevice(Device::kCpu);
+  // Override tensors 0 and 2, leave 1 on the base option (null slot).
+  std::vector<const CompressionOption*> overrides(base.size(), nullptr);
+  overrides[0] = &moved;
+  overrides[2] = &moved;
+  Strategy materialized = base;
+  materialized.options[0] = moved;
+  materialized.options[2] = moved;
+  EXPECT_EQ(evaluator.ScoreWithOverrides(base, overrides.data()),
+            evaluator.IterationTime(materialized));
+}
+
 }  // namespace
 }  // namespace espresso

@@ -159,6 +159,64 @@ TEST(SimEngine, DeterministicAcrossRuns) {
   EXPECT_EQ(build_and_run(), build_and_run());
 }
 
+TEST(SimEngine, ResetReusesEngineExactly) {
+  // The evaluation-context reuse path: one engine, many Run() cycles. Reset() must
+  // return the engine to a freshly-built state (task-free, lane clocks rewound, speed
+  // factors back to 1.0) while keeping the resources, so a reused engine schedules
+  // byte-identically to a new one.
+  SimEngine engine;
+  const ResourceId r = engine.AddSerialResource("gpu");
+  const ResourceId pool = engine.AddPoolResource("cpu", 2);
+
+  auto build = [&] {
+    TaskId prev = SimEngine::kNoDependency;
+    for (int i = 0; i < 20; ++i) {
+      prev = engine.AddChainTask(i % 3 == 0 ? pool : r, 0.25 * (i % 5 + 1), prev,
+                                 i % 4);
+    }
+  };
+  build();
+  engine.Run();
+  const double first = engine.Makespan();
+  ASSERT_GT(first, 0.0);
+
+  engine.Reset();
+  EXPECT_EQ(engine.TaskCount(), 0u);
+  EXPECT_EQ(engine.ResourceName(r), "gpu");  // resources survive Reset()
+  build();
+  engine.Run();
+  EXPECT_EQ(engine.Makespan(), first);
+
+  // Speed factors are rewound too: a degraded run in between must not leak into the
+  // next cycle.
+  engine.Reset();
+  engine.SetResourceSpeedFactor(r, 0.5);
+  build();
+  engine.Run();
+  EXPECT_GT(engine.Makespan(), first);
+  engine.Reset();
+  build();
+  engine.Run();
+  EXPECT_EQ(engine.Makespan(), first);
+}
+
+TEST(SimEngine, ChainTasksMatchAddTaskAfter) {
+  // AddChainTask is AddTaskAfter minus the name and argument checks; the schedules
+  // must be identical.
+  auto run = [](bool chain) {
+    SimEngine engine;
+    const ResourceId r = engine.AddSerialResource("r");
+    TaskId prev = SimEngine::kNoDependency;
+    for (int i = 0; i < 10; ++i) {
+      prev = chain ? engine.AddChainTask(r, 1.0 + i, prev, -i)
+                   : engine.AddTaskAfter("", r, 1.0 + i, prev, -i);
+    }
+    engine.Run();
+    return engine.Makespan();
+  };
+  EXPECT_EQ(run(true), run(false));
+}
+
 TEST(SimEngineDeathTest, ForwardDependencyRejected) {
   SimEngine engine;
   const ResourceId r = engine.AddSerialResource("r");
