@@ -12,7 +12,8 @@
 //   4. Online re-selection: the inter-machine link degrades 4x mid-run; the drift
 //      monitor must trigger a strategy hot-swap that changes at least one tensor option.
 //
-// Usage: bench_chaos [report.json]   (default chaos_report.json)
+// Usage: bench_chaos [report.json] [--metrics-out=<file>]... [--trace-out=<file>]...
+//   (default report: chaos_report.json)
 #include <cmath>
 #include <fstream>
 #include <iostream>
@@ -25,6 +26,9 @@
 #include "src/fault/resilient_executor.h"
 #include "src/models/model_zoo.h"
 #include "src/nn/parallel_trainer.h"
+#include "src/obs/cli.h"
+#include "src/obs/span.h"
+#include "src/obs/trace_writer.h"
 #include "src/util/json_writer.h"
 #include "src/util/stats.h"
 #include "src/util/table.h"
@@ -321,5 +325,44 @@ int Run(const std::string& report_path) {
 }  // namespace espresso
 
 int main(int argc, char** argv) {
-  return espresso::Run(argc > 1 ? argv[1] : "chaos_report.json");
+  using espresso::obs::ObsCliOptions;
+  ObsCliOptions obs_options;
+  std::string report_path = "chaos_report.json";
+  bool have_report_path = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string error;
+    switch (ObsCliOptions::ParseArg(argc, argv, &i, &obs_options, &error)) {
+      case ObsCliOptions::Parse::kConsumed:
+        break;
+      case ObsCliOptions::Parse::kError:
+        std::cerr << "error: " << error << "\n";
+        return 2;
+      case ObsCliOptions::Parse::kNotMine:
+        if (have_report_path) {
+          std::cerr << "usage: " << argv[0]
+                    << " [report.json] [--metrics-out=<file>]... [--trace-out=<file>]...\n";
+          return 2;
+        }
+        report_path = argv[i];
+        have_report_path = true;
+        break;
+    }
+  }
+  obs_options.ApplyTraceEnable();
+  const int status = espresso::Run(report_path);
+  if (status != 0) {
+    return status;
+  }
+  if (!obs_options.WriteMetricsFiles(espresso::obs::GlobalMetrics(), std::cerr)) {
+    return 1;
+  }
+  for (const std::string& path : obs_options.trace_out) {
+    std::ofstream trace_out(path);
+    if (!trace_out) {
+      std::cerr << "error: cannot write " << path << "\n";
+      return 1;
+    }
+    espresso::obs::WriteSpanTrace(trace_out, espresso::obs::GlobalTrace());
+  }
+  return 0;
 }

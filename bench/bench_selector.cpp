@@ -7,6 +7,7 @@
 //
 // Usage:
 //   bench_selector [--quick] [--threads N] [--configs DIR] [--out FILE] [--check FILE]
+//                  [--metrics-out FILE]... [--trace-out FILE]...
 //
 // --quick       one repetition per arm instead of three (CI perf-smoke mode)
 // --threads N   worker threads for the accelerated arm
@@ -15,6 +16,8 @@
 // --check FILE  compare this run's strategy fingerprints against a committed report;
 //               exit 1 on any divergence (catches nondeterminism regressions — the
 //               committed timings are informational and are not compared)
+// --metrics-out write the run's metrics registry (Prometheus text; JSON for .json)
+// --trace-out   write the run's wall-clock spans as a chrome trace
 #include <algorithm>
 #include <cinttypes>
 #include <cstdio>
@@ -28,6 +31,9 @@
 #include "src/core/espresso.h"
 #include "src/core/eval_cache.h"
 #include "src/ddl/job_config.h"
+#include "src/obs/cli.h"
+#include "src/obs/span.h"
+#include "src/obs/trace_writer.h"
 #include "src/util/json_writer.h"
 
 namespace {
@@ -157,7 +163,18 @@ int main(int argc, char** argv) {
   std::string configs_dir = "configs";
   std::string out_path;
   std::string check_path;
+  espresso::obs::ObsCliOptions obs_options;
   for (int i = 1; i < argc; ++i) {
+    std::string obs_error;
+    const auto obs_parse =
+        espresso::obs::ObsCliOptions::ParseArg(argc, argv, &i, &obs_options, &obs_error);
+    if (obs_parse == espresso::obs::ObsCliOptions::Parse::kConsumed) {
+      continue;
+    }
+    if (obs_parse == espresso::obs::ObsCliOptions::Parse::kError) {
+      std::cerr << obs_error << "\n";
+      return 2;
+    }
     const std::string arg = argv[i];
     auto next = [&]() -> std::string {
       if (i + 1 >= argc) {
@@ -182,6 +199,7 @@ int main(int argc, char** argv) {
     }
   }
   const int repetitions = quick ? 1 : 3;
+  obs_options.ApplyTraceEnable();
 
   std::string baseline;
   if (!check_path.empty()) {
@@ -278,6 +296,17 @@ int main(int argc, char** argv) {
       std::cerr << "cannot write " << out_path << "\n";
       return 1;
     }
+  }
+  if (!obs_options.WriteMetricsFiles(espresso::obs::GlobalMetrics(), std::cerr)) {
+    return 1;
+  }
+  for (const std::string& path : obs_options.trace_out) {
+    std::ofstream trace_out(path);
+    if (!trace_out) {
+      std::cerr << "cannot write " << path << "\n";
+      return 1;
+    }
+    espresso::obs::WriteSpanTrace(trace_out, espresso::obs::GlobalTrace());
   }
   if (check_failed) {
     std::cerr << "selector diverged from the committed baseline\n";

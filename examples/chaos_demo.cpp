@@ -3,23 +3,50 @@
 // timeline with the injected faults and the strategy hot-swap overlaid as instant
 // events on a dedicated "faults" track.
 //
-// Usage: chaos_demo [faults.ini] [trace.json]
+// Usage: chaos_demo [faults.ini] [trace.json] [--metrics-out=<file>]...
+//                   [--trace-out=<file>]...
 //   defaults: configs/faults_default.ini, chaos_trace.json
+//
+// The trace (positional path and every --trace-out copy) is the extended chrome
+// trace: flow arrows along each tensor's compress -> send -> decompress chain,
+// counter tracks for simulated link bandwidth and CPU-pool occupancy, fault
+// instants, and the process's wall-clock spans. --metrics-out dumps the metrics
+// registry (Prometheus text, or JSON for .json paths).
 #include <fstream>
 #include <iostream>
 #include <sstream>
+#include <vector>
 
 #include "src/core/decision_tree.h"
 #include "src/fault/chaos_channel.h"
 #include "src/fault/drift_monitor.h"
 #include "src/fault/resilient_executor.h"
 #include "src/models/model_zoo.h"
-#include "src/trace/chrome_trace.h"
+#include "src/obs/cli.h"
+#include "src/obs/span.h"
+#include "src/obs/trace_writer.h"
 
 int main(int argc, char** argv) {
   using namespace espresso;
-  const std::string config_path = argc > 1 ? argv[1] : "configs/faults_default.ini";
-  const std::string trace_path = argc > 2 ? argv[2] : "chaos_trace.json";
+  obs::ObsCliOptions obs_options;
+  std::vector<const char*> positional;
+  for (int i = 1; i < argc; ++i) {
+    std::string error;
+    switch (obs::ObsCliOptions::ParseArg(argc, argv, &i, &obs_options, &error)) {
+      case obs::ObsCliOptions::Parse::kConsumed:
+        break;
+      case obs::ObsCliOptions::Parse::kError:
+        std::cerr << "error: " << error << "\n";
+        return 2;
+      case obs::ObsCliOptions::Parse::kNotMine:
+        positional.push_back(argv[i]);
+        break;
+    }
+  }
+  obs::GlobalTrace().set_enabled(true);  // the demo's trace always carries wall spans
+  const std::string config_path =
+      !positional.empty() ? positional[0] : "configs/faults_default.ini";
+  const std::string trace_path = positional.size() > 1 ? positional[1] : "chaos_trace.json";
 
   ConfigFile config = ConfigFile::Load(config_path);
   if (!config.ok()) {
@@ -97,9 +124,25 @@ int main(int argc, char** argv) {
                             std::to_string(event.attempts)});
   }
 
-  std::ofstream out(trace_path);
-  WriteChromeTrace(out, model, last_entries, instants);
-  std::cout << "trace with " << instants.size() << " fault events: " << trace_path
-            << " (open in chrome://tracing or ui.perfetto.dev)\n";
+  std::vector<std::string> trace_paths = {trace_path};
+  trace_paths.insert(trace_paths.end(), obs_options.trace_out.begin(),
+                     obs_options.trace_out.end());
+  for (const std::string& path : trace_paths) {
+    std::ofstream out(path);
+    if (!out) {
+      std::cerr << "error: cannot write trace file " << path << "\n";
+      return 1;
+    }
+    obs::WriteExtendedChromeTrace(out, model, profiled, last_entries, instants,
+                                  &obs::GlobalTrace());
+    std::cout << "trace with " << instants.size() << " fault events: " << path
+              << " (open in chrome://tracing or ui.perfetto.dev)\n";
+  }
+  if (!obs_options.WriteMetricsFiles(obs::GlobalMetrics(), std::cerr)) {
+    return 1;
+  }
+  for (const std::string& path : obs_options.metrics_out) {
+    std::cout << "metrics: " << path << "\n";
+  }
   return 0;
 }

@@ -2,25 +2,56 @@
 // GC information, and training-system information — selects a near-optimal compression
 // strategy offline, and reports the per-tensor decisions and the predicted speedup.
 //
-// Usage: espresso_cli <model.ini> <gc.ini> <system.ini>
+// Usage: espresso_cli <model.ini> <gc.ini> <system.ini> [strategy-out.esp]
+//                     [--metrics-out=<file>]... [--trace-out=<file>]...
 // Try:   espresso_cli configs/model_gpt2.ini configs/gc_dgc.ini configs/system_nvlink.ini
+//
+// --metrics-out writes the run's metrics registry (Prometheus text, or the JSON dump
+// when the file ends in .json); --trace-out writes a Perfetto-loadable chrome trace of
+// the selected strategy's simulated timeline (flow arrows + counter tracks) overlaid
+// with the process's wall-clock spans.
 #include <cstdio>
+#include <fstream>
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "src/core/baselines.h"
 #include "src/core/espresso.h"
-#include "src/ddl/experiment.h"
 #include "src/core/strategy_io.h"
+#include "src/ddl/experiment.h"
 #include "src/ddl/job_config.h"
+#include "src/obs/cli.h"
+#include "src/obs/span.h"
+#include "src/obs/trace_writer.h"
 
 int main(int argc, char** argv) {
   using namespace espresso;
-  if (argc != 4 && argc != 5) {
+  obs::ObsCliOptions obs_options;
+  std::vector<const char*> positional;
+  for (int i = 1; i < argc; ++i) {
+    std::string error;
+    switch (obs::ObsCliOptions::ParseArg(argc, argv, &i, &obs_options, &error)) {
+      case obs::ObsCliOptions::Parse::kConsumed:
+        break;
+      case obs::ObsCliOptions::Parse::kError:
+        std::cerr << "error: " << error << "\n";
+        return 2;
+      case obs::ObsCliOptions::Parse::kNotMine:
+        positional.push_back(argv[i]);
+        break;
+    }
+  }
+  if (positional.size() != 3 && positional.size() != 4) {
     std::cerr << "usage: " << argv[0]
-              << " <model.ini> <gc.ini> <system.ini> [strategy-out.esp]\n";
+              << " <model.ini> <gc.ini> <system.ini> [strategy-out.esp]"
+              << " [--metrics-out=<file>]... [--trace-out=<file>]...\n";
     return 2;
   }
-  const JobConfigResult loaded = LoadJobConfigFromFiles(argv[1], argv[2], argv[3]);
+  obs_options.ApplyTraceEnable();
+
+  const JobConfigResult loaded =
+      LoadJobConfigFromFiles(positional[0], positional[1], positional[2]);
   if (!loaded.ok) {
     std::cerr << "error: " << loaded.error << "\n";
     return 1;
@@ -79,13 +110,32 @@ int main(int argc, char** argv) {
       break;
     }
   }
-  if (argc == 5) {
-    if (!WriteStrategyFile(argv[4], result.strategy)) {
-      std::cerr << "error: cannot write " << argv[4] << "\n";
+  if (positional.size() == 4) {
+    if (!WriteStrategyFile(positional[3], result.strategy)) {
+      std::cerr << "error: cannot write " << positional[3] << "\n";
       return 1;
     }
-    std::cout << "\nStrategy written to " << argv[4]
+    std::cout << "\nStrategy written to " << positional[3]
               << " (load it in the runtime with ReadStrategyFile)\n";
+  }
+
+  for (const std::string& path : obs_options.trace_out) {
+    const TimelineResult timeline =
+        selector.evaluator().Evaluate(result.strategy, /*record_entries=*/true);
+    std::ofstream out(path);
+    if (!out) {
+      std::cerr << "error: cannot write trace file " << path << "\n";
+      return 1;
+    }
+    obs::WriteExtendedChromeTrace(out, job.model, job.cluster, timeline.entries,
+                                  /*instants=*/{}, &obs::GlobalTrace());
+    std::cout << "Trace written to " << path << " (load in ui.perfetto.dev)\n";
+  }
+  if (!obs_options.WriteMetricsFiles(obs::GlobalMetrics(), std::cerr)) {
+    return 1;
+  }
+  for (const std::string& path : obs_options.metrics_out) {
+    std::cout << "Metrics written to " << path << "\n";
   }
   return 0;
 }

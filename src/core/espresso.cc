@@ -8,6 +8,8 @@
 #include <utility>
 
 #include "src/models/model_stats.h"
+#include "src/obs/metrics.h"
+#include "src/obs/span.h"
 #include "src/util/logging.h"
 
 namespace espresso {
@@ -21,7 +23,83 @@ double Seconds(std::chrono::steady_clock::time_point from,
   return std::chrono::duration<double>(to - from).count();
 }
 
+// Process-wide selector metrics; SelectorTelemetry stays the per-call view while the
+// registry accumulates across selections (see SelectorTelemetry::FromMetricsSnapshot).
+struct SelectorMetrics {
+  obs::Counter selections;
+  obs::Counter evaluations;
+  obs::Counter simulations;
+  obs::Counter cache_hits;
+  obs::Counter cache_misses;
+  obs::Counter cache_evictions;
+  obs::Histogram select_seconds;
+  obs::Histogram algorithm1_seconds;
+  obs::Histogram refine_seconds;
+  obs::Histogram trajectory_seconds;
+  obs::Histogram offload_seconds;
+};
+
+const SelectorMetrics& Metrics() {
+  static const SelectorMetrics metrics = [] {
+    obs::MetricsRegistry& r = obs::GlobalMetrics();
+    SelectorMetrics m;
+    m.selections = r.RegisterCounter("espresso_selector_selections_total",
+                                     "Completed EspressoSelector::Select calls");
+    m.evaluations = r.RegisterCounter("espresso_selector_evaluations_total",
+                                      "Logical F(S) queries (cache hits included)");
+    m.simulations = r.RegisterCounter("espresso_selector_simulations_total",
+                                      "Timelines actually simulated by the selector");
+    m.cache_hits = r.RegisterCounter("espresso_selector_cache_hits_total",
+                                     "F(S) memoization cache hits");
+    m.cache_misses = r.RegisterCounter("espresso_selector_cache_misses_total",
+                                       "F(S) memoization cache misses");
+    m.cache_evictions = r.RegisterCounter("espresso_selector_cache_evictions_total",
+                                          "F(S) memoization cache evictions");
+    m.select_seconds = r.RegisterHistogram("espresso_selector_select_seconds",
+                                           "End-to-end Select() wall time",
+                                           obs::DefaultTimeBuckets());
+    m.algorithm1_seconds = r.RegisterHistogram(
+        "espresso_selector_stage_algorithm1_seconds",
+        "Algorithm 1 (GPU compression) stage wall time", obs::DefaultTimeBuckets());
+    m.refine_seconds = r.RegisterHistogram("espresso_selector_stage_refine_seconds",
+                                           "Fixpoint refinement stage wall time",
+                                           obs::DefaultTimeBuckets());
+    m.trajectory_seconds = r.RegisterHistogram(
+        "espresso_selector_stage_trajectory_seconds",
+        "Multi-start trajectory stage wall time", obs::DefaultTimeBuckets());
+    m.offload_seconds = r.RegisterHistogram(
+        "espresso_selector_stage_offload_seconds",
+        "Algorithm 2 (CPU offload) stage wall time", obs::DefaultTimeBuckets());
+    return m;
+  }();
+  return metrics;
+}
+
 }  // namespace
+
+SelectorTelemetry SelectorTelemetry::FromMetricsSnapshot(
+    const obs::MetricsSnapshot& snapshot) {
+  SelectorTelemetry t;
+  const auto counter = [&snapshot](const char* name) -> uint64_t {
+    const obs::MetricValue* m = snapshot.Find(name);
+    return m == nullptr ? 0 : m->count;
+  };
+  const auto histogram_sum = [&snapshot](const char* name) -> double {
+    const obs::MetricValue* m = snapshot.Find(name);
+    return m == nullptr ? 0.0 : m->value;
+  };
+  t.evaluations = counter("espresso_selector_evaluations_total");
+  t.simulations = counter("espresso_selector_simulations_total");
+  t.cache_hits = counter("espresso_selector_cache_hits_total");
+  t.cache_misses = counter("espresso_selector_cache_misses_total");
+  t.cache_evictions = counter("espresso_selector_cache_evictions_total");
+  t.algorithm1_seconds = histogram_sum("espresso_selector_stage_algorithm1_seconds");
+  t.refine_seconds = histogram_sum("espresso_selector_stage_refine_seconds");
+  t.trajectory_seconds = histogram_sum("espresso_selector_stage_trajectory_seconds");
+  t.offload_seconds = histogram_sum("espresso_selector_stage_offload_seconds");
+  t.total_seconds = histogram_sum("espresso_selector_select_seconds");
+  return t;
+}
 
 EspressoSelector::EspressoSelector(const ModelProfile& model, const ClusterSpec& cluster,
                                    const Compressor& compressor, SelectorOptions options)
@@ -487,6 +565,7 @@ bool EspressoSelector::RefineSweep(Strategy* strategy, size_t* evaluations) cons
 }
 
 SelectionResult EspressoSelector::Select() const {
+  obs::ScopedSpan span("selector.select", "selector", Metrics().select_seconds);
   SelectionResult result;
   const uint64_t evals_start = evaluations_.load(std::memory_order_relaxed);
   const uint64_t sims_start = evaluator_.simulations();
@@ -497,7 +576,11 @@ SelectionResult EspressoSelector::Select() const {
 
   const auto t0 = std::chrono::steady_clock::now();
   std::optional<Strategy> forced_trajectory;
-  Strategy gpu = SelectGpuCompression(nullptr);
+  Strategy gpu;
+  {
+    obs::ScopedSpan stage("selector.algorithm1", "selector");
+    gpu = SelectGpuCompression(nullptr);
+  }
   const auto t_alg1 = std::chrono::steady_clock::now();
   result.telemetry.algorithm1_seconds = Seconds(t0, t_alg1);
 
@@ -506,13 +589,17 @@ SelectionResult EspressoSelector::Select() const {
   // removes that order dependence (and keeps Espresso ahead of every restricted
   // mechanism in §5.3's study). Skipped in myopic mode, whose scoring is context-free.
   if (!options_.myopic) {
-    for (int pass = 0; pass < 2; ++pass) {
-      if (!RefineSweep(&gpu, nullptr)) {
-        break;
+    {
+      obs::ScopedSpan stage("selector.refine", "selector");
+      for (int pass = 0; pass < 2; ++pass) {
+        if (!RefineSweep(&gpu, nullptr)) {
+          break;
+        }
       }
     }
     const auto t_refine = std::chrono::steady_clock::now();
     result.telemetry.refine_seconds = Seconds(t_alg1, t_refine);
+    obs::ScopedSpan trajectory_stage("selector.trajectory", "selector");
 
     // Multi-start escape hatch: greedy trajectories from a mixed strategy can miss
     // optima where most tensors share one option (e.g. a uniformly-divisible pipeline).
@@ -587,6 +674,7 @@ SelectionResult EspressoSelector::Select() const {
   }
 
   if (options_.enable_cpu_offload && !options_.force_cpu) {
+    obs::ScopedSpan stage("selector.offload", "selector");
     result.strategy =
         OffloadToCpu(gpu, &result.offload_combinations, &result.offload_exact, nullptr);
     if (forced_trajectory.has_value()) {
@@ -616,6 +704,21 @@ SelectionResult EspressoSelector::Select() const {
   }
   result.telemetry.threads = options_.threads;
   result.telemetry.total_seconds = Seconds(t0, std::chrono::steady_clock::now());
+
+  // Publish this selection's deltas so the global registry aggregates across
+  // selections; the stage histograms record the same walls the telemetry carries.
+  obs::MetricsRegistry& registry = obs::GlobalMetrics();
+  const SelectorMetrics& metrics = Metrics();
+  registry.Add(metrics.selections);
+  registry.Add(metrics.evaluations, result.telemetry.evaluations);
+  registry.Add(metrics.simulations, result.telemetry.simulations);
+  registry.Add(metrics.cache_hits, result.telemetry.cache_hits);
+  registry.Add(metrics.cache_misses, result.telemetry.cache_misses);
+  registry.Add(metrics.cache_evictions, result.telemetry.cache_evictions);
+  registry.Observe(metrics.algorithm1_seconds, result.telemetry.algorithm1_seconds);
+  registry.Observe(metrics.refine_seconds, result.telemetry.refine_seconds);
+  registry.Observe(metrics.trajectory_seconds, result.telemetry.trajectory_seconds);
+  registry.Observe(metrics.offload_seconds, result.telemetry.offload_seconds);
   return result;
 }
 

@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "src/costmodel/collective_cost.h"
+#include "src/obs/metrics.h"
+#include "src/obs/span.h"
 #include "src/util/logging.h"
 
 #ifdef ESPRESSO_VERIFY_SCHEDULES
@@ -43,6 +45,22 @@ const char* FixedResourceName(ResourceId id) {
     default:
       return "?";
   }
+}
+
+// Recorded at the simulation chokepoint, so the counter tracks RunRaw exactly —
+// the same quantity TimelineEvaluator::simulations() reports per instance.
+obs::Counter SimulationsCounter() {
+  static const obs::Counter counter = obs::GlobalMetrics().RegisterCounter(
+      "espresso_timeline_simulations_total",
+      "Timeline simulations executed (every TimelineEvaluator::RunRaw call)");
+  return counter;
+}
+
+obs::Histogram EvaluateSecondsHistogram() {
+  static const obs::Histogram histogram = obs::GlobalMetrics().RegisterHistogram(
+      "espresso_timeline_evaluate_seconds",
+      "Wall time of TimelineEvaluator::Evaluate calls", obs::DefaultTimeBuckets());
+  return histogram;
 }
 
 }  // namespace
@@ -159,6 +177,7 @@ double TimelineEvaluator::RunRaw(const OptionView& view, std::vector<RawEntry>* 
   ESP_CHECK_EQ(strategy.options.size(), model_.tensors.size());
   const size_t n = model_.tensors.size();
   simulations_.fetch_add(1, std::memory_order_relaxed);
+  obs::GlobalMetrics().Add(SimulationsCounter());
 
   EvalContext local;
   if (ctx == nullptr) {
@@ -389,6 +408,7 @@ std::vector<TimelineEntry> TimelineEvaluator::ToEntries(
 
 TimelineResult TimelineEvaluator::Evaluate(const Strategy& strategy,
                                            bool record_entries) const {
+  obs::ScopedSpan span("timeline.evaluate", "timeline", EvaluateSecondsHistogram());
   TimelineResult result;
   OptionView view;
   view.strategy = &strategy;

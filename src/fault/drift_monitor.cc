@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/obs/metrics.h"
 #include "src/util/logging.h"
 
 namespace espresso {
@@ -12,6 +13,37 @@ namespace {
 double RelativeDeviation(double observed, double profiled) {
   ESP_CHECK_GT(profiled, 0.0) << "profiled link parameter must be positive";
   return std::abs(observed / profiled - 1.0);
+}
+
+// Latency may legitimately be profiled as zero (an ideal alpha-free link); there is
+// no relative scale to drift against then, so such links contribute no deviation.
+double LatencyDeviation(double observed, double profiled) {
+  return profiled > 0.0 ? RelativeDeviation(observed, profiled) : 0.0;
+}
+
+struct DriftMetrics {
+  obs::Counter observations;
+  obs::Counter reselections;
+  obs::Counter options_changed;
+  obs::Gauge drift;
+};
+
+const DriftMetrics& Metrics() {
+  static const DriftMetrics m = [] {
+    auto& r = obs::GlobalMetrics();
+    DriftMetrics dm;
+    dm.observations = r.RegisterCounter("espresso_drift_observations_total",
+                                        "Cluster observations fed to the drift monitor");
+    dm.reselections = r.RegisterCounter("espresso_drift_reselections_total",
+                                        "Strategy hot-swaps triggered by drift");
+    dm.options_changed = r.RegisterCounter(
+        "espresso_drift_options_changed_total",
+        "Tensor options replaced across all drift-triggered re-selections");
+    dm.drift = r.RegisterGauge("espresso_drift_current",
+                               "Smoothed relative drift vs the profiled cluster");
+    return dm;
+  }();
+  return m;
 }
 
 }  // namespace
@@ -36,6 +68,7 @@ DriftMonitor::DriftMonitor(const DriftConfig& config, const ClusterSpec& profile
   ewma_inter_bw_ = profiled.inter.bytes_per_second;
   ewma_intra_bw_ = profiled.intra.bytes_per_second;
   ewma_inter_latency_ = profiled.inter.latency_s;
+  ewma_intra_latency_ = profiled.intra.latency_s;
 }
 
 bool DriftMonitor::Observe(uint64_t iteration, const ClusterSpec& observed) {
@@ -43,7 +76,11 @@ bool DriftMonitor::Observe(uint64_t iteration, const ClusterSpec& observed) {
   ewma_inter_bw_ = a * observed.inter.bytes_per_second + (1.0 - a) * ewma_inter_bw_;
   ewma_intra_bw_ = a * observed.intra.bytes_per_second + (1.0 - a) * ewma_intra_bw_;
   ewma_inter_latency_ = a * observed.inter.latency_s + (1.0 - a) * ewma_inter_latency_;
+  ewma_intra_latency_ = a * observed.intra.latency_s + (1.0 - a) * ewma_intra_latency_;
   has_observation_ = true;
+  auto& registry = obs::GlobalMetrics();
+  registry.Add(Metrics().observations);
+  registry.Set(Metrics().drift, drift());
   if (reselected_once_ &&
       iteration < last_reselection_ + config_.cooldown_iterations) {
     return false;
@@ -53,8 +90,13 @@ bool DriftMonitor::Observe(uint64_t iteration, const ClusterSpec& observed) {
 
 double DriftMonitor::drift() const {
   if (!has_observation_) return 0.0;
-  return std::max(RelativeDeviation(ewma_inter_bw_, profiled_.inter.bytes_per_second),
-                  RelativeDeviation(ewma_intra_bw_, profiled_.intra.bytes_per_second));
+  const double bw_drift =
+      std::max(RelativeDeviation(ewma_inter_bw_, profiled_.inter.bytes_per_second),
+               RelativeDeviation(ewma_intra_bw_, profiled_.intra.bytes_per_second));
+  const double latency_drift =
+      std::max(LatencyDeviation(ewma_inter_latency_, profiled_.inter.latency_s),
+               LatencyDeviation(ewma_intra_latency_, profiled_.intra.latency_s));
+  return std::max(bw_drift, latency_drift);
 }
 
 ClusterSpec DriftMonitor::SmoothedCluster() const {
@@ -62,6 +104,7 @@ ClusterSpec DriftMonitor::SmoothedCluster() const {
   drifted.inter.bytes_per_second = ewma_inter_bw_;
   drifted.inter.latency_s = ewma_inter_latency_;
   drifted.intra.bytes_per_second = ewma_intra_bw_;
+  drifted.intra.latency_s = ewma_intra_latency_;
   return drifted;
 }
 
@@ -101,6 +144,9 @@ std::optional<ReselectionEvent> OnlineReselector::Step(uint64_t iteration,
   }
   current_ = result.strategy;
   monitor_.AcknowledgeReselection(iteration);
+  auto& registry = obs::GlobalMetrics();
+  registry.Add(Metrics().reselections);
+  registry.Add(Metrics().options_changed, event.options_changed);
   return event;
 }
 

@@ -36,7 +36,11 @@ class DriftMonitor {
   // re-select and then call AcknowledgeReselection().
   bool Observe(uint64_t iteration, const ClusterSpec& observed);
 
-  // Max relative deviation of the smoothed link bandwidths from the profile.
+  // Max relative deviation of the smoothed link parameters (bandwidths AND
+  // latencies) from the profile. A pure latency degradation — e.g. a jittery NIC
+  // adding alpha without touching beta — drifts just like a bandwidth loss.
+  // Latency deviation is only measured for links whose profiled latency is
+  // positive (a zero-alpha profile has no relative scale).
   double drift() const;
 
   // The profiled cluster with its links replaced by the smoothed observations — the
@@ -52,6 +56,7 @@ class DriftMonitor {
   double ewma_inter_bw_ = 0.0;
   double ewma_intra_bw_ = 0.0;
   double ewma_inter_latency_ = 0.0;
+  double ewma_intra_latency_ = 0.0;
   bool reselected_once_ = false;
   uint64_t last_reselection_ = 0;
 };

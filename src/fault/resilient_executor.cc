@@ -1,11 +1,41 @@
 #include "src/fault/resilient_executor.h"
 
+#include "src/obs/metrics.h"
 #include "src/util/logging.h"
 #include "src/util/rng.h"
 
 namespace espresso {
 
 namespace {
+
+struct FaultMetrics {
+  obs::Counter clean;
+  obs::Counter retried;
+  obs::Counter fp32_fallbacks;
+  obs::Counter phase_retries;
+  obs::Histogram backoff_delay_seconds;
+};
+
+const FaultMetrics& Metrics() {
+  static const FaultMetrics metrics = [] {
+    obs::MetricsRegistry& r = obs::GlobalMetrics();
+    FaultMetrics m;
+    m.clean = r.RegisterCounter("espresso_fault_clean_total",
+                                "Tensor collectives that completed on the first attempt");
+    m.retried = r.RegisterCounter("espresso_fault_retried_total",
+                                  "Tensor collectives that completed after >= 1 retry");
+    m.fp32_fallbacks = r.RegisterCounter(
+        "espresso_fault_fp32_fallbacks_total",
+        "Tensor collectives that exhausted retries and fell back to exact FP32 allreduce");
+    m.phase_retries = r.RegisterCounter("espresso_fault_phase_retries_total",
+                                        "Individual failed collective-phase attempts");
+    m.backoff_delay_seconds = r.RegisterHistogram(
+        "espresso_fault_backoff_delay_seconds",
+        "Simulated backoff delay charged per retry", obs::DefaultTimeBuckets());
+    return m;
+  }();
+  return metrics;
+}
 
 // The FP32 degradation path: exact allreduce of the raw per-rank gradients.
 void ExactAllreduce(RankBuffers& buffers) {
@@ -39,8 +69,10 @@ void ResilientExecuteOption(const CompressionOption& option, const ExecutorConfi
       ExecuteOption(option, config, tensor_id, buffers);
       if (attempt == 1) {
         ++report->clean;
+        obs::GlobalMetrics().Add(Metrics().clean);
       } else {
         ++report->retried;
+        obs::GlobalMetrics().Add(Metrics().retried);
       }
       return;
     }
@@ -49,13 +81,17 @@ void ResilientExecuteOption(const CompressionOption& option, const ExecutorConfi
           FaultEventRecord{iteration, static_cast<size_t>(tensor_id), "fp32_fallback",
                            attempt});
       ++report->fallbacks;
+      obs::GlobalMetrics().Add(Metrics().fp32_fallbacks);
       ExactAllreduce(buffers);
       return;
     }
     report->events.push_back(FaultEventRecord{iteration, static_cast<size_t>(tensor_id),
                                               "phase_retry", attempt});
     ++report->total_retries;
-    report->backoff_seconds += policy.Delay(attempt, backoff_rng);
+    const double delay_s = policy.Delay(attempt, backoff_rng);
+    report->backoff_seconds += delay_s;
+    obs::GlobalMetrics().Add(Metrics().phase_retries);
+    obs::GlobalMetrics().Observe(Metrics().backoff_delay_seconds, delay_s);
   }
 }
 

@@ -12,11 +12,13 @@ double RetryPolicy::Delay(uint32_t retry, Rng& rng) const {
   ESP_CHECK_GE(jitter, 0.0);
   ESP_CHECK_LT(jitter, 1.0);
   const double exponential = base_delay_s * std::pow(2.0, static_cast<double>(retry - 1));
-  const double capped = std::min(max_delay_s, exponential);
   if (jitter == 0.0) {
-    return capped;
+    return std::min(max_delay_s, exponential);
   }
-  return capped * (1.0 + jitter * rng.Uniform(-1.0, 1.0));
+  // Clamp after jittering: max_delay_s is a hard cap, so a jitter draw must never
+  // push the delay past it.
+  const double jittered = exponential * (1.0 + jitter * rng.Uniform(-1.0, 1.0));
+  return std::min(max_delay_s, jittered);
 }
 
 RetryPolicy RetryPolicy::FromConfig(const ConfigFile& config) {

@@ -1,12 +1,62 @@
 #include "src/nn/parallel_trainer.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "src/collectives/schemes.h"
+#include "src/obs/metrics.h"
+#include "src/obs/span.h"
 #include "src/util/logging.h"
 #include "src/util/thread_pool.h"
 
 namespace espresso {
+
+namespace {
+
+struct TrainerMetrics {
+  obs::Counter steps;
+  obs::Counter payloads_dropped;
+  obs::Counter payloads_corrupted;
+  obs::Histogram step_seconds;
+  obs::Histogram compute_seconds;
+  obs::Histogram sync_seconds;
+  obs::Gauge overlap_ratio;
+};
+
+const TrainerMetrics& Metrics() {
+  static const TrainerMetrics metrics = [] {
+    obs::MetricsRegistry& r = obs::GlobalMetrics();
+    TrainerMetrics m;
+    m.steps = r.RegisterCounter("espresso_trainer_steps_total",
+                                "Global training steps executed");
+    m.payloads_dropped = r.RegisterCounter("espresso_trainer_payloads_dropped_total",
+                                           "Compressed payloads lost in transit");
+    m.payloads_corrupted = r.RegisterCounter(
+        "espresso_trainer_payloads_corrupted_total",
+        "Compressed payloads rejected by checksum and treated as lost");
+    m.step_seconds = r.RegisterHistogram("espresso_trainer_step_seconds",
+                                         "Per-iteration wall time (compute + sync)",
+                                         obs::DefaultTimeBuckets());
+    m.compute_seconds = r.RegisterHistogram(
+        "espresso_trainer_compute_seconds",
+        "Per-iteration gradient-computation wall time", obs::DefaultTimeBuckets());
+    m.sync_seconds = r.RegisterHistogram(
+        "espresso_trainer_sync_seconds",
+        "Per-iteration gradient-synchronization wall time", obs::DefaultTimeBuckets());
+    m.overlap_ratio = r.RegisterGauge(
+        "espresso_trainer_overlap_ratio",
+        "Compute share of the latest epoch's step time, compute/(compute+sync); "
+        "1.0 means communication is fully hidden behind computation");
+    return m;
+  }();
+  return metrics;
+}
+
+double SecondsSince(std::chrono::steady_clock::time_point from) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - from).count();
+}
+
+}  // namespace
 
 std::vector<EpochStats> TrainDataParallel(const Dataset& train, const Dataset& test,
                                           const TrainConfig& config) {
@@ -36,11 +86,16 @@ std::vector<EpochStats> TrainDataParallel(const Dataset& train, const Dataset& t
 
   std::vector<EpochStats> history;
   uint64_t step_counter = 0;
+  obs::MetricsRegistry& registry = obs::GlobalMetrics();
   for (size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    obs::ScopedSpan epoch_span("trainer.epoch", "trainer");
     double loss_sum = 0.0;
     size_t dropped = 0;
     size_t corrupted = 0;
+    double epoch_compute_s = 0.0;
+    double epoch_sync_s = 0.0;
     for (size_t step = 0; step < steps_per_epoch; ++step) {
+      const auto step_start = std::chrono::steady_clock::now();
       if (config.channel != nullptr) {
         config.channel->BeginIteration(step_counter);
       }
@@ -58,6 +113,8 @@ std::vector<EpochStats> TrainDataParallel(const Dataset& train, const Dataset& t
       for (size_t w = 0; w < config.workers; ++w) {
         loss_sum += worker_loss[w] / static_cast<double>(config.workers);
       }
+      const double compute_s = SecondsSince(step_start);
+      const auto sync_start = std::chrono::steady_clock::now();
 
       // Synchronize tensor by tensor through the configured scheme.
       std::vector<std::vector<float>> aggregated(tensor_count);
@@ -104,7 +161,23 @@ std::vector<EpochStats> TrainDataParallel(const Dataset& train, const Dataset& t
       }
       model.ApplyGradients(aggregated, config.learning_rate);
       ++step_counter;
+      const double sync_s = SecondsSince(sync_start);
+      epoch_compute_s += compute_s;
+      epoch_sync_s += sync_s;
+      registry.Add(Metrics().steps);
+      registry.Observe(Metrics().step_seconds, compute_s + sync_s);
+      registry.Observe(Metrics().compute_seconds, compute_s);
+      registry.Observe(Metrics().sync_seconds, sync_s);
     }
+    if (dropped > 0) {
+      registry.Add(Metrics().payloads_dropped, dropped);
+    }
+    if (corrupted > 0) {
+      registry.Add(Metrics().payloads_corrupted, corrupted);
+    }
+    const double epoch_total_s = epoch_compute_s + epoch_sync_s;
+    registry.Set(Metrics().overlap_ratio,
+                 epoch_total_s > 0.0 ? epoch_compute_s / epoch_total_s : 0.0);
     EpochStats stats;
     stats.epoch = epoch;
     stats.train_loss = loss_sum / static_cast<double>(steps_per_epoch);
@@ -112,6 +185,8 @@ std::vector<EpochStats> TrainDataParallel(const Dataset& train, const Dataset& t
     stats.test_accuracy = model.Accuracy(test.x, test.labels);
     stats.payloads_dropped = dropped;
     stats.payloads_corrupted = corrupted;
+    stats.compute_seconds = epoch_compute_s;
+    stats.sync_seconds = epoch_sync_s;
     history.push_back(stats);
   }
   return history;

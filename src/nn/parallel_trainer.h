@@ -52,6 +52,11 @@ struct EpochStats {
   // Fault accounting for the epoch (zero on a perfect channel).
   size_t payloads_dropped = 0;
   size_t payloads_corrupted = 0;
+  // Wall-clock decomposition of the epoch's steps: gradient computation (the
+  // pooled backward passes) vs gradient synchronization (compress + collective +
+  // update). Also published to the metrics registry as espresso_trainer_*.
+  double compute_seconds = 0.0;
+  double sync_seconds = 0.0;
 };
 
 std::vector<EpochStats> TrainDataParallel(const Dataset& train, const Dataset& test,

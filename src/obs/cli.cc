@@ -1,0 +1,94 @@
+#include "src/obs/cli.h"
+
+#include <fstream>
+#include <string_view>
+
+#include "src/obs/exporters.h"
+#include "src/obs/span.h"
+
+namespace espresso::obs {
+
+namespace {
+
+bool EndsWith(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() && s.substr(s.size() - suffix.size()) == suffix;
+}
+
+// Matches `--flag=value` and `--flag value`; on match stores the value and
+// advances *index past the consumed arguments.
+ObsCliOptions::Parse MatchFlag(std::string_view flag, int argc, char* const* argv,
+                               int* index, std::vector<std::string>* out,
+                               std::string* error) {
+  const std::string_view arg = argv[*index];
+  if (arg.substr(0, flag.size()) != flag) {
+    return ObsCliOptions::Parse::kNotMine;
+  }
+  if (arg.size() > flag.size() && arg[flag.size()] == '=') {
+    const std::string_view value = arg.substr(flag.size() + 1);
+    if (value.empty()) {
+      *error = std::string(flag) + " requires a file path";
+      return ObsCliOptions::Parse::kError;
+    }
+    out->emplace_back(value);
+    return ObsCliOptions::Parse::kConsumed;
+  }
+  if (arg.size() == flag.size()) {
+    if (*index + 1 >= argc) {
+      *error = std::string(flag) + " requires a file path";
+      return ObsCliOptions::Parse::kError;
+    }
+    ++*index;
+    out->emplace_back(argv[*index]);
+    return ObsCliOptions::Parse::kConsumed;
+  }
+  return ObsCliOptions::Parse::kNotMine;
+}
+
+}  // namespace
+
+ObsCliOptions::Parse ObsCliOptions::ParseArg(int argc, char* const* argv, int* index,
+                                             ObsCliOptions* options,
+                                             std::string* error) {
+  Parse result =
+      MatchFlag("--metrics-out", argc, argv, index, &options->metrics_out, error);
+  if (result != Parse::kNotMine) {
+    return result;
+  }
+  result = MatchFlag("--trace-out", argc, argv, index, &options->trace_out, error);
+  return result;
+}
+
+void ObsCliOptions::ApplyTraceEnable() const {
+  if (WantsTrace()) {
+    GlobalTrace().set_enabled(true);
+  }
+}
+
+bool ObsCliOptions::WriteMetricsFiles(MetricsRegistry& registry,
+                                      std::ostream& err) const {
+  if (metrics_out.empty()) {
+    return true;
+  }
+  const MetricsSnapshot snapshot = registry.Scrape();
+  bool ok = true;
+  for (const std::string& path : metrics_out) {
+    std::ofstream out(path);
+    if (!out) {
+      err << "error: cannot write metrics file " << path << "\n";
+      ok = false;
+      continue;
+    }
+    if (EndsWith(path, ".json")) {
+      WriteMetricsJson(snapshot, out);
+    } else {
+      WritePrometheus(snapshot, out);
+    }
+    if (!out.good()) {
+      err << "error: failed writing metrics file " << path << "\n";
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+}  // namespace espresso::obs

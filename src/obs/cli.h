@@ -1,0 +1,40 @@
+// Shared `--metrics-out=<file>` / `--trace-out=<file>` flag handling for
+// espresso_cli, the benches, and the examples. Both flags repeat; metrics files
+// ending in ".json" get the byte-stable JSON dump, anything else gets Prometheus
+// text. Requesting a trace enables the global wall-clock span collector.
+#ifndef SRC_OBS_CLI_H_
+#define SRC_OBS_CLI_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "src/obs/metrics.h"
+
+namespace espresso::obs {
+
+struct ObsCliOptions {
+  std::vector<std::string> metrics_out;
+  std::vector<std::string> trace_out;
+
+  enum class Parse { kNotMine, kConsumed, kError };
+
+  // Examines argv[*index]; consumes it (and possibly the following value argument,
+  // advancing *index) when it is an observability flag. On kError, `error` says why.
+  static Parse ParseArg(int argc, char* const* argv, int* index, ObsCliOptions* options,
+                        std::string* error);
+
+  bool WantsTrace() const { return !trace_out.empty(); }
+
+  // Call once flags are parsed: turns on the global span collector when a trace
+  // was requested (so the run's ScopedSpans are captured from the start).
+  void ApplyTraceEnable() const;
+
+  // Scrapes `registry` and writes every --metrics-out file. Returns false (with a
+  // message on `err`) if any file cannot be written.
+  bool WriteMetricsFiles(MetricsRegistry& registry, std::ostream& err) const;
+};
+
+}  // namespace espresso::obs
+
+#endif  // SRC_OBS_CLI_H_

@@ -1,0 +1,110 @@
+#include "src/obs/exporters.h"
+
+#include <cmath>
+#include <string>
+
+#include "src/util/json_writer.h"
+
+namespace espresso::obs {
+
+namespace {
+
+const char* KindName(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kGauge:
+      return "gauge";
+    case MetricKind::kHistogram:
+      return "histogram";
+  }
+  return "unknown";
+}
+
+std::string PromDouble(double d) {
+  if (std::isnan(d)) {
+    return "NaN";
+  }
+  if (std::isinf(d)) {
+    return d > 0 ? "+Inf" : "-Inf";
+  }
+  return FormatDouble(d);
+}
+
+}  // namespace
+
+void WritePrometheus(const MetricsSnapshot& snapshot, std::ostream& os) {
+  for (const MetricValue& m : snapshot.metrics) {
+    if (!m.help.empty()) {
+      os << "# HELP " << m.name << " " << m.help << "\n";
+    }
+    os << "# TYPE " << m.name << " " << KindName(m.kind) << "\n";
+    switch (m.kind) {
+      case MetricKind::kCounter:
+        os << m.name << " " << m.count << "\n";
+        break;
+      case MetricKind::kGauge:
+        os << m.name << " " << PromDouble(m.value) << "\n";
+        break;
+      case MetricKind::kHistogram: {
+        uint64_t cumulative = 0;
+        for (size_t b = 0; b < m.bounds.size(); ++b) {
+          cumulative += m.bucket_counts[b];
+          os << m.name << "_bucket{le=\"" << PromDouble(m.bounds[b]) << "\"} "
+             << cumulative << "\n";
+        }
+        cumulative += m.bucket_counts.back();
+        os << m.name << "_bucket{le=\"+Inf\"} " << cumulative << "\n";
+        os << m.name << "_sum " << PromDouble(m.value) << "\n";
+        os << m.name << "_count " << m.count << "\n";
+        break;
+      }
+    }
+  }
+}
+
+void WriteMetricsJson(const MetricsSnapshot& snapshot, std::ostream& os) {
+  JsonWriter json(os);
+  json.BeginObject();
+  json.Key("metrics");
+  json.BeginArray();
+  for (const MetricValue& m : snapshot.metrics) {
+    json.BeginObject();
+    json.Field("name", m.name);
+    json.Field("kind", KindName(m.kind));
+    if (!m.help.empty()) {
+      json.Field("help", m.help);
+    }
+    switch (m.kind) {
+      case MetricKind::kCounter:
+        json.Field("value", m.count);
+        break;
+      case MetricKind::kGauge:
+        json.Field("value", m.value);
+        break;
+      case MetricKind::kHistogram: {
+        json.Field("count", m.count);
+        json.Field("sum", m.value);
+        json.Key("bounds");
+        json.BeginArray();
+        for (const double b : m.bounds) {
+          json.Value(b);
+        }
+        json.EndArray();
+        json.Key("counts");
+        json.BeginArray();
+        for (const uint64_t c : m.bucket_counts) {
+          json.Value(c);
+        }
+        json.EndArray();
+        break;
+      }
+    }
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+  os << "\n";
+}
+
+}  // namespace espresso::obs

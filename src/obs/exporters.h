@@ -1,0 +1,24 @@
+// Snapshot exporters: Prometheus text exposition format (v0.0.4) and a byte-stable
+// JSON dump. Both render a given snapshot deterministically — metrics are
+// name-sorted by Scrape() and every double is formatted with shortest-round-trip
+// std::to_chars — so identical snapshots serialize to identical bytes.
+#ifndef SRC_OBS_EXPORTERS_H_
+#define SRC_OBS_EXPORTERS_H_
+
+#include <ostream>
+
+#include "src/obs/metrics.h"
+
+namespace espresso::obs {
+
+// Prometheus text format: # HELP / # TYPE headers, histogram _bucket{le=...} /
+// _sum / _count series.
+void WritePrometheus(const MetricsSnapshot& snapshot, std::ostream& os);
+
+// {"metrics":[{"name":...,"kind":...,"help":...,...}]} — histograms carry
+// "bounds" and "counts" arrays (counts has one extra +Inf entry).
+void WriteMetricsJson(const MetricsSnapshot& snapshot, std::ostream& os);
+
+}  // namespace espresso::obs
+
+#endif  // SRC_OBS_EXPORTERS_H_

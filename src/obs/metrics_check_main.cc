@@ -1,0 +1,27 @@
+// CI gate over emitted observability files: validates each argument as Prometheus
+// text or JSON (metrics dump / chrome trace) and exits non-zero on the first
+// malformed or empty file.
+//
+// Usage: metrics_check <file>...
+#include <cstdio>
+
+#include "src/obs/validate.h"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <metrics-or-trace-file>...\n", argv[0]);
+    return 2;
+  }
+  bool failed = false;
+  for (int i = 1; i < argc; ++i) {
+    const espresso::obs::ValidationResult result =
+        espresso::obs::ValidateMetricsFile(argv[i]);
+    if (result.ok) {
+      std::fprintf(stderr, "%s: OK (%zu samples)\n", argv[i], result.samples);
+    } else {
+      std::fprintf(stderr, "%s: FAIL: %s\n", argv[i], result.error.c_str());
+      failed = true;
+    }
+  }
+  return failed ? 1 : 0;
+}

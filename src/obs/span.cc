@@ -1,0 +1,99 @@
+#include "src/obs/span.h"
+
+#include <algorithm>
+#include <tuple>
+#include <utility>
+
+namespace espresso::obs {
+
+namespace {
+
+std::atomic<uint32_t> g_next_thread_ordinal{0};
+
+thread_local int g_span_depth = 0;
+
+}  // namespace
+
+TraceCollector::TraceCollector() : epoch_(std::chrono::steady_clock::now()) {}
+
+double TraceCollector::NowSeconds() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - epoch_).count();
+}
+
+void TraceCollector::Record(SpanEvent event) {
+  if (!enabled()) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.push_back(std::move(event));
+}
+
+std::vector<TraceCollector::SpanEvent> TraceCollector::spans() const {
+  std::vector<SpanEvent> copy;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    copy = spans_;
+  }
+  std::sort(copy.begin(), copy.end(), [](const SpanEvent& a, const SpanEvent& b) {
+    return std::tie(a.start_s, a.end_s, a.name) < std::tie(b.start_s, b.end_s, b.name);
+  });
+  return copy;
+}
+
+void TraceCollector::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.clear();
+}
+
+uint32_t TraceCollector::ThreadOrdinal() {
+  thread_local const uint32_t ordinal =
+      g_next_thread_ordinal.fetch_add(1, std::memory_order_relaxed);
+  return ordinal;
+}
+
+TraceCollector& GlobalTrace() {
+  static TraceCollector* collector = new TraceCollector();  // never destroyed
+  return *collector;
+}
+
+ScopedSpan::ScopedSpan(std::string name, std::string category, Histogram metric,
+                       MetricsRegistry* metrics, TraceCollector* trace)
+    : name_(std::move(name)),
+      category_(std::move(category)),
+      metric_(metric),
+      metrics_(metrics),
+      trace_(trace) {
+  ++g_span_depth;
+  // Sample the trace clock only when the span will actually be recorded; the
+  // steady_clock read below serves the metric either way.
+  tracing_ = trace_ != nullptr && trace_->enabled();
+  if (tracing_) {
+    trace_start_s_ = trace_->NowSeconds();
+  }
+  start_ = std::chrono::steady_clock::now();
+}
+
+ScopedSpan::~ScopedSpan() {
+  const double elapsed = ElapsedSeconds();
+  --g_span_depth;
+  if (metrics_ != nullptr && metric_.valid()) {
+    metrics_->Observe(metric_, elapsed);
+  }
+  if (tracing_) {
+    TraceCollector::SpanEvent event;
+    event.name = std::move(name_);
+    event.category = std::move(category_);
+    event.thread = TraceCollector::ThreadOrdinal();
+    event.start_s = trace_start_s_;
+    event.end_s = trace_start_s_ + elapsed;
+    trace_->Record(std::move(event));
+  }
+}
+
+double ScopedSpan::ElapsedSeconds() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+}
+
+int ScopedSpan::CurrentDepth() { return g_span_depth; }
+
+}  // namespace espresso::obs

@@ -1,0 +1,95 @@
+// RAII wall-clock timing spans feeding two sinks at once: a MetricsRegistry
+// histogram (always on, a few ns when the handle is invalid) and a TraceCollector
+// that buffers chrome-trace duration events for `--trace-out` (off by default;
+// CLIs enable it when a trace file is requested).
+//
+// Spans nest naturally: events on the same thread are rendered as a flame stack
+// by Perfetto because inner spans are strictly contained in their parents'
+// intervals. ScopedSpan::CurrentDepth() exposes the live per-thread nesting depth
+// for tests.
+#ifndef SRC_OBS_SPAN_H_
+#define SRC_OBS_SPAN_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/obs/metrics.h"
+
+namespace espresso::obs {
+
+// Thread-safe buffer of completed wall-clock spans, timestamped in seconds since
+// the collector's construction. Disabled collectors drop records at a single
+// relaxed atomic load.
+class TraceCollector {
+ public:
+  struct SpanEvent {
+    std::string name;
+    std::string category;
+    uint32_t thread = 0;   // small per-process thread ordinal
+    double start_s = 0.0;  // seconds since collector epoch
+    double end_s = 0.0;
+  };
+
+  TraceCollector();
+
+  void set_enabled(bool enabled) { enabled_.store(enabled, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  double NowSeconds() const;
+
+  void Record(SpanEvent event);
+
+  // Completed spans sorted by (start, end, name) — a deterministic order for a
+  // given set of events regardless of which thread recorded first.
+  std::vector<SpanEvent> spans() const;
+
+  void Clear();
+
+  // Small dense ordinal for the calling thread (stable for the thread's lifetime).
+  static uint32_t ThreadOrdinal();
+
+ private:
+  std::chrono::steady_clock::time_point epoch_;
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;
+  std::vector<SpanEvent> spans_;
+};
+
+// The process-wide collector `--trace-out` drains.
+TraceCollector& GlobalTrace();
+
+class ScopedSpan {
+ public:
+  // `metric`, when valid, receives the span duration (seconds) at destruction.
+  // Null registry/collector pointers disable the respective sink.
+  explicit ScopedSpan(std::string name, std::string category = "espresso",
+                      Histogram metric = {}, MetricsRegistry* metrics = &GlobalMetrics(),
+                      TraceCollector* trace = &GlobalTrace());
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  double ElapsedSeconds() const;
+
+  // Live nesting depth of ScopedSpans on the calling thread.
+  static int CurrentDepth();
+
+ private:
+  std::string name_;
+  std::string category_;
+  Histogram metric_;
+  MetricsRegistry* metrics_;
+  TraceCollector* trace_;
+  double trace_start_s_ = 0.0;
+  bool tracing_ = false;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace espresso::obs
+
+#endif  // SRC_OBS_SPAN_H_

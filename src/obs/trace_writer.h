@@ -1,0 +1,43 @@
+// Extended chrome-trace / Perfetto writer: everything WriteChromeTrace emits, plus
+//   * flow arrows linking each tensor's pipeline ops (compress -> send -> decompress)
+//     across resource tracks, so a chain reads as one causal sequence in Perfetto;
+//   * counter tracks derived from the simulated schedule: consumed link bandwidth
+//     (bytes/s, per link) and CPU-pool occupancy (concurrent CPU compression ops);
+//   * an optional second process carrying real wall-clock ScopedSpan events from a
+//     TraceCollector (pid 1), next to the simulated timeline (pid 0).
+//
+// Open the output in ui.perfetto.dev or chrome://tracing.
+#ifndef SRC_OBS_TRACE_WRITER_H_
+#define SRC_OBS_TRACE_WRITER_H_
+
+#include <ostream>
+#include <vector>
+
+#include "src/core/timeline.h"
+#include "src/costmodel/calibration.h"
+#include "src/obs/span.h"
+#include "src/trace/chrome_trace.h"
+
+namespace espresso::obs {
+
+struct ExtendedTraceOptions {
+  bool flow_events = true;
+  bool counter_tracks = true;
+};
+
+// `cluster` prices the link-bandwidth counter tracks; `wall` (optional) appends the
+// collector's wall-clock spans as a second process. The simulated part of the
+// output is deterministic for a given (model, entries, instants).
+void WriteExtendedChromeTrace(std::ostream& os, const ModelProfile& model,
+                              const ClusterSpec& cluster,
+                              const std::vector<TimelineEntry>& entries,
+                              const std::vector<TraceInstant>& instants = {},
+                              const TraceCollector* wall = nullptr,
+                              const ExtendedTraceOptions& options = {});
+
+// Wall-clock spans only (no simulated timeline) — the benches' `--trace-out`.
+void WriteSpanTrace(std::ostream& os, const TraceCollector& wall);
+
+}  // namespace espresso::obs
+
+#endif  // SRC_OBS_TRACE_WRITER_H_

@@ -2,9 +2,32 @@
 
 #include <algorithm>
 
+#include "src/obs/metrics.h"
 #include "src/util/logging.h"
 
 namespace espresso {
+
+namespace {
+
+struct EngineMetrics {
+  obs::Counter runs;
+  obs::Counter tasks;
+};
+
+const EngineMetrics& Metrics() {
+  static const EngineMetrics metrics = [] {
+    obs::MetricsRegistry& r = obs::GlobalMetrics();
+    EngineMetrics m;
+    m.runs = r.RegisterCounter("espresso_sim_runs_total",
+                               "Discrete-event simulation runs (SimEngine::Run)");
+    m.tasks = r.RegisterCounter("espresso_sim_tasks_total",
+                                "Tasks dispatched across all simulation runs");
+    return m;
+  }();
+  return metrics;
+}
+
+}  // namespace
 
 ResourceId SimEngine::AddSerialResource(std::string name) {
   return AddPoolResource(std::move(name), 1);
@@ -120,6 +143,9 @@ void SimEngine::Dispatch(Resource& res, double now) {
 void SimEngine::Run() {
   ESP_CHECK(!ran_);
   ran_ = true;
+  obs::MetricsRegistry& registry = obs::GlobalMetrics();
+  registry.Add(Metrics().runs);
+  registry.Add(Metrics().tasks, tasks_.size());
 
   for (TaskId id = 0; id < static_cast<TaskId>(tasks_.size()); ++id) {
     const Task& task = tasks_[id];

@@ -1,11 +1,20 @@
 #include "src/util/json_writer.h"
 
+#include <charconv>
 #include <cmath>
-#include <iomanip>
 
 #include "src/util/logging.h"
 
 namespace espresso {
+
+std::string FormatDouble(double d) {
+  // Shortest round-trip form; 32 chars cover the longest case
+  // (-2.2250738585072014e-308 is 24 chars).
+  char buf[32];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), d);
+  ESP_CHECK(ec == std::errc());
+  return std::string(buf, ptr);
+}
 
 void JsonWriter::MaybeComma() {
   if (pending_key_) {
@@ -67,7 +76,10 @@ void JsonWriter::Value(double d) {
     os_ << "null";
     return;
   }
-  os_ << std::setprecision(12) << d;
+  // std::to_chars, not ostream insertion: setprecision-style manipulators are both
+  // lossy (doubles need up to 17 significant digits to round-trip) and sticky (they
+  // would permanently mutate the caller's stream formatting state).
+  os_ << FormatDouble(d);
 }
 
 void JsonWriter::Value(int64_t i) {
@@ -106,8 +118,10 @@ void JsonWriter::WriteEscaped(std::string_view s) {
         break;
       default:
         if (static_cast<unsigned char>(c) < 0x20) {
-          os_ << "\\u" << std::hex << std::setw(4) << std::setfill('0') << static_cast<int>(c)
-              << std::dec << std::setfill(' ');
+          // Manual hex: ostream manipulators would leak formatting state to the caller.
+          static constexpr char kHex[] = "0123456789abcdef";
+          const auto u = static_cast<unsigned char>(c);
+          os_ << "\\u00" << kHex[(u >> 4) & 0xF] << kHex[u & 0xF];
         } else {
           os_ << c;
         }

@@ -11,6 +11,11 @@
 
 namespace espresso {
 
+// Shortest decimal form that round-trips to the exact same double
+// (std::to_chars shortest formatting, 17 significant digits when needed).
+// Callers must handle non-finite values themselves (JsonWriter maps them to null).
+std::string FormatDouble(double d);
+
 class JsonWriter {
  public:
   explicit JsonWriter(std::ostream& os) : os_(os) {}

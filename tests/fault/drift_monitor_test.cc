@@ -1,0 +1,113 @@
+// Regression coverage for the drift monitor's latency blindness: drift() used to
+// compare only the smoothed bandwidths against the profile, so a latency-only
+// degradation (a jittery NIC inflating alpha while beta stays put) never triggered
+// re-selection — and the intra link's latency was never even observed into the
+// EWMA set, so SmoothedCluster() handed the re-selector a stale alpha.
+#include "src/fault/drift_monitor.h"
+
+#include <gtest/gtest.h>
+
+#include "src/compress/compressor.h"
+#include "src/costmodel/calibration.h"
+#include "src/models/model_zoo.h"
+
+namespace espresso {
+namespace {
+
+ClusterSpec WithInterLatency(const ClusterSpec& base, double latency_s) {
+  ClusterSpec observed = base;
+  observed.inter.latency_s = latency_s;
+  return observed;
+}
+
+TEST(DriftMonitor, LatencyOnlyDegradationTriggersReselection) {
+  const ClusterSpec profiled = NvlinkCluster(4, 4);
+  DriftConfig config;
+  config.threshold = 0.5;
+  config.smoothing = 0.5;
+  DriftMonitor monitor(config, profiled);
+
+  // 10x inter latency, bandwidths untouched: after a few smoothing steps the
+  // latency deviation alone must cross the threshold.
+  const ClusterSpec observed = WithInterLatency(profiled, profiled.inter.latency_s * 10.0);
+  bool triggered = false;
+  for (uint64_t it = 0; it < 8 && !triggered; ++it) {
+    triggered = monitor.Observe(it, observed);
+  }
+  EXPECT_TRUE(triggered);
+  EXPECT_GT(monitor.drift(), config.threshold);
+}
+
+TEST(DriftMonitor, IntraLatencyIsObservedAndSmoothed) {
+  const ClusterSpec profiled = NvlinkCluster(4, 4);
+  DriftConfig config;
+  config.smoothing = 1.0;  // EWMA == latest observation
+  DriftMonitor monitor(config, profiled);
+
+  ClusterSpec observed = profiled;
+  observed.intra.latency_s = profiled.intra.latency_s * 3.0;
+  monitor.Observe(0, observed);
+
+  const ClusterSpec smoothed = monitor.SmoothedCluster();
+  EXPECT_DOUBLE_EQ(smoothed.intra.latency_s, observed.intra.latency_s);
+  EXPECT_DOUBLE_EQ(monitor.drift(), 2.0);  // |3x / 1x - 1|
+}
+
+TEST(DriftMonitor, LatencyRecoveryBringsDriftBackDown) {
+  const ClusterSpec profiled = NvlinkCluster(4, 4);
+  DriftConfig config;
+  config.smoothing = 1.0;
+  DriftMonitor monitor(config, profiled);
+
+  monitor.Observe(0, WithInterLatency(profiled, profiled.inter.latency_s * 5.0));
+  EXPECT_GT(monitor.drift(), 1.0);
+  monitor.Observe(1, profiled);
+  EXPECT_NEAR(monitor.drift(), 0.0, 1e-12);
+}
+
+TEST(DriftMonitor, ZeroProfiledLatencyContributesNoDeviation) {
+  ClusterSpec profiled = NvlinkCluster(4, 4);
+  profiled.inter.latency_s = 0.0;  // ideal alpha-free profile: no relative scale
+  DriftConfig config;
+  config.smoothing = 1.0;
+  DriftMonitor monitor(config, profiled);
+
+  monitor.Observe(0, WithInterLatency(profiled, 1e-3));
+  EXPECT_DOUBLE_EQ(monitor.drift(), 0.0);
+}
+
+TEST(DriftMonitor, BandwidthDriftStillDetected) {
+  const ClusterSpec profiled = NvlinkCluster(4, 4);
+  DriftConfig config;
+  config.threshold = 0.25;
+  config.smoothing = 1.0;
+  DriftMonitor monitor(config, profiled);
+
+  ClusterSpec observed = profiled;
+  observed.inter = observed.inter.Degraded(0.5);
+  EXPECT_TRUE(monitor.Observe(0, observed));
+  EXPECT_NEAR(monitor.drift(), 0.5, 1e-9);
+}
+
+TEST(OnlineReselector, LatencyOnlyDriftHotSwapsTheStrategy) {
+  const ModelProfile model = Lstm();
+  const ClusterSpec profiled = NvlinkCluster(2, 2);
+  const auto compressor =
+      CreateCompressor(CompressorConfig{.algorithm = "dgc", .ratio = 0.01});
+  DriftConfig drift;
+  drift.threshold = 0.5;
+  drift.smoothing = 1.0;
+  OnlineReselector reselector(model, profiled, *compressor, SelectorOptions{}, drift);
+
+  // A 50x inter-latency spike must reach the selector: the event fires even if the
+  // drifted optimum happens to keep every per-tensor option.
+  const ClusterSpec observed =
+      WithInterLatency(profiled, profiled.inter.latency_s * 50.0);
+  const auto event = reselector.Step(0, observed);
+  ASSERT_TRUE(event.has_value());
+  EXPECT_GT(event->drift, drift.threshold);
+  EXPECT_GT(event->new_iteration_time, 0.0);
+}
+
+}  // namespace
+}  // namespace espresso

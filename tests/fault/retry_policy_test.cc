@@ -46,6 +46,23 @@ TEST(RetryPolicy, JitterStaysWithinFraction) {
   }
 }
 
+// Regression: the jitter draw used to be applied AFTER the max_delay_s clamp, so a
+// deep-retry delay could come out at max_delay_s * (1 + jitter). The cap is a hard
+// ceiling; a positive jitter draw must never push a delay past it.
+TEST(RetryPolicy, JitteredDelayNeverExceedsCap) {
+  RetryPolicy policy;
+  policy.base_delay_s = 1e-3;
+  policy.max_delay_s = 8e-3;  // attempts >= 5 hit the cap before jitter
+  policy.jitter = 0.5;
+  Rng rng(123);
+  for (int i = 0; i < 10000; ++i) {
+    const uint32_t retry = 1 + static_cast<uint32_t>(i % 12);
+    const double d = policy.Delay(retry, rng);
+    EXPECT_LE(d, policy.max_delay_s) << "retry " << retry << " draw " << i;
+    EXPECT_GE(d, 0.0);
+  }
+}
+
 TEST(RetryPolicy, JitterIsDeterministicGivenSeed) {
   RetryPolicy policy;
   Rng a(99), b(99);

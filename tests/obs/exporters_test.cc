@@ -1,0 +1,71 @@
+#include "src/obs/exporters.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/obs/validate.h"
+
+namespace espresso::obs {
+namespace {
+
+MetricsRegistry& PopulatedRegistry() {
+  static MetricsRegistry* registry = [] {
+    auto* r = new MetricsRegistry();
+    r->Add(r->RegisterCounter("demo_requests_total", "requests served"), 42);
+    r->Set(r->RegisterGauge("demo_ratio", "a ratio"), 0.75);
+    const Histogram h = r->RegisterHistogram("demo_seconds", "durations", {0.1, 1.0});
+    r->Observe(h, 0.05);
+    r->Observe(h, 0.5);
+    r->Observe(h, 5.0);
+    return r;
+  }();
+  return *registry;
+}
+
+TEST(Prometheus, EmitsTextExpositionFormat) {
+  std::ostringstream os;
+  WritePrometheus(PopulatedRegistry().Scrape(), os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("# HELP demo_requests_total requests served\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE demo_requests_total counter\n"), std::string::npos);
+  EXPECT_NE(text.find("demo_requests_total 42\n"), std::string::npos);
+  EXPECT_NE(text.find("demo_ratio 0.75\n"), std::string::npos);
+  // Histogram buckets are cumulative and end at +Inf.
+  EXPECT_NE(text.find("demo_seconds_bucket{le=\"0.1\"} 1\n"), std::string::npos);
+  EXPECT_NE(text.find("demo_seconds_bucket{le=\"1\"} 2\n"), std::string::npos);
+  EXPECT_NE(text.find("demo_seconds_bucket{le=\"+Inf\"} 3\n"), std::string::npos);
+  EXPECT_NE(text.find("demo_seconds_count 3\n"), std::string::npos);
+
+  const ValidationResult valid = ValidatePrometheusText(text);
+  EXPECT_TRUE(valid.ok) << valid.error;
+  EXPECT_EQ(valid.samples, 7u);  // 1 counter + 1 gauge + 3 buckets + sum + count
+}
+
+TEST(MetricsJson, IsValidAndByteStable) {
+  std::ostringstream a, b;
+  WriteMetricsJson(PopulatedRegistry().Scrape(), a);
+  WriteMetricsJson(PopulatedRegistry().Scrape(), b);
+  EXPECT_EQ(a.str(), b.str());  // identical snapshots -> identical bytes
+
+  const ValidationResult valid = ValidateJsonDocument(a.str());
+  EXPECT_TRUE(valid.ok) << valid.error;
+  EXPECT_EQ(valid.samples, 3u);  // three metrics in the "metrics" array
+
+  EXPECT_NE(a.str().find("\"name\":\"demo_seconds\""), std::string::npos);
+  EXPECT_NE(a.str().find("\"bounds\":[0.1,1]"), std::string::npos);
+  EXPECT_NE(a.str().find("\"counts\":[1,1,1]"), std::string::npos);
+}
+
+TEST(MetricsJson, EmptySnapshotStillValidates) {
+  MetricsRegistry registry;
+  std::ostringstream os;
+  WriteMetricsJson(registry.Scrape(), os);
+  const ValidationResult valid = ValidateJsonDocument(os.str());
+  EXPECT_TRUE(valid.ok) << valid.error;
+  EXPECT_EQ(valid.samples, 0u);
+}
+
+}  // namespace
+}  // namespace espresso::obs

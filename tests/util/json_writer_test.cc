@@ -2,7 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdlib>
+#include <iomanip>
 #include <sstream>
+#include <vector>
+
+#include "src/util/rng.h"
 
 namespace espresso {
 namespace {
@@ -46,6 +52,50 @@ TEST(JsonWriter, NonFiniteDoublesBecomeNull) {
   w.Value(std::numeric_limits<double>::infinity());
   w.EndArray();
   EXPECT_EQ(os.str(), "[1.5,null]");
+}
+
+// Regression: Value(double) used to stream through std::setprecision(12), which is
+// lossy (doubles need up to 17 significant digits to round-trip). Every double the
+// writer emits must strtod back to the exact same bits.
+TEST(JsonWriter, DoublesRoundTripExactly) {
+  Rng rng(42);
+  std::vector<double> values = {0.0,   -0.0,     1.0,    0.1,       1e-300, 1e300,
+                                1e-12, 28.1478084835107,  0.30000000000000004,
+                                2.2250738585072014e-308,  1.7976931348623157e308};
+  for (int i = 0; i < 2000; ++i) {
+    // Mix magnitudes: uniform mantissas over a wide exponent range.
+    const double mantissa = rng.Uniform(-1.0, 1.0);
+    const double exponent = rng.Uniform(-300.0, 300.0);
+    values.push_back(mantissa * std::pow(10.0, exponent));
+  }
+  for (const double v : values) {
+    const std::string text = FormatDouble(v);
+    char* end = nullptr;
+    const double parsed = std::strtod(text.c_str(), &end);
+    ASSERT_NE(end, text.c_str());
+    EXPECT_EQ(*end, '\0') << text;
+    EXPECT_EQ(parsed, v) << "lossy round-trip: " << text;
+    // And through the writer itself (which must emit the same shortest form).
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.Value(v);
+    EXPECT_EQ(os.str(), text);
+  }
+}
+
+// Regression: setprecision is a sticky manipulator — writing a double used to leave
+// the caller's stream with precision 12 for everything written afterwards.
+TEST(JsonWriter, DoubleWriteDoesNotMutateStreamState) {
+  std::ostringstream os;
+  os << std::setprecision(6);
+  {
+    JsonWriter w(os);
+    w.Value(1.0 / 3.0);
+  }
+  os << " " << 1.0 / 3.0;
+  // The trailing plain stream insert still uses the stream's own precision (6).
+  EXPECT_NE(os.str().find(" 0.333333"), std::string::npos) << os.str();
+  EXPECT_EQ(os.precision(), 6);
 }
 
 TEST(JsonWriter, ArrayOfObjects) {
