@@ -24,10 +24,15 @@ HierarchicalResult HierarchicalSync(const HierarchicalOptions& options, RankBuff
   // parts; we account for its traffic but aggregate exactly, matching the timeline
   // engine's sizing.)
   const Partition shard(n, g);
+  // Scratch comes from the workspace: machine_shards/local/across persist across
+  // calls, so steady-state syncs at a stable shape reuse every buffer in place.
+  mem::CollectiveWorkspace& ws = mem::Resolve(options.workspace);
   // machine_shards[mi][l] = reduced shard l on machine mi.
-  std::vector<std::vector<std::vector<float>>> machine_shards(m);
+  std::vector<std::vector<std::vector<float>>>& machine_shards = ws.hier_machine_shards;
+  machine_shards.resize(m);
+  RankBuffers& local = ws.hier_local;
   for (size_t mi = 0; mi < m; ++mi) {
-    RankBuffers local(g);
+    local.resize(g);
     for (size_t l = 0; l < g; ++l) {
       local[l] = buffers[mi * g + l];
     }
@@ -49,20 +54,21 @@ HierarchicalResult HierarchicalSync(const HierarchicalOptions& options, RankBuff
 
   // Phase 2: inter-machine aggregation of each shard l across machines, performed by
   // the l-th GPU of every machine.
+  RankBuffers& across = ws.hier_across;
   for (size_t l = 0; l < g; ++l) {
-    RankBuffers across(m);
+    across.resize(m);
     for (size_t mi = 0; mi < m; ++mi) {
       across[mi] = machine_shards[mi][l];
     }
     CollectiveTraffic t;
     switch (options.inter) {
       case InterScheme::kUncompressedAllreduce: {
-        t = AllReduce(across);
+        t = AllReduce(across, &ws);
         break;
       }
       case InterScheme::kCompressedIndivisible: {
         SchemeContext ctx{options.feedback, options.channel, options.tensor_id * 131 + l,
-                          options.seed};
+                          options.seed, &ws};
         SchemeResult r = CompressedIndivisibleAllgather(*options.compressor, ctx, across);
         t = r.traffic;
         result.payloads_dropped += r.payloads_dropped;
@@ -71,7 +77,7 @@ HierarchicalResult HierarchicalSync(const HierarchicalOptions& options, RankBuff
       }
       case InterScheme::kCompressedDivisible: {
         SchemeContext ctx{options.feedback, options.channel, options.tensor_id * 131 + l,
-                          options.seed};
+                          options.seed, &ws};
         SchemeResult r = CompressedDivisibleAlltoall(*options.compressor, ctx, across);
         t = r.traffic;
         result.payloads_dropped += r.payloads_dropped;
@@ -87,9 +93,8 @@ HierarchicalResult HierarchicalSync(const HierarchicalOptions& options, RankBuff
         std::max(result.inter_traffic.communication_steps, t.communication_steps);
   }
 
-  // Phase 3: intra-machine allgather of the aggregated shards.
+  // Phase 3: intra-machine allgather of the aggregated shards (reusing `local`).
   for (size_t mi = 0; mi < m; ++mi) {
-    RankBuffers local;
     CollectiveTraffic t = AllGather(machine_shards[mi], &local);
     if (options.compress_intra) {
       size_t compressed_bytes = 0;

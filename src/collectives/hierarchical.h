@@ -34,6 +34,9 @@ struct HierarchicalOptions {
   PayloadChannel* channel = nullptr;         // inter-machine payload transport, optional
   uint64_t tensor_id = 0;
   uint64_t seed = 0;
+  // Scratch source for all three phases (threaded through to the primitives and
+  // schemes). nullptr resolves to the calling thread's default workspace.
+  mem::CollectiveWorkspace* workspace = nullptr;
 };
 
 struct HierarchicalResult {

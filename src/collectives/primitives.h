@@ -7,11 +7,15 @@
 #define SRC_COLLECTIVES_PRIMITIVES_H_
 
 #include "src/collectives/rank_group.h"
+#include "src/mem/workspace.h"
 
 namespace espresso {
 
-// Ring allreduce: every rank ends with the elementwise sum across ranks.
-CollectiveTraffic AllReduce(RankBuffers& buffers);
+// Ring allreduce: every rank ends with the elementwise sum across ranks. Scratch
+// (working copies, in-flight ring chunks) comes from `workspace`; nullptr resolves to
+// the calling thread's default workspace, so steady-state calls are allocation-free.
+CollectiveTraffic AllReduce(RankBuffers& buffers,
+                            mem::CollectiveWorkspace* workspace = nullptr);
 
 // Reduce-scatter: rank r ends with the sum of partition range r (other ranges of its
 // buffer are left untouched); `out_shards[r]` receives rank r's reduced shard.

@@ -56,12 +56,23 @@ SchemeResult CompressedIndivisibleAllgather(const Compressor& compressor,
   SchemeResult result;
 
   // Each rank compresses its full tensor; the allgathered payload set keeps only the
-  // payloads the channel delivered.
-  std::vector<CompressedTensor> payloads(p);
-  std::vector<bool> delivered(p, true);
+  // payloads the channel delivered. Payload tensors persist in the workspace (Compress
+  // Clear()s them, keeping capacity); delivery flags live on the arena.
+  mem::CollectiveWorkspace& ws = mem::Resolve(ctx.workspace);
+  mem::ArenaScope scope(ws.arena);
+  std::vector<CompressedTensor>& payloads = ws.indiv_payloads;
+  // Grow-only: shrinking would destroy warm tensors (and their capacities) when calls
+  // with different rank counts alternate on one workspace. Slots past p sit unused.
+  if (payloads.size() < p) {
+    payloads.resize(p);
+  }
+  std::span<uint8_t> delivered = ws.arena.Alloc<uint8_t>(p);
+  std::fill(delivered.begin(), delivered.end(), uint8_t{1});
   for (size_t r = 0; r < p; ++r) {
     CompressRank(compressor, ctx, r, buffers[r], &payloads[r]);
-    delivered[r] = TransmitRank(compressor, ctx, r, ctx.tensor_id, &payloads[r], &result);
+    delivered[r] = TransmitRank(compressor, ctx, r, ctx.tensor_id, &payloads[r], &result)
+                       ? uint8_t{1}
+                       : uint8_t{0};
   }
   result.compress_calls = p;
 
@@ -77,7 +88,7 @@ SchemeResult CompressedIndivisibleAllgather(const Compressor& compressor,
   for (size_t r = 0; r < p; ++r) {
     std::fill(buffers[r].begin(), buffers[r].end(), 0.0f);
     for (size_t s = 0; s < p; ++s) {
-      if (delivered[s]) {
+      if (delivered[s] != 0) {
         compressor.DecompressAdd(payloads[s], buffers[r]);
         ++result.decompress_calls;
       }
@@ -102,8 +113,24 @@ SchemeResult DivisibleScheme(const Compressor& compressor, const SchemeContext& 
   // Step 0: every rank compresses each index-range part of its tensor.
   // payloads[r][j] = rank r's compressed part j. Parts whose aggregator is another rank
   // cross the wire and may be dropped by the channel; a rank's own part stays local.
-  std::vector<std::vector<CompressedTensor>> payloads(p, std::vector<CompressedTensor>(parts));
-  std::vector<std::vector<bool>> delivered(p, std::vector<bool>(parts, true));
+  // The payload matrix persists in the workspace; delivery flags live on the arena
+  // (row r starts at delivered[r * parts]).
+  mem::CollectiveWorkspace& ws = mem::Resolve(ctx.workspace);
+  mem::ArenaScope scope(ws.arena);
+  // Grow-only (see the indivisible scheme): the rooted and alltoall variants share
+  // this matrix with different `parts`, and shrinking a row would destroy its warm
+  // tensors. Rows and slots past the live [0, p) x [0, parts) range sit unused.
+  std::vector<std::vector<CompressedTensor>>& payloads = ws.div_payloads;
+  if (payloads.size() < p) {
+    payloads.resize(p);
+  }
+  for (size_t r = 0; r < p; ++r) {
+    if (payloads[r].size() < parts) {
+      payloads[r].resize(parts);
+    }
+  }
+  std::span<uint8_t> delivered = ws.arena.Alloc<uint8_t>(p * parts);
+  std::fill(delivered.begin(), delivered.end(), uint8_t{1});
   for (size_t r = 0; r < p; ++r) {
     for (size_t j = 0; j < parts; ++j) {
       const std::span<const float> full(buffers[r]);
@@ -116,8 +143,11 @@ SchemeResult DivisibleScheme(const Compressor& compressor, const SchemeContext& 
       CompressRank(compressor, part_ctx, r, view, &payloads[r][j]);
       const size_t aggregator = rooted ? 0 : j;
       if (aggregator != r) {
-        delivered[r][j] = TransmitRank(compressor, part_ctx, r, part_ctx.tensor_id,
-                                       &payloads[r][j], &result);
+        delivered[r * parts + j] =
+            TransmitRank(compressor, part_ctx, r, part_ctx.tensor_id, &payloads[r][j],
+                         &result)
+                ? uint8_t{1}
+                : uint8_t{0};
       }
     }
   }
@@ -141,12 +171,17 @@ SchemeResult DivisibleScheme(const Compressor& compressor, const SchemeContext& 
 
   // Middle stage: each aggregator decompresses its received parts, aggregates, and
   // re-compresses — unless the compressor supports compressed-domain aggregation.
-  std::vector<CompressedTensor> aggregated(parts);
+  // Aggregation tensors persist in the workspace; the zero/aggregation float scratch
+  // is a pool lease (capacity-reusing) instead of a fresh vector per part.
+  std::vector<CompressedTensor>& aggregated = ws.div_aggregated;
+  if (aggregated.size() < parts) {
+    aggregated.resize(parts);
+  }
   if (compressor.SupportsCompressedAggregation()) {
     for (size_t j = 0; j < parts; ++j) {
       bool seeded = false;
       for (size_t r = 0; r < p; ++r) {
-        if (!delivered[r][j]) {
+        if (delivered[r * parts + j] == 0) {
           continue;
         }
         if (!seeded) {
@@ -158,20 +193,20 @@ SchemeResult DivisibleScheme(const Compressor& compressor, const SchemeContext& 
       }
       // Every payload of part j dropped: aggregate the part as all-zeros.
       if (!seeded) {
-        std::vector<float> zeros(part.Length(j), 0.0f);
-        compressor.Compress(zeros, ctx.seed, &aggregated[j]);
+        mem::PooledFloats zeros = ws.pool.AcquireZeroedFloats(part.Length(j));
+        compressor.Compress(*zeros, ctx.seed, &aggregated[j]);
       }
     }
   } else {
     for (size_t j = 0; j < parts; ++j) {
-      std::vector<float> scratch(part.Length(j), 0.0f);
+      mem::PooledFloats scratch = ws.pool.AcquireZeroedFloats(part.Length(j));
       for (size_t r = 0; r < p; ++r) {
-        if (delivered[r][j]) {
-          compressor.DecompressAdd(payloads[r][j], scratch);
+        if (delivered[r * parts + j] != 0) {
+          compressor.DecompressAdd(payloads[r][j], *scratch);
           ++result.decompress_calls;
         }
       }
-      compressor.Compress(scratch, ctx.seed, &aggregated[j]);
+      compressor.Compress(*scratch, ctx.seed, &aggregated[j]);
       ++result.compress_calls;
     }
   }

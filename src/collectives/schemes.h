@@ -22,6 +22,7 @@
 #include "src/collectives/rank_group.h"
 #include "src/compress/compressor.h"
 #include "src/compress/error_feedback.h"
+#include "src/mem/workspace.h"
 
 namespace espresso {
 
@@ -45,6 +46,9 @@ struct SchemeContext {
   PayloadChannel* channel = nullptr;               // nullptr = perfect network
   uint64_t tensor_id = 0;
   uint64_t seed = 0;
+  // Scratch source (payload sets, delivery flags, aggregation buffers). nullptr
+  // resolves to the calling thread's default workspace.
+  mem::CollectiveWorkspace* workspace = nullptr;
 };
 
 // Figure 3. On return every rank buffer holds the aggregated (decompressed) result.

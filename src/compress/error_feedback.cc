@@ -39,11 +39,13 @@ void ErrorFeedback::CompressWithFeedback(const Compressor& compressor, uint64_t 
   for (size_t i = 0; i < grad.size(); ++i) {
     residual[i] = scratch_[i];
   }
-  // Subtract the decompressed payload: DecompressAdd adds, so negate via a temp pass.
-  std::vector<float> decompressed(grad.size(), 0.0f);
-  compressor.DecompressAdd(*out, decompressed);
+  // Subtract the decompressed payload: DecompressAdd adds, so negate via a scratch
+  // pass. The scratch persists across calls (assign reuses capacity), keeping the
+  // steady state allocation-free for stable tensor shapes.
+  decompressed_scratch_.assign(grad.size(), 0.0f);
+  compressor.DecompressAdd(*out, decompressed_scratch_);
   for (size_t i = 0; i < grad.size(); ++i) {
-    residual[i] -= decompressed[i];
+    residual[i] -= decompressed_scratch_[i];
   }
 }
 

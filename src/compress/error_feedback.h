@@ -53,6 +53,7 @@ class ErrorFeedback {
   std::unordered_map<uint64_t, std::vector<float>> residuals_;
   std::unordered_map<uint64_t, std::vector<float>> velocities_;  // momentum-corrected u_t
   std::vector<float> scratch_;
+  std::vector<float> decompressed_scratch_;  // DecompressAdd target, reused per call
 };
 
 }  // namespace espresso

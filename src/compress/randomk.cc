@@ -36,8 +36,11 @@ void RandomKCompressor::Compress(std::span<const float> input, uint64_t seed,
     return;
   }
   Rng rng(DeriveSeed(seed, input.size()));
-  out->indices = rng.SampleWithoutReplacement(static_cast<uint32_t>(input.size()),
-                                              static_cast<uint32_t>(k));
+  // The O(n) shuffle pool is thread-local so repeated compressions of same-shaped
+  // tensors stay allocation-free; indices are written into out's warm capacity.
+  thread_local std::vector<uint32_t> sample_scratch;
+  rng.SampleWithoutReplacement(static_cast<uint32_t>(input.size()),
+                               static_cast<uint32_t>(k), &out->indices, &sample_scratch);
   // Sorted indices make decompression cache-friendly and make payloads from different
   // ranks (same seed) byte-comparable in index structure.
   std::sort(out->indices.begin(), out->indices.end());

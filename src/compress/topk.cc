@@ -35,7 +35,10 @@ void TopKCompressor::Compress(std::span<const float> input, uint64_t /*seed*/,
   if (k == 0) {
     return;
   }
-  std::vector<uint32_t> order(input.size());
+  // Select in place inside out->indices (cleared above, capacity warm): the full
+  // index range is the selection scratch, then shrinks to the kept top-k.
+  std::vector<uint32_t>& order = out->indices;
+  order.resize(input.size());
   std::iota(order.begin(), order.end(), 0u);
   // Partial selection by magnitude; ties broken by index so output is deterministic.
   std::nth_element(order.begin(), order.begin() + static_cast<ptrdiff_t>(k - 1), order.end(),
@@ -49,7 +52,6 @@ void TopKCompressor::Compress(std::span<const float> input, uint64_t /*seed*/,
                    });
   order.resize(k);
   std::sort(order.begin(), order.end());
-  out->indices = std::move(order);
   out->values.resize(k);
   for (size_t i = 0; i < k; ++i) {
     out->values[i] = input[out->indices[i]];

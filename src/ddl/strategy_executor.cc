@@ -1,8 +1,9 @@
 #include "src/ddl/strategy_executor.h"
 
 #include <algorithm>
-#include <map>
 
+#include "src/mem/arena.h"
+#include "src/mem/stable_vec.h"
 #include "src/util/logging.h"
 #include "src/util/rng.h"
 
@@ -19,7 +20,9 @@ struct RangedPayload {
 
 // Per-rank interpreter state: either a raw (sub-)vector of the tensor or a set of
 // compressed payloads awaiting decompression/aggregation. `active` is false for ranks
-// whose data was consumed by a rooted collective (Reduce/Gather).
+// whose data was consumed by a rooted collective (Reduce/Gather). States persist in
+// the workspace across executions; every field is reinitialized per run, and the
+// capacity-keeping containers (raw, payloads) are reused in place.
 struct RankState {
   bool active = true;
   // When a rooted collective (Reduce/Gather) consumes a rank's data, the rank goes
@@ -28,9 +31,9 @@ struct RankState {
   int dormant_level = -1;
   size_t offset = 0;
   size_t length = 0;
-  std::vector<float> raw;               // valid when payloads is empty
-  std::vector<RangedPayload> payloads;  // valid when non-empty
-  bool pending_compress = false;        // a Comp op ran; the next comm compresses
+  std::vector<float> raw;                            // valid when payloads is empty
+  mem::StableVec<RangedPayload> payloads;            // valid when non-empty
+  bool pending_compress = false;  // a Comp op ran; the next comm compresses
 
   bool HasPayloads() const { return !payloads.empty(); }
 };
@@ -38,22 +41,21 @@ struct RankState {
 // Splits a sparse payload covering `length` elements into the sub-range
 // [sub_offset, sub_offset + sub_length): indices are re-based to the sub-range. Only
 // sparse layouts split exactly; skip-style pipelines only arise for shared-seed
-// Random-k, which is sparse.
-CompressedTensor SplitSparsePayload(const CompressedTensor& payload, size_t sub_offset,
-                                    size_t sub_length) {
+// Random-k, which is sparse. Writes into `part` (cleared first, capacity kept).
+void SplitSparsePayload(const CompressedTensor& payload, size_t sub_offset,
+                        size_t sub_length, CompressedTensor* part) {
   ESP_CHECK(payload.kind == PayloadKind::kSparse)
       << "only sparse payloads can be range-split";
-  CompressedTensor part;
-  part.kind = PayloadKind::kSparse;
-  part.original_elements = sub_length;
+  part->Clear();
+  part->kind = PayloadKind::kSparse;
+  part->original_elements = sub_length;
   for (size_t i = 0; i < payload.indices.size(); ++i) {
     const uint32_t index = payload.indices[i];
     if (index >= sub_offset && index < sub_offset + sub_length) {
-      part.indices.push_back(static_cast<uint32_t>(index - sub_offset));
-      part.values.push_back(payload.values[i]);
+      part->indices.push_back(static_cast<uint32_t>(index - sub_offset));
+      part->values.push_back(payload.values[i]);
     }
   }
-  return part;
 }
 
 int PhaseLevel(CommPhase phase) {
@@ -69,16 +71,42 @@ int PhaseLevel(CommPhase phase) {
   return -1;
 }
 
+}  // namespace
+
+// The workspace body lives here so it can hold the interpreter-internal types.
+struct ExecutorWorkspace::Impl {
+  mem::BufferPool pool{"executor"};
+  mem::Arena arena;
+  std::vector<RankState> states;
+  mem::StableVec<std::vector<size_t>> groups;        // Groups() output
+  mem::StableVec<RangedPayload> gather_scratch;      // allgather/gather/broadcast staging
+  std::vector<mem::StableVec<RangedPayload>> inbox;  // alltoall per-member staging
+  std::vector<std::vector<float>> shards;            // reduce-scatter staging
+};
+
+ExecutorWorkspace::ExecutorWorkspace() : impl_(std::make_unique<Impl>()) {}
+ExecutorWorkspace::~ExecutorWorkspace() = default;
+
+mem::BufferPool& ExecutorWorkspace::pool() { return impl_->pool; }
+
+ExecutorWorkspace& ExecutorWorkspace::ThreadDefault() {
+  thread_local ExecutorWorkspace workspace;
+  return workspace;
+}
+
+namespace {
+
 class OptionExecutor {
  public:
   OptionExecutor(const CompressionOption& option, const ExecutorConfig& config,
-                 uint64_t tensor_id, RankBuffers& buffers)
+                 uint64_t tensor_id, RankBuffers& buffers, ExecutorWorkspace::Impl& ws)
       : option_(option),
         config_(config),
         tensor_id_(tensor_id),
         buffers_(buffers),
         elements_(CheckUniformSize(buffers)),
-        states_(config.ranks()) {
+        ws_(ws),
+        states_(ws.states) {
     ESP_CHECK_GT(config.machines, 0u) << "ExecutorConfig needs at least one machine";
     ESP_CHECK_GT(config.gpus_per_machine, 0u)
         << "ExecutorConfig needs at least one GPU per machine";
@@ -94,10 +122,16 @@ class OptionExecutor {
       ESP_CHECK(config.compressor != nullptr) << "compressed option needs a compressor";
     }
     ESP_CHECK(!option.ops.empty()) << "option has no ops: " << option.Describe();
+    states_.resize(config.ranks());
     for (size_t r = 0; r < states_.size(); ++r) {
-      states_[r].offset = 0;
-      states_[r].length = elements_;
-      states_[r].raw = buffers[r];
+      RankState& s = states_[r];
+      s.active = true;
+      s.dormant_level = -1;
+      s.offset = 0;
+      s.length = elements_;
+      s.raw = buffers[r];  // copy-assign: reuses the persistent state's capacity
+      s.payloads.clear();
+      s.pending_compress = false;
     }
   }
 
@@ -130,10 +164,30 @@ class OptionExecutor {
   }
 
  private:
+  // Stable partition of `group` by active state (actives first, relative order kept),
+  // staged through the arena instead of std::stable_partition's temporary buffer.
+  void StablePartitionActive(std::vector<size_t>& group) {
+    mem::ArenaScope scope(ws_.arena);
+    std::span<size_t> tmp = ws_.arena.Alloc<size_t>(group.size());
+    size_t k = 0;
+    for (size_t r : group) {
+      if (states_[r].active) {
+        tmp[k++] = r;
+      }
+    }
+    for (size_t r : group) {
+      if (!states_[r].active) {
+        tmp[k++] = r;
+      }
+    }
+    std::copy(tmp.begin(), tmp.end(), group.begin());
+  }
+
   // Rank groups participating in a communication op of the given phase: machine groups
   // for intra phases; active ranks grouped by their current range for inter/flat (the
   // cross-machine column groups of Figure 1 fall out of the shared shard offsets).
-  std::vector<std::vector<size_t>> Groups(const Op& op) const {
+  // The group lists live in the workspace; valid until the next BuildGroups call.
+  mem::StableVec<std::vector<size_t>>& BuildGroups(const Op& op) {
     // A Broadcast revives the ranks that a rooted first step (Reduce/Gather) at the
     // same communication level made dormant — they are recipients.
     const bool revive = op.routine == Routine::kBroadcast;
@@ -141,18 +195,24 @@ class OptionExecutor {
     auto participates = [&](size_t r) {
       return states_[r].active || (revive && states_[r].dormant_level == level);
     };
-    std::vector<std::vector<size_t>> groups;
+    mem::StableVec<std::vector<size_t>>& groups = ws_.groups;
+    groups.clear();
+    auto begin_group = [&]() -> std::vector<size_t>& {
+      std::vector<size_t>& g = groups.push();
+      g.clear();  // recycled storage: logical clear keeps capacity
+      return g;
+    };
     if (op.phase == CommPhase::kIntraFirst || op.phase == CommPhase::kIntraSecond) {
       for (size_t m = 0; m < config_.machines; ++m) {
-        std::vector<size_t> group;
+        std::vector<size_t>& group = begin_group();
         for (size_t l = 0; l < config_.gpus_per_machine; ++l) {
           const size_t r = m * config_.gpus_per_machine + l;
           if (participates(r)) {
             group.push_back(r);
           }
         }
-        if (!group.empty()) {
-          groups.push_back(std::move(group));
+        if (group.empty()) {
+          groups.truncate(groups.size() - 1);
         }
       }
       return groups;
@@ -161,53 +221,52 @@ class OptionExecutor {
       // Cross-machine column groups (Figure 1): the l-th GPU of every machine. Columns
       // whose ranks all went dormant at the machine level (rooted intra) sit out.
       for (size_t l = 0; l < config_.gpus_per_machine; ++l) {
-        std::vector<size_t> group;
+        std::vector<size_t>& group = begin_group();
         for (size_t m = 0; m < config_.machines; ++m) {
           const size_t r = m * config_.gpus_per_machine + l;
           if (participates(r)) {
             group.push_back(r);
           }
         }
-        if (!group.empty()) {
+        if (group.empty()) {
+          groups.truncate(groups.size() - 1);
+        } else {
           // The (active) root must lead so Broadcast reads live data.
-          std::stable_partition(group.begin(), group.end(),
-                                [&](size_t r) { return states_[r].active; });
-          groups.push_back(std::move(group));
+          StablePartitionActive(group);
         }
       }
       return groups;
     }
     // Flat: one group over every participating rank.
-    std::vector<size_t> group;
+    std::vector<size_t>& group = begin_group();
     for (size_t r = 0; r < states_.size(); ++r) {
       if (participates(r)) {
         group.push_back(r);
       }
     }
-    if (!group.empty()) {
-      std::stable_partition(group.begin(), group.end(),
-                            [&](size_t r) { return states_[r].active; });
-      groups.push_back(std::move(group));
+    if (group.empty()) {
+      groups.truncate(groups.size() - 1);
+    } else {
+      StablePartitionActive(group);
     }
     return groups;
   }
 
-  // Compresses `view` for rank `rank`. Error feedback applies at the pipeline's FIRST
-  // compression site — whether that is the rank's raw gradient or its post-reduce-
-  // scatter shard — with the residual keyed by (tensor, range) so each rank's
-  // compression site keeps its own memory; re-compressions at later stages (divisible
-  // middle stages, second steps) are transient and carry no residual.
-  CompressedTensor Compress(size_t rank, size_t range_key, std::span<const float> view) {
-    CompressedTensor payload;
+  // Compresses `view` for rank `rank` into `out`. Error feedback applies at the
+  // pipeline's FIRST compression site — whether that is the rank's raw gradient or its
+  // post-reduce-scatter shard — with the residual keyed by (tensor, range) so each
+  // rank's compression site keeps its own memory; re-compressions at later stages
+  // (divisible middle stages, second steps) are transient and carry no residual.
+  void Compress(size_t rank, size_t range_key, std::span<const float> view,
+                CompressedTensor* out) {
     if (first_compression_ && config_.feedback != nullptr) {
       ESP_CHECK_LT(rank, config_.feedback->size());
       (*config_.feedback)[rank].CompressWithFeedback(
           *config_.compressor, tensor_id_ * 1315423911ULL + range_key, view, config_.seed,
-          &payload);
+          out);
     } else {
-      config_.compressor->Compress(view, config_.seed, &payload);
+      config_.compressor->Compress(view, config_.seed, out);
     }
-    return payload;
   }
 
   // --- communication routines -------------------------------------------------------
@@ -222,7 +281,9 @@ class OptionExecutor {
         DedupePayloads(&s);
       }
     }
-    for (const auto& group : Groups(op)) {
+    mem::StableVec<std::vector<size_t>>& groups = BuildGroups(op);
+    for (size_t gi = 0; gi < groups.size(); ++gi) {
+      const std::vector<size_t>& group = groups[gi];
       switch (op.routine) {
         case Routine::kAllreduce:
           GroupAllreduce(group);
@@ -262,15 +323,15 @@ class OptionExecutor {
   void GroupAllreduce(const std::vector<size_t>& group) {
     RankState& first = states_[group.front()];
     ESP_CHECK(!first.pending_compress && !first.HasPayloads());
-    std::vector<float> sum(first.length, 0.0f);
+    mem::PooledFloats sum = ws_.pool.AcquireZeroedFloats(first.length);
     for (size_t r : group) {
       ESP_CHECK_EQ(states_[r].length, first.length);
-      for (size_t i = 0; i < sum.size(); ++i) {
-        sum[i] += states_[r].raw[i];
+      for (size_t i = 0; i < sum->size(); ++i) {
+        (*sum)[i] += states_[r].raw[i];
       }
     }
     for (size_t r : group) {
-      states_[r].raw = sum;
+      states_[r].raw.assign(sum->begin(), sum->end());
     }
   }
 
@@ -279,7 +340,14 @@ class OptionExecutor {
     const RankState& first = states_[group.front()];
     ESP_CHECK(!first.pending_compress && !first.HasPayloads());
     const Partition part(first.length, G);
-    std::vector<std::vector<float>> shards(G);
+    // All shards are computed before any state is overwritten (rank j's raw feeds
+    // every shard), staged in the workspace.
+    std::vector<std::vector<float>>& shards = ws_.shards;
+    // Grow-only: shrinking would destroy warm shard buffers when groups of different
+    // sizes share the workspace. Entries past G sit unused.
+    if (shards.size() < G) {
+      shards.resize(G);
+    }
     for (size_t j = 0; j < G; ++j) {
       shards[j].assign(part.Length(j), 0.0f);
       for (size_t r : group) {
@@ -292,7 +360,7 @@ class OptionExecutor {
       RankState& s = states_[group[j]];
       s.offset += part.Offset(j);
       s.length = part.Length(j);
-      s.raw = std::move(shards[j]);
+      s.raw.assign(shards[j].begin(), shards[j].end());
     }
   }
 
@@ -308,20 +376,23 @@ class OptionExecutor {
     if (compressed) {
       // Every member contributes its payloads (compressing its raw range now if a Comp
       // op is pending); everyone ends with the union of the group's payload sets.
-      std::vector<RangedPayload> gathered;
+      mem::StableVec<RangedPayload>& gathered = ws_.gather_scratch;
+      gathered.clear();
       for (size_t r : group) {
         RankState& s = states_[r];
         if (s.pending_compress) {
           ESP_CHECK(!s.HasPayloads());
-          gathered.push_back(
-              RangedPayload{s.offset, s.length, Compress(r, s.offset, s.raw)});
+          RangedPayload& p = gathered.push();
+          p.offset = s.offset;
+          p.length = s.length;
+          Compress(r, s.offset, s.raw, &p.payload);
         } else {
           ESP_CHECK(s.HasPayloads());
-          gathered.insert(gathered.end(), s.payloads.begin(), s.payloads.end());
+          gathered.AppendFrom(s.payloads);
         }
       }
       for (size_t r : group) {
-        states_[r].payloads = gathered;
+        states_[r].payloads.CopyFrom(gathered);
         states_[r].raw.clear();
       }
       return;
@@ -332,32 +403,36 @@ class OptionExecutor {
       lo = std::min(lo, states_[r].offset);
       hi = std::max(hi, states_[r].offset + states_[r].length);
     }
-    std::vector<float> merged(hi - lo, 0.0f);
+    mem::PooledFloats merged = ws_.pool.AcquireZeroedFloats(hi - lo);
     for (size_t r : group) {
       const RankState& s = states_[r];
-      std::copy(s.raw.begin(), s.raw.end(), merged.begin() + (s.offset - lo));
+      std::copy(s.raw.begin(), s.raw.end(), merged->begin() + (s.offset - lo));
     }
     for (size_t r : group) {
       states_[r].offset = lo;
       states_[r].length = hi - lo;
-      states_[r].raw = merged;
+      states_[r].raw.assign(merged->begin(), merged->end());
     }
   }
 
   void GroupBroadcast(const std::vector<size_t>& group, bool compressed) {
     RankState& root = states_[group.front()];
     if (compressed) {
-      std::vector<RangedPayload> payloads;
+      mem::StableVec<RangedPayload>& payloads = ws_.gather_scratch;
+      payloads.clear();
       if (root.pending_compress) {
         ESP_CHECK(!root.HasPayloads());
-        payloads = {RangedPayload{root.offset, root.length,
-                                  Compress(group.front(), root.offset, root.raw)}};
+        RangedPayload& p = payloads.push();
+        p.offset = root.offset;
+        p.length = root.length;
+        Compress(group.front(), root.offset, root.raw, &p.payload);
       } else {
         ESP_CHECK(root.HasPayloads());
-        payloads = root.payloads;
+        payloads.CopyFrom(root.payloads);
       }
       size_t lo = SIZE_MAX, hi = 0;
-      for (const RangedPayload& p : payloads) {
+      for (size_t i = 0; i < payloads.size(); ++i) {
+        const RangedPayload& p = payloads[i];
         lo = std::min(lo, p.offset);
         hi = std::max(hi, p.offset + p.length);
       }
@@ -368,12 +443,14 @@ class OptionExecutor {
         s.offset = lo;
         s.length = hi - lo;
         s.raw.clear();
-        s.payloads = payloads;
+        s.payloads.CopyFrom(payloads);
       }
       return;
     }
     ESP_CHECK(!root.HasPayloads());
-    const std::vector<float> value = root.raw;
+    // Stage the root's value: the loop overwrites the root's own raw vector.
+    mem::PooledFloats value = ws_.pool.AcquireFloats(root.raw.size());
+    std::copy(root.raw.begin(), root.raw.end(), value->begin());
     const size_t offset = root.offset;
     const size_t length = root.length;
     for (size_t r : group) {
@@ -382,7 +459,7 @@ class OptionExecutor {
       s.dormant_level = -1;
       s.offset = offset;
       s.length = length;
-      s.raw = value;
+      s.raw.assign(value->begin(), value->end());
       s.payloads.clear();
     }
   }
@@ -394,24 +471,29 @@ class OptionExecutor {
     const size_t G = group.size();
     const RankState& first = states_[group.front()];
     const Partition part(first.length, G);
-    std::vector<std::vector<RangedPayload>> inbox(G);
+    std::vector<mem::StableVec<RangedPayload>>& inbox = ws_.inbox;
+    if (inbox.size() < G) {
+      inbox.resize(G);
+    }
+    for (size_t j = 0; j < G; ++j) {
+      inbox[j].clear();
+    }
     for (size_t r : group) {
       RankState& s = states_[r];
       ESP_CHECK_EQ(s.length, first.length);
       for (size_t j = 0; j < G; ++j) {
+        RangedPayload& p = inbox[j].push();
+        p.offset = s.offset + part.Offset(j);
+        p.length = part.Length(j);
         if (s.pending_compress) {
           ESP_CHECK(!s.HasPayloads()) << option_.Describe();
           const std::span<const float> view(s.raw);
-          inbox[j].push_back(RangedPayload{
-              s.offset + part.Offset(j), part.Length(j),
-              Compress(r, s.offset + part.Offset(j),
-                       view.subspan(part.Offset(j), part.Length(j)))});
+          Compress(r, s.offset + part.Offset(j),
+                   view.subspan(part.Offset(j), part.Length(j)), &p.payload);
         } else {
           ESP_CHECK_EQ(s.payloads.size(), 1u);
-          inbox[j].push_back(RangedPayload{
-              s.offset + part.Offset(j), part.Length(j),
-              SplitSparsePayload(s.payloads.front().payload, part.Offset(j),
-                                 part.Length(j))});
+          SplitSparsePayload(s.payloads.front().payload, part.Offset(j), part.Length(j),
+                             &p.payload);
         }
       }
     }
@@ -420,26 +502,29 @@ class OptionExecutor {
       s.offset += part.Offset(j);
       s.length = part.Length(j);
       s.raw.clear();
-      s.payloads = std::move(inbox[j]);
+      s.payloads.Swap(inbox[j]);  // constant-time; capacities circulate, never drop
     }
   }
 
   void GroupGather(const std::vector<size_t>& group, int level) {
-    std::vector<RangedPayload> gathered;
+    mem::StableVec<RangedPayload>& gathered = ws_.gather_scratch;
+    gathered.clear();
     for (size_t r : group) {
       RankState& s = states_[r];
       if (s.pending_compress) {
         ESP_CHECK(!s.HasPayloads()) << option_.Describe();
-        gathered.push_back(
-            RangedPayload{s.offset, s.length, Compress(r, s.offset, s.raw)});
+        RangedPayload& p = gathered.push();
+        p.offset = s.offset;
+        p.length = s.length;
+        Compress(r, s.offset, s.raw, &p.payload);
       } else {
         ESP_CHECK(s.HasPayloads()) << option_.Describe();
-        gathered.insert(gathered.end(), s.payloads.begin(), s.payloads.end());
+        gathered.AppendFrom(s.payloads);
       }
     }
     RankState& root = states_[group.front()];
     root.raw.clear();
-    root.payloads = std::move(gathered);
+    root.payloads.Swap(gathered);
     for (size_t j = 1; j < group.size(); ++j) {
       states_[group[j]].active = false;
       states_[group[j]].dormant_level = level;
@@ -451,26 +536,42 @@ class OptionExecutor {
   // Deduplicates a payload set by range: payloads covering the same range are partial
   // sums and get aggregated in the compressed domain (the "skip" shortcut; requires
   // compressor support, e.g. shared-seed Random-k). Disjoint ranges are chunks of one
-  // logical compressed tensor and pass through untouched.
+  // logical compressed tensor and pass through untouched. In-place compaction: each
+  // duplicate is folded (in encounter order) into the first payload of its range, and
+  // only when something was folded does the surviving set get re-sorted by offset —
+  // a dedupe-free set keeps its original order, bit for bit.
   void DedupePayloads(RankState* s) {
-    std::map<size_t, RangedPayload> by_offset;
+    mem::StableVec<RangedPayload>& ps = s->payloads;
+    size_t unique = 0;
     bool aggregated = false;
-    for (RangedPayload& p : s->payloads) {
-      auto [it, inserted] = by_offset.try_emplace(p.offset, p);
-      if (!inserted) {
+    for (size_t i = 0; i < ps.size(); ++i) {
+      size_t found = unique;
+      for (size_t k = 0; k < unique; ++k) {
+        if (ps[k].offset == ps[i].offset) {
+          found = k;
+          break;
+        }
+      }
+      if (found < unique) {
         ESP_CHECK(config_.compressor->SupportsCompressedAggregation())
             << "option skips decompress-aggregate but " << config_.compressor->name()
             << " cannot aggregate compressed payloads: " << option_.Describe();
-        ESP_CHECK_EQ(it->second.length, p.length);
-        config_.compressor->AggregateCompressed(p.payload, &it->second.payload);
+        ESP_CHECK_EQ(ps[found].length, ps[i].length);
+        config_.compressor->AggregateCompressed(ps[i].payload, &ps[found].payload);
         aggregated = true;
+      } else {
+        if (i != unique) {
+          std::swap(ps[unique], ps[i]);  // compact; the displaced dup is retired
+        }
+        ++unique;
       }
     }
-    if (aggregated || by_offset.size() != s->payloads.size()) {
-      s->payloads.clear();
-      for (auto& [offset, payload] : by_offset) {
-        s->payloads.push_back(std::move(payload));
-      }
+    if (aggregated || unique != ps.size()) {
+      ps.truncate(unique);
+      std::sort(ps.begin(), ps.end(),
+                [](const RangedPayload& a, const RangedPayload& b) {
+                  return a.offset < b.offset;
+                });
     }
   }
 
@@ -484,18 +585,21 @@ class OptionExecutor {
         DedupePayloads(&s);
       }
       size_t lo = SIZE_MAX, hi = 0;
-      for (const RangedPayload& p : s.payloads) {
+      for (size_t i = 0; i < s.payloads.size(); ++i) {
+        const RangedPayload& p = s.payloads[i];
         lo = std::min(lo, p.offset);
         hi = std::max(hi, p.offset + p.length);
       }
-      std::vector<float> merged(hi - lo, 0.0f);
-      for (const RangedPayload& p : s.payloads) {
-        auto view = std::span<float>(merged).subspan(p.offset - lo, p.length);
+      // Decompress straight into the state's raw vector (payloads hold the data; raw
+      // is dead here, so zero-assign reuses its capacity).
+      s.raw.assign(hi - lo, 0.0f);
+      for (size_t i = 0; i < s.payloads.size(); ++i) {
+        const RangedPayload& p = s.payloads[i];
+        auto view = std::span<float>(s.raw).subspan(p.offset - lo, p.length);
         config_.compressor->DecompressAdd(p.payload, view);
       }
       s.offset = lo;
       s.length = hi - lo;
-      s.raw = std::move(merged);
       s.payloads.clear();
     }
   }
@@ -505,23 +609,27 @@ class OptionExecutor {
   const uint64_t tensor_id_;
   RankBuffers& buffers_;
   const size_t elements_;
-  std::vector<RankState> states_;
+  ExecutorWorkspace::Impl& ws_;
+  std::vector<RankState>& states_;
   bool first_compression_ = true;  // EF applies until the first compression completes
 };
 
 }  // namespace
 
 void ExecuteOption(const CompressionOption& option, const ExecutorConfig& config,
-                   uint64_t tensor_id, RankBuffers& buffers) {
-  OptionExecutor(option, config, tensor_id, buffers).Run();
+                   uint64_t tensor_id, RankBuffers& buffers,
+                   ExecutorWorkspace* workspace) {
+  ExecutorWorkspace& ws =
+      workspace != nullptr ? *workspace : ExecutorWorkspace::ThreadDefault();
+  OptionExecutor(option, config, tensor_id, buffers, ws.impl()).Run();
 }
 
 void ExecuteStrategy(const Strategy& strategy, const ExecutorConfig& config,
-                     std::vector<RankBuffers>& gradients) {
+                     std::vector<RankBuffers>& gradients, ExecutorWorkspace* workspace) {
   ESP_CHECK_EQ(strategy.options.size(), gradients.size())
       << "strategy has one option per tensor; gradient tensor count must match";
   for (size_t t = 0; t < gradients.size(); ++t) {
-    ExecuteOption(strategy.options[t], config, t, gradients[t]);
+    ExecuteOption(strategy.options[t], config, t, gradients[t], workspace);
   }
 }
 

@@ -14,12 +14,14 @@
 #define SRC_DDL_STRATEGY_EXECUTOR_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "src/collectives/rank_group.h"
 #include "src/compress/compressor.h"
 #include "src/compress/error_feedback.h"
 #include "src/core/strategy.h"
+#include "src/mem/buffer_pool.h"
 
 namespace espresso {
 
@@ -33,15 +35,46 @@ struct ExecutorConfig {
   size_t ranks() const { return machines * gpus_per_machine; }
 };
 
+// Persistent scratch for the option interpreter: per-rank states (raw ranges and
+// compressed payload sets, recycled via capacity-keeping containers), group index
+// lists, payload gather/shuffle staging, and a BufferPool/Arena pair for transient
+// float scratch. One workspace serves every tensor of a strategy and every step of a
+// run — after the first execution at a given topology and tensor shape, the executor
+// performs no heap allocations. A workspace is single-threaded; executions with
+// different shapes/topologies may share one (containers grow to the high-water mark).
+class ExecutorWorkspace {
+ public:
+  ExecutorWorkspace();
+  ~ExecutorWorkspace();
+  ExecutorWorkspace(const ExecutorWorkspace&) = delete;
+  ExecutorWorkspace& operator=(const ExecutorWorkspace&) = delete;
+
+  // Pool feeding the interpreter's transient float buffers ("executor" metrics).
+  mem::BufferPool& pool();
+
+  // The calling thread's shared workspace (what the nullptr default resolves to).
+  static ExecutorWorkspace& ThreadDefault();
+
+  struct Impl;  // defined in strategy_executor.cc
+  Impl& impl() { return *impl_; }
+
+ private:
+  std::unique_ptr<Impl> impl_;
+};
+
 // Executes `option` for one tensor. `buffers` holds each global rank's local gradient
 // (machine-major order: rank = machine * gpus_per_machine + local); on return every
 // rank holds the aggregated tensor. `tensor_id` keys the error-feedback residual.
+// `workspace` supplies all scratch; nullptr resolves to the calling thread's default.
 void ExecuteOption(const CompressionOption& option, const ExecutorConfig& config,
-                   uint64_t tensor_id, RankBuffers& buffers);
+                   uint64_t tensor_id, RankBuffers& buffers,
+                   ExecutorWorkspace* workspace = nullptr);
 
-// Executes a whole strategy: `gradients[t]` is tensor t's per-rank buffers.
+// Executes a whole strategy: `gradients[t]` is tensor t's per-rank buffers. The one
+// workspace is reused across all tensors.
 void ExecuteStrategy(const Strategy& strategy, const ExecutorConfig& config,
-                     std::vector<RankBuffers>& gradients);
+                     std::vector<RankBuffers>& gradients,
+                     ExecutorWorkspace* workspace = nullptr);
 
 }  // namespace espresso
 

@@ -17,6 +17,7 @@
 #include "src/collectives/channel.h"
 #include "src/fault/injector.h"
 #include "src/fault/retry_policy.h"
+#include "src/mem/compressed_tensor_pool.h"
 #include "src/util/rng.h"
 
 namespace espresso {
@@ -63,6 +64,8 @@ class ReliableChannel : public PayloadChannel {
   RetryPolicy policy_;
   uint64_t iteration_ = 0;
   ChannelStats stats_;
+  // Recycles the corruption scratch copy so verification doesn't allocate per attempt.
+  mem::CompressedTensorPool scratch_pool_{"fault"};
 };
 
 }  // namespace espresso

@@ -37,17 +37,19 @@ const FaultMetrics& Metrics() {
   return metrics;
 }
 
-// The FP32 degradation path: exact allreduce of the raw per-rank gradients.
-void ExactAllreduce(RankBuffers& buffers) {
+// The FP32 degradation path: exact allreduce of the raw per-rank gradients. The sum
+// buffer is leased from the executor workspace's pool, so fallback steps stay
+// allocation-free once warm.
+void ExactAllreduce(RankBuffers& buffers, ExecutorWorkspace& workspace) {
   const size_t elements = CheckUniformSize(buffers);
-  std::vector<float> sum(elements, 0.0f);
+  mem::PooledFloats sum = workspace.pool().AcquireZeroedFloats(elements);
   for (const auto& buffer : buffers) {
     for (size_t i = 0; i < elements; ++i) {
-      sum[i] += buffer[i];
+      (*sum)[i] += buffer[i];
     }
   }
   for (auto& buffer : buffers) {
-    buffer = sum;
+    buffer.assign(sum->begin(), sum->end());
   }
 }
 
@@ -56,8 +58,11 @@ void ExactAllreduce(RankBuffers& buffers) {
 void ResilientExecuteOption(const CompressionOption& option, const ExecutorConfig& config,
                             uint64_t tensor_id, RankBuffers& buffers,
                             const FaultInjector& injector, const RetryPolicy& policy,
-                            uint64_t iteration, ResilienceReport* report) {
+                            uint64_t iteration, ResilienceReport* report,
+                            ExecutorWorkspace* workspace) {
   ESP_CHECK(report != nullptr);
+  ExecutorWorkspace& ws =
+      workspace != nullptr ? *workspace : ExecutorWorkspace::ThreadDefault();
   ++report->tensors;
   Rng backoff_rng(DeriveSeed(DeriveSeed(injector.plan().spec().seed, iteration),
                              tensor_id * 0x7F4A7C15ULL));
@@ -66,7 +71,7 @@ void ResilientExecuteOption(const CompressionOption& option, const ExecutorConfi
   // the fallback) starts from clean inputs.
   for (uint32_t attempt = 1;; ++attempt) {
     if (!injector.CollectivePhaseFails(iteration, tensor_id, attempt)) {
-      ExecuteOption(option, config, tensor_id, buffers);
+      ExecuteOption(option, config, tensor_id, buffers, &ws);
       if (attempt == 1) {
         ++report->clean;
         obs::GlobalMetrics().Add(Metrics().clean);
@@ -82,7 +87,7 @@ void ResilientExecuteOption(const CompressionOption& option, const ExecutorConfi
                            attempt});
       ++report->fallbacks;
       obs::GlobalMetrics().Add(Metrics().fp32_fallbacks);
-      ExactAllreduce(buffers);
+      ExactAllreduce(buffers, ws);
       return;
     }
     report->events.push_back(FaultEventRecord{iteration, static_cast<size_t>(tensor_id),
@@ -99,13 +104,14 @@ ResilienceReport ResilientExecuteStrategy(const Strategy& strategy,
                                           const ExecutorConfig& config,
                                           std::vector<RankBuffers>& gradients,
                                           const FaultInjector& injector,
-                                          const RetryPolicy& policy, uint64_t iteration) {
+                                          const RetryPolicy& policy, uint64_t iteration,
+                                          ExecutorWorkspace* workspace) {
   ESP_CHECK_EQ(strategy.options.size(), gradients.size())
       << "strategy has one option per tensor; gradient tensor count must match";
   ResilienceReport report;
   for (size_t t = 0; t < gradients.size(); ++t) {
     ResilientExecuteOption(strategy.options[t], config, t, gradients[t], injector, policy,
-                           iteration, &report);
+                           iteration, &report, workspace);
   }
   return report;
 }

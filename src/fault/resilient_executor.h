@@ -37,17 +37,22 @@ struct ResilienceReport {
 
 // Executes one tensor's option under fault injection. On phase failure, retries per
 // `policy`; on exhaustion, aggregates `buffers` exactly (FP32 allreduce semantics).
+// `workspace` supplies the executor's and fallback path's scratch; nullptr resolves
+// to the calling thread's default workspace.
 void ResilientExecuteOption(const CompressionOption& option, const ExecutorConfig& config,
                             uint64_t tensor_id, RankBuffers& buffers,
                             const FaultInjector& injector, const RetryPolicy& policy,
-                            uint64_t iteration, ResilienceReport* report);
+                            uint64_t iteration, ResilienceReport* report,
+                            ExecutorWorkspace* workspace = nullptr);
 
-// Executes a whole strategy; `gradients[t]` is tensor t's per-rank buffers.
+// Executes a whole strategy; `gradients[t]` is tensor t's per-rank buffers. The one
+// workspace is reused across all tensors.
 ResilienceReport ResilientExecuteStrategy(const Strategy& strategy,
                                           const ExecutorConfig& config,
                                           std::vector<RankBuffers>& gradients,
                                           const FaultInjector& injector,
-                                          const RetryPolicy& policy, uint64_t iteration);
+                                          const RetryPolicy& policy, uint64_t iteration,
+                                          ExecutorWorkspace* workspace = nullptr);
 
 }  // namespace espresso
 

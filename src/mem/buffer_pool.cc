@@ -1,0 +1,159 @@
+#include "src/mem/buffer_pool.h"
+
+#include <algorithm>
+#include <bit>
+#include <string>
+
+#include "src/util/logging.h"
+
+namespace espresso::mem {
+
+namespace {
+
+std::string MetricName(std::string_view pool, std::string_view which) {
+  std::string name = "espresso_mempool_";
+  name.append(pool);
+  name.push_back('_');
+  name.append(which);
+  return name;
+}
+
+obs::Counter MaybeCounter(std::string_view pool, std::string_view which,
+                          std::string_view help) {
+  if (pool.empty()) {
+    return obs::Counter{};
+  }
+  return obs::GlobalMetrics().RegisterCounter(MetricName(pool, which), help);
+}
+
+obs::Gauge MaybeGauge(std::string_view pool, std::string_view which,
+                      std::string_view help) {
+  if (pool.empty()) {
+    return obs::Gauge{};
+  }
+  return obs::GlobalMetrics().RegisterGauge(MetricName(pool, which), help);
+}
+
+}  // namespace
+
+BufferPool::BufferPool(std::string_view name)
+    : hits_metric_(MaybeCounter(name, "hits_total",
+                                "Pool acquisitions served from a free list")),
+      misses_metric_(MaybeCounter(name, "misses_total",
+                                  "Pool acquisitions that allocated fresh storage")),
+      bytes_resident_metric_(MaybeGauge(name, "bytes_resident",
+                                        "Bytes parked in the pool's free lists")),
+      high_water_metric_(MaybeGauge(
+          name, "bytes_high_water",
+          "Max bytes (resident + outstanding) the pool has ever governed")) {}
+
+size_t BufferPool::BucketFor(size_t n) {
+  if (n <= 1) {
+    return 0;
+  }
+  const size_t b = static_cast<size_t>(std::bit_width(n - 1));
+  ESP_CHECK_LT(b, kBuckets);
+  return b;
+}
+
+template <typename T>
+std::vector<T> BufferPool::AcquireRaw(Shelf<T>& shelf, size_t size) {
+  const size_t b = BucketFor(size);
+  auto& bucket = shelf.buckets[b];
+  std::vector<T> v;
+  if (!bucket.empty()) {
+    v = std::move(bucket.back());
+    bucket.pop_back();
+    stats_.buffers_resident -= 1;
+    stats_.bytes_resident -= v.capacity() * sizeof(T);
+    RecordAcquire(/*hit=*/true, v.capacity() * sizeof(T));
+  } else {
+    // Round the fresh buffer up to the bucket ceiling so that when it comes back
+    // it lands in bucket b and serves any future size in (2^(b-1), 2^b] without
+    // reallocating — the pool converges after a single warm-up pass.
+    v.reserve(std::bit_ceil(std::max<size_t>(size, 1)));
+    RecordAcquire(/*hit=*/false, v.capacity() * sizeof(T));
+  }
+  v.resize(size);  // never reallocates: capacity >= 2^b >= size
+  return v;
+}
+
+template <typename T>
+void BufferPool::ReleaseRaw(Shelf<T>& shelf, std::vector<T>&& v) {
+  const size_t cap_bytes = v.capacity() * sizeof(T);
+  if (v.capacity() == 0) {
+    RecordRelease(0);
+    return;
+  }
+  // File under the largest bucket the capacity fully covers, so Acquire's
+  // "capacity >= size" guarantee holds for everything served from that bucket.
+  const size_t b = static_cast<size_t>(std::bit_width(v.capacity())) - 1;
+  shelf.buckets[b].push_back(std::move(v));
+  stats_.buffers_resident += 1;
+  stats_.bytes_resident += cap_bytes;
+  RecordRelease(cap_bytes);
+}
+
+PooledFloats BufferPool::AcquireFloats(size_t size) {
+  return PooledFloats(this, AcquireRaw(floats_, size));
+}
+
+PooledFloats BufferPool::AcquireZeroedFloats(size_t size) {
+  PooledFloats f = AcquireFloats(size);
+  std::fill(f->begin(), f->end(), 0.0f);
+  return f;
+}
+
+PooledBytes BufferPool::AcquireBytes(size_t size) {
+  return PooledBytes(this, AcquireRaw(bytes_, size));
+}
+
+void BufferPool::Trim() {
+  auto drop = [&](auto& shelf) {
+    for (auto& bucket : shelf.buckets) {
+      bucket.clear();
+      bucket.shrink_to_fit();
+    }
+  };
+  drop(floats_);
+  drop(bytes_);
+  stats_.buffers_resident = 0;
+  stats_.bytes_resident = 0;
+  PublishGauges();
+}
+
+void BufferPool::RecordAcquire(bool hit, size_t capacity_bytes) {
+  if (hit) {
+    stats_.hits += 1;
+    obs::GlobalMetrics().Add(hits_metric_, 1);
+  } else {
+    stats_.misses += 1;
+    obs::GlobalMetrics().Add(misses_metric_, 1);
+  }
+  stats_.bytes_outstanding += capacity_bytes;
+  stats_.bytes_high_water =
+      std::max(stats_.bytes_high_water, stats_.bytes_resident + stats_.bytes_outstanding);
+  PublishGauges();
+}
+
+void BufferPool::RecordRelease(size_t capacity_bytes) {
+  stats_.releases += 1;
+  stats_.bytes_outstanding -= std::min(stats_.bytes_outstanding, capacity_bytes);
+  stats_.bytes_high_water =
+      std::max(stats_.bytes_high_water, stats_.bytes_resident + stats_.bytes_outstanding);
+  PublishGauges();
+}
+
+void BufferPool::PublishGauges() {
+  obs::GlobalMetrics().Set(bytes_resident_metric_,
+                           static_cast<double>(stats_.bytes_resident));
+  obs::GlobalMetrics().Set(high_water_metric_,
+                           static_cast<double>(stats_.bytes_high_water));
+}
+
+template std::vector<float> BufferPool::AcquireRaw<float>(Shelf<float>&, size_t);
+template std::vector<uint8_t> BufferPool::AcquireRaw<uint8_t>(Shelf<uint8_t>&, size_t);
+template void BufferPool::ReleaseRaw<float>(Shelf<float>&, std::vector<float>&&);
+template void BufferPool::ReleaseRaw<uint8_t>(Shelf<uint8_t>&, std::vector<uint8_t>&&);
+
+}  // namespace espresso::mem

@@ -1,0 +1,151 @@
+// BufferPool: size-bucketed free lists of float/byte buffers with RAII handles.
+//
+// The recyclable tier of the zero-allocation dataplane (docs/MEMORY.md): call sites
+// that need a scratch buffer whose size varies call Acquire*, use the buffer for the
+// duration of the call, and let the PooledVec handle return it on destruction. Buckets
+// are powers of two and every pooled buffer's capacity is rounded up to its bucket
+// ceiling, so an acquisition that finds a buffer in its bucket NEVER reallocates —
+// after one warm-up pass at peak sizes the pool serves the steady state entirely from
+// free lists.
+//
+// Not thread-safe: a BufferPool belongs to exactly one thread (workspaces are
+// per-thread; see CollectiveWorkspace::ThreadDefault). Metrics: pools constructed with
+// a name record hits/misses/bytes-resident/high-water into the global obs registry
+// under espresso_mempool_<name>_*; instances sharing a name aggregate their counters,
+// and gauges reflect the most recently active instance.
+#ifndef SRC_MEM_BUFFER_POOL_H_
+#define SRC_MEM_BUFFER_POOL_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/obs/metrics.h"
+
+namespace espresso::mem {
+
+struct PoolStats {
+  uint64_t hits = 0;        // acquisitions served from a free list
+  uint64_t misses = 0;      // acquisitions that had to allocate fresh storage
+  uint64_t releases = 0;    // handles returned to the free lists
+  size_t buffers_resident = 0;   // buffers currently parked in free lists
+  size_t bytes_resident = 0;     // sum of parked buffer capacities, in bytes
+  size_t bytes_outstanding = 0;  // capacities currently lent out to live handles
+  size_t bytes_high_water = 0;   // max of resident + outstanding ever observed
+};
+
+class BufferPool;
+
+// Move-only RAII lease of a std::vector<T> drawn from a BufferPool. A
+// default-constructed handle is inert. The vector may be used freely (including
+// growth); its capacity, whatever it ends up being, returns to the pool.
+template <typename T>
+class PooledVec {
+ public:
+  PooledVec() = default;
+  PooledVec(PooledVec&& other) noexcept
+      : pool_(std::exchange(other.pool_, nullptr)), v_(std::move(other.v_)) {}
+  PooledVec& operator=(PooledVec&& other) noexcept {
+    if (this != &other) {
+      Release();
+      pool_ = std::exchange(other.pool_, nullptr);
+      v_ = std::move(other.v_);
+    }
+    return *this;
+  }
+  PooledVec(const PooledVec&) = delete;
+  PooledVec& operator=(const PooledVec&) = delete;
+  ~PooledVec() { Release(); }
+
+  std::vector<T>& operator*() { return v_; }
+  std::vector<T>* operator->() { return &v_; }
+  const std::vector<T>& operator*() const { return v_; }
+  const std::vector<T>* operator->() const { return &v_; }
+  std::span<T> span() { return v_; }
+  std::span<const T> span() const { return v_; }
+
+ private:
+  friend class BufferPool;
+  PooledVec(BufferPool* pool, std::vector<T>&& v) : pool_(pool), v_(std::move(v)) {}
+  void Release();
+
+  BufferPool* pool_ = nullptr;
+  std::vector<T> v_;
+};
+
+using PooledFloats = PooledVec<float>;
+using PooledBytes = PooledVec<uint8_t>;
+
+class BufferPool {
+ public:
+  // `name` keys the obs metrics; empty disables metric recording.
+  explicit BufferPool(std::string_view name = "");
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  // size() == `size`; contents unspecified (recycled buffers carry stale values).
+  PooledFloats AcquireFloats(size_t size);
+  // size() == `size`, every element 0.0f.
+  PooledFloats AcquireZeroedFloats(size_t size);
+  // size() == `size`; contents unspecified.
+  PooledBytes AcquireBytes(size_t size);
+
+  const PoolStats& stats() const { return stats_; }
+
+  // Drops every parked buffer (frees their storage). Live handles are unaffected.
+  void Trim();
+
+ private:
+  template <typename U>
+  friend class PooledVec;
+
+  static constexpr size_t kBuckets = 40;  // capacities up to 2^39 elements
+
+  template <typename T>
+  struct Shelf {
+    std::array<std::vector<std::vector<T>>, kBuckets> buckets;
+  };
+
+  // Smallest b with 2^b >= n.
+  static size_t BucketFor(size_t n);
+
+  template <typename T>
+  std::vector<T> AcquireRaw(Shelf<T>& shelf, size_t size);
+  template <typename T>
+  void ReleaseRaw(Shelf<T>& shelf, std::vector<T>&& v);
+
+  void RecordAcquire(bool hit, size_t capacity_bytes);
+  void RecordRelease(size_t capacity_bytes);
+  void PublishGauges();
+
+  Shelf<float> floats_;
+  Shelf<uint8_t> bytes_;
+  PoolStats stats_;
+
+  obs::Counter hits_metric_;
+  obs::Counter misses_metric_;
+  obs::Gauge bytes_resident_metric_;
+  obs::Gauge high_water_metric_;
+};
+
+template <typename T>
+void PooledVec<T>::Release() {
+  if (pool_ != nullptr) {
+    if constexpr (std::is_same_v<T, float>) {
+      pool_->ReleaseRaw(pool_->floats_, std::move(v_));
+    } else {
+      static_assert(std::is_same_v<T, uint8_t>, "unsupported pooled element type");
+      pool_->ReleaseRaw(pool_->bytes_, std::move(v_));
+    }
+    pool_ = nullptr;
+  }
+}
+
+}  // namespace espresso::mem
+
+#endif  // SRC_MEM_BUFFER_POOL_H_

@@ -1,0 +1,115 @@
+#include "src/mem/compressed_tensor_pool.h"
+
+#include <algorithm>
+#include <string>
+
+namespace espresso::mem {
+
+namespace {
+
+std::string MetricName(std::string_view pool, std::string_view which) {
+  std::string name = "espresso_tensorpool_";
+  name.append(pool);
+  name.push_back('_');
+  name.append(which);
+  return name;
+}
+
+obs::Counter MaybeCounter(std::string_view pool, std::string_view which,
+                          std::string_view help) {
+  if (pool.empty()) {
+    return obs::Counter{};
+  }
+  return obs::GlobalMetrics().RegisterCounter(MetricName(pool, which), help);
+}
+
+obs::Gauge MaybeGauge(std::string_view pool, std::string_view which,
+                      std::string_view help) {
+  if (pool.empty()) {
+    return obs::Gauge{};
+  }
+  return obs::GlobalMetrics().RegisterGauge(MetricName(pool, which), help);
+}
+
+}  // namespace
+
+PooledTensor& PooledTensor::operator=(PooledTensor&& other) noexcept {
+  if (this != &other) {
+    if (pool_ != nullptr) {
+      pool_->Release(std::move(t_));
+    }
+    pool_ = std::exchange(other.pool_, nullptr);
+    t_ = std::move(other.t_);
+  }
+  return *this;
+}
+
+PooledTensor::~PooledTensor() {
+  if (pool_ != nullptr) {
+    pool_->Release(std::move(t_));
+  }
+}
+
+CompressedTensorPool::CompressedTensorPool(std::string_view name)
+    : hits_metric_(MaybeCounter(name, "hits_total",
+                                "Tensor acquisitions served from the free list")),
+      misses_metric_(MaybeCounter(name, "misses_total",
+                                  "Tensor acquisitions that constructed fresh")),
+      bytes_resident_metric_(MaybeGauge(name, "bytes_resident",
+                                        "Capacity bytes parked in the free list")),
+      high_water_metric_(MaybeGauge(name, "bytes_high_water",
+                                    "Max capacity bytes ever parked at once")) {}
+
+PooledTensor CompressedTensorPool::Acquire() {
+  std::unique_ptr<CompressedTensor> t;
+  if (!free_.empty()) {
+    t = std::move(free_.back());
+    free_.pop_back();
+    stats_.hits += 1;
+    stats_.tensors_resident -= 1;
+    stats_.bytes_resident -= std::min(stats_.bytes_resident, CapacityBytes(*t));
+    obs::GlobalMetrics().Add(hits_metric_, 1);
+    t->Clear();  // capacities survive; contents do not
+  } else {
+    t = std::make_unique<CompressedTensor>();
+    stats_.misses += 1;
+    obs::GlobalMetrics().Add(misses_metric_, 1);
+  }
+  PublishGauges();
+  return PooledTensor(this, std::move(t));
+}
+
+void CompressedTensorPool::Release(std::unique_ptr<CompressedTensor> t) {
+  stats_.releases += 1;
+  if (t == nullptr) {
+    return;
+  }
+  stats_.bytes_resident += CapacityBytes(*t);
+  stats_.tensors_resident += 1;
+  stats_.bytes_high_water = std::max(stats_.bytes_high_water, stats_.bytes_resident);
+  free_.push_back(std::move(t));
+  PublishGauges();
+}
+
+size_t CompressedTensorPool::CapacityBytes(const CompressedTensor& t) {
+  return t.indices.capacity() * sizeof(uint32_t) +
+         t.values.capacity() * sizeof(float) + t.scales.capacity() * sizeof(float) +
+         t.bytes.capacity();
+}
+
+void CompressedTensorPool::Trim() {
+  free_.clear();
+  free_.shrink_to_fit();
+  stats_.tensors_resident = 0;
+  stats_.bytes_resident = 0;
+  PublishGauges();
+}
+
+void CompressedTensorPool::PublishGauges() {
+  obs::GlobalMetrics().Set(bytes_resident_metric_,
+                           static_cast<double>(stats_.bytes_resident));
+  obs::GlobalMetrics().Set(high_water_metric_,
+                           static_cast<double>(stats_.bytes_high_water));
+}
+
+}  // namespace espresso::mem

@@ -1,0 +1,99 @@
+// CompressedTensorPool: recycles CompressedTensor objects across calls.
+//
+// CompressedTensor::Clear() empties the payload vectors but keeps their capacity —
+// that is the recycling primitive this pool is built on. Acquire() hands out a
+// Clear()ed tensor whose internal vectors are still warm from its previous life, so
+// compressors that fill via resize/assign/push_back run allocation-free once the pool
+// has seen the working-set payload shapes. The RAII handle returns the tensor (and its
+// capacities) on destruction.
+//
+// Single-threaded, like BufferPool. Metrics (when constructed with a name):
+// espresso_tensorpool_<name>_{hits_total,misses_total,bytes_resident,bytes_high_water}.
+#ifndef SRC_MEM_COMPRESSED_TENSOR_POOL_H_
+#define SRC_MEM_COMPRESSED_TENSOR_POOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/compress/compressed_tensor.h"
+#include "src/obs/metrics.h"
+
+namespace espresso::mem {
+
+struct TensorPoolStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t releases = 0;
+  size_t tensors_resident = 0;
+  size_t bytes_resident = 0;    // capacity bytes parked in the free list
+  size_t bytes_high_water = 0;  // max resident bytes ever observed
+};
+
+class CompressedTensorPool;
+
+// Move-only lease of a pooled CompressedTensor. Default-constructed handles are
+// inert. The tensor is Clear()ed (capacities kept) when acquired.
+class PooledTensor {
+ public:
+  PooledTensor() = default;
+  PooledTensor(PooledTensor&& other) noexcept
+      : pool_(std::exchange(other.pool_, nullptr)), t_(std::move(other.t_)) {}
+  PooledTensor& operator=(PooledTensor&& other) noexcept;
+  PooledTensor(const PooledTensor&) = delete;
+  PooledTensor& operator=(const PooledTensor&) = delete;
+  ~PooledTensor();
+
+  CompressedTensor& operator*() { return *t_; }
+  CompressedTensor* operator->() { return t_.get(); }
+  const CompressedTensor& operator*() const { return *t_; }
+  const CompressedTensor* operator->() const { return t_.get(); }
+  CompressedTensor* get() { return t_.get(); }
+
+ private:
+  friend class CompressedTensorPool;
+  PooledTensor(CompressedTensorPool* pool,
+               std::unique_ptr<CompressedTensor> t)
+      : pool_(pool), t_(std::move(t)) {}
+
+  CompressedTensorPool* pool_ = nullptr;
+  std::unique_ptr<CompressedTensor> t_;
+};
+
+class CompressedTensorPool {
+ public:
+  explicit CompressedTensorPool(std::string_view name = "");
+
+  CompressedTensorPool(const CompressedTensorPool&) = delete;
+  CompressedTensorPool& operator=(const CompressedTensorPool&) = delete;
+
+  // A Clear()ed tensor; recycled when the free list is non-empty.
+  PooledTensor Acquire();
+
+  const TensorPoolStats& stats() const { return stats_; }
+
+  // Frees every parked tensor. Live handles are unaffected.
+  void Trim();
+
+ private:
+  friend class PooledTensor;
+
+  void Release(std::unique_ptr<CompressedTensor> t);
+  static size_t CapacityBytes(const CompressedTensor& t);
+  void PublishGauges();
+
+  std::vector<std::unique_ptr<CompressedTensor>> free_;
+  TensorPoolStats stats_;
+
+  obs::Counter hits_metric_;
+  obs::Counter misses_metric_;
+  obs::Gauge bytes_resident_metric_;
+  obs::Gauge high_water_metric_;
+};
+
+}  // namespace espresso::mem
+
+#endif  // SRC_MEM_COMPRESSED_TENSOR_POOL_H_

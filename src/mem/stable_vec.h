@@ -1,0 +1,94 @@
+// StableVec<T>: a growable sequence whose clear() is logical, not destructive.
+//
+// std::vector<T>::clear() destroys its elements, so a T that owns heap storage
+// (CompressedTensor, std::vector) loses its capacity on every clear/refill cycle —
+// exactly the thrash the zero-allocation dataplane forbids. StableVec keeps every
+// element it has ever constructed alive and recycles them in place: clear() resets the
+// logical size to zero, and push() hands back a previously-constructed element whose
+// internal buffers are still warm. After one warm-up pass at peak size, a
+// clear()/push() cycle performs no heap allocation (beyond what the caller does to the
+// recycled element itself).
+//
+// Ownership convention (docs/MEMORY.md): a StableVec lives in a workspace that outlives
+// the call; references returned by push()/operator[] are invalidated by the next push()
+// (the backing vector may grow), so take them fresh after structural changes.
+#ifndef SRC_MEM_STABLE_VEC_H_
+#define SRC_MEM_STABLE_VEC_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace espresso::mem {
+
+template <typename T>
+class StableVec {
+ public:
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  // Elements constructed so far (live + retained-for-reuse).
+  size_t retained() const { return items_.size(); }
+
+  // Logical clear: retained elements stay constructed, capacities intact.
+  void clear() { size_ = 0; }
+
+  // Logical shrink to `n` elements (n <= size()); dropped elements are retained.
+  void truncate(size_t n) {
+    if (n < size_) {
+      size_ = n;
+    }
+  }
+
+  // Appends one element, recycling a retained one when available. The element is
+  // returned AS-IS (stale contents included): callers must fully overwrite it.
+  T& push() {
+    if (size_ == items_.size()) {
+      items_.emplace_back();
+    }
+    return items_[size_++];
+  }
+
+  T& operator[](size_t i) { return items_[i]; }
+  const T& operator[](size_t i) const { return items_[i]; }
+  T& front() { return items_.front(); }
+  const T& front() const { return items_.front(); }
+  T& back() { return items_[size_ - 1]; }
+
+  T* begin() { return items_.data(); }
+  T* end() { return items_.data() + size_; }
+  const T* begin() const { return items_.data(); }
+  const T* end() const { return items_.data() + size_; }
+
+  // Element-wise copy-assignment from `other` (copy-assign reuses destination
+  // capacity), recycling retained elements; never destroys elements.
+  void CopyFrom(const StableVec& other) {
+    while (items_.size() < other.size_) {
+      items_.emplace_back();
+    }
+    for (size_t i = 0; i < other.size_; ++i) {
+      items_[i] = other.items_[i];
+    }
+    size_ = other.size_;
+  }
+
+  // Appends copies of other's live elements.
+  void AppendFrom(const StableVec& other) {
+    for (size_t i = 0; i < other.size_; ++i) {
+      push() = other.items_[i];
+    }
+  }
+
+  // Constant-time exchange of the full backing stores (live and retained elements).
+  void Swap(StableVec& other) noexcept {
+    items_.swap(other.items_);
+    std::swap(size_, other.size_);
+  }
+
+ private:
+  std::vector<T> items_;
+  size_t size_ = 0;
+};
+
+}  // namespace espresso::mem
+
+#endif  // SRC_MEM_STABLE_VEC_H_

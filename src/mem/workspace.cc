@@ -1,0 +1,10 @@
+#include "src/mem/workspace.h"
+
+namespace espresso::mem {
+
+CollectiveWorkspace& CollectiveWorkspace::ThreadDefault() {
+  thread_local CollectiveWorkspace workspace;
+  return workspace;
+}
+
+}  // namespace espresso::mem

@@ -34,17 +34,24 @@ Dataset MakeGaussianBlobs(size_t samples, size_t features, size_t classes, doubl
 }
 
 Dataset Slice(const Dataset& d, size_t begin, size_t count) {
-  ESP_CHECK_LE(begin + count, d.size());
   Dataset out;
-  out.x = Matrix(count, d.x.cols);
-  out.labels.resize(count);
+  SliceInto(d, begin, count, &out);
+  return out;
+}
+
+void SliceInto(const Dataset& d, size_t begin, size_t count, Dataset* out) {
+  ESP_CHECK(out != nullptr);
+  ESP_CHECK_LE(begin + count, d.size());
+  out->x.rows = count;
+  out->x.cols = d.x.cols;
+  out->x.data.resize(count * d.x.cols);
+  out->labels.resize(count);
   for (size_t i = 0; i < count; ++i) {
     for (size_t j = 0; j < d.x.cols; ++j) {
-      out.x.at(i, j) = d.x.at(begin + i, j);
+      out->x.at(i, j) = d.x.at(begin + i, j);
     }
-    out.labels[i] = d.labels[begin + i];
+    out->labels[i] = d.labels[begin + i];
   }
-  return out;
 }
 
 }  // namespace espresso

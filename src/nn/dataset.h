@@ -26,6 +26,10 @@ Dataset MakeGaussianBlobs(size_t samples, size_t features, size_t classes, doubl
 // already shuffled).
 Dataset Slice(const Dataset& d, size_t begin, size_t count);
 
+// Slice into an existing dataset, reusing its storage (steady-state allocation-free
+// for a fixed batch shape). `out` is fully overwritten.
+void SliceInto(const Dataset& d, size_t begin, size_t count, Dataset* out);
+
 }  // namespace espresso
 
 #endif  // SRC_NN_DATASET_H_

@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "src/collectives/schemes.h"
+#include "src/mem/workspace.h"
 #include "src/obs/metrics.h"
 #include "src/obs/span.h"
 #include "src/util/logging.h"
@@ -84,6 +85,17 @@ std::vector<EpochStats> TrainDataParallel(const Dataset& train, const Dataset& t
   // loss reduction happens in worker order after Wait() to keep results deterministic.
   ThreadPool pool(config.threads);
 
+  // Step-loop containers are hoisted so their storage persists across steps: each
+  // worker writes only its own slot (TSan-clean), and capacity-reusing assignment
+  // keeps the steady-state sync path off the heap. The sync loop runs on this thread
+  // and owns a dedicated collective workspace.
+  std::vector<std::vector<std::vector<float>>> worker_grads(config.workers);
+  std::vector<double> worker_loss(config.workers, 0.0);
+  std::vector<Dataset> worker_shards(config.workers);
+  std::vector<std::vector<float>> aggregated(tensor_count);
+  RankBuffers buffers(config.workers);
+  mem::CollectiveWorkspace sync_workspace;
+
   std::vector<EpochStats> history;
   uint64_t step_counter = 0;
   obs::MetricsRegistry& registry = obs::GlobalMetrics();
@@ -100,13 +112,12 @@ std::vector<EpochStats> TrainDataParallel(const Dataset& train, const Dataset& t
         config.channel->BeginIteration(step_counter);
       }
       // Each worker's gradient on its disjoint shard of the global batch.
-      std::vector<std::vector<std::vector<float>>> worker_grads(config.workers);
-      std::vector<double> worker_loss(config.workers, 0.0);
       for (size_t w = 0; w < config.workers; ++w) {
         pool.Submit([&, w] {
           const size_t begin = (step * global_batch + w * config.batch_per_worker);
-          Dataset shard = Slice(train, begin, config.batch_per_worker);
-          worker_loss[w] = model.ComputeGradients(shard.x, shard.labels, &worker_grads[w]);
+          SliceInto(train, begin, config.batch_per_worker, &worker_shards[w]);
+          worker_loss[w] = model.ComputeGradients(worker_shards[w].x,
+                                                  worker_shards[w].labels, &worker_grads[w]);
         });
       }
       pool.Wait();
@@ -117,21 +128,20 @@ std::vector<EpochStats> TrainDataParallel(const Dataset& train, const Dataset& t
       const auto sync_start = std::chrono::steady_clock::now();
 
       // Synchronize tensor by tensor through the configured scheme.
-      std::vector<std::vector<float>> aggregated(tensor_count);
       for (size_t t = 0; t < tensor_count; ++t) {
-        RankBuffers buffers(config.workers);
         for (size_t w = 0; w < config.workers; ++w) {
           buffers[w] = worker_grads[w][t];
         }
         switch (config.scheme) {
           case SyncScheme::kExactAllreduce: {
-            std::vector<float> sum(tensor_sizes[t], 0.0f);
+            // Accumulate straight into the persistent aggregate slot (same order as
+            // the previous explicit sum).
+            aggregated[t].assign(tensor_sizes[t], 0.0f);
             for (const auto& b : buffers) {
-              for (size_t i = 0; i < sum.size(); ++i) {
-                sum[i] += b[i];
+              for (size_t i = 0; i < aggregated[t].size(); ++i) {
+                aggregated[t][i] += b[i];
               }
             }
-            aggregated[t] = std::move(sum);
             break;
           }
           case SyncScheme::kCompressedIndivisible:
@@ -141,6 +151,7 @@ std::vector<EpochStats> TrainDataParallel(const Dataset& train, const Dataset& t
             ctx.channel = config.channel;
             ctx.tensor_id = t;
             ctx.seed = DeriveSeed(config.seed, step_counter * tensor_count + t);
+            ctx.workspace = &sync_workspace;
             SchemeResult scheme_result;
             if (config.scheme == SyncScheme::kCompressedIndivisible) {
               scheme_result = CompressedIndivisibleAllgather(*config.compressor, ctx, buffers);
@@ -149,8 +160,9 @@ std::vector<EpochStats> TrainDataParallel(const Dataset& train, const Dataset& t
             }
             dropped += scheme_result.payloads_dropped;
             corrupted += scheme_result.payloads_corrupted;
-            // All ranks hold the same aggregate; take rank 0's.
-            aggregated[t] = std::move(buffers[0]);
+            // All ranks hold the same aggregate; take rank 0's (copy-assign keeps
+            // both the rank buffer's and the aggregate slot's capacity warm).
+            aggregated[t] = buffers[0];
             break;
           }
         }

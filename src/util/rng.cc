@@ -7,15 +7,23 @@
 namespace espresso {
 
 std::vector<uint32_t> Rng::SampleWithoutReplacement(uint32_t n, uint32_t k) {
+  std::vector<uint32_t> out;
+  std::vector<uint32_t> scratch;
+  SampleWithoutReplacement(n, k, &out, &scratch);
+  return out;
+}
+
+void Rng::SampleWithoutReplacement(uint32_t n, uint32_t k, std::vector<uint32_t>* out,
+                                   std::vector<uint32_t>* scratch) {
   ESP_CHECK_LE(k, n);
-  std::vector<uint32_t> pool(n);
+  std::vector<uint32_t>& pool = *scratch;
+  pool.resize(n);
   std::iota(pool.begin(), pool.end(), 0u);
   for (uint32_t i = 0; i < k; ++i) {
     const auto j = static_cast<uint32_t>(UniformInt(i, static_cast<int64_t>(n) - 1));
     std::swap(pool[i], pool[j]);
   }
-  pool.resize(k);
-  return pool;
+  out->assign(pool.begin(), pool.begin() + k);
 }
 
 uint64_t DeriveSeed(uint64_t seed, uint64_t stream) {

@@ -45,6 +45,11 @@ class Rng {
   // Samples k distinct indices from [0, n) via partial Fisher-Yates; O(n) memory, O(k) swaps.
   std::vector<uint32_t> SampleWithoutReplacement(uint32_t n, uint32_t k);
 
+  // Same draws as above, written into `out` (capacity reused across calls). `scratch`
+  // holds the O(n) shuffle pool; both vectors are fully overwritten.
+  void SampleWithoutReplacement(uint32_t n, uint32_t k, std::vector<uint32_t>* out,
+                                std::vector<uint32_t>* scratch);
+
   std::mt19937_64& engine() { return engine_; }
 
  private:

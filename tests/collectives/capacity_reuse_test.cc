@@ -1,0 +1,110 @@
+// Capacity-reuse regressions for the uncompressed primitives: repeated calls on stable
+// shapes must leave every destination buffer's storage in place (data() pointers
+// unchanged), because the pooled dataplane relies on resize/assign never reallocating
+// once warm.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/collectives/primitives.h"
+#include "src/mem/workspace.h"
+#include "src/util/rng.h"
+
+namespace espresso {
+namespace {
+
+RankBuffers RandomBuffers(size_t ranks, size_t n, uint64_t seed) {
+  RankBuffers buffers(ranks, std::vector<float>(n));
+  for (size_t r = 0; r < ranks; ++r) {
+    Rng rng(DeriveSeed(seed, r));
+    rng.FillNormal(buffers[r], 0.0, 1.0);
+  }
+  return buffers;
+}
+
+std::vector<const float*> DataPointers(const RankBuffers& buffers) {
+  std::vector<const float*> ptrs;
+  for (const auto& b : buffers) {
+    ptrs.push_back(b.data());
+  }
+  return ptrs;
+}
+
+TEST(CapacityReuse, AllGatherKeepsDestinationStorage) {
+  const RankBuffers source = RandomBuffers(4, 101, 1);
+  std::vector<std::vector<float>> shards;
+  ReduceScatter(source, &shards);
+
+  RankBuffers gathered;
+  AllGather(shards, &gathered);  // first call sizes the destinations
+  const std::vector<const float*> ptrs = DataPointers(gathered);
+  const RankBuffers expected = gathered;
+
+  AllGather(shards, &gathered);
+  EXPECT_EQ(DataPointers(gathered), ptrs);
+  EXPECT_EQ(gathered, expected);
+}
+
+TEST(CapacityReuse, AllGatherShrinkingShapeKeepsStorage) {
+  // A larger first call leaves enough capacity that a smaller second shape must not
+  // reallocate either.
+  std::vector<std::vector<float>> big_shards;
+  ReduceScatter(RandomBuffers(4, 200, 2), &big_shards);
+  RankBuffers gathered;
+  AllGather(big_shards, &gathered);
+  const std::vector<const float*> ptrs = DataPointers(gathered);
+
+  std::vector<std::vector<float>> small_shards;
+  ReduceScatter(RandomBuffers(4, 80, 3), &small_shards);
+  AllGather(small_shards, &gathered);
+  EXPECT_EQ(DataPointers(gathered), ptrs);
+  for (const auto& b : gathered) {
+    EXPECT_EQ(b.size(), 80u);
+  }
+}
+
+TEST(CapacityReuse, ReduceScatterKeepsShardStorage) {
+  const RankBuffers source = RandomBuffers(4, 101, 4);
+  std::vector<std::vector<float>> shards;
+  ReduceScatter(source, &shards);
+  std::vector<const float*> ptrs;
+  for (const auto& s : shards) {
+    ptrs.push_back(s.data());
+  }
+  ReduceScatter(source, &shards);
+  for (size_t r = 0; r < shards.size(); ++r) {
+    EXPECT_EQ(shards[r].data(), ptrs[r]) << "shard " << r;
+  }
+}
+
+TEST(CapacityReuse, AllReduceKeepsCallerBuffersAndResult) {
+  mem::CollectiveWorkspace workspace;
+  const RankBuffers initial = RandomBuffers(4, 97, 5);
+
+  RankBuffers once = initial;
+  AllReduce(once, &workspace);
+
+  RankBuffers again = initial;
+  const std::vector<const float*> ptrs = DataPointers(again);
+  AllReduce(again, &workspace);  // warm workspace, second run
+  EXPECT_EQ(DataPointers(again), ptrs);
+  // Bit-identical across cold and warm workspace runs.
+  EXPECT_EQ(once, again);
+}
+
+TEST(CapacityReuse, ReduceAndBroadcastKeepDestinations) {
+  const RankBuffers source = RandomBuffers(4, 64, 6);
+  std::vector<float> reduced;
+  Reduce(source, 0, &reduced);
+  const float* reduced_ptr = reduced.data();
+  Reduce(source, 0, &reduced);
+  EXPECT_EQ(reduced.data(), reduced_ptr);
+
+  RankBuffers targets(4, std::vector<float>(64));
+  const std::vector<const float*> ptrs = DataPointers(targets);
+  Broadcast(reduced, &targets);
+  EXPECT_EQ(DataPointers(targets), ptrs);
+}
+
+}  // namespace
+}  // namespace espresso

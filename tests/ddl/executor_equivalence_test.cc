@@ -1,0 +1,153 @@
+// Bit-identity of the pooled execution dataplane: running an option through a shared,
+// warmed-up ExecutorWorkspace must produce byte-for-byte the same aggregates as running
+// each step against a fresh (cold) workspace. The memory layer is a pure reuse
+// optimization — the float summation orders, RNG draw sequences, and payload orderings
+// are untouched — so any divergence here is a dataplane bug, not tolerance noise.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "src/core/baselines.h"
+#include "src/core/decision_tree.h"
+#include "src/ddl/strategy_executor.h"
+#include "src/util/rng.h"
+
+namespace espresso {
+namespace {
+
+struct CompressorCase {
+  const char* label;
+  CompressorConfig config;
+};
+
+std::vector<CompressorCase> AllCompressors() {
+  return {
+      {"randomk", {.algorithm = "randomk", .ratio = 0.25}},
+      {"topk", {.algorithm = "topk", .ratio = 0.25}},
+      {"efsignsgd", {.algorithm = "efsignsgd"}},
+      {"qsgd", {.algorithm = "qsgd", .bits = 4}},
+      {"terngrad", {.algorithm = "terngrad"}},
+      {"fp16", {.algorithm = "fp16"}},
+      {"threshold", {.algorithm = "threshold", .threshold = 0.2}},
+  };
+}
+
+// The option matrix: every pruned candidate (flat + hierarchical, divisible +
+// indivisible mixes) plus the three named baselines over the 2x2 cluster.
+std::vector<CompressionOption> OptionMatrix() {
+  const TreeConfig tree{2, 2, false};
+  const ClusterSpec cluster = NvlinkCluster(2, 2);
+  std::vector<CompressionOption> options = CandidateOptions(tree);
+  options.push_back(InterOnlyIndivisibleOption(cluster, Device::kGpu));
+  options.push_back(InterOnlyDivisibleOption(cluster, Device::kGpu));
+  options.push_back(AlltoallAlltoallOption(cluster, Device::kGpu));
+  return options;
+}
+
+RankBuffers StepGradients(size_t ranks, size_t n, uint64_t seed) {
+  RankBuffers buffers(ranks, std::vector<float>(n));
+  for (size_t r = 0; r < ranks; ++r) {
+    Rng rng(DeriveSeed(seed, r));
+    rng.FillNormal(buffers[r], 0.0, 1.0);
+  }
+  return buffers;
+}
+
+void ExpectBitIdentical(const RankBuffers& a, const RankBuffers& b, const char* label,
+                        size_t option_index, int step) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t r = 0; r < a.size(); ++r) {
+    ASSERT_EQ(a[r].size(), b[r].size());
+    for (size_t i = 0; i < a[r].size(); ++i) {
+      // memcmp-style comparison: bit-identical, not approximately equal.
+      ASSERT_EQ(std::memcmp(&a[r][i], &b[r][i], sizeof(float)), 0)
+          << label << " option " << option_index << " step " << step << " rank " << r
+          << " idx " << i << ": " << a[r][i] << " vs " << b[r][i];
+    }
+  }
+}
+
+// All compressors x all options: three steps through ONE shared workspace versus the
+// same three steps each against a fresh workspace, with independent but identically
+// seeded error-feedback state on both sides.
+TEST(ExecutorEquivalence, SharedWorkspaceMatchesFreshWorkspaceBitExactly) {
+  const std::vector<CompressionOption> options = OptionMatrix();
+  const size_t ranks = 4;
+  const size_t n = 96;  // not a multiple of 4 partitions' shard sizes being equal
+  for (const CompressorCase& cc : AllCompressors()) {
+    const auto compressor = CreateCompressor(cc.config);
+    for (size_t o = 0; o < options.size(); ++o) {
+      std::vector<ErrorFeedback> feedback_shared(ranks);
+      std::vector<ErrorFeedback> feedback_fresh(ranks);
+      ExecutorWorkspace shared;
+      for (int step = 0; step < 3; ++step) {
+        ExecutorConfig config{.machines = 2, .gpus_per_machine = 2,
+                              .compressor = compressor.get(),
+                              .seed = static_cast<uint64_t>(step)};
+        RankBuffers warm = StepGradients(ranks, n, 11 * (step + 1));
+        RankBuffers cold = warm;
+
+        config.feedback = &feedback_shared;
+        ExecuteOption(options[o], config, /*tensor_id=*/0, warm, &shared);
+
+        ExecutorWorkspace fresh;
+        config.feedback = &feedback_fresh;
+        ExecuteOption(options[o], config, /*tensor_id=*/0, cold, &fresh);
+
+        ExpectBitIdentical(warm, cold, cc.label, o, step);
+      }
+    }
+  }
+}
+
+// The compressed-domain aggregation (skip) paths only exist for shared-seed Random-k;
+// run the full enumerated tree with aggregation enabled through a shared workspace.
+TEST(ExecutorEquivalence, CompressedAggregationPathsMatchBitExactly) {
+  const auto randomk =
+      CreateCompressor(CompressorConfig{.algorithm = "randomk", .ratio = 0.2});
+  const TreeConfig with_agg{2, 2, true};
+  const std::vector<CompressionOption> options = EnumerateOptions(with_agg).options;
+  ASSERT_FALSE(options.empty());
+  ExecutorWorkspace shared;
+  for (size_t o = 0; o < options.size(); ++o) {
+    for (int step = 0; step < 2; ++step) {
+      ExecutorConfig config{.machines = 2, .gpus_per_machine = 2,
+                            .compressor = randomk.get(),
+                            .seed = static_cast<uint64_t>(step)};
+      RankBuffers warm = StepGradients(4, 64, 17 * (step + 1));
+      RankBuffers cold = warm;
+      ExecuteOption(options[o], config, 0, warm, &shared);
+      ExecutorWorkspace fresh;
+      ExecuteOption(options[o], config, 0, cold, &fresh);
+      ExpectBitIdentical(warm, cold, "randomk-agg", o, step);
+    }
+  }
+}
+
+// Tensor shapes changing under one workspace (the strategy case: many tensors, one
+// workspace) must not perturb results either.
+TEST(ExecutorEquivalence, MixedShapesThroughOneWorkspaceMatch) {
+  const auto topk =
+      CreateCompressor(CompressorConfig{.algorithm = "topk", .ratio = 0.3});
+  const ClusterSpec cluster = NvlinkCluster(2, 2);
+  const CompressionOption option = InterOnlyIndivisibleOption(cluster, Device::kGpu);
+  ExecutorWorkspace shared;
+  const size_t sizes[] = {128, 9, 64, 33, 128};
+  for (int step = 0; step < 2; ++step) {
+    for (size_t t = 0; t < std::size(sizes); ++t) {
+      ExecutorConfig config{.machines = 2, .gpus_per_machine = 2,
+                            .compressor = topk.get(),
+                            .seed = static_cast<uint64_t>(step)};
+      RankBuffers warm = StepGradients(4, sizes[t], 23 * (t + 1) + step);
+      RankBuffers cold = warm;
+      ExecuteOption(option, config, t, warm, &shared);
+      ExecutorWorkspace fresh;
+      ExecuteOption(option, config, t, cold, &fresh);
+      ExpectBitIdentical(warm, cold, "mixed-shapes", t, step);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace espresso

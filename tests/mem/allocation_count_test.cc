@@ -1,0 +1,360 @@
+// Steady-state allocation counting for the execution dataplane. This binary overrides
+// the global allocating operators with counting forwarders; each test warms the path
+// under test (workspaces, pools, error-feedback residuals, thread-local scratch), then
+// replays it with the counter snapshotted before and after. The zero-allocation claim
+// of docs/MEMORY.md is asserted literally: the delta must be 0.
+//
+// These tests live in their own binary (mem_allocation_tests) because the operator
+// new/delete replacement is process-global. No gtest assertion runs inside a counting
+// window — gtest allocates on failure paths and some success paths.
+#include <atomic>
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+
+// ---------------------------------------------------------------------------
+// Global allocation hooks. Count every allocating form; frees are not counted.
+// ---------------------------------------------------------------------------
+
+namespace {
+std::atomic<std::uint64_t> g_allocations{0};
+
+std::uint64_t AllocationCount() {
+  return g_allocations.load(std::memory_order_relaxed);
+}
+
+void* CountedAlloc(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size == 0 ? 1 : size);
+}
+
+void* CountedAlignedAlloc(std::size_t size, std::size_t align) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  void* p = nullptr;
+  if (posix_memalign(&p, align < sizeof(void*) ? sizeof(void*) : align,
+                     size == 0 ? 1 : size) != 0) {
+    return nullptr;
+  }
+  return p;
+}
+}  // namespace
+
+void* operator new(std::size_t size) {
+  if (void* p = CountedAlloc(size)) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) {
+  if (void* p = CountedAlloc(size)) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return CountedAlloc(size);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return CountedAlloc(size);
+}
+void* operator new(std::size_t size, std::align_val_t align) {
+  if (void* p = CountedAlignedAlloc(size, static_cast<std::size_t>(align))) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  if (void* p = CountedAlignedAlloc(size, static_cast<std::size_t>(align))) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+void* operator new(std::size_t size, std::align_val_t align,
+                   const std::nothrow_t&) noexcept {
+  return CountedAlignedAlloc(size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align,
+                     const std::nothrow_t&) noexcept {
+  return CountedAlignedAlloc(size, static_cast<std::size_t>(align));
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { std::free(p); }
+
+// ---------------------------------------------------------------------------
+// Tests.
+// ---------------------------------------------------------------------------
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/collectives/hierarchical.h"
+#include "src/collectives/primitives.h"
+#include "src/collectives/schemes.h"
+#include "src/core/baselines.h"
+#include "src/core/decision_tree.h"
+#include "src/ddl/strategy_executor.h"
+#include "src/mem/buffer_pool.h"
+#include "src/mem/compressed_tensor_pool.h"
+#include "src/mem/workspace.h"
+#include "src/util/rng.h"
+
+namespace espresso {
+namespace {
+
+RankBuffers MakeGradients(size_t ranks, size_t n, uint64_t seed) {
+  RankBuffers buffers(ranks, std::vector<float>(n));
+  for (size_t r = 0; r < ranks; ++r) {
+    Rng rng(DeriveSeed(seed, r));
+    rng.FillNormal(buffers[r], 0.0, 1.0);
+  }
+  return buffers;
+}
+
+// Refills `buffers` from `initial` without changing any capacity.
+void Refill(RankBuffers& buffers, const RankBuffers& initial) {
+  for (size_t r = 0; r < buffers.size(); ++r) {
+    buffers[r].assign(initial[r].begin(), initial[r].end());
+  }
+}
+
+TEST(AllocationCount, PoolHitPathIsAllocationFree) {
+  mem::BufferPool pool;
+  { mem::PooledFloats warm = pool.AcquireFloats(256); }
+  { mem::PooledBytes warm = pool.AcquireBytes(64); }
+  const std::uint64_t before = AllocationCount();
+  for (int i = 0; i < 100; ++i) {
+    mem::PooledFloats f = pool.AcquireFloats(200);
+    mem::PooledBytes b = pool.AcquireBytes(50);
+    (*f)[0] = 1.0f;
+    (*b)[0] = 1;
+  }
+  const std::uint64_t delta = AllocationCount() - before;
+  EXPECT_EQ(delta, 0u);
+}
+
+TEST(AllocationCount, TensorPoolHitPathIsAllocationFree) {
+  mem::CompressedTensorPool pool;
+  {
+    mem::PooledTensor warm = pool.Acquire();
+    warm->indices.assign(64, 1u);
+    warm->values.assign(64, 1.0f);
+  }
+  const std::uint64_t before = AllocationCount();
+  for (int i = 0; i < 100; ++i) {
+    mem::PooledTensor t = pool.Acquire();
+    t->indices.resize(64);
+    t->values.resize(64);
+  }
+  const std::uint64_t delta = AllocationCount() - before;
+  EXPECT_EQ(delta, 0u);
+}
+
+// Satellite regression for the ErrorFeedback per-call decompress buffer: repeated
+// CompressWithFeedback on a warm residual must not touch the heap.
+TEST(AllocationCount, ErrorFeedbackSteadyStateIsAllocationFree) {
+  const auto topk = CreateCompressor(CompressorConfig{.algorithm = "topk", .ratio = 0.25});
+  ErrorFeedback feedback;
+  std::vector<float> grad(512);
+  Rng rng(3);
+  rng.FillNormal(grad, 0.0, 1.0);
+  CompressedTensor out;
+  for (int i = 0; i < 3; ++i) {
+    feedback.CompressWithFeedback(*topk, /*tensor_id=*/0, grad,
+                                  static_cast<uint64_t>(i), &out);
+    out.Clear();
+  }
+  const std::uint64_t before = AllocationCount();
+  for (int i = 3; i < 23; ++i) {
+    feedback.CompressWithFeedback(*topk, /*tensor_id=*/0, grad,
+                                  static_cast<uint64_t>(i), &out);
+    out.Clear();
+  }
+  const std::uint64_t delta = AllocationCount() - before;
+  EXPECT_EQ(delta, 0u);
+}
+
+TEST(AllocationCount, PrimitivesSteadyStateIsAllocationFree) {
+  const size_t ranks = 4, n = 97;
+  const RankBuffers initial = MakeGradients(ranks, n, 5);
+  RankBuffers buffers = initial;
+  mem::CollectiveWorkspace workspace;
+  std::vector<std::vector<float>> shards;
+  RankBuffers gathered;
+  std::vector<float> reduced;
+
+  for (int i = 0; i < 2; ++i) {  // warm-up
+    Refill(buffers, initial);
+    AllReduce(buffers, &workspace);
+    ReduceScatter(initial, &shards);
+    AllGather(shards, &gathered);
+    Reduce(initial, 0, &reduced);
+    Broadcast(reduced, &gathered);
+  }
+  const std::uint64_t before = AllocationCount();
+  for (int i = 0; i < 10; ++i) {
+    Refill(buffers, initial);
+    AllReduce(buffers, &workspace);
+    ReduceScatter(initial, &shards);
+    AllGather(shards, &gathered);
+    Reduce(initial, 0, &reduced);
+    Broadcast(reduced, &gathered);
+  }
+  const std::uint64_t delta = AllocationCount() - before;
+  EXPECT_EQ(delta, 0u);
+}
+
+TEST(AllocationCount, SchemesSteadyStateIsAllocationFree) {
+  const size_t ranks = 4, n = 128;
+  const auto randomk =
+      CreateCompressor(CompressorConfig{.algorithm = "randomk", .ratio = 0.25});
+  const RankBuffers initial = MakeGradients(ranks, n, 7);
+  RankBuffers buffers = initial;
+  mem::CollectiveWorkspace workspace;
+  std::vector<ErrorFeedback> feedback(ranks);
+  SchemeContext ctx;
+  ctx.feedback = &feedback;
+  ctx.workspace = &workspace;
+
+  for (int i = 0; i < 3; ++i) {  // warm-up
+    ctx.seed = static_cast<uint64_t>(i);
+    Refill(buffers, initial);
+    CompressedIndivisibleAllgather(*randomk, ctx, buffers);
+    Refill(buffers, initial);
+    CompressedDivisibleAlltoall(*randomk, ctx, buffers);
+    Refill(buffers, initial);
+    CompressedDivisibleGather(*randomk, ctx, buffers);
+  }
+  const std::uint64_t before = AllocationCount();
+  for (int i = 3; i < 13; ++i) {
+    ctx.seed = static_cast<uint64_t>(i);
+    Refill(buffers, initial);
+    CompressedIndivisibleAllgather(*randomk, ctx, buffers);
+    Refill(buffers, initial);
+    CompressedDivisibleAlltoall(*randomk, ctx, buffers);
+    Refill(buffers, initial);
+    CompressedDivisibleGather(*randomk, ctx, buffers);
+  }
+  const std::uint64_t delta = AllocationCount() - before;
+  EXPECT_EQ(delta, 0u);
+}
+
+TEST(AllocationCount, HierarchicalSyncSteadyStateIsAllocationFree) {
+  const size_t machines = 2, gpus = 2, n = 96;
+  const auto fp16 = CreateCompressor(CompressorConfig{.algorithm = "fp16"});
+  const RankBuffers initial = MakeGradients(machines * gpus, n, 9);
+  RankBuffers buffers = initial;
+  mem::CollectiveWorkspace workspace;
+  std::vector<ErrorFeedback> feedback(machines * gpus);
+
+  HierarchicalOptions options;
+  options.machines = machines;
+  options.gpus_per_machine = gpus;
+  options.compressor = fp16.get();
+  options.feedback = &feedback;
+  options.workspace = &workspace;
+
+  for (InterScheme inter :
+       {InterScheme::kUncompressedAllreduce, InterScheme::kCompressedIndivisible,
+        InterScheme::kCompressedDivisible}) {
+    options.inter = inter;
+    for (int i = 0; i < 3; ++i) {  // warm-up per scheme
+      options.seed = static_cast<uint64_t>(i);
+      Refill(buffers, initial);
+      HierarchicalSync(options, buffers);
+    }
+    const std::uint64_t before = AllocationCount();
+    for (int i = 3; i < 8; ++i) {
+      options.seed = static_cast<uint64_t>(i);
+      Refill(buffers, initial);
+      HierarchicalSync(options, buffers);
+    }
+    const std::uint64_t delta = AllocationCount() - before;
+    EXPECT_EQ(delta, 0u) << "inter scheme " << static_cast<int>(inter);
+  }
+}
+
+// The headline guarantee: a warmed ExecutorWorkspace executes EVERY candidate and
+// baseline option with zero heap allocations per step.
+TEST(AllocationCount, ExecutorSteadyStateIsAllocationFree) {
+  const auto fp16 = CreateCompressor(CompressorConfig{.algorithm = "fp16"});
+  const TreeConfig tree{2, 2, false};
+  const ClusterSpec cluster = NvlinkCluster(2, 2);
+  std::vector<CompressionOption> options = CandidateOptions(tree);
+  options.push_back(InterOnlyIndivisibleOption(cluster, Device::kGpu));
+  options.push_back(InterOnlyDivisibleOption(cluster, Device::kGpu));
+  options.push_back(AlltoallAlltoallOption(cluster, Device::kGpu));
+
+  const size_t ranks = 4, n = 128;
+  const RankBuffers initial = MakeGradients(ranks, n, 11);
+  RankBuffers buffers = initial;
+  std::vector<ErrorFeedback> feedback(ranks);
+  ExecutorWorkspace workspace;
+  ExecutorConfig config{.machines = 2, .gpus_per_machine = 2, .compressor = fp16.get(),
+                        .feedback = &feedback};
+
+  for (int step = 0; step < 3; ++step) {  // warm-up: every option, every path
+    config.seed = static_cast<uint64_t>(step);
+    for (const CompressionOption& option : options) {
+      Refill(buffers, initial);
+      ExecuteOption(option, config, /*tensor_id=*/0, buffers, &workspace);
+    }
+  }
+  const std::uint64_t before = AllocationCount();
+  for (int step = 3; step < 8; ++step) {
+    config.seed = static_cast<uint64_t>(step);
+    for (const CompressionOption& option : options) {
+      Refill(buffers, initial);
+      ExecuteOption(option, config, /*tensor_id=*/0, buffers, &workspace);
+    }
+  }
+  const std::uint64_t delta = AllocationCount() - before;
+  EXPECT_EQ(delta, 0u);
+}
+
+// Same guarantee through the sparse compressed-domain aggregation paths (shared-seed
+// Random-k over the full enumerated tree with aggregation enabled).
+TEST(AllocationCount, SparseAggregationExecutorSteadyStateIsAllocationFree) {
+  const auto randomk =
+      CreateCompressor(CompressorConfig{.algorithm = "randomk", .ratio = 0.2});
+  const TreeConfig with_agg{2, 2, true};
+  const std::vector<CompressionOption> options = EnumerateOptions(with_agg).options;
+
+  const size_t ranks = 4, n = 100;
+  const RankBuffers initial = MakeGradients(ranks, n, 13);
+  RankBuffers buffers = initial;
+  std::vector<ErrorFeedback> feedback(ranks);
+  ExecutorWorkspace workspace;
+  ExecutorConfig config{.machines = 2, .gpus_per_machine = 2,
+                        .compressor = randomk.get(), .feedback = &feedback};
+
+  for (int step = 0; step < 3; ++step) {  // warm-up
+    config.seed = static_cast<uint64_t>(step);
+    for (const CompressionOption& option : options) {
+      Refill(buffers, initial);
+      ExecuteOption(option, config, 0, buffers, &workspace);
+    }
+  }
+  const std::uint64_t before = AllocationCount();
+  for (int step = 3; step < 6; ++step) {
+    config.seed = static_cast<uint64_t>(step);
+    for (const CompressionOption& option : options) {
+      Refill(buffers, initial);
+      ExecuteOption(option, config, 0, buffers, &workspace);
+    }
+  }
+  const std::uint64_t delta = AllocationCount() - before;
+  EXPECT_EQ(delta, 0u);
+}
+
+}  // namespace
+}  // namespace espresso

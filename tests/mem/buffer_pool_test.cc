@@ -1,0 +1,155 @@
+#include "src/mem/buffer_pool.h"
+
+#include <gtest/gtest.h>
+
+#include "src/obs/metrics.h"
+
+namespace espresso::mem {
+namespace {
+
+TEST(BufferPool, AcquireSizesAndZeroes) {
+  BufferPool pool;
+  PooledFloats f = pool.AcquireFloats(17);
+  EXPECT_EQ(f->size(), 17u);
+  PooledFloats z = pool.AcquireZeroedFloats(33);
+  ASSERT_EQ(z->size(), 33u);
+  for (float v : *z) {
+    ASSERT_EQ(v, 0.0f);
+  }
+  PooledBytes b = pool.AcquireBytes(9);
+  EXPECT_EQ(b->size(), 9u);
+}
+
+TEST(BufferPool, ReleaseThenAcquireIsAHit) {
+  BufferPool pool;
+  const float* data;
+  {
+    PooledFloats f = pool.AcquireFloats(100);
+    data = f->data();
+  }  // handle returns the buffer
+  EXPECT_EQ(pool.stats().misses, 1u);
+  EXPECT_EQ(pool.stats().releases, 1u);
+  EXPECT_EQ(pool.stats().buffers_resident, 1u);
+
+  PooledFloats again = pool.AcquireFloats(100);
+  EXPECT_EQ(pool.stats().hits, 1u);
+  EXPECT_EQ(again->data(), data);  // same storage, recycled
+}
+
+TEST(BufferPool, SmallerRequestReusesLargerBucketMate) {
+  BufferPool pool;
+  { PooledFloats f = pool.AcquireFloats(100); }  // bucket for 128
+  // 65..128 share the bucket; the parked capacity serves the request without
+  // reallocating.
+  PooledFloats f = pool.AcquireFloats(70);
+  EXPECT_EQ(f->size(), 70u);
+  EXPECT_EQ(pool.stats().hits, 1u);
+}
+
+TEST(BufferPool, MissRoundsCapacityToBucketCeiling) {
+  BufferPool pool;
+  const float* data;
+  {
+    PooledFloats f = pool.AcquireFloats(100);
+    EXPECT_GE(f->capacity(), 128u);
+    data = f->data();
+  }
+  // A full-bucket-sized request is served by the same rounded-up buffer.
+  PooledFloats f = pool.AcquireFloats(128);
+  EXPECT_EQ(f->data(), data);
+  EXPECT_EQ(pool.stats().hits, 1u);
+}
+
+TEST(BufferPool, DistinctBucketsDoNotInterfere) {
+  BufferPool pool;
+  { PooledFloats f = pool.AcquireFloats(10); }  // bucket 16
+  PooledFloats big = pool.AcquireFloats(1000);  // bucket 1024: miss
+  EXPECT_EQ(pool.stats().misses, 2u);
+  EXPECT_EQ(pool.stats().hits, 0u);
+}
+
+TEST(BufferPool, FloatAndByteShelvesAreSeparate) {
+  BufferPool pool;
+  { PooledFloats f = pool.AcquireFloats(64); }
+  PooledBytes b = pool.AcquireBytes(64);
+  EXPECT_EQ(pool.stats().misses, 2u);
+}
+
+TEST(BufferPool, StatsTrackResidencyAndHighWater) {
+  BufferPool pool;
+  {
+    PooledFloats a = pool.AcquireFloats(64);   // 64 floats = 256 bytes capacity
+    PooledFloats b = pool.AcquireFloats(64);
+    EXPECT_EQ(pool.stats().bytes_outstanding, 2 * 64 * sizeof(float));
+  }
+  EXPECT_EQ(pool.stats().bytes_outstanding, 0u);
+  EXPECT_EQ(pool.stats().bytes_resident, 2 * 64 * sizeof(float));
+  EXPECT_EQ(pool.stats().bytes_high_water, 2 * 64 * sizeof(float));
+}
+
+TEST(BufferPool, TrimDropsParkedBuffersOnly) {
+  BufferPool pool;
+  { PooledFloats f = pool.AcquireFloats(64); }
+  PooledFloats live = pool.AcquireFloats(64);
+  { PooledFloats g = pool.AcquireFloats(64); }
+  EXPECT_EQ(pool.stats().buffers_resident, 1u);
+  pool.Trim();
+  EXPECT_EQ(pool.stats().buffers_resident, 0u);
+  EXPECT_EQ(pool.stats().bytes_resident, 0u);
+  // The live handle is unaffected and returns normally.
+  EXPECT_EQ(live->size(), 64u);
+}
+
+TEST(BufferPool, DefaultConstructedHandleIsInert) {
+  PooledFloats f;
+  EXPECT_TRUE(f->empty());
+  // Destruction of an unbound handle must not touch any pool.
+}
+
+TEST(BufferPool, MovedFromHandleDoesNotDoubleRelease) {
+  BufferPool pool;
+  {
+    PooledFloats a = pool.AcquireFloats(32);
+    PooledFloats b = std::move(a);
+    EXPECT_EQ(b->size(), 32u);
+  }
+  EXPECT_EQ(pool.stats().releases, 1u);
+}
+
+TEST(BufferPool, CallerGrowthIsKeptOnRelease) {
+  BufferPool pool;
+  {
+    PooledFloats f = pool.AcquireFloats(8);
+    f->resize(500);  // caller grows the lease; capacity becomes >= 500
+  }
+  // The grown buffer files under the largest bucket its capacity fully covers
+  // (>= 256 elements), so a request in that bucket is served without allocating.
+  PooledFloats f = pool.AcquireFloats(200);
+  EXPECT_EQ(pool.stats().hits, 1u);
+}
+
+TEST(BufferPool, NamedPoolPublishesMetrics) {
+  BufferPool pool("buffer_pool_test");
+  { PooledFloats f = pool.AcquireFloats(64); }
+  { PooledFloats f = pool.AcquireFloats(64); }
+  const obs::MetricsSnapshot snap = obs::GlobalMetrics().Scrape();
+  const obs::MetricValue* hits =
+      snap.Find("espresso_mempool_buffer_pool_test_hits_total");
+  const obs::MetricValue* misses =
+      snap.Find("espresso_mempool_buffer_pool_test_misses_total");
+  const obs::MetricValue* resident =
+      snap.Find("espresso_mempool_buffer_pool_test_bytes_resident");
+  const obs::MetricValue* high_water =
+      snap.Find("espresso_mempool_buffer_pool_test_bytes_high_water");
+  ASSERT_NE(hits, nullptr);
+  ASSERT_NE(misses, nullptr);
+  ASSERT_NE(resident, nullptr);
+  ASSERT_NE(high_water, nullptr);
+  EXPECT_GE(hits->count, 1u);
+  EXPECT_GE(misses->count, 1u);
+  EXPECT_GT(resident->value, 0.0);
+  EXPECT_GT(high_water->value, 0.0);
+}
+
+}  // namespace
+}  // namespace espresso::mem

@@ -1,0 +1,99 @@
+#include "src/mem/compressed_tensor_pool.h"
+
+#include <gtest/gtest.h>
+
+#include "src/compress/compressed_tensor.h"
+#include "src/obs/metrics.h"
+
+namespace espresso::mem {
+namespace {
+
+TEST(CompressedTensorPool, AcquireHandsOutClearedTensor) {
+  CompressedTensorPool pool;
+  PooledTensor t = pool.Acquire();
+  EXPECT_EQ(t->original_elements, 0u);
+  EXPECT_TRUE(t->indices.empty());
+  EXPECT_TRUE(t->values.empty());
+  EXPECT_TRUE(t->bytes.empty());
+  EXPECT_TRUE(t->scales.empty());
+  EXPECT_EQ(pool.stats().misses, 1u);
+}
+
+TEST(CompressedTensorPool, RecycledTensorKeepsCapacity) {
+  CompressedTensorPool pool;
+  const uint32_t* indices_data;
+  const float* values_data;
+  {
+    PooledTensor t = pool.Acquire();
+    t->indices.assign(200, 5u);
+    t->values.assign(200, 1.5f);
+    t->original_elements = 1000;
+    indices_data = t->indices.data();
+    values_data = t->values.data();
+  }
+  EXPECT_EQ(pool.stats().releases, 1u);
+  EXPECT_EQ(pool.stats().tensors_resident, 1u);
+
+  PooledTensor t = pool.Acquire();
+  EXPECT_EQ(pool.stats().hits, 1u);
+  // Clear()ed but warm: empty vectors whose buffers survive, so refilling to the
+  // previous shape reallocates nothing.
+  EXPECT_TRUE(t->indices.empty());
+  EXPECT_EQ(t->original_elements, 0u);
+  t->indices.resize(200);
+  t->values.resize(150);
+  EXPECT_EQ(t->indices.data(), indices_data);
+  EXPECT_EQ(t->values.data(), values_data);
+}
+
+TEST(CompressedTensorPool, StatsTrackCapacityBytes) {
+  CompressedTensorPool pool;
+  {
+    PooledTensor t = pool.Acquire();
+    t->indices.reserve(100);  // 400 bytes
+    t->bytes.reserve(64);     // 64 bytes
+  }
+  EXPECT_GE(pool.stats().bytes_resident, 100 * sizeof(uint32_t) + 64);
+  EXPECT_GE(pool.stats().bytes_high_water, pool.stats().bytes_resident);
+}
+
+TEST(CompressedTensorPool, TrimFreesParkedTensors) {
+  CompressedTensorPool pool;
+  { PooledTensor t = pool.Acquire(); }
+  EXPECT_EQ(pool.stats().tensors_resident, 1u);
+  pool.Trim();
+  EXPECT_EQ(pool.stats().tensors_resident, 0u);
+  EXPECT_EQ(pool.stats().bytes_resident, 0u);
+  // Next acquire is a fresh miss.
+  PooledTensor t = pool.Acquire();
+  EXPECT_EQ(pool.stats().misses, 2u);
+}
+
+TEST(CompressedTensorPool, MovedFromHandleDoesNotDoubleRelease) {
+  CompressedTensorPool pool;
+  {
+    PooledTensor a = pool.Acquire();
+    PooledTensor b = std::move(a);
+    EXPECT_NE(b.get(), nullptr);
+  }
+  EXPECT_EQ(pool.stats().releases, 1u);
+  EXPECT_EQ(pool.stats().tensors_resident, 1u);
+}
+
+TEST(CompressedTensorPool, NamedPoolPublishesMetrics) {
+  CompressedTensorPool pool("tensor_pool_test");
+  { PooledTensor t = pool.Acquire(); }
+  { PooledTensor t = pool.Acquire(); }
+  const obs::MetricsSnapshot snap = obs::GlobalMetrics().Scrape();
+  const obs::MetricValue* hits =
+      snap.Find("espresso_tensorpool_tensor_pool_test_hits_total");
+  const obs::MetricValue* misses =
+      snap.Find("espresso_tensorpool_tensor_pool_test_misses_total");
+  ASSERT_NE(hits, nullptr);
+  ASSERT_NE(misses, nullptr);
+  EXPECT_GE(hits->count, 1u);
+  EXPECT_GE(misses->count, 1u);
+}
+
+}  // namespace
+}  // namespace espresso::mem

@@ -1,0 +1,127 @@
+#include "src/mem/stable_vec.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace espresso::mem {
+namespace {
+
+TEST(StableVec, StartsEmpty) {
+  StableVec<int> v;
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.retained(), 0u);
+}
+
+TEST(StableVec, PushGrowsAndIndexes) {
+  StableVec<int> v;
+  v.push() = 1;
+  v.push() = 2;
+  v.push() = 3;
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], 1);
+  EXPECT_EQ(v[1], 2);
+  EXPECT_EQ(v[2], 3);
+  EXPECT_EQ(v.front(), 1);
+  EXPECT_EQ(v.back(), 3);
+}
+
+TEST(StableVec, ClearIsLogicalAndRecyclesElements) {
+  StableVec<std::vector<float>> v;
+  v.push().assign(100, 1.0f);
+  v.push().assign(50, 2.0f);
+  const float* data0 = v[0].data();
+  const float* data1 = v[1].data();
+
+  v.clear();
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_EQ(v.retained(), 2u);
+
+  // push() hands back the previously-constructed elements, buffers intact.
+  std::vector<float>& a = v.push();
+  EXPECT_EQ(a.data(), data0);
+  a.assign(80, 3.0f);  // within old capacity: no reallocation
+  EXPECT_EQ(a.data(), data0);
+  std::vector<float>& b = v.push();
+  EXPECT_EQ(b.data(), data1);
+}
+
+TEST(StableVec, TruncateRetainsDroppedElements) {
+  StableVec<int> v;
+  for (int i = 0; i < 5; ++i) {
+    v.push() = i;
+  }
+  v.truncate(2);
+  EXPECT_EQ(v.size(), 2u);
+  EXPECT_EQ(v.retained(), 5u);
+  // Truncate never grows.
+  v.truncate(4);
+  EXPECT_EQ(v.size(), 2u);
+  // Recycled slot carries the stale value until overwritten.
+  EXPECT_EQ(v.push(), 2);
+}
+
+TEST(StableVec, IterationCoversLiveRangeOnly) {
+  StableVec<int> v;
+  v.push() = 7;
+  v.push() = 8;
+  v.push() = 9;
+  v.truncate(2);
+  int sum = 0;
+  for (int x : v) {
+    sum += x;
+  }
+  EXPECT_EQ(sum, 15);
+}
+
+TEST(StableVec, CopyFromReusesDestinationCapacity) {
+  StableVec<std::vector<float>> src;
+  src.push().assign(10, 1.0f);
+  src.push().assign(20, 2.0f);
+
+  StableVec<std::vector<float>> dst;
+  dst.push().assign(64, 0.0f);
+  dst.push().assign(64, 0.0f);
+  dst.clear();
+  const float* dst0 = dst[0].data();
+
+  dst.CopyFrom(src);
+  ASSERT_EQ(dst.size(), 2u);
+  EXPECT_EQ(dst[0].size(), 10u);
+  EXPECT_EQ(dst[1].size(), 20u);
+  EXPECT_EQ(dst[0][0], 1.0f);
+  EXPECT_EQ(dst[1][0], 2.0f);
+  // Copy-assign into the retained element reuses its (larger) buffer.
+  EXPECT_EQ(dst[0].data(), dst0);
+}
+
+TEST(StableVec, AppendFromAppendsLiveElements) {
+  StableVec<int> a;
+  a.push() = 1;
+  a.push() = 2;
+  StableVec<int> b;
+  b.push() = 3;
+  b.push() = 4;
+  b.truncate(1);
+  a.AppendFrom(b);
+  ASSERT_EQ(a.size(), 3u);
+  EXPECT_EQ(a[2], 3);
+}
+
+TEST(StableVec, SwapExchangesBackingStores) {
+  StableVec<int> a;
+  a.push() = 1;
+  StableVec<int> b;
+  b.push() = 2;
+  b.push() = 3;
+  a.Swap(b);
+  ASSERT_EQ(a.size(), 2u);
+  EXPECT_EQ(a[0], 2);
+  ASSERT_EQ(b.size(), 1u);
+  EXPECT_EQ(b[0], 1);
+}
+
+}  // namespace
+}  // namespace espresso::mem
