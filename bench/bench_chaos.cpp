@@ -177,12 +177,12 @@ struct ReselectionRun {
 ReselectionRun RunOnlineReselection() {
   const ModelProfile model = Vgg16();
   const ClusterSpec profiled = NvlinkCluster(4, 4);
-  const auto compressor =
-      CreateCompressor(CompressorConfig{.algorithm = "dgc", .ratio = 0.01});
+  const CompressorConfig gc{.algorithm = "dgc", .ratio = 0.01};
+  const auto compressor = CreateCompressor(gc);
   DriftConfig drift;
   drift.threshold = 0.25;
   drift.smoothing = 0.5;
-  OnlineReselector reselector(model, profiled, *compressor, SelectorOptions{}, drift);
+  OnlineReselector reselector(model, profiled, *compressor, gc, SelectorOptions{}, drift);
 
   // 10 healthy iterations, then the inter link degrades 4x and stays degraded.
   FaultSpec spec;

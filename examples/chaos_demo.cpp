@@ -63,10 +63,10 @@ int main(int argc, char** argv) {
 
   const ModelProfile model = Vgg16();
   const ClusterSpec profiled = NvlinkCluster(4, 4);
-  const auto compressor =
-      CreateCompressor(CompressorConfig{.algorithm = "dgc", .ratio = 0.01});
+  const CompressorConfig gc{.algorithm = "dgc", .ratio = 0.01};
+  const auto compressor = CreateCompressor(gc);
   const FaultInjector injector(plan);
-  OnlineReselector reselector(model, profiled, *compressor, SelectorOptions{}, drift);
+  OnlineReselector reselector(model, profiled, *compressor, gc, SelectorOptions{}, drift);
 
   std::cout << "\niter  straggler  cpu_spike  inter_bw  iteration_ms  note\n";
   std::vector<TraceInstant> instants;

@@ -3,6 +3,7 @@
 // strategy offline, and reports the per-tensor decisions and the predicted speedup.
 //
 // Usage: espresso_cli <model.ini> <gc.ini> <system.ini> [strategy-out.esp]
+//                     [--ir-out=<file>] [--ir-in=<file>] [--force-digest]
 //                     [--metrics-out=<file>]... [--trace-out=<file>]...
 // Try:   espresso_cli configs/model_gpt2.ini configs/gc_dgc.ini configs/system_nvlink.ini
 //
@@ -10,15 +11,24 @@
 // when the file ends in .json); --trace-out writes a Perfetto-loadable chrome trace of
 // the selected strategy's simulated timeline (flow arrows + counter tracks) overlaid
 // with the process's wall-clock spans.
+//
+// --ir-out emits the selection as a versioned, digest-stamped strategy IR document
+// (docs/DEPLOYMENT.md); --ir-in skips selection and instead loads such a document
+// through the fail-closed admission pipeline — digest comparison against the three
+// config files, strategy lint, schedule verification — and refuses to run (exit 1)
+// when any gate trips. --force-digest downgrades a digest mismatch to a warning for
+// deliberate cross-configuration replays.
 #include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "src/analysis/ir_validator.h"
 #include "src/core/baselines.h"
 #include "src/core/espresso.h"
 #include "src/core/strategy_io.h"
+#include "src/core/strategy_ir.h"
 #include "src/ddl/experiment.h"
 #include "src/ddl/job_config.h"
 #include "src/obs/cli.h"
@@ -29,7 +39,23 @@ int main(int argc, char** argv) {
   using namespace espresso;
   obs::ObsCliOptions obs_options;
   std::vector<const char*> positional;
+  std::string ir_out;
+  std::string ir_in;
+  bool force_digest = false;
   for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--ir-out=", 0) == 0) {
+      ir_out = arg.substr(9);
+      continue;
+    }
+    if (arg.rfind("--ir-in=", 0) == 0) {
+      ir_in = arg.substr(8);
+      continue;
+    }
+    if (arg == "--force-digest") {
+      force_digest = true;
+      continue;
+    }
     std::string error;
     switch (obs::ObsCliOptions::ParseArg(argc, argv, &i, &obs_options, &error)) {
       case obs::ObsCliOptions::Parse::kConsumed:
@@ -45,6 +71,7 @@ int main(int argc, char** argv) {
   if (positional.size() != 3 && positional.size() != 4) {
     std::cerr << "usage: " << argv[0]
               << " <model.ini> <gc.ini> <system.ini> [strategy-out.esp]"
+              << " [--ir-out=<file>] [--ir-in=<file>] [--force-digest]"
               << " [--metrics-out=<file>]... [--trace-out=<file>]...\n";
     return 2;
   }
@@ -76,7 +103,42 @@ int main(int argc, char** argv) {
     options.candidates = CandidateOptions(tree);
   }
   EspressoSelector selector(job.model, job.cluster, *compressor, options);
-  const SelectionResult result = selector.Select();
+
+  SelectionResult result;
+  if (!ir_in.empty()) {
+    // Fail-closed deployment path: the document must pass digest comparison, the
+    // strategy linter, and the schedule verifier before anything runs with it.
+    StrategyIRParseOptions parse_options;
+    parse_options.verify_payload_digest = !force_digest;
+    StrategyIRParseResult parsed = ReadStrategyIRFile(ir_in, parse_options);
+    if (!parsed.ok) {
+      std::cerr << "error: " << parsed.error << "\n";
+      return 1;
+    }
+    IRValidationOptions validate;
+    validate.force_digest = force_digest;
+    validate.max_compress_ops = job.max_compress_ops;
+    IRValidationResult admitted = ValidateStrategyIR(parsed.ir, job.model, job.cluster,
+                                                     *compressor, job.compressor, validate);
+    if (!admitted.report.empty()) {
+      admitted.report.PrintTable(std::cout);
+      std::cout << "\n";
+    }
+    if (!admitted.ok) {
+      std::cerr << "error: strategy IR " << ir_in
+                << " refused by the admission pipeline (fail-closed); the job will not "
+                   "run with an unvalidated strategy\n";
+      return 1;
+    }
+    std::cout << "Strategy IR " << ir_in << " admitted (payload digest "
+              << DigestHex(parsed.ir.ContentDigest()) << ", origin "
+              << parsed.ir.provenance.origin << ", F(S) " << parsed.ir.fs_score * 1e3
+              << " ms)\n\n";
+    result.strategy = std::move(parsed.ir.strategy);
+    result.iteration_time = admitted.evaluated_fs;
+  } else {
+    result = selector.Select();
+  }
 
   const ThroughputResult fp32 =
       MeasureThroughput(job.model, job.cluster, *compressor,
@@ -93,11 +155,14 @@ int main(int argc, char** argv) {
               fp32.iteration_time_s / espresso.iteration_time_s);
 
   std::cout << "Strategy: " << result.strategy.Summary() << "\n";
-  std::cout << "Selected in "
-            << (result.gpu_stage_seconds + result.offload_stage_seconds) * 1e3 << " ms ("
-            << result.timeline_evaluations << " timeline evaluations, "
-            << result.offload_combinations << " offload combinations"
-            << (result.offload_exact ? "" : ", coordinate descent") << ")\n\n";
+  if (ir_in.empty()) {
+    std::cout << "Selected in "
+              << (result.gpu_stage_seconds + result.offload_stage_seconds) * 1e3 << " ms ("
+              << result.timeline_evaluations << " timeline evaluations, "
+              << result.offload_combinations << " offload combinations"
+              << (result.offload_exact ? "" : ", coordinate descent") << ")";
+  }
+  std::cout << "\n\n";
 
   std::cout << "Per-tensor compression options (backward order):\n";
   for (size_t i = 0; i < job.model.tensors.size(); ++i) {
@@ -117,6 +182,22 @@ int main(int argc, char** argv) {
     }
     std::cout << "\nStrategy written to " << positional[3]
               << " (load it in the runtime with ReadStrategyFile)\n";
+  }
+  if (!ir_out.empty()) {
+    StrategyProvenance provenance;
+    provenance.origin = ir_in.empty() ? "selector" : "replay";
+    provenance.selector = "espresso";
+    const StrategyIR ir = CompileStrategyIR(result.strategy, result.iteration_time,
+                                            job.model, job.cluster, job.compressor,
+                                            provenance);
+    std::string error;
+    if (!WriteStrategyIRFile(ir_out, ir, &error)) {
+      std::cerr << "error: " << error << "\n";
+      return 1;
+    }
+    std::cout << "\nStrategy IR written to " << ir_out << " (payload digest "
+              << DigestHex(ir.ContentDigest())
+              << "; redeploy with --ir-in=" << ir_out << ")\n";
   }
 
   for (const std::string& path : obs_options.trace_out) {

@@ -8,24 +8,32 @@
 // Usage:
 //   strategy_lint <model.ini> <gc.ini> <system.ini> [strategy.esp]
 //                 [--json <path>] [--no-schedule] [--no-dominance]
-//                 [--inject overlap|illegal-option|dominated]
+//                 [--ir <path>] [--force-digest]
+//                 [--inject overlap|illegal-option|dominated|stale-digest]
 //
 // With no strategy file, the Espresso selector chooses one (the common CI mode: lint
-// what the selector would actually ship). --inject plants one known violation before
-// checking; the mutation tests assert each mode trips its pass with the expected rule
-// id and a non-zero exit.
+// what the selector would actually ship). --ir validates a versioned strategy IR
+// document (docs/DEPLOYMENT.md) against the three configs instead: the full fail-closed
+// admission pipeline — digest comparison, lint, schedule verification — with
+// --force-digest downgrading digest mismatches to warnings. --inject plants one known
+// violation before checking; the mutation tests assert each mode trips its pass with
+// the expected rule id and a non-zero exit (stale-digest compiles a fresh IR, corrupts
+// its model digest, and must be caught by ir.digest-mismatch).
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/analysis/dominance.h"
+#include "src/analysis/ir_validator.h"
 #include "src/analysis/schedule_verifier.h"
 #include "src/analysis/strategy_linter.h"
 #include "src/core/baselines.h"
 #include "src/core/decision_tree.h"
 #include "src/core/espresso.h"
 #include "src/core/strategy_io.h"
+#include "src/core/strategy_ir.h"
 #include "src/core/timeline.h"
 #include "src/ddl/job_config.h"
 
@@ -37,7 +45,8 @@ int Usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " <model.ini> <gc.ini> <system.ini> [strategy.esp]\n"
                "         [--json <path>] [--no-schedule] [--no-dominance]\n"
-               "         [--inject overlap|illegal-option|dominated]\n";
+               "         [--ir <path>] [--force-digest]\n"
+               "         [--inject overlap|illegal-option|dominated|stale-digest]\n";
   return 2;
 }
 
@@ -90,8 +99,10 @@ int main(int argc, char** argv) {
   std::vector<std::string> positional;
   std::string json_path;
   std::string inject;
+  std::string ir_path;
   bool run_schedule = true;
   bool run_dominance = true;
+  bool force_digest = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--json") {
@@ -100,6 +111,11 @@ int main(int argc, char** argv) {
     } else if (arg == "--inject") {
       if (++i >= argc) return Usage(argv[0]);
       inject = argv[i];
+    } else if (arg == "--ir") {
+      if (++i >= argc) return Usage(argv[0]);
+      ir_path = argv[i];
+    } else if (arg == "--force-digest") {
+      force_digest = true;
     } else if (arg == "--no-schedule") {
       run_schedule = false;
     } else if (arg == "--no-dominance") {
@@ -115,8 +131,16 @@ int main(int argc, char** argv) {
     return Usage(argv[0]);
   }
   if (!inject.empty() && inject != "overlap" && inject != "illegal-option" &&
-      inject != "dominated") {
+      inject != "dominated" && inject != "stale-digest") {
     std::cerr << "unknown --inject mode: " << inject << "\n";
+    return Usage(argv[0]);
+  }
+  if (!ir_path.empty() && positional.size() == 4) {
+    std::cerr << "error: --ir and a strategy.esp file are mutually exclusive\n";
+    return Usage(argv[0]);
+  }
+  if (inject == "stale-digest" && !ir_path.empty()) {
+    std::cerr << "error: --inject stale-digest compiles its own IR; drop --ir\n";
     return Usage(argv[0]);
   }
 
@@ -130,6 +154,58 @@ int main(int argc, char** argv) {
   const auto compressor = job.MakeCompressor();
   const TreeConfig tree{job.cluster.machines, job.cluster.gpus_per_machine,
                         compressor->SupportsCompressedAggregation(), job.max_compress_ops};
+
+  // IR mode: run the fail-closed admission pipeline over a strategy IR document (or,
+  // for the stale-digest mutation, over a freshly compiled IR whose model digest has
+  // been corrupted — the pipeline must refuse it with ir.digest-mismatch).
+  if (!ir_path.empty() || inject == "stale-digest") {
+    StrategyIR ir;
+    if (inject == "stale-digest") {
+      SelectorOptions options;
+      if (job.max_compress_ops > 0) {
+        options.candidates = CandidateOptions(tree);
+      }
+      const SelectionResult result =
+          EspressoSelector(job.model, job.cluster, *compressor, options).Select();
+      StrategyProvenance provenance;
+      provenance.origin = "inject:stale-digest";
+      provenance.selector = "espresso";
+      ir = CompileStrategyIR(result.strategy, result.iteration_time, job.model,
+                             job.cluster, job.compressor, std::move(provenance));
+      ir.model_digest ^= 1;
+    } else {
+      StrategyIRParseOptions parse_options;
+      parse_options.verify_payload_digest = !force_digest;
+      StrategyIRParseResult parsed = ReadStrategyIRFile(ir_path, parse_options);
+      if (!parsed.ok) {
+        std::cerr << "error: " << parsed.error << "\n";
+        return 2;
+      }
+      ir = std::move(parsed.ir);
+    }
+    IRValidationOptions validate;
+    validate.force_digest = force_digest;
+    validate.verify_schedule = run_schedule;
+    validate.max_compress_ops = job.max_compress_ops;
+    IRValidationResult admitted = ValidateStrategyIR(ir, job.model, job.cluster,
+                                                     *compressor, job.compressor, validate);
+    if (run_dominance && admitted.ok) {
+      DominanceResult dominance =
+          CheckDominance(job.model, job.cluster, *compressor, ir.strategy);
+      admitted.report.Merge(std::move(dominance.report));
+    }
+    admitted.report.PrintTable(std::cout);
+    if (!json_path.empty()) {
+      std::ofstream json(json_path);
+      if (!json) {
+        std::cerr << "error: cannot write " << json_path << "\n";
+        return 2;
+      }
+      admitted.report.WriteJson(json);
+      json << "\n";
+    }
+    return admitted.report.HasErrors() ? 1 : 0;
+  }
 
   Strategy strategy;
   if (positional.size() == 4) {

@@ -1,28 +1,9 @@
 #include "src/core/eval_cache.h"
 
-#include <bit>
-
+#include "src/util/hash.h"
 #include "src/util/logging.h"
 
 namespace espresso {
-
-namespace {
-
-// splitmix64 finalizer: full-avalanche 64-bit mix.
-inline uint64_t Mix64(uint64_t x) {
-  x += 0x9e3779b97f4a7c15ULL;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
-  return x ^ (x >> 31);
-}
-
-inline uint64_t HashCombine(uint64_t seed, uint64_t value) {
-  return Mix64(seed ^ (value + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2)));
-}
-
-inline uint64_t DoubleBits(double d) { return std::bit_cast<uint64_t>(d); }
-
-}  // namespace
 
 uint64_t OptionFingerprint(const CompressionOption& option) {
   uint64_t h = Mix64(option.ops.size());

@@ -1,9 +1,11 @@
 #include "src/core/strategy_io.h"
 
+#include <cmath>
 #include <fstream>
 #include <map>
 #include <sstream>
 
+#include "src/util/atomic_file.h"
 #include "src/util/config.h"
 #include "src/util/logging.h"
 
@@ -11,62 +13,17 @@ namespace espresso {
 
 namespace {
 
-const char* TaskToken(ActionTask task) {
-  switch (task) {
-    case ActionTask::kCompress:
-      return "compress";
-    case ActionTask::kDecompress:
-      return "decompress";
-    case ActionTask::kComm:
-      return "comm";
-  }
-  return "?";
-}
+// Hostile-input guards: a fuzzed header like "tensors = 99999999999" must produce a
+// diagnostic, not a multi-gigabyte resize; the fraction/fan bounds mirror what any
+// legal decision-tree option can contain.
+constexpr int64_t kMaxTensors = 1'000'000;
+constexpr size_t kMaxFanIn = 1'000'000;
+constexpr size_t kMaxOpsPerTensor = 1'000;
 
-const char* DeviceToken(Device device) { return device == Device::kGpu ? "gpu" : "cpu"; }
-
-std::optional<ActionTask> ParseTask(std::string_view token) {
-  if (token == "compress") {
-    return ActionTask::kCompress;
-  }
-  if (token == "decompress") {
-    return ActionTask::kDecompress;
-  }
-  if (token == "comm") {
-    return ActionTask::kComm;
-  }
-  return std::nullopt;
-}
-
-std::optional<Routine> ParseRoutine(std::string_view token) {
-  static const std::map<std::string_view, Routine> kRoutines = {
-      {"allreduce", Routine::kAllreduce},   {"reduce-scatter", Routine::kReduceScatter},
-      {"allgather", Routine::kAllgather},   {"reduce", Routine::kReduce},
-      {"broadcast", Routine::kBroadcast},   {"alltoall", Routine::kAlltoall},
-      {"gather", Routine::kGather},
-  };
-  const auto it = kRoutines.find(token);
-  return it == kRoutines.end() ? std::nullopt : std::optional<Routine>(it->second);
-}
-
-std::optional<CommPhase> ParsePhase(std::string_view token) {
-  if (token == "flat") {
-    return CommPhase::kFlat;
-  }
-  if (token == "intra1") {
-    return CommPhase::kIntraFirst;
-  }
-  if (token == "inter") {
-    return CommPhase::kInter;
-  }
-  if (token == "intra2") {
-    return CommPhase::kIntraSecond;
-  }
-  return std::nullopt;
-}
+bool ValidFraction(double f) { return std::isfinite(f) && f > 0.0 && f <= 1.0; }
 
 void WriteOp(std::ostream& os, const Op& op) {
-  os << "op = " << TaskToken(op.task) << ' ';
+  os << "op = " << ActionTaskToken(op.task) << ' ';
   if (op.task == ActionTask::kComm) {
     os << RoutineName(op.routine);
   } else {
@@ -88,26 +45,26 @@ std::optional<Op> ParseOp(std::string_view value, std::string* error) {
     return std::nullopt;
   }
   Op op;
-  const auto task = ParseTask(fields[0]);
+  const auto task = ParseActionTaskToken(fields[0]);
   if (!task) {
     *error = "unknown op task '" + fields[0] + "'";
     return std::nullopt;
   }
   op.task = *task;
   if (op.task == ActionTask::kComm) {
-    const auto routine = ParseRoutine(fields[1]);
+    const auto routine = ParseRoutineToken(fields[1]);
     if (!routine) {
       *error = "unknown routine '" + fields[1] + "'";
       return std::nullopt;
     }
     op.routine = *routine;
-  } else if (fields[1] == "gpu" || fields[1] == "cpu") {
-    op.device = fields[1] == "gpu" ? Device::kGpu : Device::kCpu;
+  } else if (const auto device = ParseDeviceToken(fields[1])) {
+    op.device = *device;
   } else {
     *error = "unknown device '" + fields[1] + "'";
     return std::nullopt;
   }
-  const auto phase = ParsePhase(fields[2]);
+  const auto phase = ParseCommPhaseToken(fields[2]);
   if (!phase) {
     *error = "unknown phase '" + fields[2] + "'";
     return std::nullopt;
@@ -137,10 +94,86 @@ std::optional<Op> ParseOp(std::string_view value, std::string* error) {
     *error = "malformed numeric attribute in op line";
     return std::nullopt;
   }
+  if (!ValidFraction(op.domain_fraction)) {
+    *error = "domain fraction out of range (0, 1]";
+    return std::nullopt;
+  }
+  if (!ValidFraction(op.payload_fraction)) {
+    *error = "payload fraction out of range (0, 1]";
+    return std::nullopt;
+  }
+  if (op.fan_in == 0 || op.fan_in > kMaxFanIn) {
+    *error = "fan-in out of range [1, " + std::to_string(kMaxFanIn) + "]";
+    return std::nullopt;
+  }
   return op;
 }
 
 }  // namespace
+
+const char* ActionTaskToken(ActionTask task) {
+  switch (task) {
+    case ActionTask::kCompress:
+      return "compress";
+    case ActionTask::kDecompress:
+      return "decompress";
+    case ActionTask::kComm:
+      return "comm";
+  }
+  return "?";
+}
+
+const char* DeviceToken(Device device) { return device == Device::kGpu ? "gpu" : "cpu"; }
+
+std::optional<ActionTask> ParseActionTaskToken(std::string_view token) {
+  if (token == "compress") {
+    return ActionTask::kCompress;
+  }
+  if (token == "decompress") {
+    return ActionTask::kDecompress;
+  }
+  if (token == "comm") {
+    return ActionTask::kComm;
+  }
+  return std::nullopt;
+}
+
+std::optional<Routine> ParseRoutineToken(std::string_view token) {
+  static const std::map<std::string_view, Routine> kRoutines = {
+      {"allreduce", Routine::kAllreduce},   {"reduce-scatter", Routine::kReduceScatter},
+      {"allgather", Routine::kAllgather},   {"reduce", Routine::kReduce},
+      {"broadcast", Routine::kBroadcast},   {"alltoall", Routine::kAlltoall},
+      {"gather", Routine::kGather},
+  };
+  const auto it = kRoutines.find(token);
+  return it == kRoutines.end() ? std::nullopt : std::optional<Routine>(it->second);
+}
+
+std::optional<CommPhase> ParseCommPhaseToken(std::string_view token) {
+  if (token == "flat") {
+    return CommPhase::kFlat;
+  }
+  if (token == "intra1") {
+    return CommPhase::kIntraFirst;
+  }
+  if (token == "inter") {
+    return CommPhase::kInter;
+  }
+  if (token == "intra2") {
+    return CommPhase::kIntraSecond;
+  }
+  return std::nullopt;
+}
+
+std::optional<Device> ParseDeviceToken(std::string_view token) {
+  if (token == "gpu") {
+    return Device::kGpu;
+  }
+  if (token == "cpu") {
+    return Device::kCpu;
+  }
+  return std::nullopt;
+}
 
 void WriteStrategy(std::ostream& os, const Strategy& strategy) {
   os << "# espresso strategy v1\n";
@@ -176,6 +209,40 @@ StrategyParseResult ReadStrategy(std::istream& in) {
     result.error = "missing 'tensors = N' header";
     return result;
   }
+  if (*count > kMaxTensors) {
+    result.error = "implausible tensor count " + std::to_string(*count) +
+                   " (limit " + std::to_string(kMaxTensors) + ")";
+    return result;
+  }
+  // Entries() merges duplicated sections silently, which would double a tensor's op
+  // list; sections the header does not announce would be dropped silently. Both are
+  // corruption, so both are rejected up front.
+  {
+    std::map<std::string, int> seen;
+    for (const auto& [name, line] : file.SectionHeaders()) {
+      const auto [it, inserted] = seen.emplace(name, line);
+      if (!inserted) {
+        result.error = "duplicated section [" + name + "] (lines " +
+                       std::to_string(it->second) + " and " + std::to_string(line) + ")";
+        return result;
+      }
+      if (name.rfind("tensor ", 0) == 0) {
+        const std::string index_text = name.substr(7);
+        int64_t index = -1;
+        try {
+          index = std::stoll(index_text);
+        } catch (...) {
+          index = -1;
+        }
+        if (index < 0 || index >= *count ||
+            index_text != std::to_string(index)) {
+          result.error = "section [" + name + "] is outside 'tensors = " +
+                         std::to_string(*count) + "'";
+          return result;
+        }
+      }
+    }
+  }
   result.strategy.options.resize(static_cast<size_t>(*count));
   for (size_t t = 0; t < result.strategy.options.size(); ++t) {
     const std::string section = "tensor " + std::to_string(t);
@@ -197,6 +264,11 @@ StrategyParseResult ReadStrategy(std::istream& in) {
         return result;
       }
       option.ops.push_back(*op);
+      if (option.ops.size() > kMaxOpsPerTensor) {
+        result.error = "[" + section + "] has more than " +
+                       std::to_string(kMaxOpsPerTensor) + " ops";
+        return result;
+      }
     }
     if (option.ops.empty()) {
       result.error = "[" + section + "] has no ops";
@@ -213,12 +285,9 @@ StrategyParseResult StrategyFromString(const std::string& text) {
 }
 
 bool WriteStrategyFile(const std::string& path, const Strategy& strategy) {
-  std::ofstream out(path);
-  if (!out) {
-    return false;
-  }
-  WriteStrategy(out, strategy);
-  return static_cast<bool>(out);
+  // Temp-file + rename publication: a crash mid-write can never leave a torn (or
+  // truncated) strategy file where a complete one used to be.
+  return WriteFileAtomic(path, StrategyToString(strategy));
 }
 
 StrategyParseResult ReadStrategyFile(const std::string& path) {

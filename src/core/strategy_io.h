@@ -18,10 +18,20 @@
 #include <optional>
 #include <ostream>
 #include <string>
+#include <string_view>
 
 #include "src/core/strategy.h"
 
 namespace espresso {
+
+// Token vocabulary shared by the v1 text format and the JSON strategy IR
+// (src/core/strategy_ir.h). Emission uses RoutineName/CommPhaseName from option.h.
+const char* ActionTaskToken(ActionTask task);
+const char* DeviceToken(Device device);
+std::optional<ActionTask> ParseActionTaskToken(std::string_view token);
+std::optional<Routine> ParseRoutineToken(std::string_view token);
+std::optional<CommPhase> ParseCommPhaseToken(std::string_view token);
+std::optional<Device> ParseDeviceToken(std::string_view token);
 
 void WriteStrategy(std::ostream& os, const Strategy& strategy);
 std::string StrategyToString(const Strategy& strategy);

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
+#include "src/core/strategy_ir.h"
 #include "src/obs/metrics.h"
 #include "src/util/logging.h"
 
@@ -115,14 +117,26 @@ void DriftMonitor::AcknowledgeReselection(uint64_t iteration) {
 
 OnlineReselector::OnlineReselector(const ModelProfile& model, const ClusterSpec& profiled,
                                    const Compressor& compressor,
+                                   const CompressorConfig& compressor_config,
                                    const SelectorOptions& selector_options,
-                                   const DriftConfig& drift_config)
+                                   const DriftConfig& drift_config,
+                                   DeploymentConfig deploy_config)
     : model_(model),
+      profiled_(profiled),
       compressor_(compressor),
+      compressor_config_(compressor_config),
       selector_options_(selector_options),
-      monitor_(drift_config, profiled) {
-  EspressoSelector selector(model_, profiled, compressor_, selector_options_);
-  current_ = selector.Select().strategy;
+      monitor_(drift_config, profiled),
+      deployment_(model_, profiled_, compressor_, compressor_config_,
+                  std::move(deploy_config)) {
+  EspressoSelector selector(model_, profiled_, compressor_, selector_options_);
+  const SelectionResult result = selector.Select();
+  deployment_.Bootstrap(result.strategy, "selector", result.iteration_time);
+}
+
+const Strategy& OnlineReselector::strategy() const {
+  snapshot_ = deployment_.Acquire();
+  return snapshot_->strategy;
 }
 
 std::optional<ReselectionEvent> OnlineReselector::Step(uint64_t iteration,
@@ -132,21 +146,44 @@ std::optional<ReselectionEvent> OnlineReselector::Step(uint64_t iteration,
   const ClusterSpec drifted = monitor_.SmoothedCluster();
   EspressoSelector selector(model_, drifted, compressor_, selector_options_);
   const SelectionResult result = selector.Select();
+  const std::shared_ptr<const DeployedStrategy> live = deployment_.Acquire();
 
   ReselectionEvent event;
   event.iteration = iteration;
   event.drift = monitor_.drift();
-  event.stale_iteration_time = selector.evaluator().IterationTime(current_);
+  event.stale_iteration_time = selector.evaluator().IterationTime(live->strategy);
   event.new_iteration_time = result.iteration_time;
-  ESP_CHECK_EQ(result.strategy.options.size(), current_.options.size());
-  for (size_t t = 0; t < current_.options.size(); ++t) {
-    if (!(result.strategy.options[t] == current_.options[t])) ++event.options_changed;
+  ESP_CHECK_EQ(result.strategy.options.size(), live->strategy.options.size());
+  for (size_t t = 0; t < live->strategy.options.size(); ++t) {
+    if (!(result.strategy.options[t] == live->strategy.options[t]))
+      ++event.options_changed;
   }
-  current_ = result.strategy;
+
+  // Publish through the fail-closed pipeline instead of mutating in place. The IR's
+  // digests and F(S) are stamped against the PROFILED configuration — the one the
+  // deployment validates against — so the document is self-consistent; the drifted
+  // scores travel in the event (and the drift magnitude in the provenance).
+  StrategyProvenance provenance;
+  provenance.origin = "online-reselector";
+  provenance.selector = "espresso";
+  provenance.iteration = iteration;
+  provenance.drift = event.drift;
+  const TimelineEvaluator profiled_evaluator(model_, profiled_, compressor_);
+  const StrategyIR ir = CompileStrategyIR(
+      result.strategy, profiled_evaluator.IterationTime(result.strategy), model_,
+      profiled_, compressor_config_, std::move(provenance));
+  const DeployResult deploy = deployment_.Deploy(ir);
+  event.deployed = deploy.accepted;
+  event.version = deploy.version;
+
+  // The cooldown applies whether or not admission accepted: a refused IR would be
+  // refused again next iteration, and re-selection is too expensive to spin on.
   monitor_.AcknowledgeReselection(iteration);
   auto& registry = obs::GlobalMetrics();
-  registry.Add(Metrics().reselections);
-  registry.Add(Metrics().options_changed, event.options_changed);
+  if (event.deployed) {
+    registry.Add(Metrics().reselections);
+    registry.Add(Metrics().options_changed, event.options_changed);
+  }
   return event;
 }
 

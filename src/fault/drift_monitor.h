@@ -4,16 +4,23 @@
 // cluster drifts (congested NICs, contended fabrics). The DriftMonitor tracks the
 // observed link parameters as an EWMA and flags when they have moved past a relative
 // threshold from the profile; the OnlineReselector then re-runs the full decision
-// algorithm against the drifted cost model and hot-swaps the strategy. Re-selection is
+// algorithm against the drifted cost model and publishes the result through the
+// fail-closed deployment pipeline (src/ddl/strategy_deployment.h): the re-selection is
+// compiled to a digest-stamped StrategyIR, re-validated (digests, linter, schedule
+// verifier), and atomically swapped — never mutated in place. A re-selection that
+// fails admission leaves the last-known-good strategy running and is visible in the
+// deployment's audit log and the espresso_deploy_* metrics. Re-selection is
 // rate-limited by a cooldown so jitter does not thrash the strategy.
 #ifndef SRC_FAULT_DRIFT_MONITOR_H_
 #define SRC_FAULT_DRIFT_MONITOR_H_
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 
 #include "src/core/espresso.h"
 #include "src/costmodel/calibration.h"
+#include "src/ddl/strategy_deployment.h"
 #include "src/util/config.h"
 
 namespace espresso {
@@ -67,29 +74,49 @@ struct ReselectionEvent {
   double stale_iteration_time = 0.0;  // F(S_old) under the drifted cost model
   double new_iteration_time = 0.0;    // F(S_new) under the drifted cost model
   size_t options_changed = 0;         // tensors whose option the swap replaced
+  // Deployment outcome: false means the admission pass refused the re-selection and
+  // the previous strategy is still live (see the deployment's audit log for why).
+  bool deployed = false;
+  uint64_t version = 0;  // deployment version live after this event
 };
 
-// Owns the live strategy and the monitor; Step() feeds observations and hot-swaps.
+// Owns the live strategy (through a StrategyDeployment) and the monitor; Step() feeds
+// observations, re-selects on drift, and publishes through the deployment pipeline.
 class OnlineReselector {
  public:
+  // `compressor` must be the one built from `compressor_config` (the deployment
+  // digests are recomputed from the config on every publish).
   OnlineReselector(const ModelProfile& model, const ClusterSpec& profiled,
-                   const Compressor& compressor, const SelectorOptions& selector_options,
-                   const DriftConfig& drift_config);
+                   const Compressor& compressor, const CompressorConfig& compressor_config,
+                   const SelectorOptions& selector_options, const DriftConfig& drift_config,
+                   DeploymentConfig deploy_config = {});
 
-  const Strategy& strategy() const { return current_; }
+  // The live strategy (the current deployment's snapshot). The reference stays valid
+  // until the next strategy() / Step() call on this reselector.
+  const Strategy& strategy() const;
   const DriftMonitor& monitor() const { return monitor_; }
 
+  // The deployment pipeline this reselector publishes through: audit log, deploy
+  // metrics, version history, regression watchdog.
+  StrategyDeployment& deployment() { return deployment_; }
+  const StrategyDeployment& deployment() const { return deployment_; }
+
   // Feeds iteration `iteration`'s observed cluster. When drift triggers, re-runs the
-  // Espresso selector on the smoothed cluster, swaps the strategy, and reports what
-  // changed; returns nullopt otherwise.
+  // Espresso selector on the smoothed cluster, publishes the result as a StrategyIR
+  // through the deployment (fail-closed), and reports what changed; returns nullopt
+  // when drift stayed below threshold or the cooldown is active.
   std::optional<ReselectionEvent> Step(uint64_t iteration, const ClusterSpec& observed);
 
  private:
   ModelProfile model_;
+  ClusterSpec profiled_;
   const Compressor& compressor_;
+  CompressorConfig compressor_config_;
   SelectorOptions selector_options_;
   DriftMonitor monitor_;
-  Strategy current_;
+  StrategyDeployment deployment_;
+  // Keeps the snapshot strategy() handed out alive across the next swap.
+  mutable std::shared_ptr<const DeployedStrategy> snapshot_;
 };
 
 }  // namespace espresso

@@ -1,0 +1,54 @@
+#include "src/obs/audit_log.h"
+
+#include <sstream>
+
+namespace espresso::obs {
+
+bool AuditLog::Open(const std::string& path, std::string* error) {
+  std::lock_guard<std::mutex> lock(mu_);
+  file_.open(path, std::ios::app);
+  if (!file_) {
+    if (error != nullptr) {
+      *error = "cannot open audit log " + path;
+    }
+    return false;
+  }
+  path_ = path;
+  return true;
+}
+
+uint64_t AuditLog::Append(std::string_view event,
+                          const std::function<void(JsonWriter&)>& fields) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t seq = next_seq_++;
+  std::ostringstream line;
+  {
+    JsonWriter json(line);
+    json.BeginObject();
+    json.Field("seq", seq);
+    json.Field("event", event);
+    if (fields) {
+      fields(json);
+    }
+    json.EndObject();
+  }
+  entries_.push_back(line.str());
+  if (file_.is_open()) {
+    // One line per event, flushed immediately: a crash can tear at most the line in
+    // flight, never an earlier record.
+    file_ << entries_.back() << '\n' << std::flush;
+  }
+  return seq;
+}
+
+std::vector<std::string> AuditLog::entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_;
+}
+
+uint64_t AuditLog::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_seq_;
+}
+
+}  // namespace espresso::obs

@@ -1,0 +1,62 @@
+// AuditLog: a thread-safe, append-only JSONL event stream.
+//
+// The deployment pipeline (src/ddl/strategy_deployment.h) records every strategy
+// deploy, rejection, and rollback here so an operator can reconstruct *why* the
+// executors are running the strategy they are running — the metrics say how often,
+// the audit log says what and when. One event per line, flushed as written, so a
+// crashed process leaves at worst a complete prefix (a torn final line is ignorable
+// by any JSONL reader). The log is generic: callers supply the event fields through
+// a JsonWriter callback; AuditLog owns the envelope (monotonic "seq", "event").
+#ifndef SRC_OBS_AUDIT_LOG_H_
+#define SRC_OBS_AUDIT_LOG_H_
+
+#include <cstdint>
+#include <fstream>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/util/json_writer.h"
+
+namespace espresso::obs {
+
+class AuditLog {
+ public:
+  // A default-constructed log is in-memory only; events accumulate in entries().
+  AuditLog() = default;
+
+  AuditLog(const AuditLog&) = delete;
+  AuditLog& operator=(const AuditLog&) = delete;
+
+  // Attaches a JSONL file, created if absent, appended to if present (a restarted
+  // process continues the same audit trail). Returns false (with *error set) if the
+  // file cannot be opened; the log then stays in-memory only.
+  bool Open(const std::string& path, std::string* error = nullptr);
+
+  // Appends one event line: {"seq": N, "event": "<event>", ...fields}. The callback
+  // writes the remaining fields via JsonWriter::Field inside the already-open object
+  // (it may be null for envelope-only events). Returns the event's sequence number.
+  // Thread-safe; the line is flushed to the file before returning.
+  uint64_t Append(std::string_view event,
+                  const std::function<void(JsonWriter&)>& fields = nullptr);
+
+  // Every line appended by this process, in order (the envelope included), regardless
+  // of whether a file is attached. Returns a copy for thread safety.
+  std::vector<std::string> entries() const;
+
+  uint64_t size() const;
+  const std::string& path() const { return path_; }
+
+ private:
+  mutable std::mutex mu_;
+  std::ofstream file_;
+  std::string path_;
+  uint64_t next_seq_ = 0;
+  std::vector<std::string> entries_;
+};
+
+}  // namespace espresso::obs
+
+#endif  // SRC_OBS_AUDIT_LOG_H_

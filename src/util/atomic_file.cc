@@ -1,0 +1,85 @@
+#include "src/util/atomic_file.h"
+
+#include <cstdio>
+#include <cstring>
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
+
+namespace espresso {
+
+namespace internal {
+long g_atomic_write_fail_after_bytes = -1;
+}  // namespace internal
+
+namespace {
+
+void SetError(std::string* error, const std::string& message) {
+  if (error != nullptr) {
+    *error = message;
+  }
+}
+
+}  // namespace
+
+bool WriteFileAtomic(const std::string& path, std::string_view content,
+                     std::string* error) {
+  // The temp file must live in the destination's directory: rename(2) is only atomic
+  // within one filesystem. The pid suffix keeps concurrent writers from clobbering
+  // each other's in-flight temp files.
+#ifndef _WIN32
+  const std::string tmp_path = path + ".tmp." + std::to_string(::getpid());
+#else
+  const std::string tmp_path = path + ".tmp";
+#endif
+  std::FILE* f = std::fopen(tmp_path.c_str(), "wb");
+  if (f == nullptr) {
+    SetError(error, "cannot create " + tmp_path + ": " + std::strerror(errno));
+    return false;
+  }
+
+  size_t to_write = content.size();
+  bool simulated_crash = false;
+  if (internal::g_atomic_write_fail_after_bytes >= 0) {
+    const size_t cap = static_cast<size_t>(internal::g_atomic_write_fail_after_bytes);
+    if (cap < to_write) {
+      to_write = cap;
+      simulated_crash = true;
+    }
+    internal::g_atomic_write_fail_after_bytes = -1;
+  }
+
+  const size_t written =
+      to_write == 0 ? 0 : std::fwrite(content.data(), 1, to_write, f);
+  bool ok = written == to_write && !simulated_crash;
+  if (ok && std::fflush(f) != 0) {
+    ok = false;
+  }
+#ifndef _WIN32
+  // Push the bytes to stable storage before publishing the name: a crash between
+  // rename and writeback must not surface an empty renamed file.
+  if (ok && ::fsync(::fileno(f)) != 0) {
+    ok = false;
+  }
+#endif
+  if (std::fclose(f) != 0) {
+    ok = false;
+  }
+  if (!ok) {
+    std::remove(tmp_path.c_str());
+    SetError(error, simulated_crash
+                        ? "simulated crash while writing " + tmp_path
+                        : "short write to " + tmp_path + ": " + std::strerror(errno));
+    return false;
+  }
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    const std::string reason = std::strerror(errno);
+    std::remove(tmp_path.c_str());
+    SetError(error, "cannot rename " + tmp_path + " to " + path + ": " + reason);
+    return false;
+  }
+  return true;
+}
+
+}  // namespace espresso

@@ -54,6 +54,7 @@ ConfigFile ConfigFile::Parse(std::istream& in) {
         return config;
       }
       section = std::string(TrimView(trimmed.substr(1, trimmed.size() - 2)));
+      config.sections_.emplace_back(section, line_number);
       continue;
     }
     const size_t eq = trimmed.find('=');

@@ -1,0 +1,48 @@
+// Shared splitmix64-based content hashing. One hash family serves the selector's
+// strategy fingerprints (src/core/eval_cache) and the strategy IR's config digests
+// (src/core/strategy_ir): 64-bit, order-sensitive, stable across processes — the
+// digests written into an IR file by one build must verify in another.
+#ifndef SRC_UTIL_HASH_H_
+#define SRC_UTIL_HASH_H_
+
+#include <bit>
+#include <cstdint>
+#include <string_view>
+
+namespace espresso {
+
+// splitmix64 finalizer: full-avalanche 64-bit mix.
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// Order-sensitive combiner (boost-style accumulation through Mix64).
+inline uint64_t HashCombine(uint64_t seed, uint64_t value) {
+  return Mix64(seed ^ (value + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2)));
+}
+
+// Doubles hash by bit pattern: two values hash equal iff they are the same bits
+// (0.0 and -0.0 deliberately differ; NaNs hash by payload).
+inline uint64_t DoubleBits(double d) { return std::bit_cast<uint64_t>(d); }
+
+inline uint64_t HashDouble(uint64_t seed, double d) {
+  return HashCombine(seed, DoubleBits(d));
+}
+
+// FNV-1a over the bytes, then mixed into the running seed. Length is combined
+// separately so "ab" + "c" and "a" + "bc" cannot collide across successive calls.
+inline uint64_t HashString(uint64_t seed, std::string_view s) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : s) {
+    h = (h ^ static_cast<unsigned char>(c)) * 0x100000001b3ULL;
+  }
+  seed = HashCombine(seed, s.size());
+  return HashCombine(seed, h);
+}
+
+}  // namespace espresso
+
+#endif  // SRC_UTIL_HASH_H_

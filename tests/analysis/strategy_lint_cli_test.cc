@@ -116,5 +116,52 @@ TEST(StrategyLintCli, UsageErrorsExitTwo) {
             2);
 }
 
+TEST(StrategyLintCli, InjectStaleDigestFailsWithIrRule) {
+  const RunResult result = RunLint(JobArgs() + " --inject stale-digest");
+  EXPECT_EQ(result.exit_code, 1) << result.output;
+  EXPECT_NE(result.output.find("ir.digest-mismatch"), std::string::npos)
+      << result.output;
+}
+
+TEST(StrategyLintCli, StaleDigestIsForcibleButStillWarns) {
+  const RunResult result =
+      RunLint(JobArgs() + " --inject stale-digest --force-digest");
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("ir.digest-mismatch"), std::string::npos)
+      << result.output;
+}
+
+TEST(StrategyLintCli, ValidatesIrAgainstMismatchedSystemConfig) {
+  // An IR honestly compiled for the nvlink testbed must be refused on the pcie one:
+  // the cluster digest no longer matches. espresso_cli produces the IR; asserting
+  // through strategy_lint --ir exercises the full cross-tool hand-off.
+  const std::string ir_path = ::testing::TempDir() + "/cross_config.json";
+#ifdef ESPRESSO_CLI_PATH
+  const std::string emit = std::string(ESPRESSO_CLI_PATH) + " " + JobArgs() +
+                           " --ir-out=" + ir_path + " > /dev/null 2>&1";
+  ASSERT_EQ(std::system(emit.c_str()), 0);
+  const RunResult same = RunLint(JobArgs() + " --ir " + ir_path);
+  EXPECT_EQ(same.exit_code, 0) << same.output;
+  const RunResult crossed =
+      RunLint(ConfigPath("model_gpt2.ini") + " " + ConfigPath("gc_dgc.ini") + " " +
+              ConfigPath("system_pcie.ini") + " --ir " + ir_path);
+  EXPECT_EQ(crossed.exit_code, 1) << crossed.output;
+  EXPECT_NE(crossed.output.find("ir.digest-mismatch"), std::string::npos)
+      << crossed.output;
+  std::remove(ir_path.c_str());
+#else
+  GTEST_SKIP() << "espresso_cli not available to emit the IR";
+#endif
+}
+
+TEST(StrategyLintCli, IrFlagRejectsMissingAndMalformedFiles) {
+  EXPECT_EQ(RunLint(JobArgs() + " --ir /nonexistent/ir.json").exit_code, 2);
+  const std::string bad_path = ::testing::TempDir() + "/not_an_ir.json";
+  std::ofstream(bad_path) << "{\"espresso_strategy_ir\": 1}\n";
+  const RunResult result = RunLint(JobArgs() + " --ir " + bad_path);
+  EXPECT_EQ(result.exit_code, 2) << result.output;
+  std::remove(bad_path.c_str());
+}
+
 }  // namespace
 }  // namespace espresso

@@ -1,0 +1,132 @@
+// Fuzz-style robustness for the .esp strategy text format: a torn, duplicated, or
+// bit-flipped file must come back as {ok=false, error} (or parse cleanly if the damage
+// happened to be benign) — never crash, hang, or abort. Runs under the sanitizer CI
+// jobs, so any out-of-bounds read or UB in the parser fails loudly.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/core/baselines.h"
+#include "src/core/espresso.h"
+#include "src/core/strategy_io.h"
+#include "src/models/model_zoo.h"
+#include "src/util/rng.h"
+
+namespace espresso {
+namespace {
+
+std::string SeedDocument() {
+  const ModelProfile model = Lstm();
+  const ClusterSpec cluster = NvlinkCluster(2, 2);
+  const auto compressor =
+      CreateCompressor(CompressorConfig{.algorithm = "dgc", .ratio = 0.01});
+  EspressoSelector selector(model, cluster, *compressor);
+  return StrategyToString(selector.Select().strategy);
+}
+
+// The property under test: parsing anything must terminate and return a result.
+void MustNotCrash(const std::string& text) {
+  const StrategyParseResult result = StrategyFromString(text);
+  if (!result.ok) {
+    EXPECT_FALSE(result.error.empty());
+  }
+}
+
+TEST(StrategyIoFuzz, SurvivesEveryPrefixTruncation) {
+  const std::string document = SeedDocument();
+  for (size_t cut = 0; cut < document.size(); ++cut) {
+    MustNotCrash(document.substr(0, cut));
+  }
+}
+
+TEST(StrategyIoFuzz, SurvivesEverySuffixTruncation) {
+  const std::string document = SeedDocument();
+  for (size_t cut = 0; cut < document.size(); cut += 7) {
+    MustNotCrash(document.substr(cut));
+  }
+}
+
+TEST(StrategyIoFuzz, RejectsDuplicatedTensorSections) {
+  const std::string document = SeedDocument();
+  // Duplicate the first [tensor 0] section verbatim at the end: the tensor count no
+  // longer matches the section list, which must be a parse error, not a crash.
+  const size_t begin = document.find("[tensor 0]");
+  ASSERT_NE(begin, std::string::npos);
+  const size_t end = document.find("[tensor 1]", begin);
+  ASSERT_NE(end, std::string::npos);
+  const std::string duplicated = document + document.substr(begin, end - begin);
+  const StrategyParseResult result = StrategyFromString(duplicated);
+  EXPECT_FALSE(result.ok);
+  EXPECT_FALSE(result.error.empty());
+}
+
+TEST(StrategyIoFuzz, RejectsTensorCountMismatches) {
+  const std::string document = SeedDocument();
+  const size_t at = document.find("tensors = ");
+  ASSERT_NE(at, std::string::npos);
+  const size_t line_end = document.find('\n', at);
+  for (const char* count : {"tensors = 0", "tensors = 1", "tensors = 1000000",
+                            "tensors = -3", "tensors = x"}) {
+    std::string damaged = document;
+    damaged.replace(at, line_end - at, count);
+    const StrategyParseResult result = StrategyFromString(damaged);
+    EXPECT_FALSE(result.ok) << count;
+  }
+}
+
+TEST(StrategyIoFuzz, SurvivesDeterministicByteMutations) {
+  const std::string document = SeedDocument();
+  // Deterministic single-byte mutations across the whole document: overwrite with a
+  // byte drawn from a seeded RNG (printable and not, NULs included). Most damage must
+  // be rejected; occasionally a mutation is benign — both outcomes are fine, crashing
+  // is not.
+  Rng rng(0xe59'f00d);
+  const char alphabet[] = "\0\n\t []=.-0123456789abcxyz|";
+  for (size_t i = 0; i < document.size(); ++i) {
+    std::string mutated = document;
+    mutated[i] = alphabet[rng.UniformInt(0, sizeof(alphabet) - 1)];
+    MustNotCrash(mutated);
+  }
+}
+
+TEST(StrategyIoFuzz, SurvivesLineDeletionsAndSwaps) {
+  const std::string document = SeedDocument();
+  std::vector<std::string> lines;
+  size_t start = 0;
+  while (start < document.size()) {
+    size_t end = document.find('\n', start);
+    if (end == std::string::npos) end = document.size();
+    lines.push_back(document.substr(start, end - start));
+    start = end + 1;
+  }
+  ASSERT_GT(lines.size(), 4u);
+  for (size_t drop = 0; drop < lines.size(); ++drop) {
+    std::string damaged;
+    for (size_t i = 0; i < lines.size(); ++i) {
+      if (i != drop) damaged += lines[i] + "\n";
+    }
+    MustNotCrash(damaged);
+  }
+  for (size_t swap = 0; swap + 1 < lines.size(); swap += 3) {
+    std::vector<std::string> reordered = lines;
+    std::swap(reordered[swap], reordered[swap + 1]);
+    std::string damaged;
+    for (const std::string& line : reordered) damaged += line + "\n";
+    MustNotCrash(damaged);
+  }
+}
+
+TEST(StrategyIoFuzz, SurvivesPathologicalDocuments) {
+  MustNotCrash(std::string(1 << 16, '['));
+  MustNotCrash(std::string(1 << 16, '\n'));
+  MustNotCrash("tensors = 1\n" + std::string(1 << 12, ' ') + "[tensor 0]\n");
+  MustNotCrash(std::string("tensors = 1\n[tensor 0]\nop = \0 comm", 33));
+  std::string many_ops = "tensors = 1\n[tensor 0]\nflat = true\n";
+  for (int i = 0; i < 2000; ++i) {
+    many_ops += "op = comm allreduce flat domain=1 payload=1 fan=1 raw\n";
+  }
+  MustNotCrash(many_ops);
+}
+
+}  // namespace
+}  // namespace espresso

@@ -1,0 +1,133 @@
+// Round-trip invariance of the deployment hand-off (the acceptance bar for the
+// versioned IR): select -> compile IR -> write file -> read file -> validate -> execute
+// must be indistinguishable from executing the in-memory SelectionResult — same
+// evaluator pricing, same fingerprints, and bit-identical gradient aggregates — for
+// every compressor on both committed testbeds.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/analysis/ir_validator.h"
+#include "src/core/baselines.h"
+#include "src/core/espresso.h"
+#include "src/core/eval_cache.h"
+#include "src/core/strategy_ir.h"
+#include "src/ddl/strategy_executor.h"
+#include "src/models/model_zoo.h"
+#include "src/util/rng.h"
+
+namespace espresso {
+namespace {
+
+struct CompressorCase {
+  const char* label;
+  CompressorConfig config;
+};
+
+// The full compressor matrix. `threshold` is content-dependent (the selector's cost
+// model refuses to price it), so it ships a hand-built legal strategy instead of a
+// selected one — the IR pipeline must carry it just the same.
+std::vector<CompressorCase> AllCompressors() {
+  return {
+      {"randomk", {.algorithm = "randomk", .ratio = 0.25}},
+      {"dgc", {.algorithm = "dgc", .ratio = 0.25}},
+      {"efsignsgd", {.algorithm = "efsignsgd"}},
+      {"qsgd", {.algorithm = "qsgd", .bits = 4}},
+      {"terngrad", {.algorithm = "terngrad"}},
+      {"fp16", {.algorithm = "fp16"}},
+      {"threshold", {.algorithm = "threshold", .threshold = 0.2}},
+  };
+}
+
+RankBuffers StepGradients(size_t ranks, size_t n, uint64_t seed) {
+  RankBuffers buffers(ranks, std::vector<float>(n));
+  for (size_t r = 0; r < ranks; ++r) {
+    Rng rng(DeriveSeed(seed, r));
+    rng.FillNormal(buffers[r], 0.0, 1.0);
+  }
+  return buffers;
+}
+
+void ExpectBitIdentical(const RankBuffers& a, const RankBuffers& b, const char* label,
+                        const char* testbed) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t r = 0; r < a.size(); ++r) {
+    ASSERT_EQ(a[r].size(), b[r].size());
+    ASSERT_EQ(std::memcmp(a[r].data(), b[r].data(), a[r].size() * sizeof(float)), 0)
+        << label << " on " << testbed << " rank " << r;
+  }
+}
+
+TEST(IrRoundTrip, SelectWriteLoadExecuteIsInvariant) {
+  const ModelProfile model = Lstm();
+  struct Testbed {
+    const char* name;
+    ClusterSpec cluster;
+  };
+  const Testbed testbeds[] = {{"nvlink", NvlinkCluster(2, 2)},
+                              {"pcie", PcieCluster(2, 2)}};
+  for (const Testbed& testbed : testbeds) {
+    for (const CompressorCase& cc : AllCompressors()) {
+      const auto compressor = CreateCompressor(cc.config);
+      const bool selectable = std::string(cc.label) != "threshold";
+
+      Strategy selected;
+      double fs_score = 0.0;
+      const TimelineEvaluator evaluator(model, testbed.cluster, *compressor);
+      if (selectable) {
+        EspressoSelector selector(model, testbed.cluster, *compressor);
+        const SelectionResult result = selector.Select();
+        selected = result.strategy;
+        fs_score = result.iteration_time;
+      } else {
+        selected = HiPressStrategy(model, testbed.cluster, *compressor);
+        fs_score = evaluator.IterationTime(selected);
+      }
+
+      // Select -> compile -> write -> read.
+      StrategyProvenance provenance;
+      provenance.origin = "selector";
+      provenance.selector = selectable ? "espresso" : "manual";
+      const StrategyIR ir = CompileStrategyIR(selected, fs_score, model,
+                                              testbed.cluster, cc.config, provenance);
+      const std::string path = ::testing::TempDir() + "/roundtrip_" + testbed.name +
+                               "_" + cc.label + ".json";
+      std::string error;
+      ASSERT_TRUE(WriteStrategyIRFile(path, ir, &error)) << error;
+      const StrategyIRParseResult parsed = ReadStrategyIRFile(path);
+      ASSERT_TRUE(parsed.ok) << cc.label << ": " << parsed.error;
+      std::remove(path.c_str());
+
+      // The loaded document passes fail-closed admission on the same configuration.
+      const IRValidationResult admitted = ValidateStrategyIR(
+          parsed.ir, model, testbed.cluster, *compressor, cc.config);
+      ASSERT_TRUE(admitted.ok) << cc.label << "\n" << admitted.report.ToString();
+      EXPECT_FALSE(admitted.digest_mismatch);
+
+      // Invariance: identical fingerprints, identical pricing...
+      ASSERT_EQ(parsed.ir.strategy.options.size(), selected.options.size());
+      EXPECT_EQ(StrategyFingerprint(parsed.ir.strategy), StrategyFingerprint(selected))
+          << cc.label;
+      EXPECT_EQ(evaluator.IterationTime(parsed.ir.strategy),
+                evaluator.IterationTime(selected))
+          << cc.label;
+
+      // ...and bit-identical execution against the same gradients and seeds.
+      ExecutorConfig exec;
+      exec.machines = testbed.cluster.machines;
+      exec.gpus_per_machine = testbed.cluster.gpus_per_machine;
+      exec.compressor = compressor.get();
+      exec.seed = 99;
+      RankBuffers from_memory = StepGradients(exec.ranks(), 96, 7);
+      RankBuffers from_ir = from_memory;
+      ExecuteOption(selected.options[0], exec, /*tensor_id=*/0, from_memory);
+      ExecuteOption(parsed.ir.strategy.options[0], exec, /*tensor_id=*/0, from_ir);
+      ExpectBitIdentical(from_memory, from_ir, cc.label, testbed.name);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace espresso

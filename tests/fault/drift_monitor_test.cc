@@ -92,12 +92,12 @@ TEST(DriftMonitor, BandwidthDriftStillDetected) {
 TEST(OnlineReselector, LatencyOnlyDriftHotSwapsTheStrategy) {
   const ModelProfile model = Lstm();
   const ClusterSpec profiled = NvlinkCluster(2, 2);
-  const auto compressor =
-      CreateCompressor(CompressorConfig{.algorithm = "dgc", .ratio = 0.01});
+  const CompressorConfig gc{.algorithm = "dgc", .ratio = 0.01};
+  const auto compressor = CreateCompressor(gc);
   DriftConfig drift;
   drift.threshold = 0.5;
   drift.smoothing = 1.0;
-  OnlineReselector reselector(model, profiled, *compressor, SelectorOptions{}, drift);
+  OnlineReselector reselector(model, profiled, *compressor, gc, SelectorOptions{}, drift);
 
   // A 50x inter-latency spike must reach the selector: the event fires even if the
   // drifted optimum happens to keep every per-tensor option.
@@ -107,6 +107,64 @@ TEST(OnlineReselector, LatencyOnlyDriftHotSwapsTheStrategy) {
   ASSERT_TRUE(event.has_value());
   EXPECT_GT(event->drift, drift.threshold);
   EXPECT_GT(event->new_iteration_time, 0.0);
+}
+
+TEST(OnlineReselector, PublishesThroughTheDeploymentPipeline) {
+  const ModelProfile model = Lstm();
+  const ClusterSpec profiled = NvlinkCluster(2, 2);
+  const CompressorConfig gc{.algorithm = "dgc", .ratio = 0.01};
+  const auto compressor = CreateCompressor(gc);
+  DriftConfig drift;
+  drift.threshold = 0.5;
+  drift.smoothing = 1.0;
+  OnlineReselector reselector(model, profiled, *compressor, gc, SelectorOptions{}, drift);
+
+  // The construction-time selection arrives as a bootstrap deployment.
+  auto& deployment = reselector.deployment();
+  EXPECT_EQ(deployment.version(), 1u);
+  ASSERT_EQ(deployment.events().size(), 1u);
+  EXPECT_EQ(deployment.events()[0].event, "bootstrap");
+  EXPECT_EQ(deployment.events()[0].origin, "selector");
+
+  // A drift-triggered re-selection lands as a versioned, audited deploy.
+  ClusterSpec observed = profiled;
+  observed.inter = observed.inter.Degraded(0.1);
+  const auto event = reselector.Step(3, observed);
+  ASSERT_TRUE(event.has_value());
+  EXPECT_TRUE(event->deployed);
+  EXPECT_EQ(event->version, 2u);
+  EXPECT_EQ(deployment.version(), 2u);
+  const auto live = deployment.Acquire();
+  EXPECT_EQ(live->origin, "online-reselector");
+  EXPECT_TRUE(reselector.strategy().options == live->strategy.options);
+  ASSERT_EQ(deployment.events().size(), 2u);
+  EXPECT_EQ(deployment.events()[1].event, "deploy");
+  EXPECT_EQ(deployment.events()[1].iteration, 3u);
+  EXPECT_GT(deployment.events()[1].fs_score, 0.0);
+  // The audit trail carries both events.
+  EXPECT_EQ(deployment.audit_log().size(), 2u);
+}
+
+TEST(OnlineReselector, StrategySnapshotSurvivesTheSwap) {
+  const ModelProfile model = Lstm();
+  const ClusterSpec profiled = NvlinkCluster(2, 2);
+  const CompressorConfig gc{.algorithm = "dgc", .ratio = 0.01};
+  const auto compressor = CreateCompressor(gc);
+  DriftConfig drift;
+  drift.threshold = 0.25;
+  drift.smoothing = 1.0;
+  OnlineReselector reselector(model, profiled, *compressor, gc, SelectorOptions{}, drift);
+
+  // Hold a reference across a hot swap: the snapshot semantics keep it valid (and
+  // bit-identical) until the next strategy() call re-acquires.
+  const Strategy& before = reselector.strategy();
+  const size_t options_before = before.options.size();
+  ClusterSpec observed = profiled;
+  observed.inter = observed.inter.Degraded(0.05);
+  const auto event = reselector.Step(0, observed);
+  ASSERT_TRUE(event.has_value());
+  EXPECT_EQ(before.options.size(), options_before);  // still the old snapshot
+  EXPECT_EQ(reselector.strategy().options.size(), model.tensors.size());
 }
 
 }  // namespace

@@ -293,12 +293,12 @@ TEST(OnlineReselector, InterLinkDegradationSwitchesAtLeastOneOption) {
   // strategy must differ (compression gets more attractive on a slower network).
   const ModelProfile model = Vgg16();
   const ClusterSpec profiled = NvlinkCluster(4, 4);
-  const auto compressor =
-      CreateCompressor(CompressorConfig{.algorithm = "dgc", .ratio = 0.01});
+  const CompressorConfig gc{.algorithm = "dgc", .ratio = 0.01};
+  const auto compressor = CreateCompressor(gc);
   DriftConfig drift;
   drift.threshold = 0.25;
   drift.smoothing = 1.0;  // no smoothing lag in the test
-  OnlineReselector reselector(model, profiled, *compressor, SelectorOptions{}, drift);
+  OnlineReselector reselector(model, profiled, *compressor, gc, SelectorOptions{}, drift);
   const Strategy before = reselector.strategy();
 
   ClusterSpec observed = profiled;

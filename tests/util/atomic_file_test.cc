@@ -1,0 +1,87 @@
+#include "src/util/atomic_file.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <dirent.h>
+
+namespace espresso {
+namespace {
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+bool Exists(const std::string& path) { return std::ifstream(path).good(); }
+
+// Counts directory entries containing `needle` — used to assert no temp-file leaks.
+int CountEntriesContaining(const std::string& dir, const std::string& needle) {
+  int count = 0;
+  DIR* d = opendir(dir.c_str());
+  if (d == nullptr) return -1;
+  while (dirent* entry = readdir(d)) {
+    if (std::string(entry->d_name).find(needle) != std::string::npos) ++count;
+  }
+  closedir(d);
+  return count;
+}
+
+TEST(AtomicFile, WritesNewFile) {
+  const std::string path = ::testing::TempDir() + "/atomic_new.txt";
+  std::remove(path.c_str());
+  std::string error;
+  ASSERT_TRUE(WriteFileAtomic(path, "hello\n", &error)) << error;
+  EXPECT_EQ(ReadAll(path), "hello\n");
+  std::remove(path.c_str());
+}
+
+TEST(AtomicFile, ReplacesExistingFile) {
+  const std::string path = ::testing::TempDir() + "/atomic_replace.txt";
+  ASSERT_TRUE(WriteFileAtomic(path, "old contents"));
+  ASSERT_TRUE(WriteFileAtomic(path, "new contents"));
+  EXPECT_EQ(ReadAll(path), "new contents");
+  std::remove(path.c_str());
+}
+
+TEST(AtomicFile, FailsOnUnwritableDirectory) {
+  std::string error;
+  EXPECT_FALSE(WriteFileAtomic("/nonexistent-dir/file.txt", "x", &error));
+  EXPECT_NE(error.find("/nonexistent-dir"), std::string::npos) << error;
+}
+
+TEST(AtomicFile, CrashMidWriteKeepsOldContentsAndLeaksNothing) {
+  const std::string dir = ::testing::TempDir();
+  const std::string path = dir + "/atomic_crash.txt";
+  ASSERT_TRUE(WriteFileAtomic(path, "survivor"));
+
+  // Simulate the writer dying after 4 bytes of the temporary file: the destination
+  // must still hold the complete old contents and no temp file may remain.
+  internal::g_atomic_write_fail_after_bytes = 4;
+  std::string error;
+  EXPECT_FALSE(WriteFileAtomic(path, "replacement that never lands", &error));
+  EXPECT_EQ(internal::g_atomic_write_fail_after_bytes, -1) << "hook must self-reset";
+  EXPECT_EQ(ReadAll(path), "survivor");
+  EXPECT_EQ(CountEntriesContaining(dir, "atomic_crash.txt.tmp"), 0);
+
+  // The next (healthy) write goes through.
+  ASSERT_TRUE(WriteFileAtomic(path, "second try"));
+  EXPECT_EQ(ReadAll(path), "second try");
+  std::remove(path.c_str());
+}
+
+TEST(AtomicFile, CrashBeforeFirstWriteLeavesNoFile) {
+  const std::string path = ::testing::TempDir() + "/atomic_never_born.txt";
+  std::remove(path.c_str());
+  internal::g_atomic_write_fail_after_bytes = 0;
+  EXPECT_FALSE(WriteFileAtomic(path, "contents"));
+  EXPECT_FALSE(Exists(path));
+}
+
+}  // namespace
+}  // namespace espresso
