@@ -84,6 +84,15 @@ struct WalkState {
   // still need aggregation. 0 when raw; 1 after a compress; multiplied by the group
   // size when a collect-type routine gathers everyone's (unaggregated) payloads.
   size_t pending_payloads = 0;
+  // Byte-conservation state, meaningful only while `compressed`: each rank holds
+  // `bundles` payload bundles of `slice` tensor-fraction each (held = slice * bundles),
+  // which decompress into `union_domain`. A compress op seeds one bundle; an alltoall
+  // slices the holding `group` ways; collect routines multiply bundles; a closing
+  // allgather coalesces each peer's holding into one bundle of the full held size; a
+  // compressed-domain merge divides the overlap back out.
+  double slice = 1.0;
+  double bundles = 1.0;
+  double union_domain = 1.0;
   LevelState level[kLevelCount] = {LevelState::kReplicated, LevelState::kReplicated,
                                    LevelState::kReplicated};
 };
@@ -242,7 +251,26 @@ class OptionLinter {
                   ") + compress stage, or use a shared-seed algorithm that supports "
                   "compressed aggregation");
       }
-      state_.pending_payloads = 1;  // merged (in the compressed domain)
+      // Merged (in the compressed domain): the overlapping copies collapse into one
+      // bundle of the same slice size.
+      state_.bundles /= static_cast<double>(state_.pending_payloads);
+      state_.pending_payloads = 1;
+    }
+  }
+
+  double Held() const { return state_.slice * state_.bundles; }
+
+  // Conservation of the wire payload: a comm op's payload_fraction is fully determined
+  // by the routine, its domain, and the in-flight payload coverage; a disagreement
+  // means the option prices a different number of bytes than the pipeline moves.
+  void CheckWirePayload(size_t k, double expected, const char* what) {
+    const Op& op = option_.ops[k];
+    if (std::abs(op.payload_fraction - expected) > kFractionEps) {
+      Error(rules::kPayloadCoverage,
+            OpLabel(option_, k) + " puts payload fraction " +
+                std::to_string(op.payload_fraction) + " on the wire but " + what +
+                " fixes the per-rank contribution at " + std::to_string(expected),
+            "set payload_fraction to the in-flight payload coverage this routine moves");
     }
   }
 
@@ -274,6 +302,17 @@ class OptionLinter {
             "aggregated after decompression");
       return;
     }
+    // Collect-type routines move opaque payloads and never sum element-wise, so raw
+    // gradients riding them would end up holding unaggregated shards with no op able to
+    // reduce them (only decompress ops aggregate payload sets).
+    if (!op.compressed &&
+        (op.routine == Routine::kAlltoall || op.routine == Routine::kGather)) {
+      Error(rules::kUncompressedCollect,
+            OpLabel(option_, k) + " applies a collect routine to raw gradients",
+            "raw data aggregates via reduce-scatter/reduce; alltoall/gather carry "
+            "compressed payloads whose decompress step aggregates");
+      return;
+    }
     if (state_.compressed) {
       ConsumePendingBeforeComm(k);
     }
@@ -292,15 +331,19 @@ class OptionLinter {
       return;
     }
 
+    const auto group_d = static_cast<double>(group);
     switch (op.routine) {
       case Routine::kAllreduce:
-        RequireTopology(k, level, LevelState::kReplicated,
-                        "allreduce starts from every participant's full-domain copy");
+        if (RequireTopology(k, level, LevelState::kReplicated,
+                            "allreduce starts from every participant's full-domain copy")) {
+          CheckWirePayload(k, op.domain_fraction, "a raw allreduce");
+        }
         break;
       case Routine::kReduceScatter:
         if (RequireTopology(k, level, LevelState::kReplicated,
                             "reduce-scatter shards replicated data; its second step "
                             "must be an allgather")) {
+          CheckWirePayload(k, op.domain_fraction, "a raw reduce-scatter");
           topo = LevelState::kSharded;
         }
         break;
@@ -308,6 +351,7 @@ class OptionLinter {
         if (RequireTopology(k, level, LevelState::kReplicated,
                             "reduce roots replicated data; its second step must be a "
                             "broadcast")) {
+          CheckWirePayload(k, op.domain_fraction, "a raw reduce");
           topo = LevelState::kRooted;
         }
         break;
@@ -315,32 +359,45 @@ class OptionLinter {
         if (RequireTopology(k, level, LevelState::kReplicated,
                             "alltoall shuffles each participant's full-domain copy; "
                             "its second step must be an allgather")) {
+          // Each participant sends a 1/group slice of its holding to every peer...
+          CheckWirePayload(k, Held() / group_d, "an alltoall of payload slices");
           topo = LevelState::kSharded;
-          if (state_.compressed) {
-            // Each participant now holds `group` payload shards of its sub-domain that
-            // still need aggregation.
-            state_.pending_payloads *= group;
-          }
+          // ...and now holds `group` payload shards of its sub-domain that still need
+          // aggregation.
+          state_.slice = Held() / group_d;
+          state_.bundles = group_d;
+          state_.pending_payloads *= group;
+          state_.union_domain /= group_d;
         }
         break;
       case Routine::kGather:
         if (RequireTopology(k, level, LevelState::kReplicated,
                             "gather roots each participant's payload; its second step "
                             "must be a broadcast")) {
+          CheckWirePayload(k, Held(), "a gather of whole payloads");
           topo = LevelState::kRooted;
-          if (state_.compressed) {
-            state_.pending_payloads *= group;
-          }
+          state_.bundles *= group_d;
+          state_.pending_payloads *= group;
         }
         break;
       case Routine::kAllgather:
         if (topo == LevelState::kSharded) {
-          // Closing a sharding first step: the collected payloads tile disjoint
-          // sub-domains, so no aggregation is owed.
+          // Closing a sharding first step: each peer's whole holding arrives as one
+          // disjoint tile, so no aggregation is owed.
+          CheckWirePayload(k,
+                           state_.compressed ? Held() : op.domain_fraction / group_d,
+                           "an allgather closing a sharded first step");
           topo = LevelState::kReplicated;
+          if (state_.compressed) {
+            state_.slice = Held();
+            state_.bundles = group_d;
+            state_.union_domain *= group_d;
+          }
         } else if (topo == LevelState::kReplicated && state_.compressed) {
           // Collect of everyone's compressed payload (indivisible compressed scheme);
           // the payloads overlap and must be aggregated downstream.
+          CheckWirePayload(k, Held(), "an allgather of whole payloads");
+          state_.bundles *= group_d;
           state_.pending_payloads *= group;
         } else {
           Error(rules::kTopologyPairing,
@@ -353,6 +410,8 @@ class OptionLinter {
       case Routine::kBroadcast:
         if (RequireTopology(k, level, LevelState::kRooted,
                             "broadcast closes a reduce/gather first step")) {
+          CheckWirePayload(k, state_.compressed ? Held() : op.domain_fraction,
+                           "a broadcast of the rooted result");
           topo = LevelState::kReplicated;
         }
         break;
@@ -363,8 +422,12 @@ class OptionLinter {
 
   void WalkOps() {
     bool has_comm = false;
+    bool has_inter_comm = false;
     for (size_t k = 0; k < option_.ops.size(); ++k) {
       const Op& op = option_.ops[k];
+      if (op.task == ActionTask::kComm && op.phase == CommPhase::kInter) {
+        has_inter_comm = true;
+      }
       CheckFractions(k);
       if (op.task != ActionTask::kComm && op.routine != Routine::kNone) {
         Error(rules::kRoutineOnNonComm,
@@ -381,21 +444,49 @@ class OptionLinter {
           }
           state_.compressed = true;
           state_.pending_payloads = 1;
+          state_.slice = op.payload_fraction;
+          state_.bundles = 1.0;
+          state_.union_domain = op.domain_fraction;
           break;
         case ActionTask::kDecompress:
           if (!state_.compressed) {
             Error(rules::kDecompressRaw,
                   OpLabel(option_, k) + " decompresses a raw payload",
                   "remove the decompress or insert the matching compress upstream");
-          } else if (op.fan_in < state_.pending_payloads &&
-                     !config_.supports_compressed_aggregation) {
-            Error(rules::kCompressedAggUnsupported,
-                  OpLabel(option_, k) + " decompresses " + std::to_string(op.fan_in) +
-                      " payload(s) but " + std::to_string(state_.pending_payloads) +
-                      " unmerged payloads are outstanding; merging them first requires "
-                      "compressed-domain aggregation",
-                  "decompress with fan_in=" + std::to_string(state_.pending_payloads) +
-                      " or use a GC algorithm with compressed aggregation");
+          } else {
+            if (op.fan_in < state_.pending_payloads &&
+                !config_.supports_compressed_aggregation) {
+              Error(rules::kCompressedAggUnsupported,
+                    OpLabel(option_, k) + " decompresses " + std::to_string(op.fan_in) +
+                        " payload(s) but " + std::to_string(state_.pending_payloads) +
+                        " unmerged payloads are outstanding; merging them first requires "
+                        "compressed-domain aggregation",
+                    "decompress with fan_in=" + std::to_string(state_.pending_payloads) +
+                        " or use a GC algorithm with compressed aggregation");
+            }
+            // Conservation: the decompress must consume exactly the bytes in flight
+            // (fan_in payloads of payload_fraction each equal the rank's holding, after
+            // any compressed-domain merge) and reconstruct exactly the domain those
+            // payloads cover.
+            double bundles = state_.bundles;
+            if (state_.pending_payloads > 1 && op.fan_in < state_.pending_payloads) {
+              // Merged before decompressing (fan_in < pending was gated on compressed
+              // aggregation above): the overlap collapses out of the holding.
+              bundles /= static_cast<double>(state_.pending_payloads);
+            }
+            const double held = state_.slice * bundles;
+            if (std::abs(static_cast<double>(op.fan_in) * op.payload_fraction - held) >
+                    kFractionEps ||
+                std::abs(op.domain_fraction - state_.union_domain) > kFractionEps) {
+              Error(rules::kPayloadCoverage,
+                    OpLabel(option_, k) + " decompresses " + std::to_string(op.fan_in) +
+                        " payload(s) of " + std::to_string(op.payload_fraction) +
+                        " into domain " + std::to_string(op.domain_fraction) +
+                        " but the rank holds payload fraction " + std::to_string(held) +
+                        " covering domain " + std::to_string(state_.union_domain),
+                    "a decompress consumes the payloads the pipeline actually holds; fix "
+                    "the upstream compress/comm fractions or this op's coverage");
+            }
           }
           state_.compressed = false;
           state_.pending_payloads = 0;
@@ -409,6 +500,13 @@ class OptionLinter {
     if (!has_comm) {
       Error(rules::kNoComm, "option never communicates",
             "a synchronization pipeline needs at least one collective routine");
+    } else if (!option_.flat && config_.machines > 1 && !has_inter_comm) {
+      // Hierarchical pipelines synchronize across machines only through their inter
+      // phase; without one, each machine reduces locally and the gradients diverge
+      // (flat options cover every GPU with a single collective instead).
+      Error(rules::kMissingInterSync,
+            "hierarchical option never crosses machines: no inter-phase collective",
+            "add the inter step (the intra phases only synchronize within one machine)");
     }
     if (state_.compressed) {
       Error(rules::kEndsCompressed, "option leaves the payload compressed",

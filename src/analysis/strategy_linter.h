@@ -44,6 +44,7 @@ inline constexpr const char* kUnresolvedTopology = "strategy.unresolved-topology
 // Structural / user-constraint rules.
 inline constexpr const char* kEmptyOption = "strategy.empty-option";
 inline constexpr const char* kNoComm = "strategy.no-comm";
+inline constexpr const char* kMissingInterSync = "strategy.missing-inter-sync";
 inline constexpr const char* kCommMissingRoutine = "strategy.comm-missing-routine";
 inline constexpr const char* kRoutineOnNonComm = "strategy.routine-on-noncomm";
 inline constexpr const char* kOpFractionRange = "strategy.op-fraction-range";
@@ -52,6 +53,8 @@ inline constexpr const char* kMaxCompressOps = "strategy.max-compress-ops";
 inline constexpr const char* kPayloadExceedsDomain = "strategy.payload-exceeds-domain";
 inline constexpr const char* kCompressPayloadMismatch = "strategy.compress-payload-mismatch";
 inline constexpr const char* kDecompressCoverage = "strategy.decompress-coverage";
+inline constexpr const char* kUncompressedCollect = "strategy.uncompressed-collect";
+inline constexpr const char* kPayloadCoverage = "strategy.payload-coverage";
 // Strategy-level rules.
 inline constexpr const char* kSizeMismatch = "strategy.size-mismatch";
 }  // namespace rules

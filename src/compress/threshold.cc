@@ -1,6 +1,7 @@
 #include "src/compress/threshold.h"
 
 #include <cmath>
+#include <cstring>
 
 #include "src/util/logging.h"
 
@@ -11,26 +12,49 @@ ThresholdCompressor::ThresholdCompressor(double threshold) : threshold_(threshol
 }
 
 size_t ThresholdCompressor::CompressedBytes(size_t elements) const {
-  return elements * (sizeof(uint32_t) + sizeof(float));
+  // Worst case with the dense fallback below: the sparse (index, value) encoding is
+  // only used while it stays at or below the raw float payload, so the bound is the
+  // raw size — never an inflation (the espresso_check byte-conservation property).
+  return elements * sizeof(float);
 }
 
 void ThresholdCompressor::Compress(std::span<const float> input, uint64_t /*seed*/,
                                    CompressedTensor* out) const {
   ESP_CHECK(out != nullptr);
   out->Clear();
-  out->kind = PayloadKind::kSparse;
   out->original_elements = input.size();
+  out->kind = PayloadKind::kSparse;
   for (size_t i = 0; i < input.size(); ++i) {
     if (std::fabs(input[i]) >= threshold_) {
       out->indices.push_back(static_cast<uint32_t>(i));
       out->values.push_back(input[i]);
     }
   }
+  // Dense fallback: once more than half the elements survive the cutoff, the (index,
+  // value) pairs cost more wire than the raw floats; ship the tensor uncompressed
+  // instead, as a real transport would.
+  if (out->indices.size() * (sizeof(uint32_t) + sizeof(float)) >
+      input.size() * sizeof(float)) {
+    out->indices.clear();
+    out->values.clear();
+    out->kind = PayloadKind::kRaw;
+    out->bytes.resize(input.size() * sizeof(float));
+    std::memcpy(out->bytes.data(), input.data(), out->bytes.size());
+  }
 }
 
 void ThresholdCompressor::DecompressAdd(const CompressedTensor& in,
                                         std::span<float> out) const {
   ESP_CHECK_EQ(in.original_elements, out.size());
+  if (in.kind == PayloadKind::kRaw) {
+    ESP_CHECK_EQ(in.bytes.size(), out.size() * sizeof(float));
+    for (size_t i = 0; i < out.size(); ++i) {
+      float v;
+      std::memcpy(&v, in.bytes.data() + i * sizeof(float), sizeof(float));
+      out[i] += v;
+    }
+    return;
+  }
   for (size_t i = 0; i < in.indices.size(); ++i) {
     out[in.indices[i]] += in.values[i];
   }

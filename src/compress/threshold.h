@@ -19,7 +19,9 @@ class ThresholdCompressor final : public Compressor {
   explicit ThresholdCompressor(double threshold);
 
   std::string_view name() const override { return "threshold"; }
-  // Worst-case bound (everything kept); the actual payload is content-dependent.
+  // Worst-case bound: the raw float payload, since Compress falls back to a dense
+  // encoding whenever the sparse one would inflate past it. Actual payloads are
+  // content-dependent (and usually far smaller).
   size_t CompressedBytes(size_t elements) const override;
   bool HasDeterministicSize() const override { return false; }
   void Compress(std::span<const float> input, uint64_t seed,

@@ -469,7 +469,10 @@ std::vector<CompressionOption> CandidateOptions(const TreeConfig& config) {
         DecompOp(CommPhase::kInter, 1.0 / (g * m), mi, 1.0 / (g * m)),
         CompOp(CommPhase::kInter, 1.0 / (g * m)),
         CommOp(CommPhase::kInter, Routine::kAllgather, 1.0 / g, 1.0 / (g * m), true),
-        DecompOp(CommPhase::kInter, 1.0 / g, mi, 1.0 / (g * m)),
+        // Boundary-B convention (EnumerateHierarchical): the inter allgather coalesced
+        // the shard into one merged payload, so the exit decompress fans in 1 payload
+        // of the whole inter-domain fraction.
+        DecompOp(CommPhase::kIntraSecond, 1.0 / g, 1, 1.0 / g),
         CommOp(CommPhase::kIntraSecond, Routine::kAllgather, 1.0, 1.0 / g, false)},
        false, "hier[rs|comp+a2ac+dec+comp+agc+dec|ag]");
   if (config.supports_compressed_aggregation) {
@@ -477,7 +480,10 @@ std::vector<CompressionOption> CandidateOptions(const TreeConfig& config) {
           CompOp(CommPhase::kInter, 1.0 / g),
           CommOp(CommPhase::kInter, Routine::kAlltoall, 1.0 / g, 1.0 / (g * m), true),
           CommOp(CommPhase::kInter, Routine::kAllgather, 1.0 / g, 1.0 / (g * m), true),
-          DecompOp(CommPhase::kInter, 1.0 / g, mi, 1.0 / (g * m)),
+          // Boundary-B convention (EnumerateHierarchical): the inter allgather
+          // coalesced the shard into one merged payload, so the exit decompress fans
+          // in 1 payload of the whole inter-domain fraction.
+          DecompOp(CommPhase::kIntraSecond, 1.0 / g, 1, 1.0 / g),
           CommOp(CommPhase::kIntraSecond, Routine::kAllgather, 1.0, 1.0 / g, false)},
          false, "hier[rs|comp+a2ac+skip+agc+dec|ag]");
   }
@@ -501,7 +507,10 @@ std::vector<CompressionOption> CandidateOptions(const TreeConfig& config) {
           CommOp(CommPhase::kIntraFirst, Routine::kAlltoall, 1.0, 1.0 / g, true),
           CommOp(CommPhase::kInter, Routine::kAllgather, 1.0 / g, 1.0 / g, true),
           CommOp(CommPhase::kIntraSecond, Routine::kAllgather, 1.0, 1.0 / g, true),
-          DecompOp(CommPhase::kIntraSecond, 1.0, gi * mi, 1.0 / g)},
+          // The intra-2 allgather coalesces each peer's merged holding into one bundle,
+          // so the closing decompress fans in gi bundles of 1/g each (the inter-phase
+          // overlap was already aggregated in the compressed domain).
+          DecompOp(CommPhase::kIntraSecond, 1.0, gi, 1.0 / g)},
          false, "hier[comp+a2ac|agc|agc+dec]");
   }
 
@@ -515,7 +524,8 @@ std::vector<CompressionOption> CandidateOptions(const TreeConfig& config) {
         DecompOp(CommPhase::kInter, 1.0 / (g * m), mi, 1.0 / (g * m)),
         CompOp(CommPhase::kInter, 1.0 / (g * m)),
         CommOp(CommPhase::kInter, Routine::kAllgather, 1.0 / g, 1.0 / (g * m), true),
-        DecompOp(CommPhase::kInter, 1.0 / g, mi, 1.0 / (g * m)),
+        // Same boundary-B convention as above: one merged payload out of the inter step.
+        DecompOp(CommPhase::kIntraSecond, 1.0 / g, 1, 1.0 / g),
         CommOp(CommPhase::kIntraSecond, Routine::kAllgather, 1.0, 1.0 / g, false)},
        false, "hier[comp+a2ac+dec|comp+a2ac+dec+comp+agc+dec|ag]");
 

@@ -1,0 +1,179 @@
+#include "src/core/option_mutations.h"
+
+#include <sstream>
+
+namespace espresso {
+
+namespace {
+
+constexpr CommPhase kAllPhases[] = {CommPhase::kFlat, CommPhase::kIntraFirst,
+                                    CommPhase::kInter, CommPhase::kIntraSecond};
+constexpr Routine kAllRoutines[] = {Routine::kNone,      Routine::kAllreduce,
+                                    Routine::kReduceScatter, Routine::kAllgather,
+                                    Routine::kReduce,    Routine::kBroadcast,
+                                    Routine::kAlltoall,  Routine::kGather};
+
+const char* TaskName(ActionTask task) {
+  switch (task) {
+    case ActionTask::kCompress:
+      return "compress";
+    case ActionTask::kDecompress:
+      return "decompress";
+    case ActionTask::kComm:
+      return "comm";
+  }
+  return "?";
+}
+
+std::string EditLabel(size_t k, const std::string& what) {
+  std::ostringstream os;
+  os << "op " << k << ": " << what;
+  return os.str();
+}
+
+void Push(std::vector<OptionMutation>* out, const CompressionOption& base,
+          CompressionOption mutant, std::string edit) {
+  mutant.label = base.label + "+mut:" + edit;
+  out->push_back({std::move(mutant), std::move(edit)});
+}
+
+}  // namespace
+
+std::vector<OptionMutation> OneEditMutations(const CompressionOption& option) {
+  std::vector<OptionMutation> mutants;
+  for (size_t k = 0; k < option.ops.size(); ++k) {
+    const Op& op = option.ops[k];
+
+    // Phase flips.
+    for (CommPhase phase : kAllPhases) {
+      if (phase == op.phase) {
+        continue;
+      }
+      CompressionOption mutant = option;
+      mutant.ops[k].phase = phase;
+      Push(&mutants, option,
+           std::move(mutant),
+           EditLabel(k, std::string("phase ") + CommPhaseName(op.phase) + "->" +
+                            CommPhaseName(phase)));
+    }
+
+    if (op.task == ActionTask::kComm) {
+      // Routine flips (topology/scheme dimension).
+      for (Routine routine : kAllRoutines) {
+        if (routine == op.routine) {
+          continue;
+        }
+        CompressionOption mutant = option;
+        mutant.ops[k].routine = routine;
+        Push(&mutants, option, std::move(mutant),
+             EditLabel(k, std::string("routine ") + RoutineName(op.routine) + "->" +
+                              RoutineName(routine)));
+      }
+      // Wire-compression flag flip.
+      {
+        CompressionOption mutant = option;
+        mutant.ops[k].compressed = !op.compressed;
+        Push(&mutants, option, std::move(mutant),
+             EditLabel(k, op.compressed ? "wire flag compressed->raw"
+                                        : "wire flag raw->compressed"));
+      }
+    } else {
+      // Device flip (Dimension 2); legal by construction, so the completeness pass
+      // must find the mutant inside the space modulo the device projection.
+      {
+        CompressionOption mutant = option;
+        mutant.ops[k].device = op.device == Device::kGpu ? Device::kCpu : Device::kGpu;
+        Push(&mutants, option, std::move(mutant),
+             EditLabel(k, op.device == Device::kGpu ? "device gpu->cpu" : "device cpu->gpu"));
+      }
+      // Duplicating a compression op breaks the Rule-1 state machine.
+      {
+        CompressionOption mutant = option;
+        mutant.ops.insert(mutant.ops.begin() + static_cast<std::ptrdiff_t>(k) + 1,
+                          option.ops[k]);
+        Push(&mutants, option, std::move(mutant),
+             EditLabel(k, std::string("duplicate ") + TaskName(op.task)));
+      }
+    }
+
+    // Task flips, keeping every other field: a comm op that loses its routine, a
+    // compute op that gains one, and compress<->decompress confusions.
+    for (ActionTask task : {ActionTask::kCompress, ActionTask::kDecompress,
+                            ActionTask::kComm}) {
+      if (task == op.task) {
+        continue;
+      }
+      CompressionOption mutant = option;
+      mutant.ops[k].task = task;
+      Push(&mutants, option, std::move(mutant),
+           EditLabel(k, std::string("task ") + TaskName(op.task) + "->" + TaskName(task)));
+    }
+
+    // Definitively-illegal numeric zeroings (the fan_in=0 class of the pruning tests).
+    {
+      CompressionOption mutant = option;
+      mutant.ops[k].fan_in = 0;
+      Push(&mutants, option, std::move(mutant), EditLabel(k, "fan_in -> 0"));
+    }
+    {
+      CompressionOption mutant = option;
+      mutant.ops[k].domain_fraction = 0.0;
+      Push(&mutants, option, std::move(mutant), EditLabel(k, "domain_fraction -> 0"));
+    }
+    {
+      CompressionOption mutant = option;
+      mutant.ops[k].payload_fraction = 0.0;
+      Push(&mutants, option, std::move(mutant), EditLabel(k, "payload_fraction -> 0"));
+    }
+
+    // Deletion (dropped compress/decompress/comm stage).
+    {
+      CompressionOption mutant = option;
+      mutant.ops.erase(mutant.ops.begin() + static_cast<std::ptrdiff_t>(k));
+      Push(&mutants, option, std::move(mutant),
+           EditLabel(k, std::string("delete ") + TaskName(op.task)));
+    }
+  }
+
+  // Option-level flat flag flip.
+  {
+    CompressionOption mutant = option;
+    mutant.flat = !option.flat;
+    Push(&mutants, option, std::move(mutant),
+         option.flat ? "flat flag -> hierarchical" : "flat flag -> flat");
+  }
+  return mutants;
+}
+
+CompressionOption CanonicalOption(const CompressionOption& option) {
+  CompressionOption canonical = option;
+  for (size_t k = 0; k < canonical.ops.size(); ++k) {
+    Op& op = canonical.ops[k];
+    if (op.task == ActionTask::kComm) {
+      continue;
+    }
+    op.device = Device::kGpu;
+    // Relabel with the nearest following comm op's phase; a trailing compute op takes
+    // the nearest preceding comm op's phase. Options with no comm op keep their labels
+    // (they are illegal anyway — strategy.no-comm).
+    bool relabeled = false;
+    for (size_t j = k + 1; j < canonical.ops.size(); ++j) {
+      if (canonical.ops[j].task == ActionTask::kComm) {
+        op.phase = canonical.ops[j].phase;
+        relabeled = true;
+        break;
+      }
+    }
+    if (!relabeled) {
+      for (size_t j = k; j-- > 0;) {
+        if (canonical.ops[j].task == ActionTask::kComm) {
+          op.phase = canonical.ops[j].phase;
+          break;
+        }
+      }
+    }
+  }
+  return canonical;
+}
+
+}  // namespace espresso

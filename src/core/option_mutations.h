@@ -1,0 +1,46 @@
+// One-edit mutation engine over compression options, shared by the pruning edge-case
+// tests and the whole-space model checker (src/analysis/space_checker.h).
+//
+// A mutation is a single structural edit of an option: flipping one discrete field
+// (phase, routine, wire-compression flag, task, device, the option's flat flag),
+// zeroing one numeric field (fan_in or a fraction), deleting one op, or duplicating one
+// compression op. The completeness half of the space checker walks every mutant of
+// every enumerated option and requires that each one either fails the StrategyLinter or
+// canonicalizes back into the enumerated set — i.e. the decision tree's frontier is
+// exactly the linter's legality frontier.
+//
+// CanonicalOption is the membership projection that makes that comparison well-defined:
+// the enumerated space is structural (devices all-GPU; §4.2's 2^slots device choices
+// multiply in afterwards), and the phase label of a compress/decompress op is a
+// bookkeeping convention (it does not affect the simulated timeline — comm ops pick
+// links by phase, compute ops do not), so membership is checked modulo device
+// assignment and modulo non-comm phase labels.
+#ifndef SRC_CORE_OPTION_MUTATIONS_H_
+#define SRC_CORE_OPTION_MUTATIONS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/option.h"
+
+namespace espresso {
+
+struct OptionMutation {
+  CompressionOption option;
+  std::string edit;  // human-readable description, e.g. "op 2: routine allgather->gather"
+};
+
+// Every one-edit mutant of `option`, in a deterministic order. The identity is not
+// included; neither are fraction perturbations other than the definitively-illegal
+// zeroings (legality is tolerance-free only at the structural level).
+std::vector<OptionMutation> OneEditMutations(const CompressionOption& option);
+
+// Projects an option onto its structural identity: every compress/decompress op is
+// assigned to the GPU and relabeled with the phase of the nearest following comm op
+// (the nearest preceding one for a trailing compute op). Two options with equal
+// canonical forms price identically on the timeline engine.
+CompressionOption CanonicalOption(const CompressionOption& option);
+
+}  // namespace espresso
+
+#endif  // SRC_CORE_OPTION_MUTATIONS_H_

@@ -1,79 +1,47 @@
 #include "src/costmodel/collective_cost.h"
 
-#include <cmath>
-
+#include "src/costmodel/collective_formulas.h"
 #include "src/util/logging.h"
+
+// Thin double instantiations of the shared templates in collective_formulas.h; the
+// interval audit (src/costmodel/interval.h) instantiates the same expressions over
+// Interval, so the two evaluations agree by construction.
 
 namespace espresso {
 
-namespace {
-
-double Log2Ceil(size_t p) { return std::ceil(std::log2(static_cast<double>(p))); }
-
-}  // namespace
-
 double AllreduceTime(size_t p, double tensor_bytes, const LinkSpec& link) {
   ESP_CHECK_GT(p, 0u);
-  if (p == 1) {
-    return 0.0;
-  }
-  const auto rounds = static_cast<double>(2 * (p - 1));
-  return rounds * link.latency_s +
-         2.0 * static_cast<double>(p - 1) / static_cast<double>(p) * tensor_bytes /
-             link.bytes_per_second;
+  return formulas::Allreduce(p, tensor_bytes, link);
 }
 
 double ReduceScatterTime(size_t p, double tensor_bytes, const LinkSpec& link) {
   ESP_CHECK_GT(p, 0u);
-  if (p == 1) {
-    return 0.0;
-  }
-  return static_cast<double>(p - 1) * link.latency_s +
-         static_cast<double>(p - 1) / static_cast<double>(p) * tensor_bytes /
-             link.bytes_per_second;
+  return formulas::ReduceScatter(p, tensor_bytes, link);
 }
 
 double AllgatherTime(size_t p, double per_rank_bytes, const LinkSpec& link) {
   ESP_CHECK_GT(p, 0u);
-  if (p == 1) {
-    return 0.0;
-  }
-  return static_cast<double>(p - 1) * link.latency_s +
-         static_cast<double>(p - 1) * per_rank_bytes / link.bytes_per_second;
+  return formulas::Allgather(p, per_rank_bytes, link);
 }
 
 double ReduceTime(size_t p, double tensor_bytes, const LinkSpec& link) {
   ESP_CHECK_GT(p, 0u);
-  if (p == 1) {
-    return 0.0;
-  }
-  return Log2Ceil(p) * link.latency_s + tensor_bytes / link.bytes_per_second;
+  return formulas::Reduce(p, tensor_bytes, link);
 }
 
 double BroadcastTime(size_t p, double bytes, const LinkSpec& link) {
   ESP_CHECK_GT(p, 0u);
-  if (p == 1) {
-    return 0.0;
-  }
-  return Log2Ceil(p) * link.latency_s + bytes / link.bytes_per_second;
+  return formulas::Broadcast(p, bytes, link);
 }
 
 double AlltoallTime(size_t p, double per_pair_bytes, const LinkSpec& link) {
   ESP_CHECK_GT(p, 0u);
-  if (p == 1) {
-    return 0.0;
-  }
-  return static_cast<double>(p - 1) * link.latency_s +
-         static_cast<double>(p - 1) * per_pair_bytes / link.bytes_per_second;
+  return formulas::Alltoall(p, per_pair_bytes, link);
 }
 
 double GatherTime(size_t p, double per_rank_bytes, const LinkSpec& link) {
   ESP_CHECK_GT(p, 0u);
-  if (p == 1) {
-    return 0.0;
-  }
-  return Log2Ceil(p) * link.latency_s +
-         static_cast<double>(p - 1) * per_rank_bytes / link.bytes_per_second;
+  return formulas::Gather(p, per_rank_bytes, link);
 }
 
 }  // namespace espresso

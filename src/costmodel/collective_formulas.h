@@ -1,0 +1,96 @@
+// The alpha-beta collective formulas of Table 2, templated over the number type so the
+// concrete cost model (double, src/costmodel/collective_cost.h) and the symbolic
+// interval audit (Interval, src/costmodel/interval.h) evaluate the SAME expressions —
+// the property checker cannot drift from the model it certifies.
+//
+// `Num` needs +, *, / against itself and construction from double; `LinkT` needs
+// `latency_s` and `bytes_per_second` members of type Num (LinkSpec and IntervalLink
+// both qualify). All formulas return 0 for a single participant.
+#ifndef SRC_COSTMODEL_COLLECTIVE_FORMULAS_H_
+#define SRC_COSTMODEL_COLLECTIVE_FORMULAS_H_
+
+#include <cmath>
+#include <cstddef>
+
+namespace espresso {
+
+namespace formulas {
+
+inline double Log2CeilF(size_t p) { return std::ceil(std::log2(static_cast<double>(p))); }
+
+// Ring allreduce of a tensor: 2(p-1) rounds moving tensor/p each.
+template <typename Num, typename LinkT>
+Num Allreduce(size_t p, Num tensor_bytes, const LinkT& link) {
+  if (p == 1) {
+    return Num(0.0);
+  }
+  return Num(static_cast<double>(2 * (p - 1))) * link.latency_s +
+         Num(2.0 * static_cast<double>(p - 1) / static_cast<double>(p)) * tensor_bytes /
+             link.bytes_per_second;
+}
+
+// Ring reduce-scatter: (p-1) rounds of tensor/p.
+template <typename Num, typename LinkT>
+Num ReduceScatter(size_t p, Num tensor_bytes, const LinkT& link) {
+  if (p == 1) {
+    return Num(0.0);
+  }
+  return Num(static_cast<double>(p - 1)) * link.latency_s +
+         Num(static_cast<double>(p - 1) / static_cast<double>(p)) * tensor_bytes /
+             link.bytes_per_second;
+}
+
+// Ring allgather where each rank contributes `per_rank_bytes`: (p-1) rounds.
+template <typename Num, typename LinkT>
+Num Allgather(size_t p, Num per_rank_bytes, const LinkT& link) {
+  if (p == 1) {
+    return Num(0.0);
+  }
+  return Num(static_cast<double>(p - 1)) * link.latency_s +
+         Num(static_cast<double>(p - 1)) * per_rank_bytes / link.bytes_per_second;
+}
+
+// Pipelined binomial reduce of a tensor to one root.
+template <typename Num, typename LinkT>
+Num Reduce(size_t p, Num tensor_bytes, const LinkT& link) {
+  if (p == 1) {
+    return Num(0.0);
+  }
+  return Num(Log2CeilF(p)) * link.latency_s + tensor_bytes / link.bytes_per_second;
+}
+
+// Pipelined binomial broadcast of `bytes` from one root.
+template <typename Num, typename LinkT>
+Num Broadcast(size_t p, Num bytes, const LinkT& link) {
+  if (p == 1) {
+    return Num(0.0);
+  }
+  return Num(Log2CeilF(p)) * link.latency_s + bytes / link.bytes_per_second;
+}
+
+// Alltoall where each rank sends `per_pair_bytes` to each of the p-1 others.
+template <typename Num, typename LinkT>
+Num Alltoall(size_t p, Num per_pair_bytes, const LinkT& link) {
+  if (p == 1) {
+    return Num(0.0);
+  }
+  return Num(static_cast<double>(p - 1)) * link.latency_s +
+         Num(static_cast<double>(p - 1)) * per_pair_bytes / link.bytes_per_second;
+}
+
+// Gather to a root where each rank contributes `per_rank_bytes`; the root's ingress
+// link is the bottleneck.
+template <typename Num, typename LinkT>
+Num Gather(size_t p, Num per_rank_bytes, const LinkT& link) {
+  if (p == 1) {
+    return Num(0.0);
+  }
+  return Num(Log2CeilF(p)) * link.latency_s +
+         Num(static_cast<double>(p - 1)) * per_rank_bytes / link.bytes_per_second;
+}
+
+}  // namespace formulas
+
+}  // namespace espresso
+
+#endif  // SRC_COSTMODEL_COLLECTIVE_FORMULAS_H_

@@ -1,0 +1,128 @@
+#include "src/costmodel/interval.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+
+namespace espresso {
+
+Interval::Interval(double lo_in, double hi_in) : lo(lo_in), hi(hi_in) {
+  ESP_CHECK_LE(lo, hi) << "inverted interval";
+}
+
+Interval Interval::Hull(const Interval& a, const Interval& b) {
+  return Interval(std::min(a.lo, b.lo), std::max(a.hi, b.hi));
+}
+
+Interval operator+(const Interval& a, const Interval& b) {
+  return Interval(a.lo + b.lo, a.hi + b.hi);
+}
+
+Interval operator-(const Interval& a, const Interval& b) {
+  return Interval(a.lo - b.hi, a.hi - b.lo);
+}
+
+Interval operator*(const Interval& a, const Interval& b) {
+  const double p1 = a.lo * b.lo;
+  const double p2 = a.lo * b.hi;
+  const double p3 = a.hi * b.lo;
+  const double p4 = a.hi * b.hi;
+  return Interval(std::min(std::min(p1, p2), std::min(p3, p4)),
+                  std::max(std::max(p1, p2), std::max(p3, p4)));
+}
+
+Interval operator/(const Interval& a, const Interval& b) {
+  ESP_CHECK_GT(b.lo, 0.0) << "interval division by a range touching zero";
+  const double p1 = a.lo / b.lo;
+  const double p2 = a.lo / b.hi;
+  const double p3 = a.hi / b.lo;
+  const double p4 = a.hi / b.hi;
+  return Interval(std::min(std::min(p1, p2), std::min(p3, p4)),
+                  std::max(std::max(p1, p2), std::max(p3, p4)));
+}
+
+namespace {
+
+Interval SpanAround(double nominal, double span) {
+  ESP_CHECK_GT(nominal, 0.0);
+  ESP_CHECK_GE(span, 1.0);
+  return Interval(nominal / span, nominal * span);
+}
+
+IntervalLink SpanLink(const LinkSpec& link, double bandwidth_span, double latency_span) {
+  IntervalLink ranged;
+  ranged.name = link.name;
+  ranged.latency_s = SpanAround(link.latency_s, latency_span);
+  ranged.bytes_per_second = SpanAround(link.bytes_per_second, bandwidth_span);
+  return ranged;
+}
+
+}  // namespace
+
+ParameterRanges ParameterRanges::ForCluster(const ClusterSpec& cluster,
+                                            double bandwidth_span, double latency_span) {
+  ParameterRanges ranges;
+  ranges.intra = SpanLink(cluster.intra, bandwidth_span, latency_span);
+  // Mirror TimelineEvaluator's link derivation: on multi-machine clusters the NIC is
+  // shared by the machine's g GPUs and flat collectives ride the same shared NIC; on a
+  // single machine inter traffic never happens and flat == intra.
+  if (cluster.machines > 1) {
+    LinkSpec shared_nic = cluster.inter;
+    shared_nic.bytes_per_second /= static_cast<double>(cluster.gpus_per_machine);
+    ranges.inter = SpanLink(shared_nic, bandwidth_span, latency_span);
+    ranges.flat = ranges.inter;
+    ranges.flat.name = "flat";
+  } else {
+    ranges.inter = SpanLink(cluster.inter, bandwidth_span, latency_span);
+    ranges.flat = ranges.intra;
+    ranges.flat.name = "flat";
+  }
+
+  // Launch overheads are device constants; keep them as points so a non-negative
+  // duration failure indicts the throughput/byte terms, not slack in alpha.
+  ranges.gpu_launch_s = Interval(cluster.gpu_compression.launch_overhead_s);
+  ranges.cpu_launch_s = Interval(cluster.cpu_compression.launch_overhead_s);
+
+  // CPU compression throughput degrades down to one worker's share when the host is
+  // fully contended (cpu_workers_per_gpu concurrent tasks); GPUs keep their calibrated
+  // throughput (contention with backward compute is a scheduling effect, not a rate
+  // change).
+  const double cpu_contention =
+      std::max<double>(1.0, static_cast<double>(cluster.cpu_workers_per_gpu));
+  ranges.gpu_compress_bps = Interval(cluster.gpu_compression.compress_bytes_per_s);
+  ranges.gpu_decompress_bps = Interval(cluster.gpu_compression.decompress_bytes_per_s);
+  ranges.cpu_compress_bps =
+      Interval(cluster.cpu_compression.compress_bytes_per_s / cpu_contention,
+               cluster.cpu_compression.compress_bytes_per_s);
+  ranges.cpu_decompress_bps =
+      Interval(cluster.cpu_compression.decompress_bytes_per_s / cpu_contention,
+               cluster.cpu_compression.decompress_bytes_per_s);
+  return ranges;
+}
+
+IntervalCostModel::IntervalCostModel(const ParameterRanges& ranges, double gpu_weight,
+                                     double cpu_weight)
+    : ranges_(ranges), gpu_weight_(gpu_weight), cpu_weight_(cpu_weight) {
+  ESP_CHECK_GT(gpu_weight, 0.0);
+  ESP_CHECK_GT(cpu_weight, 0.0);
+}
+
+Interval IntervalCostModel::CompressTime(Device device, double original_bytes) const {
+  const bool cpu = device == Device::kCpu;
+  const Interval& launch = cpu ? ranges_.cpu_launch_s : ranges_.gpu_launch_s;
+  const Interval& bps = cpu ? ranges_.cpu_compress_bps : ranges_.gpu_compress_bps;
+  return launch + Interval(weight(device)) * Interval(original_bytes) / bps;
+}
+
+Interval IntervalCostModel::AggregateDecompressTime(Device device, double original_bytes,
+                                                    double payload_bytes,
+                                                    size_t fan_in) const {
+  const bool cpu = device == Device::kCpu;
+  const Interval& launch = cpu ? ranges_.cpu_launch_s : ranges_.gpu_launch_s;
+  const Interval& bps = cpu ? ranges_.cpu_decompress_bps : ranges_.gpu_decompress_bps;
+  const double moved_bytes =
+      original_bytes + static_cast<double>(fan_in) * payload_bytes;
+  return launch + Interval(weight(device)) * Interval(moved_bytes) / bps;
+}
+
+}  // namespace espresso

@@ -1,0 +1,106 @@
+// Interval arithmetic over the cost-model parameter space (the symbolic half of
+// espresso_check, esc.interval-property).
+//
+// An Interval is a closed range [lo, hi] of the reals; the arithmetic is outward-
+// conservative, so evaluating a cost formula over Intervals bounds every concrete
+// evaluation whose parameters lie inside the declared ranges. ParameterRanges declares
+// those ranges for one cluster — link bandwidth and latency swept multiplicatively
+// around the calibrated values, CPU compression throughput swept down to a single
+// worker's share of the host — mirroring exactly how TimelineEvaluator derives its
+// links (NIC bandwidth split across the machine's GPUs, flat collectives riding the
+// NIC on multi-machine clusters).
+//
+// The comm formulas are the SAME templates the double cost model compiles
+// (src/costmodel/collective_formulas.h), so the audit cannot drift from the model.
+#ifndef SRC_COSTMODEL_INTERVAL_H_
+#define SRC_COSTMODEL_INTERVAL_H_
+
+#include <cstddef>
+#include <string>
+
+#include "src/costmodel/calibration.h"
+#include "src/costmodel/compression_cost.h"
+#include "src/costmodel/link.h"
+
+namespace espresso {
+
+struct Interval {
+  double lo = 0.0;
+  double hi = 0.0;
+
+  Interval() = default;
+  // Implicit: lets double constants participate in interval expressions (and lets the
+  // shared formula templates promote byte counts to intervals).
+  Interval(double v) : lo(v), hi(v) {}  // NOLINT(google-explicit-constructor)
+  Interval(double lo_in, double hi_in);
+
+  static Interval Hull(const Interval& a, const Interval& b);
+
+  bool Contains(double v) const { return lo <= v && v <= hi; }
+  bool NonNegative() const { return lo >= 0.0; }
+  bool StrictlyPositive() const { return lo > 0.0; }
+  double width() const { return hi - lo; }
+};
+
+Interval operator+(const Interval& a, const Interval& b);
+Interval operator-(const Interval& a, const Interval& b);
+Interval operator*(const Interval& a, const Interval& b);
+// Division requires a strictly positive divisor (all audited parameters are physical
+// rates); dividing by a range that touches zero is a checked failure.
+Interval operator/(const Interval& a, const Interval& b);
+
+// A network link whose alpha/beta parameters are ranges. Shape-compatible with
+// LinkSpec for the shared collective formula templates.
+struct IntervalLink {
+  std::string name;
+  Interval latency_s{0.0};
+  Interval bytes_per_second{1.0};
+
+  bool Contains(const LinkSpec& link) const {
+    return latency_s.Contains(link.latency_s) &&
+           bytes_per_second.Contains(link.bytes_per_second);
+  }
+};
+
+// Declared parameter ranges for one cluster. Spans are multiplicative: bandwidth in
+// [nominal/span, nominal*span], latency likewise; CPU throughput spans down to
+// 1/cpu_workers_per_gpu of nominal (a fully contended host) and up to nominal.
+struct ParameterRanges {
+  IntervalLink intra;
+  IntervalLink inter;  // per-GPU NIC share, as TimelineEvaluator prices it
+  IntervalLink flat;   // == inter on multi-machine clusters, intra otherwise
+  Interval gpu_launch_s{0.0};
+  Interval cpu_launch_s{0.0};
+  Interval gpu_compress_bps{1.0};
+  Interval gpu_decompress_bps{1.0};
+  Interval cpu_compress_bps{1.0};
+  Interval cpu_decompress_bps{1.0};
+
+  static ParameterRanges ForCluster(const ClusterSpec& cluster, double bandwidth_span = 4.0,
+                                    double latency_span = 4.0);
+};
+
+// Interval twin of CompressionCostModel + the collective formulas: every method bounds
+// the corresponding double computation for all parameters inside `ranges`.
+class IntervalCostModel {
+ public:
+  IntervalCostModel(const ParameterRanges& ranges, double gpu_weight, double cpu_weight);
+
+  Interval CompressTime(Device device, double original_bytes) const;
+  Interval AggregateDecompressTime(Device device, double original_bytes,
+                                   double payload_bytes, size_t fan_in) const;
+
+  const ParameterRanges& ranges() const { return ranges_; }
+  double weight(Device device) const {
+    return device == Device::kCpu ? cpu_weight_ : gpu_weight_;
+  }
+
+ private:
+  ParameterRanges ranges_;
+  double gpu_weight_ = 1.0;
+  double cpu_weight_ = 1.0;
+};
+
+}  // namespace espresso
+
+#endif  // SRC_COSTMODEL_INTERVAL_H_

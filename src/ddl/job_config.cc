@@ -74,6 +74,9 @@ bool ParseCompression(const ConfigFile& file, CompressorConfig* config,
   if (const auto v = file.GetInt("compression", "bits")) {
     config->bits = static_cast<int>(*v);
   }
+  if (const auto v = file.GetDouble("compression", "threshold")) {
+    config->threshold = *v;
+  }
   if (const auto v = file.GetInt("compression", "max_compress_ops")) {
     *max_compress_ops = static_cast<size_t>(*v);
   }

@@ -112,6 +112,7 @@ void BufferPool::Trim() {
   auto drop = [&](auto& shelf) {
     for (auto& bucket : shelf.buckets) {
       bucket.clear();
+      // conventions:allow(shrink-to-fit) Trim() is the explicit cold-path release API
       bucket.shrink_to_fit();
     }
   };

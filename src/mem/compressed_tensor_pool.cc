@@ -99,6 +99,7 @@ size_t CompressedTensorPool::CapacityBytes(const CompressedTensor& t) {
 
 void CompressedTensorPool::Trim() {
   free_.clear();
+  // conventions:allow(shrink-to-fit) Trim() is the explicit cold-path release API
   free_.shrink_to_fit();
   stats_.tensors_resident = 0;
   stats_.bytes_resident = 0;

@@ -1,5 +1,6 @@
 #include "src/util/atomic_file.h"
 
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
 
@@ -21,6 +22,31 @@ void SetError(std::string* error, const std::string& message) {
   }
 }
 
+// Thread-safe strerror: std::strerror's static buffer races when two writers fail
+// concurrently (concurrency-mt-unsafe). The overload pair absorbs both strerror_r
+// variants — GNU returns the message pointer, XSI returns 0 on success into buf —
+// without caring which one the libc provides.
+#ifndef _WIN32
+[[maybe_unused]] const char* StrerrorResult(char* result, const char* /*buf*/) {
+  return result;
+}
+[[maybe_unused]] const char* StrerrorResult(int result, const char* buf) {
+  return result == 0 ? buf : nullptr;
+}
+#endif
+
+std::string ErrnoMessage(int err) {
+  char buf[256] = {};
+#ifdef _WIN32
+  strerror_s(buf, sizeof(buf), err);
+  return std::string(buf);
+#else
+  const char* message = StrerrorResult(strerror_r(err, buf, sizeof(buf)), buf);
+  return message != nullptr ? std::string(message)
+                            : "errno " + std::to_string(err);
+#endif
+}
+
 }  // namespace
 
 bool WriteFileAtomic(const std::string& path, std::string_view content,
@@ -35,7 +61,7 @@ bool WriteFileAtomic(const std::string& path, std::string_view content,
 #endif
   std::FILE* f = std::fopen(tmp_path.c_str(), "wb");
   if (f == nullptr) {
-    SetError(error, "cannot create " + tmp_path + ": " + std::strerror(errno));
+    SetError(error, "cannot create " + tmp_path + ": " + ErrnoMessage(errno));
     return false;
   }
 
@@ -70,11 +96,11 @@ bool WriteFileAtomic(const std::string& path, std::string_view content,
     std::remove(tmp_path.c_str());
     SetError(error, simulated_crash
                         ? "simulated crash while writing " + tmp_path
-                        : "short write to " + tmp_path + ": " + std::strerror(errno));
+                        : "short write to " + tmp_path + ": " + ErrnoMessage(errno));
     return false;
   }
   if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
-    const std::string reason = std::strerror(errno);
+    const std::string reason = ErrnoMessage(errno);
     std::remove(tmp_path.c_str());
     SetError(error, "cannot rename " + tmp_path + " to " + path + ": " + reason);
     return false;

@@ -1,0 +1,120 @@
+// Deterministic regression runner over the committed strategy-IR mutation corpus
+// (tests/analysis/corpus/, emitted by `espresso_check --emit-corpus`). Every document's
+// verdict is pinned in MANIFEST.tsv, so parser robustness and the two admission paths'
+// agreement no longer depend on in-test generation alone: a parser or validator change
+// that silently flips a verdict fails here with the file name.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/analysis/ir_validator.h"
+#include "src/analysis/strategy_linter.h"
+#include "src/core/strategy_ir.h"
+#include "src/ddl/job_config.h"
+
+namespace espresso {
+namespace {
+
+#ifndef ESPRESSO_CORPUS_DIR
+#error "ESPRESSO_CORPUS_DIR must point at tests/analysis/corpus"
+#endif
+#ifndef ESPRESSO_CONFIG_DIR
+#error "ESPRESSO_CONFIG_DIR must point at the repository's configs/ directory"
+#endif
+
+struct ManifestRow {
+  std::string file;
+  std::string expect;  // accept | reject | parse-error
+};
+
+std::vector<ManifestRow> LoadManifest() {
+  std::ifstream in(std::string(ESPRESSO_CORPUS_DIR) + "/MANIFEST.tsv");
+  EXPECT_TRUE(in.good()) << "missing corpus MANIFEST.tsv — regenerate with "
+                            "espresso_check --emit-corpus";
+  std::vector<ManifestRow> rows;
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "file\texpect");
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const size_t tab = line.find('\t');
+    EXPECT_NE(tab, std::string::npos) << line;
+    rows.push_back({line.substr(0, tab), line.substr(tab + 1)});
+  }
+  return rows;
+}
+
+std::string ReadCorpusFile(const std::string& name) {
+  std::ifstream in(std::string(ESPRESSO_CORPUS_DIR) + "/" + name);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+// The job the corpus was emitted against (see MANIFEST.tsv provenance): GPT-2 on the
+// NVLink testbed with Random-k 1% — the compressed-aggregation path, so skip-stage
+// pipelines appear in the mixed strategies.
+JobConfig CorpusJob() {
+  const std::string dir(ESPRESSO_CONFIG_DIR);
+  const JobConfigResult loaded =
+      LoadJobConfigFromFiles(dir + "/model_gpt2.ini", dir + "/gc_randomk.ini",
+                             dir + "/system_nvlink.ini");
+  EXPECT_TRUE(loaded.ok) << loaded.error;
+  return loaded.job;
+}
+
+TEST(StrategyCorpus, CoversAllThreeVerdictClasses) {
+  const std::vector<ManifestRow> rows = LoadManifest();
+  ASSERT_FALSE(rows.empty());
+  size_t accepts = 0, rejects = 0, parse_errors = 0;
+  for (const ManifestRow& row : rows) {
+    if (row.expect == "accept") ++accepts;
+    else if (row.expect == "reject") ++rejects;
+    else if (row.expect == "parse-error") ++parse_errors;
+    else ADD_FAILURE() << row.file << ": unknown verdict '" << row.expect << "'";
+  }
+  EXPECT_GT(accepts, 0u);
+  EXPECT_GT(rejects, 0u);
+  EXPECT_GT(parse_errors, 0u);
+}
+
+TEST(StrategyCorpus, EveryDocumentReproducesItsPinnedVerdict) {
+  const JobConfig job = CorpusJob();
+  const auto compressor = job.MakeCompressor();
+  ASSERT_NE(compressor, nullptr);
+  const TreeConfig tree{job.cluster.machines, job.cluster.gpus_per_machine,
+                        compressor->SupportsCompressedAggregation(),
+                        job.max_compress_ops};
+  LintOptions lint_options;
+  lint_options.expected_tensors = job.model.tensors.size();
+  IRValidationOptions validate;
+  validate.max_compress_ops = job.max_compress_ops;
+
+  for (const ManifestRow& row : LoadManifest()) {
+    const std::string text = ReadCorpusFile(row.file);
+    ASSERT_FALSE(text.empty()) << row.file;
+    const StrategyIRParseResult parsed = ParseStrategyIR(text);
+    if (row.expect == "parse-error") {
+      EXPECT_FALSE(parsed.ok) << row.file << " now parses; the strict grammar or "
+                              << "payload digest stopped catching this corruption";
+      continue;
+    }
+    ASSERT_TRUE(parsed.ok) << row.file << ": " << parsed.error;
+    const bool admitted = ValidateStrategyIR(parsed.ir, job.model, job.cluster,
+                                             *compressor, job.compressor, validate)
+                              .ok;
+    EXPECT_EQ(admitted, row.expect == "accept")
+        << row.file << " flipped its admission verdict";
+    // The differential contract, pinned: linter and validator agree on every document.
+    const bool lint_accepts =
+        !LintStrategy(tree, parsed.ir.strategy, lint_options).HasErrors();
+    EXPECT_EQ(lint_accepts, admitted) << row.file << " splits the two validators";
+  }
+}
+
+}  // namespace
+}  // namespace espresso

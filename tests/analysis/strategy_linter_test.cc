@@ -229,5 +229,55 @@ TEST(StrategyLinter, EmptyAndCommlessOptions) {
   EXPECT_TRUE(HasErrorRule(LintOption(config, no_comm, 0), rules::kNoComm));
 }
 
+// Deleting the inter step from a hierarchical pipeline leaves a machine-local option
+// that never synchronizes across machines — topologically well-formed (the gap the
+// space checker's completeness pass originally exposed), so it needs its own rule.
+TEST(StrategyLinter, MissingInterSyncOnHierarchicalOptions) {
+  const TreeConfig config{8, 8, false};
+  CompressionOption option = DefaultUncompressedOption(config);
+  ASSERT_EQ(option.ops.size(), 3u);
+  ASSERT_EQ(option.ops[1].phase, CommPhase::kInter);
+  option.ops.erase(option.ops.begin() + 1);
+  EXPECT_TRUE(HasErrorRule(LintOption(config, option, 0), rules::kMissingInterSync))
+      << option.Describe();
+
+  // Flat options are exempt: a flat allreduce crosses machines by construction.
+  CompressionOption flat;
+  flat.flat = true;
+  Op allreduce;
+  allreduce.task = ActionTask::kComm;
+  allreduce.phase = CommPhase::kFlat;
+  allreduce.routine = Routine::kAllreduce;
+  flat.ops = {allreduce};
+  EXPECT_FALSE(LintOption(config, flat, 0).HasErrors());
+}
+
+TEST(StrategyLinter, UncompressedCollectRoutinesAreRejected) {
+  // Collect routines move opaque payloads; raw gradients riding them end up as
+  // unaggregated shards no op can reduce.
+  const TreeConfig config{8, 8, false};
+  CompressionOption option;
+  option.flat = true;
+  Op alltoall;
+  alltoall.task = ActionTask::kComm;
+  alltoall.phase = CommPhase::kFlat;
+  alltoall.routine = Routine::kAlltoall;
+  alltoall.payload_fraction = 1.0 / 64.0;
+  alltoall.compressed = false;
+  option.ops = {alltoall};
+  EXPECT_TRUE(HasErrorRule(LintOption(config, option, 0), rules::kUncompressedCollect));
+}
+
+TEST(StrategyLinter, PayloadCoverageMismatchIsRejected) {
+  // The wire payload must match what the routine fixes per rank: pricing a different
+  // byte count than the pipeline moves corrupts every downstream F(S) comparison.
+  const TreeConfig config{8, 8, false};
+  CompressionOption option = DefaultUncompressedOption(config);
+  ASSERT_EQ(option.ops[1].routine, Routine::kAllreduce);
+  option.ops[1].payload_fraction = 1.0;  // the inter shard is 1/g, not the full tensor
+  EXPECT_TRUE(HasErrorRule(LintOption(config, option, 0), rules::kPayloadCoverage))
+      << option.Describe();
+}
+
 }  // namespace
 }  // namespace espresso

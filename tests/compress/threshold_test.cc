@@ -32,6 +32,27 @@ TEST(Threshold, SizeIsContentDependent) {
   EXPECT_FALSE(c.HasDeterministicSize());
   // The analytic size is a worst-case bound.
   EXPECT_GE(c.CompressedBytes(3), large.ByteSize());
+  // With every coordinate surviving, the sparse encoding would inflate past the raw
+  // floats; the compressor must fall back to a dense payload instead.
+  EXPECT_EQ(large.kind, PayloadKind::kRaw);
+  EXPECT_EQ(large.ByteSize(), 3 * sizeof(float));
+}
+
+TEST(Threshold, NeverInflatesPastRaw) {
+  std::vector<float> input(256);
+  Rng rng(7);
+  rng.FillNormal(input, 0.0, 1.0);
+  // Even a cutoff that keeps everything must not ship more than the raw payload.
+  ThresholdCompressor c(1e-6);
+  CompressedTensor payload;
+  c.Compress(input, 0, &payload);
+  EXPECT_LE(payload.ByteSize(), input.size() * sizeof(float));
+  EXPECT_LE(c.CompressedBytes(input.size()), input.size() * sizeof(float));
+  std::vector<float> out(input.size(), 0.0f);
+  c.DecompressAdd(payload, out);
+  for (size_t i = 0; i < input.size(); ++i) {
+    EXPECT_FLOAT_EQ(out[i], input[i]);
+  }
 }
 
 TEST(Threshold, HigherThresholdKeepsLess) {
@@ -39,7 +60,8 @@ TEST(Threshold, HigherThresholdKeepsLess) {
   Rng rng(1);
   rng.FillNormal(input, 0.0, 1.0);
   CompressedTensor loose, tight;
-  ThresholdCompressor(0.5).Compress(input, 0, &loose);
+  // 1.0 keeps ~32% of N(0,1) — sparse stays cheaper than raw, so no dense fallback.
+  ThresholdCompressor(1.0).Compress(input, 0, &loose);
   ThresholdCompressor(2.0).Compress(input, 0, &tight);
   EXPECT_GT(loose.indices.size(), tight.indices.size());
   EXPECT_GT(tight.indices.size(), 0u);  // ~5% of N(0,1) exceeds 2 sigma

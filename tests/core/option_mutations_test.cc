@@ -1,0 +1,111 @@
+#include "src/core/option_mutations.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/analysis/strategy_linter.h"
+#include "src/core/decision_tree.h"
+
+namespace espresso {
+namespace {
+
+TEST(OptionMutations, DeterministicAndExcludesIdentity) {
+  const TreeConfig config{8, 8, false};
+  const CompressionOption option = DefaultUncompressedOption(config);
+  const std::vector<OptionMutation> first = OneEditMutations(option);
+  const std::vector<OptionMutation> second = OneEditMutations(option);
+  ASSERT_FALSE(first.empty());
+  ASSERT_EQ(first.size(), second.size());
+  for (size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].option, second[i].option) << first[i].edit;
+    EXPECT_EQ(first[i].edit, second[i].edit);
+    EXPECT_FALSE(first[i].edit.empty());
+    // operator== compares ops only, so the flat-flag flip must be checked separately.
+    EXPECT_TRUE(!(first[i].option == option) || first[i].option.flat != option.flat)
+        << "identity emitted as a mutant: " << first[i].edit;
+  }
+}
+
+TEST(OptionMutations, EveryEnumeratedOptionHasMutants) {
+  const OptionSpace space = EnumerateOptions(TreeConfig{4, 4, true});
+  ASSERT_FALSE(space.options.empty());
+  for (const CompressionOption& option : space.options) {
+    EXPECT_FALSE(OneEditMutations(option).empty()) << option.Describe();
+  }
+}
+
+TEST(OptionMutations, CanonicalProjectsOutDeviceChoices) {
+  // §4.2's 2^slots device assignments multiply into the structural space afterwards;
+  // membership in the enumerated set must not depend on them.
+  const OptionSpace space = EnumerateOptions(TreeConfig{4, 4, true});
+  for (const CompressionOption& option : space.options) {
+    EXPECT_EQ(CanonicalOption(option), CanonicalOption(option.WithDevice(Device::kCpu)))
+        << option.Describe();
+  }
+}
+
+TEST(OptionMutations, CanonicalIsIdempotent) {
+  const OptionSpace space = EnumerateOptions(TreeConfig{8, 8, false});
+  for (const CompressionOption& option : space.options) {
+    const CompressionOption once = CanonicalOption(option);
+    EXPECT_EQ(once, CanonicalOption(once)) << option.Describe();
+  }
+}
+
+TEST(OptionMutations, CanonicalFormsStayDistinctAcrossTheSpace) {
+  // The projection must not merge structurally different enumerated options — that
+  // would make the completeness check vacuous for the merged pair.
+  const OptionSpace space = EnumerateOptions(TreeConfig{8, 8, true});
+  std::vector<CompressionOption> canon;
+  canon.reserve(space.options.size());
+  for (const CompressionOption& option : space.options) {
+    canon.push_back(CanonicalOption(option));
+  }
+  for (size_t i = 0; i < canon.size(); ++i) {
+    for (size_t j = i + 1; j < canon.size(); ++j) {
+      EXPECT_FALSE(canon[i] == canon[j])
+          << space.options[i].Describe() << " collapses onto "
+          << space.options[j].Describe();
+    }
+  }
+}
+
+TEST(OptionMutations, MutantsEitherFailValidationOrReenterTheSpace) {
+  // A miniature of the space checker's completeness pass: the tree's frontier is the
+  // legality frontier, so no mutant may validate without canonicalizing back in.
+  const TreeConfig config{2, 2, false};
+  const OptionSpace space = EnumerateOptions(config);
+  std::vector<CompressionOption> canon;
+  for (const CompressionOption& option : space.options) {
+    canon.push_back(CanonicalOption(option));
+  }
+  auto in_space = [&](const CompressionOption& option) {
+    const CompressionOption c = CanonicalOption(option);
+    for (const CompressionOption& member : canon) {
+      if (member == c) return true;
+    }
+    return false;
+  };
+  size_t rejected = 0;
+  size_t reentered = 0;
+  for (const CompressionOption& option : space.options) {
+    for (const OptionMutation& mutation : OneEditMutations(option)) {
+      // Legality oracle: the linter, exactly as the space checker's completeness pass
+      // uses it (ValidateOption is the enumerated-path sanity check, not the frontier).
+      if (LintOption(config, mutation.option, 0).HasErrors()) {
+        ++rejected;
+      } else if (in_space(mutation.option)) {
+        ++reentered;
+      } else {
+        ADD_FAILURE() << option.Describe() << " + " << mutation.edit
+                      << " validates but is outside the enumerated space";
+      }
+    }
+  }
+  EXPECT_GT(rejected, 0u);
+  EXPECT_GT(reentered, 0u);  // e.g. device flips land on the same structural path
+}
+
+}  // namespace
+}  // namespace espresso

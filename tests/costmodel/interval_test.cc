@@ -1,0 +1,138 @@
+#include "src/costmodel/interval.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/costmodel/calibration.h"
+
+namespace espresso {
+namespace {
+
+// Outward-conservative containment with a relative epsilon for the floating-point
+// reassociation between the interval and double evaluation orders.
+bool ContainsApprox(const Interval& iv, double v) {
+  const double slack = 1e-9 * (std::abs(v) + 1.0);
+  return iv.lo <= v + slack && v - slack <= iv.hi;
+}
+
+TEST(Interval, ArithmeticBoundsEveryPointEvaluation) {
+  const Interval a(1.0, 2.0);
+  const Interval b(0.5, 3.0);
+  const std::vector<double> xs = {1.0, 1.25, 1.7, 2.0};
+  const std::vector<double> ys = {0.5, 0.9, 2.1, 3.0};
+  for (double x : xs) {
+    for (double y : ys) {
+      EXPECT_TRUE((a + b).Contains(x + y)) << x << "+" << y;
+      EXPECT_TRUE((a - b).Contains(x - y)) << x << "-" << y;
+      EXPECT_TRUE((a * b).Contains(x * y)) << x << "*" << y;
+      EXPECT_TRUE((a / b).Contains(x / y)) << x << "/" << y;
+    }
+  }
+}
+
+TEST(Interval, MultiplicationHandlesSignCrossings) {
+  const Interval a(-2.0, 3.0);
+  const Interval b(-1.0, 4.0);
+  const Interval p = a * b;
+  EXPECT_DOUBLE_EQ(p.lo, -8.0);  // -2 * 4
+  EXPECT_DOUBLE_EQ(p.hi, 12.0);  // 3 * 4
+}
+
+TEST(Interval, HullAndPredicates) {
+  const Interval h = Interval::Hull(Interval(1.0, 2.0), Interval(4.0, 5.0));
+  EXPECT_DOUBLE_EQ(h.lo, 1.0);
+  EXPECT_DOUBLE_EQ(h.hi, 5.0);
+  EXPECT_TRUE(h.Contains(3.0));
+  EXPECT_TRUE(h.NonNegative());
+  EXPECT_TRUE(h.StrictlyPositive());
+  EXPECT_FALSE(Interval(-1.0, 1.0).NonNegative());
+  EXPECT_TRUE(Interval(0.0, 1.0).NonNegative());
+  EXPECT_FALSE(Interval(0.0, 1.0).StrictlyPositive());
+  EXPECT_DOUBLE_EQ(Interval(2.0, 5.0).width(), 3.0);
+  const Interval point(7.0);
+  EXPECT_DOUBLE_EQ(point.width(), 0.0);
+}
+
+TEST(Interval, ConstructionAndDivisionGuards) {
+  EXPECT_DEATH(Interval(2.0, 1.0), "");
+  EXPECT_DEATH(Interval(1.0) / Interval(0.0, 1.0), "");
+  EXPECT_DEATH(Interval(1.0) / Interval(-1.0, 1.0), "");
+}
+
+TEST(ParameterRanges, MirrorsTimelineLinkDerivation) {
+  const ClusterSpec cluster = NvlinkCluster();
+  const ParameterRanges ranges = ParameterRanges::ForCluster(cluster, 4.0, 4.0);
+  // Intra link spans around the calibrated values.
+  EXPECT_TRUE(ranges.intra.Contains(cluster.intra));
+  EXPECT_TRUE(ranges.intra.bytes_per_second.StrictlyPositive());
+  // The NIC is shared by the machine's GPUs; the inter range brackets the per-GPU
+  // share, not the raw NIC rate.
+  const double nic_share =
+      cluster.inter.bytes_per_second / static_cast<double>(cluster.gpus_per_machine);
+  EXPECT_TRUE(ranges.inter.bytes_per_second.Contains(nic_share));
+  EXPECT_FALSE(ranges.inter.bytes_per_second.Contains(
+      cluster.inter.bytes_per_second * 4.0 * 1.01));
+  // Flat collectives ride the shared NIC on multi-machine clusters.
+  EXPECT_DOUBLE_EQ(ranges.flat.bytes_per_second.lo, ranges.inter.bytes_per_second.lo);
+  EXPECT_DOUBLE_EQ(ranges.flat.bytes_per_second.hi, ranges.inter.bytes_per_second.hi);
+  // Launch overheads are points: slack there would mask throughput-term bugs.
+  EXPECT_DOUBLE_EQ(ranges.gpu_launch_s.width(), 0.0);
+  EXPECT_DOUBLE_EQ(ranges.cpu_launch_s.width(), 0.0);
+  // CPU throughput degrades down to a contended worker's share.
+  EXPECT_DOUBLE_EQ(ranges.cpu_compress_bps.hi,
+                   cluster.cpu_compression.compress_bytes_per_s);
+  EXPECT_DOUBLE_EQ(ranges.cpu_compress_bps.lo,
+                   cluster.cpu_compression.compress_bytes_per_s /
+                       static_cast<double>(cluster.cpu_workers_per_gpu));
+}
+
+TEST(ParameterRanges, SingleMachineFlatRidesIntra) {
+  const ParameterRanges ranges =
+      ParameterRanges::ForCluster(NvlinkCluster(/*machines=*/1, /*gpus=*/8), 4.0, 4.0);
+  EXPECT_DOUBLE_EQ(ranges.flat.bytes_per_second.lo, ranges.intra.bytes_per_second.lo);
+  EXPECT_DOUBLE_EQ(ranges.flat.bytes_per_second.hi, ranges.intra.bytes_per_second.hi);
+}
+
+TEST(ParameterRanges, NarrowerSpansNestInsideWiderOnes) {
+  const ClusterSpec cluster = PcieCluster();
+  const ParameterRanges narrow = ParameterRanges::ForCluster(cluster, 2.0, 2.0);
+  const ParameterRanges wide = ParameterRanges::ForCluster(cluster, 4.0, 4.0);
+  EXPECT_GE(narrow.intra.bytes_per_second.lo, wide.intra.bytes_per_second.lo);
+  EXPECT_LE(narrow.intra.bytes_per_second.hi, wide.intra.bytes_per_second.hi);
+  EXPECT_GE(narrow.inter.latency_s.lo, wide.inter.latency_s.lo);
+  EXPECT_LE(narrow.inter.latency_s.hi, wide.inter.latency_s.hi);
+}
+
+TEST(IntervalCostModel, BoundsTheConcreteCompressionModel) {
+  for (const ClusterSpec& cluster : {NvlinkCluster(), PcieCluster()}) {
+    for (const char* algorithm : {"randomk", "topk", "qsgd", "fp16"}) {
+      const CompressionCostModel concrete = MakeCompressionCostModel(cluster, algorithm);
+      const IntervalCostModel symbolic(ParameterRanges::ForCluster(cluster),
+                                       concrete.algorithm_weight(Device::kGpu),
+                                       concrete.algorithm_weight(Device::kCpu));
+      for (double bytes : {4.0e3, 1.0e6, 4.0e8}) {
+        for (Device device : {Device::kGpu, Device::kCpu}) {
+          const Interval compress = symbolic.CompressTime(device, bytes);
+          EXPECT_TRUE(compress.NonNegative());
+          EXPECT_TRUE(ContainsApprox(compress, concrete.CompressTime(device, bytes)))
+              << algorithm << " compress " << bytes << "B on " << DeviceName(device);
+          for (size_t fan_in : {size_t{1}, size_t{8}}) {
+            const Interval agg =
+                symbolic.AggregateDecompressTime(device, bytes, bytes / 100.0, fan_in);
+            EXPECT_TRUE(agg.NonNegative());
+            EXPECT_TRUE(ContainsApprox(
+                agg, concrete.AggregateDecompressTime(device, bytes, bytes / 100.0,
+                                                      fan_in)))
+                << algorithm << " aggregate fan_in=" << fan_in << " on "
+                << DeviceName(device);
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace espresso
