@@ -93,6 +93,7 @@ void operator delete[](void* p, std::size_t, std::align_val_t) noexcept { std::f
 void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
 void operator delete[](void* p, const std::nothrow_t&) noexcept { std::free(p); }
 
+#include <algorithm>
 #include <chrono>
 #include <cinttypes>
 #include <cstdio>
@@ -104,9 +105,13 @@ void operator delete[](void* p, const std::nothrow_t&) noexcept { std::free(p); 
 #include <string>
 #include <vector>
 
+#include "bench/bench_host.h"
+#include "src/compress/kernels/kernels.h"
 #include "src/core/baselines.h"
 #include "src/core/decision_tree.h"
 #include "src/ddl/strategy_executor.h"
+#include "src/mem/arena.h"
+#include "src/mem/batch_plan.h"
 #include "src/util/json_writer.h"
 #include "src/util/rng.h"
 
@@ -218,6 +223,119 @@ ArmResult RunArm(const Scenario& scenario, const std::vector<CompressionOption>&
   return arm;
 }
 
+// --- Kernel throughput arms ----------------------------------------------------------
+//
+// Per-compressor elements/s over the five vectorized hot loops, three arms each:
+//   scalar:  per-tensor Compress with the scalar reference table forced;
+//   simd:    per-tensor Compress with the best host-supported table forced;
+//   batched: the SoA path — all tensors staged into one BatchedCompressPlan column
+//            (the staging copy is part of the measured time) and compressed in a
+//            single CompressBatch on the best table.
+// All three arms see identical (data, seed) pairs, so their payloads must be
+// byte-identical; the run aborts with exit 1 if any arm's payload fingerprint
+// diverges. The fingerprint is computed on the scalar arm, which makes it
+// host-independent and safe to --check against a baseline from any ISA.
+
+struct KernelScenario {
+  std::string name;
+  CompressorConfig compressor;
+};
+
+const KernelScenario kKernelScenarios[] = {
+    {"kernel-topk", {.algorithm = "topk", .ratio = 0.05}},
+    {"kernel-qsgd", {.algorithm = "qsgd", .bits = 4}},
+    {"kernel-terngrad", {.algorithm = "terngrad"}},
+    {"kernel-efsignsgd", {.algorithm = "efsignsgd"}},
+    {"kernel-fp16", {.algorithm = "fp16"}},
+};
+
+// The kernel workload mirrors the trainer's batching shape: many tensors at the
+// default batch cutoff size.
+constexpr size_t kKernelTensors = 64;
+constexpr size_t kKernelElements = 4096;
+
+uint64_t FoldPayload(uint64_t fp, const CompressedTensor& p) {
+  fp = Fnv1a(fp, &p.original_elements, sizeof(p.original_elements));
+  fp = Fnv1a(fp, p.indices.data(), p.indices.size() * sizeof(uint32_t));
+  fp = Fnv1a(fp, p.values.data(), p.values.size() * sizeof(float));
+  fp = Fnv1a(fp, p.scales.data(), p.scales.size() * sizeof(float));
+  fp = Fnv1a(fp, p.bytes.data(), p.bytes.size());
+  return fp;
+}
+
+struct KernelArmResult {
+  double elements_per_second = 0.0;  // total elements / min pass wall time
+  uint64_t fingerprint = 0;          // all payloads, in tensor order
+};
+
+uint64_t FingerprintPayloads(const std::vector<CompressedTensor>& payloads) {
+  uint64_t fp = 0x0CF1BBCDCB7A5AULL;
+  for (const CompressedTensor& p : payloads) {
+    fp = FoldPayload(fp, p);
+  }
+  return fp;
+}
+
+// Per-tensor Compress arm with `table` forced (nullptr = automatic best choice).
+KernelArmResult RunKernelPerTensorArm(const Compressor& compressor,
+                                      const kernels::KernelOps* table,
+                                      const std::vector<std::vector<float>>& tensors,
+                                      std::vector<CompressedTensor>& payloads,
+                                      int passes) {
+  kernels::SetActiveForTesting(table);
+  double best = 1e300;
+  size_t total = 0;
+  for (const auto& t : tensors) {
+    total += t.size();
+  }
+  for (int pass = 0; pass < passes; ++pass) {
+    const auto start = std::chrono::steady_clock::now();
+    for (size_t t = 0; t < tensors.size(); ++t) {
+      compressor.Compress(tensors[t], DeriveSeed(2024, t), &payloads[t]);
+    }
+    best = std::min(best, std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - start).count());
+  }
+  kernels::SetActiveForTesting(nullptr);
+  KernelArmResult arm;
+  arm.elements_per_second = best > 0 ? static_cast<double>(total) / best : 0.0;
+  arm.fingerprint = FingerprintPayloads(payloads);
+  return arm;
+}
+
+// SoA-batched arm on the best table: stage + CompressBatch per pass, both measured.
+KernelArmResult RunKernelBatchedArm(const Compressor& compressor,
+                                    const std::vector<std::vector<float>>& tensors,
+                                    std::vector<CompressedTensor>& payloads,
+                                    int passes) {
+  mem::Arena arena;
+  mem::BatchedCompressPlan plan;
+  size_t padded_total = 0;
+  size_t total = 0;
+  for (const auto& t : tensors) {
+    padded_total += mem::BatchedCompressPlan::Padded(t.size());
+    total += t.size();
+  }
+  double best = 1e300;
+  for (int pass = 0; pass < passes; ++pass) {
+    mem::ArenaScope scope(arena);
+    const auto start = std::chrono::steady_clock::now();
+    plan.Begin(arena, padded_total);
+    for (size_t t = 0; t < tensors.size(); ++t) {
+      std::span<float> slot = plan.Stage(tensors[t].size(), DeriveSeed(2024, t),
+                                         &payloads[t]);
+      std::copy(tensors[t].begin(), tensors[t].end(), slot.begin());
+    }
+    plan.Execute(compressor);
+    best = std::min(best, std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - start).count());
+  }
+  KernelArmResult arm;
+  arm.elements_per_second = best > 0 ? static_cast<double>(total) / best : 0.0;
+  arm.fingerprint = FingerprintPayloads(payloads);
+  return arm;
+}
+
 // Positional scan of a committed report for "name" -> "result_fingerprint" (the report
 // is machine-written by this binary; the repo deliberately ships only a JSON writer).
 bool BaselineFingerprint(const std::string& text, const std::string& name,
@@ -293,6 +411,7 @@ int main(int argc, char** argv) {
   json.Field("quick", quick);
   json.Field("warmup_steps", static_cast<int64_t>(warmup));
   json.Field("measured_steps", static_cast<int64_t>(steps));
+  WriteHostBlock(json);
   json.Key("scenarios");
   json.BeginArray();
 
@@ -355,6 +474,81 @@ int main(int argc, char** argv) {
     }
   }
 
+  json.EndArray();
+
+  // Kernel throughput arms: scalar vs best-ISA vs SoA-batched, payload-identical.
+  const int kernel_passes = quick ? 5 : 30;
+  const kernels::KernelOps* best = kernels::SupportedOps().back();
+  json.Key("kernels");
+  json.BeginArray();
+  for (const KernelScenario& scenario : kKernelScenarios) {
+    std::vector<std::vector<float>> tensors(kKernelTensors,
+                                            std::vector<float>(kKernelElements));
+    for (size_t t = 0; t < kKernelTensors; ++t) {
+      Rng rng(DeriveSeed(77, t));
+      rng.FillNormal(tensors[t], 0.0, 1.0);
+    }
+    std::vector<CompressedTensor> payloads(kKernelTensors);
+    const auto compressor = CreateCompressor(scenario.compressor);
+
+    const KernelArmResult scalar = RunKernelPerTensorArm(
+        *compressor, &kernels::Scalar(), tensors, payloads, kernel_passes);
+    const KernelArmResult simd =
+        RunKernelPerTensorArm(*compressor, best, tensors, payloads, kernel_passes);
+    const KernelArmResult batched =
+        RunKernelBatchedArm(*compressor, tensors, payloads, kernel_passes);
+
+    if (simd.fingerprint != scalar.fingerprint ||
+        batched.fingerprint != scalar.fingerprint) {
+      std::cerr << "FATAL: " << scenario.name << ": payload divergence (scalar "
+                << HexFingerprint(scalar.fingerprint) << ", " << best->isa << " "
+                << HexFingerprint(simd.fingerprint) << ", batched "
+                << HexFingerprint(batched.fingerprint) << ")\n";
+      failed = true;
+    }
+    const double simd_speedup = scalar.elements_per_second > 0
+                                    ? simd.elements_per_second / scalar.elements_per_second
+                                    : 0.0;
+    const double batched_speedup =
+        scalar.elements_per_second > 0
+            ? batched.elements_per_second / scalar.elements_per_second
+            : 0.0;
+    const std::string fingerprint = HexFingerprint(scalar.fingerprint);
+
+    json.BeginObject();
+    json.Field("name", scenario.name);
+    json.Field("compressor", scenario.compressor.algorithm);
+    json.Field("tensors", static_cast<uint64_t>(kKernelTensors));
+    json.Field("elements_per_tensor", static_cast<uint64_t>(kKernelElements));
+    json.Field("result_fingerprint", fingerprint);
+    json.Field("scalar_elements_per_second", scalar.elements_per_second);
+    json.Field("simd_isa", best->isa);
+    json.Field("simd_elements_per_second", simd.elements_per_second);
+    json.Field("simd_speedup", simd_speedup);
+    json.Field("batched_elements_per_second", batched.elements_per_second);
+    json.Field("batched_speedup", batched_speedup);
+    json.EndObject();
+
+    std::fprintf(stderr,
+                 "%-22s scalar %8.1fMe/s  %-6s %8.1fMe/s (%.2fx)  batched %8.1fMe/s "
+                 "(%.2fx)  %s\n",
+                 scenario.name.c_str(), scalar.elements_per_second * 1e-6, best->isa,
+                 simd.elements_per_second * 1e-6, simd_speedup,
+                 batched.elements_per_second * 1e-6, batched_speedup,
+                 fingerprint.c_str());
+
+    if (!check_path.empty()) {
+      std::string expected;
+      if (!BaselineFingerprint(baseline, scenario.name, &expected)) {
+        std::fprintf(stderr, "%-22s not in baseline, skipping check\n",
+                     scenario.name.c_str());
+      } else if (expected != fingerprint) {
+        std::fprintf(stderr, "FAIL: %s fingerprint %s != committed %s\n",
+                     scenario.name.c_str(), fingerprint.c_str(), expected.c_str());
+        check_failed = true;
+      }
+    }
+  }
   json.EndArray();
   json.EndObject();
   report << "\n";

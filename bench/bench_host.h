@@ -1,0 +1,34 @@
+// Host capability block shared by the JSON-report benchmarks (bench_executor,
+// bench_selector). Committed baselines carry it so a fingerprint divergence can be
+// traced back to the machine that produced the report: logical cpu count, the kernel
+// ISA features the host exposes, and the table the kernel registry actually picked.
+// Fingerprints themselves are ISA-independent (every SIMD table is bit-identical to
+// the scalar reference), so --check never compares this block.
+#ifndef BENCH_BENCH_HOST_H_
+#define BENCH_BENCH_HOST_H_
+
+#include <cstdint>
+#include <thread>
+
+#include "src/compress/kernels/kernels.h"
+#include "src/util/json_writer.h"
+
+namespace espresso {
+
+inline void WriteHostBlock(JsonWriter& json) {
+  json.Key("host");
+  json.BeginObject();
+  json.Field("cpus", static_cast<uint64_t>(std::thread::hardware_concurrency()));
+  json.Field("active_kernel_isa", kernels::Active().isa);
+  json.Key("isa_features");
+  json.BeginArray();
+  for (const char* feature : kernels::HostIsaFeatures()) {
+    json.Value(feature);
+  }
+  json.EndArray();
+  json.EndObject();
+}
+
+}  // namespace espresso
+
+#endif  // BENCH_BENCH_HOST_H_

@@ -28,6 +28,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench/bench_host.h"
 #include "src/core/espresso.h"
 #include "src/core/eval_cache.h"
 #include "src/ddl/job_config.h"
@@ -219,6 +220,7 @@ int main(int argc, char** argv) {
   json.Field("benchmark", "bench_selector");
   json.Field("quick", quick);
   json.Field("repetitions", static_cast<int64_t>(repetitions));
+  WriteHostBlock(json);
   json.Key("combos");
   json.BeginArray();
 

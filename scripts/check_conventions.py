@@ -15,6 +15,11 @@ subsystems (src/mem, src/collectives, src/compress, src/ddl):
   shrinking-resize  `resize(0)` destroys warm elements and their capacities;
                     grow-only code writes `clear()` (logical emptying) or
                     `if (c.size() < n) c.resize(n)`.
+  unaligned-simd    (src/compress/kernels/ only) raw unaligned vector load/store
+                    intrinsics (_mm*_loadu/_mm*_storeu/_mm*_lddqu, NEON vld1/vst1)
+                    outside the checked wrappers in aligned.h. Kernel code goes
+                    through LoadU/StoreU so every memory touch shares one audited
+                    head/tail discipline.
 
 A deliberate cold-path exception (e.g. an explicit Trim() release API) is annotated
 in the source with a marker comment on the same line or the line above:
@@ -41,6 +46,17 @@ RULES = [
     ("raw-delete", re.compile(r"(?<!=)(?<!=\s)(?<!operator\s)(?<!operator)\bdelete\b")),
     ("shrink-to-fit", re.compile(r"\bshrink_to_fit\s*\(")),
     ("shrinking-resize", re.compile(r"\.\s*resize\s*\(\s*0(u|U|l|L|z|Z)*\s*[),]")),
+]
+
+# Rules that apply only under a path prefix (relative to the repo root).
+SCOPED_RULES = [
+    (
+        "src/compress/kernels/",
+        "unaligned-simd",
+        re.compile(
+            r"\b(_mm\d*_(loadu|storeu|lddqu)_\w+|v(ld1q?|st1q?)(_lane)?_\w+)\s*\("
+        ),
+    ),
 ]
 
 
@@ -96,6 +112,12 @@ def strip_code(line: str, in_block_comment: bool) -> tuple[str, bool]:
 
 
 def check_file(path: str, rel: str) -> list[str]:
+    rel_posix = rel.replace(os.sep, "/")
+    rules = RULES + [
+        (rule, pattern)
+        for prefix, rule, pattern in SCOPED_RULES
+        if rel_posix.startswith(prefix)
+    ]
     findings = []
     in_block = False
     carried_allows: set[str] = set()
@@ -108,7 +130,7 @@ def check_file(path: str, rel: str) -> list[str]:
                 continue
             allowed = set(ALLOW_MARKER.findall(raw)) | carried_allows
             carried_allows = set()
-            for rule, pattern in RULES:
+            for rule, pattern in rules:
                 if pattern.search(code) and rule not in allowed:
                     findings.append(
                         f"{rel}:{lineno}: {rule}: {raw.strip()}"

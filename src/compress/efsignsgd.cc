@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "src/compress/kernels/kernels.h"
 #include "src/util/logging.h"
 
 namespace espresso {
@@ -17,16 +18,33 @@ void EfSignSgdCompressor::Compress(std::span<const float> input, uint64_t /*seed
   out->kind = PayloadKind::kPackedBits;
   out->original_elements = input.size();
   out->bytes.assign((input.size() + 7) / 8, 0);
-  double l1 = 0.0;
-  for (size_t i = 0; i < input.size(); ++i) {
-    l1 += std::fabs(static_cast<double>(input[i]));
-    if (input[i] >= 0.0f) {
-      out->bytes[i / 8] |= static_cast<uint8_t>(1u << (i % 8));
-    }
-  }
+  const kernels::KernelOps& ops = kernels::Active();
+  const double l1 = ops.sum_abs(input.data(), input.size());
+  ops.sign_pack(input.data(), input.size(), out->bytes.data());
   const float scale =
       input.empty() ? 0.0f : static_cast<float>(l1 / static_cast<double>(input.size()));
   out->scales.push_back(scale);
+}
+
+void EfSignSgdCompressor::CompressBatch(std::span<const BatchCompressItem> items) const {
+  const kernels::KernelOps& ops = kernels::Active();
+  // Phase 1: every l1 reduction; the scale is final immediately, so it lands in the
+  // output and phase 2 is purely the packing sweep.
+  for (const BatchCompressItem& item : items) {
+    ESP_CHECK_EQ(reinterpret_cast<uintptr_t>(item.data) & (kernels::kColumnAlignment - 1), 0u);
+    item.out->Clear();
+    item.out->kind = PayloadKind::kPackedBits;
+    item.out->original_elements = item.elements;
+    item.out->bytes.assign((item.elements + 7) / 8, 0);
+    const double l1 = ops.sum_abs(item.data, item.elements);
+    const float scale =
+        item.elements == 0 ? 0.0f : static_cast<float>(l1 / static_cast<double>(item.elements));
+    item.out->scales.push_back(scale);
+  }
+  // Phase 2: every sign-pack pass.
+  for (const BatchCompressItem& item : items) {
+    ops.sign_pack(item.data, item.elements, item.out->bytes.data());
+  }
 }
 
 void EfSignSgdCompressor::DecompressAdd(const CompressedTensor& in, std::span<float> out) const {

@@ -20,6 +20,7 @@ class Fp16Compressor final : public Compressor {
   size_t CompressedBytes(size_t elements) const override { return elements * 2; }
   void Compress(std::span<const float> input, uint64_t seed,
                 CompressedTensor* out) const override;
+  void CompressBatch(std::span<const BatchCompressItem> items) const override;
   void DecompressAdd(const CompressedTensor& in, std::span<float> out) const override;
 };
 

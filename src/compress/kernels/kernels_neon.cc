@@ -1,0 +1,124 @@
+// NEON kernel table (aarch64) — a conservative subset: the scan and reduction
+// kernels, which translate directly. The stochastic quantizers and fp16 conversions
+// keep their inherited scalar entries until an aarch64 host is part of CI — the
+// bit-identity contract is only as good as the equivalence test that enforces it,
+// and untested SIMD is exactly what this layer exists to avoid.
+#include "src/compress/kernels/tables.h"
+
+#if ESPRESSO_KERNELS_NEON
+
+#include <arm_neon.h>
+
+#include "src/compress/kernels/aligned.h"
+#include "src/compress/kernels/scalar_ref.h"
+
+namespace espresso::kernels {
+
+namespace {
+
+double NeonSumSquares(const float* x, size_t n) {
+  const size_t n8 = n & ~size_t{7};
+  float64x2_t a[4] = {vdupq_n_f64(0.0), vdupq_n_f64(0.0), vdupq_n_f64(0.0),
+                      vdupq_n_f64(0.0)};
+  for (size_t i = 0; i < n8; i += 8) {
+    const float32x4_t v0 = LoadN4f(x + i);
+    const float32x4_t v1 = LoadN4f(x + i + 4);
+    const float64x2_t d0 = vcvt_f64_f32(vget_low_f32(v0));
+    const float64x2_t d1 = vcvt_high_f64_f32(v0);
+    const float64x2_t d2 = vcvt_f64_f32(vget_low_f32(v1));
+    const float64x2_t d3 = vcvt_high_f64_f32(v1);
+    // Separate mul and add (no vfmaq): the reduction contract pins the scalar
+    // mul-then-add rounding, and -ffp-contract=off keeps the compiler honest.
+    a[0] = vaddq_f64(a[0], vmulq_f64(d0, d0));
+    a[1] = vaddq_f64(a[1], vmulq_f64(d1, d1));
+    a[2] = vaddq_f64(a[2], vmulq_f64(d2, d2));
+    a[3] = vaddq_f64(a[3], vmulq_f64(d3, d3));
+  }
+  double acc[kReductionLanes];
+  for (size_t j = 0; j < 4; ++j) {
+    vst1q_f64(acc + 2 * j, a[j]);  // conventions:allow(unaligned-simd) stack buffer
+  }
+  RefSumSquaresLanes(x, n8, n, acc);
+  return RefFoldLanes(acc);
+}
+
+double NeonSumAbs(const float* x, size_t n) {
+  const size_t n8 = n & ~size_t{7};
+  float64x2_t a[4] = {vdupq_n_f64(0.0), vdupq_n_f64(0.0), vdupq_n_f64(0.0),
+                      vdupq_n_f64(0.0)};
+  for (size_t i = 0; i < n8; i += 8) {
+    const float32x4_t v0 = vabsq_f32(LoadN4f(x + i));
+    const float32x4_t v1 = vabsq_f32(LoadN4f(x + i + 4));
+    a[0] = vaddq_f64(a[0], vcvt_f64_f32(vget_low_f32(v0)));
+    a[1] = vaddq_f64(a[1], vcvt_high_f64_f32(v0));
+    a[2] = vaddq_f64(a[2], vcvt_f64_f32(vget_low_f32(v1)));
+    a[3] = vaddq_f64(a[3], vcvt_high_f64_f32(v1));
+  }
+  double acc[kReductionLanes];
+  for (size_t j = 0; j < 4; ++j) {
+    vst1q_f64(acc + 2 * j, a[j]);  // conventions:allow(unaligned-simd) stack buffer
+  }
+  RefSumAbsLanes(x, n8, n, acc);
+  return RefFoldLanes(acc);
+}
+
+float NeonMaxAbs(const float* x, size_t n) {
+  const size_t n4 = n & ~size_t{3};
+  float32x4_t m = vdupq_n_f32(0.0f);
+  for (size_t i = 0; i < n4; i += 4) {
+    const float32x4_t a = vabsq_f32(LoadN4f(x + i));
+    const uint32x4_t gt = vcgtq_f32(a, m);  // false for NaN: the scalar contract
+    m = vbslq_f32(gt, a, m);
+  }
+  float lanes[4];
+  vst1q_f32(lanes, m);  // conventions:allow(unaligned-simd) stack buffer
+  float r = 0.0f;
+  for (size_t j = 0; j < 4; ++j) {
+    if (lanes[j] > r) {
+      r = lanes[j];
+    }
+  }
+  return RefMaxAbsRange(x, n4, n, r);
+}
+
+void NeonAbsBits(const float* x, size_t n, uint32_t* out) {
+  const size_t n4 = n & ~size_t{3};
+  const uint32x4_t absi = vdupq_n_u32(0x7fffffffU);
+  for (size_t i = 0; i < n4; i += 4) {
+    const uint32x4_t b = vandq_u32(vreinterpretq_u32_f32(LoadN4f(x + i)), absi);
+    vst1q_u32(out + i, b);  // conventions:allow(unaligned-simd) contiguous output
+  }
+  RefAbsBitsRange(x, n4, n, out);
+}
+
+size_t NeonCountGtBits(const uint32_t* m, size_t n, uint32_t t) {
+  const size_t n4 = n & ~size_t{3};
+  const uint32x4_t tv = vdupq_n_u32(t);
+  uint32x4_t count = vdupq_n_u32(0);
+  for (size_t i = 0; i < n4; i += 4) {
+    // cmhi lanes are all-ones; accumulate and negate at the end.
+    count = vsubq_u32(count, vcgtq_u32(LoadN4i(m + i), tv));
+  }
+  const size_t head = vaddvq_u32(count);
+  return head + RefCountGtBitsRange(m, n4, n, t);
+}
+
+}  // namespace
+
+const KernelOps& NeonTable() {
+  static const KernelOps table = [] {
+    KernelOps ops = ScalarTable();
+    ops.isa = "neon";
+    ops.sum_squares = NeonSumSquares;
+    ops.sum_abs = NeonSumAbs;
+    ops.max_abs = NeonMaxAbs;
+    ops.abs_bits = NeonAbsBits;
+    ops.count_gt_bits = NeonCountGtBits;
+    return ops;
+  }();
+  return table;
+}
+
+}  // namespace espresso::kernels
+
+#endif  // ESPRESSO_KERNELS_NEON

@@ -1,0 +1,187 @@
+// SSE2 kernel table — partial by design. SSE2 is the x86-64 baseline (no extra -m
+// flags), so this table's value is covering pre-AVX2 hosts for the scan/reduction
+// kernels; the stochastic quantizers need a 32-bit lane multiply (SSE4.1 pmulld) and
+// stay on their inherited scalar entries rather than emulate it.
+#include "src/compress/kernels/tables.h"
+
+#if ESPRESSO_KERNELS_X86
+
+#include <emmintrin.h>
+
+#include <cstring>
+
+#include "src/compress/kernels/aligned.h"
+#include "src/compress/kernels/scalar_ref.h"
+
+namespace espresso::kernels {
+
+namespace {
+
+constexpr int kSignMask = static_cast<int>(0x80000000u);
+constexpr int kAbsMask = 0x7fffffff;
+
+// Accumulates one 8-float block into the four 2-lane double accumulators
+// (lane pairs {0,1}, {2,3}, {4,5}, {6,7} of the reduction contract).
+ESPRESSO_KERNEL_INLINE void AddBlockSquares(__m128 v0, __m128 v1, __m128d* a) {
+  const __m128d d0 = _mm_cvtps_pd(v0);
+  const __m128d d1 = _mm_cvtps_pd(_mm_movehl_ps(v0, v0));
+  const __m128d d2 = _mm_cvtps_pd(v1);
+  const __m128d d3 = _mm_cvtps_pd(_mm_movehl_ps(v1, v1));
+  a[0] = _mm_add_pd(a[0], _mm_mul_pd(d0, d0));
+  a[1] = _mm_add_pd(a[1], _mm_mul_pd(d1, d1));
+  a[2] = _mm_add_pd(a[2], _mm_mul_pd(d2, d2));
+  a[3] = _mm_add_pd(a[3], _mm_mul_pd(d3, d3));
+}
+
+double Sse2SumSquares(const float* x, size_t n) {
+  const size_t n8 = n & ~size_t{7};
+  __m128d a[4] = {_mm_setzero_pd(), _mm_setzero_pd(), _mm_setzero_pd(),
+                  _mm_setzero_pd()};
+  for (size_t i = 0; i < n8; i += 8) {
+    AddBlockSquares(LoadU4f(x + i), LoadU4f(x + i + 4), a);
+  }
+  alignas(16) double acc[kReductionLanes];
+  for (size_t j = 0; j < 4; ++j) {
+    _mm_store_pd(acc + 2 * j, a[j]);
+  }
+  RefSumSquaresLanes(x, n8, n, acc);
+  return RefFoldLanes(acc);
+}
+
+double Sse2SumAbs(const float* x, size_t n) {
+  const size_t n8 = n & ~size_t{7};
+  const __m128 absf = _mm_castsi128_ps(_mm_set1_epi32(kAbsMask));
+  __m128d a[4] = {_mm_setzero_pd(), _mm_setzero_pd(), _mm_setzero_pd(),
+                  _mm_setzero_pd()};
+  for (size_t i = 0; i < n8; i += 8) {
+    const __m128 v0 = _mm_and_ps(LoadU4f(x + i), absf);
+    const __m128 v1 = _mm_and_ps(LoadU4f(x + i + 4), absf);
+    a[0] = _mm_add_pd(a[0], _mm_cvtps_pd(v0));
+    a[1] = _mm_add_pd(a[1], _mm_cvtps_pd(_mm_movehl_ps(v0, v0)));
+    a[2] = _mm_add_pd(a[2], _mm_cvtps_pd(v1));
+    a[3] = _mm_add_pd(a[3], _mm_cvtps_pd(_mm_movehl_ps(v1, v1)));
+  }
+  alignas(16) double acc[kReductionLanes];
+  for (size_t j = 0; j < 4; ++j) {
+    _mm_store_pd(acc + 2 * j, a[j]);
+  }
+  RefSumAbsLanes(x, n8, n, acc);
+  return RefFoldLanes(acc);
+}
+
+float Sse2MaxAbs(const float* x, size_t n) {
+  const size_t n4 = n & ~size_t{3};
+  const __m128 absf = _mm_castsi128_ps(_mm_set1_epi32(kAbsMask));
+  __m128 m = _mm_setzero_ps();
+  for (size_t i = 0; i < n4; i += 4) {
+    const __m128 a = _mm_and_ps(LoadU4f(x + i), absf);
+    const __m128 gt = _mm_cmpgt_ps(a, m);  // false for NaN: the scalar contract
+    m = _mm_or_ps(_mm_and_ps(gt, a), _mm_andnot_ps(gt, m));
+  }
+  alignas(16) float lanes[4];
+  StoreA4f(lanes, m);
+  float r = 0.0f;
+  for (size_t j = 0; j < 4; ++j) {
+    if (lanes[j] > r) {
+      r = lanes[j];
+    }
+  }
+  return RefMaxAbsRange(x, n4, n, r);
+}
+
+void Sse2AbsBits(const float* x, size_t n, uint32_t* out) {
+  const size_t n4 = n & ~size_t{3};
+  const __m128i absi = _mm_set1_epi32(kAbsMask);
+  for (size_t i = 0; i < n4; i += 4) {
+    StoreU4i(out + i, _mm_and_si128(_mm_castps_si128(LoadU4f(x + i)), absi));
+  }
+  RefAbsBitsRange(x, n4, n, out);
+}
+
+size_t Sse2CountGtBits(const uint32_t* m, size_t n, uint32_t t) {
+  const size_t n4 = n & ~size_t{3};
+  const __m128i bias = _mm_set1_epi32(kSignMask);
+  const __m128i tv = _mm_set1_epi32(static_cast<int>(t ^ 0x80000000u));
+  size_t count = 0;
+  for (size_t i = 0; i < n4; i += 4) {
+    const __m128i b = _mm_xor_si128(LoadU4i(m + i), bias);
+    const __m128i gt = _mm_cmpgt_epi32(b, tv);
+    count += static_cast<size_t>(
+        __builtin_popcount(_mm_movemask_ps(_mm_castsi128_ps(gt))));
+  }
+  return count + RefCountGtBitsRange(m, n4, n, t);
+}
+
+ESPRESSO_KERNEL_INLINE void EmitRange(const float* x, size_t begin, size_t end,
+                                      uint32_t t, size_t n_fill, uint32_t* indices,
+                                      float* values, size_t* emitted, size_t* fill) {
+  for (size_t i = begin; i < end; ++i) {
+    const uint32_t b = MagnitudeBits(x[i]);
+    if (b > t || (b == t && *fill < n_fill)) {
+      *fill += b == t ? 1u : 0u;
+      indices[*emitted] = static_cast<uint32_t>(i);
+      values[*emitted] = x[i];
+      ++*emitted;
+    }
+  }
+}
+
+size_t Sse2SelectTopK(const float* x, size_t n, uint32_t t, size_t n_fill,
+                      uint32_t* indices, float* values) {
+  const size_t n4 = n & ~size_t{3};
+  const __m128i absi = _mm_set1_epi32(kAbsMask);
+  const __m128i bias = _mm_set1_epi32(kSignMask);
+  const __m128i tv = _mm_set1_epi32(static_cast<int>(t ^ 0x80000000u));
+  size_t emitted = 0;
+  size_t fill = 0;
+  for (size_t i = 0; i < n4; i += 4) {
+    const __m128i b = _mm_and_si128(_mm_castps_si128(LoadU4f(x + i)), absi);
+    const __m128i lt = _mm_cmpgt_epi32(tv, _mm_xor_si128(b, bias));  // t > b
+    if (_mm_movemask_ps(_mm_castsi128_ps(lt)) == 0xF) {
+      continue;
+    }
+    EmitRange(x, i, i + 4, t, n_fill, indices, values, &emitted, &fill);
+  }
+  EmitRange(x, n4, n, t, n_fill, indices, values, &emitted, &fill);
+  return emitted;
+}
+
+void Sse2SignPack(const float* x, size_t n, uint8_t* packed) {
+  const size_t n16 = n & ~size_t{15};
+  const __m128 zero = _mm_setzero_ps();
+  for (size_t i = 0; i < n16; i += 16) {
+    const uint32_t m0 =
+        static_cast<uint32_t>(_mm_movemask_ps(_mm_cmpge_ps(LoadU4f(x + i), zero)));
+    const uint32_t m1 =
+        static_cast<uint32_t>(_mm_movemask_ps(_mm_cmpge_ps(LoadU4f(x + i + 4), zero)));
+    const uint32_t m2 =
+        static_cast<uint32_t>(_mm_movemask_ps(_mm_cmpge_ps(LoadU4f(x + i + 8), zero)));
+    const uint32_t m3 =
+        static_cast<uint32_t>(_mm_movemask_ps(_mm_cmpge_ps(LoadU4f(x + i + 12), zero)));
+    const uint16_t m = static_cast<uint16_t>(m0 | (m1 << 4) | (m2 << 8) | (m3 << 12));
+    std::memcpy(packed + i / 8, &m, 2);
+  }
+  RefSignPackRange(x, n16, n, packed);
+}
+
+}  // namespace
+
+const KernelOps& Sse2Table() {
+  static const KernelOps table = [] {
+    KernelOps ops = ScalarTable();
+    ops.isa = "sse2";
+    ops.sum_squares = Sse2SumSquares;
+    ops.sum_abs = Sse2SumAbs;
+    ops.max_abs = Sse2MaxAbs;
+    ops.abs_bits = Sse2AbsBits;
+    ops.count_gt_bits = Sse2CountGtBits;
+    ops.select_topk = Sse2SelectTopK;
+    ops.sign_pack = Sse2SignPack;
+    return ops;
+  }();
+  return table;
+}
+
+}  // namespace espresso::kernels
+
+#endif  // ESPRESSO_KERNELS_X86

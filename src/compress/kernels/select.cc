@@ -1,0 +1,86 @@
+// Exact k-th-largest magnitude selection in the integer magnitude domain.
+//
+// Replaces Top-k's iota + nth_element(indirect float comparator) + sort: the
+// candidate set is a flat uint32 array (bits of |x|), the pivot count runs through
+// the vectorized count_gt_bits kernel, and survivors are compacted in place. The
+// returned threshold lets select_topk emit the kept (index, value) pairs in one
+// ascending scan, so the old O(n) index materialization and final sort disappear
+// entirely. Unlike the float comparator, the integer domain gives NaN a defined,
+// deterministic place (above +inf) instead of nth_element UB.
+#include <algorithm>
+
+#include "src/compress/kernels/kernels.h"
+#include "src/util/logging.h"
+
+namespace espresso::kernels {
+
+namespace {
+
+// Deterministic pivot: median of nine evenly spaced samples. No RNG — selection must
+// be a pure function of the input for the cross-rank fingerprint contracts.
+uint32_t SampleMedian(const uint32_t* c, size_t m) {
+  uint32_t s[9];
+  for (size_t j = 0; j < 9; ++j) {
+    s[j] = c[(j * (m - 1)) / 8];
+  }
+  std::sort(s, s + 9);
+  return s[4];
+}
+
+}  // namespace
+
+uint32_t SelectKthMagnitude(const KernelOps& ops, const float* x, size_t n, size_t k,
+                            std::vector<uint32_t>* scratch) {
+  ESP_CHECK(scratch != nullptr);
+  ESP_CHECK_GE(k, 1u);
+  ESP_CHECK_LE(k, n);
+  if (scratch->size() < 2 * n) {
+    scratch->resize(2 * n);
+  }
+  uint32_t* bits = scratch->data();      // preserved: callers reuse it for counts
+  uint32_t* c = scratch->data() + n;     // working candidate set, compacted in place
+  ops.abs_bits(x, n, bits);
+  std::copy(bits, bits + n, c);
+
+  size_t m = n;
+  size_t kk = k;
+  for (;;) {
+    if (m <= 64) {
+      std::sort(c, c + m, std::greater<uint32_t>());
+      return c[kk - 1];
+    }
+    const uint32_t pivot = SampleMedian(c, m);
+    const size_t n_gt = ops.count_gt_bits(c, m, pivot);
+    // count(>= pivot) = count(> pivot-1); pivot == 0 means every candidate is >= it.
+    const size_t n_ge = pivot == 0 ? m : ops.count_gt_bits(c, m, pivot - 1);
+    if (kk <= n_gt) {
+      size_t w = 0;
+      for (size_t i = 0; i < m; ++i) {
+        if (c[i] > pivot) {
+          c[w++] = c[i];
+        }
+      }
+      m = w;  // == n_gt
+    } else if (kk <= n_ge) {
+      return pivot;  // the k-th largest equals the pivot
+    } else {
+      kk -= n_ge;
+      size_t w = 0;
+      for (size_t i = 0; i < m; ++i) {
+        if (c[i] < pivot) {
+          c[w++] = c[i];
+        }
+      }
+      m = w;  // == m - n_ge
+    }
+    // The pivot is a sampled element, so >= 1 candidate equals it and both branches
+    // strictly shrink m: termination is unconditional.
+  }
+}
+
+std::vector<uint32_t>& ThreadScratchU32() {
+  thread_local std::vector<uint32_t> scratch;
+  return scratch;
+}
+
+}  // namespace espresso::kernels

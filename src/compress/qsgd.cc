@@ -2,10 +2,26 @@
 
 #include <cmath>
 
+#include "src/compress/kernels/kernels.h"
 #include "src/util/logging.h"
 #include "src/util/rng.h"
 
 namespace espresso {
+
+namespace {
+
+// The counter RNG replaces the old stateful per-element draws: the i-th element's
+// rounding uniform is a pure function of (seed, n, i), so lanes can be evaluated in any
+// order — and in SIMD batches — without changing a single payload byte. Key derivation
+// keeps going through DeriveSeed(seed, n), preserving the shared-seed cross-rank
+// property the schemes rely on.
+void SplitSeed(uint64_t seed, size_t n, uint32_t* k0, uint32_t* k1) {
+  const uint64_t derived = DeriveSeed(seed, n);
+  *k0 = static_cast<uint32_t>(derived);
+  *k1 = static_cast<uint32_t>(derived >> 32);
+}
+
+}  // namespace
 
 QsgdCompressor::QsgdCompressor(int bits) : bits_(bits), levels_((1 << bits) - 1) {
   ESP_CHECK_GE(bits, 1);
@@ -22,30 +38,42 @@ void QsgdCompressor::Compress(std::span<const float> input, uint64_t seed,
   out->Clear();
   out->kind = PayloadKind::kPackedBits;
   out->original_elements = input.size();
-  double sq = 0.0;
-  for (float v : input) {
-    sq += static_cast<double>(v) * static_cast<double>(v);
-  }
-  const float norm = static_cast<float>(std::sqrt(sq));
+  const kernels::KernelOps& ops = kernels::Active();
+  const float norm = static_cast<float>(std::sqrt(ops.sum_squares(input.data(), input.size())));
   out->scales.push_back(norm);
   out->bytes.resize(input.size());
   if (norm == 0.0f) {
     return;
   }
-  Rng rng(DeriveSeed(seed, input.size()));
-  for (size_t i = 0; i < input.size(); ++i) {
-    const float magnitude = std::fabs(input[i]) / norm * static_cast<float>(levels_);
-    auto level = static_cast<int>(magnitude);
-    const float frac = magnitude - static_cast<float>(level);
-    if (rng.Uniform(0.0, 1.0) < frac) {
-      ++level;
+  uint32_t k0 = 0;
+  uint32_t k1 = 0;
+  SplitSeed(seed, input.size(), &k0, &k1);
+  ops.qsgd_quantize(input.data(), input.size(), norm, levels_, k0, k1, out->bytes.data());
+}
+
+void QsgdCompressor::CompressBatch(std::span<const BatchCompressItem> items) const {
+  const kernels::KernelOps& ops = kernels::Active();
+  // Phase 1: every norm reduction over the packed column. Norms land in the outputs,
+  // so no side storage is needed between phases.
+  for (const BatchCompressItem& item : items) {
+    ESP_CHECK_EQ(reinterpret_cast<uintptr_t>(item.data) & (kernels::kColumnAlignment - 1), 0u);
+    item.out->Clear();
+    item.out->kind = PayloadKind::kPackedBits;
+    item.out->original_elements = item.elements;
+    const float norm = static_cast<float>(std::sqrt(ops.sum_squares(item.data, item.elements)));
+    item.out->scales.push_back(norm);
+    item.out->bytes.resize(item.elements);
+  }
+  // Phase 2: every quantization pass.
+  for (const BatchCompressItem& item : items) {
+    const float norm = item.out->scales[0];
+    if (norm == 0.0f) {
+      continue;
     }
-    ESP_CHECK_LE(level, levels_);
-    uint8_t code = static_cast<uint8_t>(level);
-    if (input[i] < 0.0f) {
-      code |= 0x80;
-    }
-    out->bytes[i] = code;
+    uint32_t k0 = 0;
+    uint32_t k1 = 0;
+    SplitSeed(item.seed, item.elements, &k0, &k1);
+    ops.qsgd_quantize(item.data, item.elements, norm, levels_, k0, k1, item.out->bytes.data());
   }
 }
 

@@ -2,16 +2,24 @@
 
 #include <cmath>
 
+#include "src/compress/kernels/kernels.h"
 #include "src/util/logging.h"
 #include "src/util/rng.h"
 
 namespace espresso {
 
 namespace {
-// 2-bit codes: 0 -> zero, 1 -> +scale, 2 -> -scale.
-constexpr uint8_t kZero = 0;
+// 2-bit codes: 0 -> zero, 1 -> +scale, 2 -> -scale (the kernel layer hard-codes the
+// same mapping). Keep probability for element i is |v_i| / max|v| with a counter-RNG
+// uniform, so draws are order-independent and SIMD-batchable.
 constexpr uint8_t kPlus = 1;
 constexpr uint8_t kMinus = 2;
+
+void SplitSeed(uint64_t seed, size_t n, uint32_t* k0, uint32_t* k1) {
+  const uint64_t derived = DeriveSeed(seed, n);
+  *k0 = static_cast<uint32_t>(derived);
+  *k1 = static_cast<uint32_t>(derived >> 32);
+}
 }  // namespace
 
 size_t TernGradCompressor::CompressedBytes(size_t elements) const {
@@ -24,23 +32,40 @@ void TernGradCompressor::Compress(std::span<const float> input, uint64_t seed,
   out->Clear();
   out->kind = PayloadKind::kPackedBits;
   out->original_elements = input.size();
-  float max_abs = 0.0f;
-  for (float v : input) {
-    max_abs = std::max(max_abs, std::fabs(v));
-  }
+  const kernels::KernelOps& ops = kernels::Active();
+  const float max_abs = ops.max_abs(input.data(), input.size());
   out->scales.push_back(max_abs);
   out->bytes.assign((input.size() + 3) / 4, 0);
   if (max_abs == 0.0f) {
     return;
   }
-  Rng rng(DeriveSeed(seed, input.size()));
-  for (size_t i = 0; i < input.size(); ++i) {
-    const float p = std::fabs(input[i]) / max_abs;  // keep probability, in [0, 1]
-    uint8_t code = kZero;
-    if (rng.Uniform(0.0, 1.0) < p) {
-      code = input[i] >= 0.0f ? kPlus : kMinus;
+  uint32_t k0 = 0;
+  uint32_t k1 = 0;
+  SplitSeed(seed, input.size(), &k0, &k1);
+  ops.terngrad_quantize(input.data(), input.size(), max_abs, k0, k1, out->bytes.data());
+}
+
+void TernGradCompressor::CompressBatch(std::span<const BatchCompressItem> items) const {
+  const kernels::KernelOps& ops = kernels::Active();
+  // Phase 1: every max-abs reduction; scales land in the outputs.
+  for (const BatchCompressItem& item : items) {
+    ESP_CHECK_EQ(reinterpret_cast<uintptr_t>(item.data) & (kernels::kColumnAlignment - 1), 0u);
+    item.out->Clear();
+    item.out->kind = PayloadKind::kPackedBits;
+    item.out->original_elements = item.elements;
+    item.out->scales.push_back(ops.max_abs(item.data, item.elements));
+    item.out->bytes.assign((item.elements + 3) / 4, 0);
+  }
+  // Phase 2: every ternarize+pack pass.
+  for (const BatchCompressItem& item : items) {
+    const float max_abs = item.out->scales[0];
+    if (max_abs == 0.0f) {
+      continue;
     }
-    out->bytes[i / 4] |= static_cast<uint8_t>(code << (2 * (i % 4)));
+    uint32_t k0 = 0;
+    uint32_t k1 = 0;
+    SplitSeed(item.seed, item.elements, &k0, &k1);
+    ops.terngrad_quantize(item.data, item.elements, max_abs, k0, k1, item.out->bytes.data());
   }
 }
 

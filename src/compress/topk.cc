@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
-#include <numeric>
 
+#include "src/compress/kernels/kernels.h"
 #include "src/util/logging.h"
 
 namespace espresso {
@@ -25,6 +25,11 @@ size_t TopKCompressor::CompressedBytes(size_t elements) const {
   return KeptElements(elements) * (sizeof(uint32_t) + sizeof(float));
 }
 
+// Selection runs in the integer magnitude domain (kernels.h): quickselect over abs
+// bits finds the k-th threshold without materializing an index permutation, then one
+// ascending scan emits exactly the elements the old nth_element(magnitude desc, index
+// asc) + sort pipeline kept — strictly-above-threshold elements plus the lowest-index
+// ties — already in index order, so the final sort is gone structurally, not skipped.
 void TopKCompressor::Compress(std::span<const float> input, uint64_t /*seed*/,
                               CompressedTensor* out) const {
   ESP_CHECK(out != nullptr);
@@ -35,26 +40,25 @@ void TopKCompressor::Compress(std::span<const float> input, uint64_t /*seed*/,
   if (k == 0) {
     return;
   }
-  // Select in place inside out->indices (cleared above, capacity warm): the full
-  // index range is the selection scratch, then shrinks to the kept top-k.
-  std::vector<uint32_t>& order = out->indices;
-  order.resize(input.size());
-  std::iota(order.begin(), order.end(), 0u);
-  // Partial selection by magnitude; ties broken by index so output is deterministic.
-  std::nth_element(order.begin(), order.begin() + static_cast<ptrdiff_t>(k - 1), order.end(),
-                   [&](uint32_t a, uint32_t b) {
-                     const float ma = std::fabs(input[a]);
-                     const float mb = std::fabs(input[b]);
-                     if (ma != mb) {
-                       return ma > mb;
-                     }
-                     return a < b;
-                   });
-  order.resize(k);
-  std::sort(order.begin(), order.end());
+  const kernels::KernelOps& ops = kernels::Active();
+  std::vector<uint32_t>& scratch = kernels::ThreadScratchU32();
+  const uint32_t t = kernels::SelectKthMagnitude(ops, input.data(), input.size(), k, &scratch);
+  // SelectKthMagnitude leaves the abs bits of the full input in scratch[0..n).
+  const size_t n_gt = ops.count_gt_bits(scratch.data(), input.size(), t);
+  ESP_CHECK_LT(n_gt, k + 1);
+  const size_t n_fill = k - n_gt;
+  out->indices.resize(k);
   out->values.resize(k);
-  for (size_t i = 0; i < k; ++i) {
-    out->values[i] = input[out->indices[i]];
+  const size_t emitted =
+      ops.select_topk(input.data(), input.size(), t, n_fill, out->indices.data(),
+                      out->values.data());
+  ESP_CHECK_EQ(emitted, k);
+}
+
+void TopKCompressor::CompressBatch(std::span<const BatchCompressItem> items) const {
+  for (const BatchCompressItem& item : items) {
+    ESP_CHECK_EQ(reinterpret_cast<uintptr_t>(item.data) & (kernels::kColumnAlignment - 1), 0u);
+    Compress({item.data, item.elements}, item.seed, item.out);
   }
 }
 

@@ -1,0 +1,35 @@
+#include "src/mem/batch_plan.h"
+
+#include "src/compress/kernels/kernels.h"
+#include "src/util/logging.h"
+
+namespace espresso::mem {
+
+static_assert(BatchedCompressPlan::kSlotElements * sizeof(float) ==
+                  espresso::kernels::kColumnAlignment,
+              "slot padding must match the kernel column alignment");
+
+void BatchedCompressPlan::Begin(Arena& arena, size_t total_padded_elements) {
+  column_ = arena.AllocAligned<float>(total_padded_elements, kernels::kColumnAlignment);
+  ESP_CHECK(kernels::IsColumnAligned(column_.data()) || column_.empty());
+  used_ = 0;
+  items_.clear();
+}
+
+std::span<float> BatchedCompressPlan::Stage(size_t elements, uint64_t seed,
+                                            CompressedTensor* out) {
+  ESP_CHECK(out != nullptr);
+  ESP_CHECK_LE(used_ + Padded(elements), column_.size());
+  std::span<float> slot = column_.subspan(used_, elements);
+  items_.push_back(BatchCompressItem{slot.data(), elements, seed, out});
+  used_ += Padded(elements);
+  return slot;
+}
+
+void BatchedCompressPlan::Execute(const Compressor& compressor) const {
+  if (!items_.empty()) {
+    compressor.CompressBatch(items_);
+  }
+}
+
+}  // namespace espresso::mem

@@ -1,0 +1,64 @@
+// BatchedCompressPlan: SoA staging layout for compressing many small tensors at once.
+//
+// Per-tensor compression of tiny tensors (a bias here, a layernorm gain there) spends
+// more time in virtual dispatch, seed derivation, and loop prologues than in the
+// kernels themselves. The plan packs the corrected gradients of all below-cutoff
+// tensors into ONE arena-backed column — each slot padded to the 64-byte kernel
+// alignment — and hands the whole batch to Compressor::CompressBatch, which phases the
+// work (all reductions, then all quantization sweeps) over the contiguous column.
+//
+// Payloads are guaranteed byte-identical to per-tensor Compress calls: each staged slot
+// carries its own (seed, elements), and CompressBatch is contractually a reordering of
+// the same kernel invocations. Column storage comes from the caller's Arena, so the
+// usual ArenaScope discipline applies: the plan is valid until the scope rewinds.
+#ifndef SRC_MEM_BATCH_PLAN_H_
+#define SRC_MEM_BATCH_PLAN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/compress/compressor.h"
+#include "src/mem/arena.h"
+
+namespace espresso::mem {
+
+class BatchedCompressPlan {
+ public:
+  // Elements per slot boundary: kernels::kColumnAlignment / sizeof(float), kept as a
+  // literal here so the header stays free of the kernel layer (asserted in the .cc).
+  static constexpr size_t kSlotElements = 16;
+
+  // Column footprint of one staged tensor: its element count rounded up to a slot
+  // boundary. Callers sum this over the tensors they are about to stage.
+  static constexpr size_t Padded(size_t elements) {
+    return (elements + kSlotElements - 1) / kSlotElements * kSlotElements;
+  }
+
+  // Starts a new batch backed by `arena`. `total_padded_elements` is the sum of
+  // Padded(elements) over the tensors about to be staged; the column is reserved up
+  // front in one AllocAligned, so Stage never touches the arena again.
+  void Begin(Arena& arena, size_t total_padded_elements);
+
+  // Reserves the next slot of the column for a tensor of `elements` floats and records
+  // the batch item. The caller fills the returned span (EF-corrected gradient, or a
+  // plain copy) before Execute. Slots start at 64-byte boundaries.
+  std::span<float> Stage(size_t elements, uint64_t seed, CompressedTensor* out);
+
+  // Runs the compressor over every staged item (one CompressBatch call).
+  void Execute(const Compressor& compressor) const;
+
+  std::span<const BatchCompressItem> items() const { return items_; }
+  bool empty() const { return items_.empty(); }
+  size_t size() const { return items_.size(); }
+
+ private:
+  std::span<float> column_;
+  size_t used_ = 0;                       // elements of column_ handed out, padded
+  std::vector<BatchCompressItem> items_;  // grow-only; logically reset by Begin
+};
+
+}  // namespace espresso::mem
+
+#endif  // SRC_MEM_BATCH_PLAN_H_

@@ -1,0 +1,185 @@
+// Bit-identity of the SoA batched-compression pre-pass: running a strategy (or a
+// training run) with small-tensor batching enabled must produce byte-for-byte the
+// same results as the per-tensor path, and the whole pipeline must be bit-identical
+// between the scalar kernel table and the best SIMD table the host supports. The
+// batching layer reorders WHEN compression happens (one CompressBatch ahead of the
+// per-tensor loop) but never what is computed — error-feedback state is independent
+// per (rank, tensor), transmit order is untouched, and every kernel table is
+// bit-identical to scalar — so any divergence here is a dataplane bug.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "src/compress/kernels/kernels.h"
+#include "src/core/baselines.h"
+#include "src/core/decision_tree.h"
+#include "src/ddl/strategy_executor.h"
+#include "src/nn/parallel_trainer.h"
+#include "src/util/rng.h"
+
+namespace espresso {
+namespace {
+
+struct CompressorCase {
+  const char* label;
+  CompressorConfig config;
+};
+
+std::vector<CompressorCase> AllCompressors() {
+  return {
+      {"randomk", {.algorithm = "randomk", .ratio = 0.25}},
+      {"topk", {.algorithm = "topk", .ratio = 0.25}},
+      {"efsignsgd", {.algorithm = "efsignsgd"}},
+      {"qsgd", {.algorithm = "qsgd", .bits = 4}},
+      {"terngrad", {.algorithm = "terngrad"}},
+      {"fp16", {.algorithm = "fp16"}},
+      {"threshold", {.algorithm = "threshold", .threshold = 0.2}},
+  };
+}
+
+std::vector<CompressionOption> OptionMatrix() {
+  const TreeConfig tree{2, 2, false};
+  const ClusterSpec cluster = NvlinkCluster(2, 2);
+  std::vector<CompressionOption> options = CandidateOptions(tree);
+  options.push_back(InterOnlyIndivisibleOption(cluster, Device::kGpu));
+  options.push_back(InterOnlyDivisibleOption(cluster, Device::kGpu));
+  options.push_back(AlltoallAlltoallOption(cluster, Device::kGpu));
+  return options;
+}
+
+// Tensor sizes straddling the batch cutoff: batched, batched, at-cutoff, above
+// (never batched), batched-small.
+const size_t kTensorSizes[] = {17, 96, 4096, 5000, 64};
+
+std::vector<RankBuffers> StepGradients(size_t ranks, uint64_t seed) {
+  std::vector<RankBuffers> gradients;
+  for (size_t t = 0; t < std::size(kTensorSizes); ++t) {
+    RankBuffers buffers(ranks, std::vector<float>(kTensorSizes[t]));
+    for (size_t r = 0; r < ranks; ++r) {
+      Rng rng(DeriveSeed(seed, t * ranks + r));
+      rng.FillNormal(buffers[r], 0.0, 1.0);
+    }
+    gradients.push_back(buffers);
+  }
+  return gradients;
+}
+
+void ExpectGradientsBitIdentical(const std::vector<RankBuffers>& a,
+                                 const std::vector<RankBuffers>& b, const char* label,
+                                 int step) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t t = 0; t < a.size(); ++t) {
+    for (size_t r = 0; r < a[t].size(); ++r) {
+      ASSERT_EQ(std::memcmp(a[t][r].data(), b[t][r].data(),
+                            a[t][r].size() * sizeof(float)), 0)
+          << label << " step " << step << " tensor " << t << " rank " << r;
+    }
+  }
+}
+
+// All compressors, a strategy cycling through the full option matrix, three steps of
+// persistent error feedback: batching on vs off must agree bit for bit.
+TEST(ExecutorBatching, BatchedStrategyMatchesUnbatchedBitExactly) {
+  const std::vector<CompressionOption> options = OptionMatrix();
+  const size_t ranks = 4;
+  for (const CompressorCase& cc : AllCompressors()) {
+    const auto compressor = CreateCompressor(cc.config);
+    Strategy strategy;
+    for (size_t t = 0; t < std::size(kTensorSizes); ++t) {
+      strategy.options.push_back(options[(t * 5) % options.size()]);
+    }
+    std::vector<ErrorFeedback> feedback_batched(ranks);
+    std::vector<ErrorFeedback> feedback_plain(ranks);
+    ExecutorWorkspace ws_batched;
+    ExecutorWorkspace ws_plain;
+    for (int step = 0; step < 3; ++step) {
+      std::vector<RankBuffers> batched = StepGradients(ranks, 101 * (step + 1));
+      std::vector<RankBuffers> plain = batched;
+      ExecutorConfig config{.machines = 2, .gpus_per_machine = 2,
+                            .compressor = compressor.get(),
+                            .seed = static_cast<uint64_t>(step)};
+      config.feedback = &feedback_batched;
+      config.batch_cutoff_elements = 4096;
+      ExecuteStrategy(strategy, config, batched, &ws_batched);
+      config.feedback = &feedback_plain;
+      config.batch_cutoff_elements = 0;
+      ExecuteStrategy(strategy, config, plain, &ws_plain);
+      ExpectGradientsBitIdentical(batched, plain, cc.label, step);
+    }
+  }
+}
+
+// The whole executor pipeline must not depend on the dispatched ISA: scalar-forced
+// and best-table runs of the same strategy agree bit for bit (with batching on, so
+// the CompressBatch overrides are exercised too).
+TEST(ExecutorBatching, StrategyExecutionIsIsaIndependent) {
+  const std::vector<CompressionOption> options = OptionMatrix();
+  const size_t ranks = 4;
+  const kernels::KernelOps* best = kernels::SupportedOps().back();
+  for (const CompressorCase& cc : AllCompressors()) {
+    const auto compressor = CreateCompressor(cc.config);
+    Strategy strategy;
+    for (size_t t = 0; t < std::size(kTensorSizes); ++t) {
+      strategy.options.push_back(options[(t * 3) % options.size()]);
+    }
+    std::vector<ErrorFeedback> feedback_scalar(ranks);
+    std::vector<ErrorFeedback> feedback_simd(ranks);
+    ExecutorWorkspace ws_scalar;
+    ExecutorWorkspace ws_simd;
+    for (int step = 0; step < 2; ++step) {
+      std::vector<RankBuffers> scalar = StepGradients(ranks, 707 * (step + 1));
+      std::vector<RankBuffers> simd = scalar;
+      ExecutorConfig config{.machines = 2, .gpus_per_machine = 2,
+                            .compressor = compressor.get(),
+                            .seed = static_cast<uint64_t>(step)};
+      kernels::SetActiveForTesting(&kernels::Scalar());
+      config.feedback = &feedback_scalar;
+      ExecuteStrategy(strategy, config, scalar, &ws_scalar);
+      kernels::SetActiveForTesting(best);
+      config.feedback = &feedback_simd;
+      ExecuteStrategy(strategy, config, simd, &ws_simd);
+      kernels::SetActiveForTesting(nullptr);
+      ExpectGradientsBitIdentical(scalar, simd, cc.label, step);
+    }
+  }
+}
+
+// End-to-end trainer: the per-step batched pre-pass (kCompressedIndivisible) must
+// reproduce the unbatched run's entire history — losses, accuracies, and fault
+// counters — exactly.
+TEST(ExecutorBatching, TrainerBatchingPreservesHistoryExactly) {
+  const Dataset all = MakeGaussianBlobs(768, 12, 4, 2.5, 99);
+  const Dataset train = Slice(all, 0, 512);
+  const Dataset test = Slice(all, 512, 256);
+  for (const char* algorithm : {"dgc", "qsgd", "efsignsgd"}) {
+    const auto compressor =
+        CreateCompressor(CompressorConfig{.algorithm = algorithm, .ratio = 0.05,
+                                          .bits = 4});
+    TrainConfig config;
+    config.workers = 4;
+    config.hidden_dim = 16;
+    config.batch_per_worker = 16;
+    config.epochs = 3;
+    config.scheme = SyncScheme::kCompressedIndivisible;
+    config.compressor = compressor.get();
+    config.seed = 1234;
+    config.batch_cutoff_elements = 1 << 20;  // every tensor batched
+    const auto batched = TrainDataParallel(train, test, config);
+    config.batch_cutoff_elements = 0;  // batching disabled
+    const auto plain = TrainDataParallel(train, test, config);
+    ASSERT_EQ(batched.size(), plain.size());
+    for (size_t e = 0; e < batched.size(); ++e) {
+      EXPECT_EQ(batched[e].train_loss, plain[e].train_loss) << algorithm << " epoch " << e;
+      EXPECT_EQ(batched[e].train_accuracy, plain[e].train_accuracy)
+          << algorithm << " epoch " << e;
+      EXPECT_EQ(batched[e].test_accuracy, plain[e].test_accuracy)
+          << algorithm << " epoch " << e;
+      EXPECT_EQ(batched[e].payloads_dropped, plain[e].payloads_dropped);
+      EXPECT_EQ(batched[e].payloads_corrupted, plain[e].payloads_corrupted);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace espresso
