@@ -9,11 +9,16 @@
 #include <string>
 
 #include "src/nn/parallel_trainer.h"
+#include "src/util/parse_number.h"
 
 int main(int argc, char** argv) {
   using namespace espresso;
   const std::string algorithm = argc > 1 ? argv[1] : "dgc";
-  const double ratio = argc > 2 ? std::stod(argv[2]) : 0.05;
+  double ratio = 0.05;
+  if (argc > 2 && ParseDouble(argv[2], &ratio) != NumberParse::kOk) {
+    std::cerr << "error: ratio '" << argv[2] << "' is not a number\n";
+    return 2;
+  }
 
   const Dataset all = MakeGaussianBlobs(2048, 16, 5, 2.5, 7);
   const Dataset train = Slice(all, 0, 1536);

@@ -110,6 +110,16 @@ class EspressoSelector {
   EspressoSelector(const ModelProfile& model, const ClusterSpec& cluster,
                    const Compressor& compressor, SelectorOptions options = {});
 
+  // Shares an externally owned evaluation cache instead of creating one. The cache's
+  // fingerprints are only meaningful for ONE evaluator configuration, so the caller
+  // must guarantee `shared_cache` was populated against an identical (model, cluster,
+  // compressor) triple — the selection service keys its cache pool by the config
+  // digests to uphold this. Also used internally by the nested forced-compression
+  // trajectory (same evaluator configuration by construction).
+  EspressoSelector(const ModelProfile& model, const ClusterSpec& cluster,
+                   const Compressor& compressor, SelectorOptions options,
+                   std::shared_ptr<EvaluationCache> shared_cache);
+
   // Full pipeline: Algorithm 1, then (if enabled) Algorithm 2. One selection at a
   // time per selector instance (scoring scratch and counters are per-instance).
   SelectionResult Select() const;
@@ -131,12 +141,6 @@ class EspressoSelector {
   const EvaluationCache* cache() const { return cache_.get(); }
 
  private:
-  // Shares the parent's evaluation cache with the nested forced-compression selector
-  // (same evaluator configuration, so fingerprints agree).
-  EspressoSelector(const ModelProfile& model, const ClusterSpec& cluster,
-                   const Compressor& compressor, SelectorOptions options,
-                   std::shared_ptr<EvaluationCache> shared_cache);
-
   void Init();
 
   // Memoized, non-mutating score of `candidate` at `index` within `base` (whose

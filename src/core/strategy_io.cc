@@ -8,6 +8,7 @@
 #include "src/util/atomic_file.h"
 #include "src/util/config.h"
 #include "src/util/logging.h"
+#include "src/util/parse_number.h"
 
 namespace espresso {
 
@@ -70,29 +71,35 @@ std::optional<Op> ParseOp(std::string_view value, std::string* error) {
     return std::nullopt;
   }
   op.phase = *phase;
-  try {
-    for (size_t i = 3; i < fields.size(); ++i) {
-      const std::string& f = fields[i];
-      if (f.rfind("domain=", 0) == 0) {
-        op.domain_fraction = std::stod(f.substr(7));
-      } else if (f.rfind("payload=", 0) == 0) {
-        op.payload_fraction = std::stod(f.substr(8));
-      } else if (f.rfind("fan=", 0) == 0) {
-        op.fan_in = static_cast<size_t>(std::stoull(f.substr(4)));
-      } else if (f == "compressed") {
-        op.compressed = true;
-      } else if (f == "raw") {
-        op.compressed = false;
-      } else if (f == "machine-level") {
-        op.machine_level = true;
-      } else {
-        *error = "unknown op attribute '" + f + "'";
-        return std::nullopt;
+  // Locale-independent, exception-free numeric attributes: std::stod would mis-parse
+  // "domain=0.25" under a comma-decimal process locale and throw on "fan=1e999".
+  for (size_t i = 3; i < fields.size(); ++i) {
+    const std::string& f = fields[i];
+    NumberParse status = NumberParse::kOk;
+    if (f.rfind("domain=", 0) == 0) {
+      status = ParseDouble(f.substr(7), &op.domain_fraction);
+    } else if (f.rfind("payload=", 0) == 0) {
+      status = ParseDouble(f.substr(8), &op.payload_fraction);
+    } else if (f.rfind("fan=", 0) == 0) {
+      uint64_t fan = 0;
+      status = ParseUint64(f.substr(4), &fan);
+      if (status == NumberParse::kOk) {
+        op.fan_in = static_cast<size_t>(fan);
       }
+    } else if (f == "compressed") {
+      op.compressed = true;
+    } else if (f == "raw") {
+      op.compressed = false;
+    } else if (f == "machine-level") {
+      op.machine_level = true;
+    } else {
+      *error = "unknown op attribute '" + f + "'";
+      return std::nullopt;
     }
-  } catch (...) {
-    *error = "malformed numeric attribute in op line";
-    return std::nullopt;
+    if (status != NumberParse::kOk) {
+      *error = "op attribute '" + f + "' " + NumberParseMessage(status);
+      return std::nullopt;
+    }
   }
   if (!ValidFraction(op.domain_fraction)) {
     *error = "domain fraction out of range (0, 1]";
@@ -229,9 +236,7 @@ StrategyParseResult ReadStrategy(std::istream& in) {
       if (name.rfind("tensor ", 0) == 0) {
         const std::string index_text = name.substr(7);
         int64_t index = -1;
-        try {
-          index = std::stoll(index_text);
-        } catch (...) {
+        if (ParseInt64(index_text, &index) != NumberParse::kOk) {
           index = -1;
         }
         if (index < 0 || index >= *count ||

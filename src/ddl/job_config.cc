@@ -1,6 +1,7 @@
 #include "src/ddl/job_config.h"
 
 #include "src/models/model_zoo.h"
+#include "src/util/parse_number.h"
 
 namespace espresso {
 
@@ -41,20 +42,29 @@ bool ParseModel(const ConfigFile& file, ModelProfile* model, std::string* error)
         *error = "tensor '" + name + "': expected 'elements, backward_ms'";
         return false;
       }
-      try {
-        TensorSpec spec;
-        spec.name = name;
-        spec.elements = static_cast<size_t>(std::stoull(fields[0]));
-        spec.backward_time_s = std::stod(fields[1]) * 1e-3;
-        if (spec.elements == 0 || spec.backward_time_s <= 0.0) {
-          *error = "tensor '" + name + "': elements and backward_ms must be positive";
-          return false;
-        }
-        model->tensors.push_back(std::move(spec));
-      } catch (...) {
-        *error = "tensor '" + name + "': malformed numbers";
+      TensorSpec spec;
+      spec.name = name;
+      uint64_t elements = 0;
+      const NumberParse elements_status = ParseUint64(fields[0], &elements);
+      if (elements_status != NumberParse::kOk) {
+        *error = "tensor '" + name + "': elements " +
+                 NumberParseMessage(elements_status);
         return false;
       }
+      double backward_ms = 0.0;
+      const NumberParse backward_status = ParseDouble(fields[1], &backward_ms);
+      if (backward_status != NumberParse::kOk) {
+        *error = "tensor '" + name + "': backward_ms " +
+                 NumberParseMessage(backward_status);
+        return false;
+      }
+      spec.elements = static_cast<size_t>(elements);
+      spec.backward_time_s = backward_ms * 1e-3;
+      if (spec.elements == 0 || spec.backward_time_s <= 0.0) {
+        *error = "tensor '" + name + "': elements and backward_ms must be positive";
+        return false;
+      }
+      model->tensors.push_back(std::move(spec));
     }
   }
   if (model->tensors.empty()) {

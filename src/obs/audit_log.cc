@@ -1,8 +1,25 @@
 #include "src/obs/audit_log.h"
 
+#include <cerrno>
+#include <cstring>
 #include <sstream>
 
+#include "src/obs/metrics.h"
+
 namespace espresso::obs {
+
+namespace {
+
+Counter WriteFailuresCounter() {
+  static const Counter counter = GlobalMetrics().RegisterCounter(
+      "espresso_audit_write_failures_total",
+      "Audit-log lines that failed to reach the attached file (disk full, I/O error)");
+  return counter;
+}
+
+}  // namespace
+
+AuditLog::AuditLog(size_t retention) : retention_(retention) {}
 
 bool AuditLog::Open(const std::string& path, std::string* error) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -32,23 +49,61 @@ uint64_t AuditLog::Append(std::string_view event,
     }
     json.EndObject();
   }
-  entries_.push_back(line.str());
+  const std::string text = line.str();
+  // Bounded retention: the ring holds the last `retention_` lines; the complete
+  // history is the attached file's job. pop_front keeps this O(1) per append.
+  entries_.push_back(text);
+  while (entries_.size() > retention_) {
+    entries_.pop_front();
+  }
   if (file_.is_open()) {
     // One line per event, flushed immediately: a crash can tear at most the line in
-    // flight, never an earlier record.
-    file_ << entries_.back() << '\n' << std::flush;
+    // flight, never an earlier record. The stream is checked after the flush — an
+    // audit record silently lost to a full disk is a hole in a fail-closed pipeline.
+    errno = 0;
+    file_ << text << '\n' << std::flush;
+    if (!file_) {
+      ++write_failures_;
+      GlobalMetrics().Add(WriteFailuresCounter());
+      if (write_error_.empty()) {
+        const int saved_errno = errno;
+        write_error_ = "audit write to " + path_ + " failed at seq " +
+                       std::to_string(seq) +
+                       (saved_errno != 0
+                            ? " (errno " + std::to_string(saved_errno) + ")"
+                            : "");
+      }
+      // Clear the stream error so later appends still try (and keep counting):
+      // a transient ENOSPC should not end the audit trail forever.
+      file_.clear();
+    }
   }
   return seq;
 }
 
 std::vector<std::string> AuditLog::entries() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return entries_;
+  return {entries_.begin(), entries_.end()};
 }
 
 uint64_t AuditLog::size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return next_seq_;
+}
+
+bool AuditLog::write_failed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return write_failures_ > 0;
+}
+
+uint64_t AuditLog::write_failures() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return write_failures_;
+}
+
+std::string AuditLog::last_write_error() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return write_error_;
 }
 
 }  // namespace espresso::obs

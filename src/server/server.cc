@@ -1,0 +1,183 @@
+#include "src/server/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+
+#include "src/util/json_writer.h"
+
+namespace espresso::server {
+
+namespace {
+
+// Transport-level refusal for frames the service never sees (oversized, so the
+// stream is desynchronised and the connection must close after this reply).
+std::string FrameErrorResponse(const char* code, const std::string& message) {
+  std::ostringstream out;
+  {
+    JsonWriter json(out);
+    json.BeginObject();
+    json.Field("ok", false);
+    json.Field("type", "error");
+    json.Key("error");
+    json.BeginObject();
+    json.Field("code", code);
+    json.Field("message", message);
+    json.EndObject();
+    json.EndObject();
+  }
+  return out.str();
+}
+
+}  // namespace
+
+ServeServer::ServeServer(SelectionService* service, ServerOptions options)
+    : service_(service), options_(options) {}
+
+ServeServer::~ServeServer() { Stop(); }
+
+bool ServeServer::Start(std::string* error) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    if (error != nullptr) {
+      *error = std::string("socket: ") + std::strerror(errno);
+    }
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(options_.port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    if (error != nullptr) {
+      *error = "bind 127.0.0.1:" + std::to_string(options_.port) + ": " +
+               std::strerror(errno);
+    }
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  if (::listen(listen_fd_, 64) < 0) {
+    if (error != nullptr) {
+      *error = std::string("listen: ") + std::strerror(errno);
+    }
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+    port_ = ntohs(bound.sin_port);
+  }
+
+  pool_ = std::make_unique<ThreadPool>(options_.worker_threads);
+  running_.store(true);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return true;
+}
+
+void ServeServer::Stop() {
+  if (!running_.exchange(false)) {
+    // Never started, or already stopped — but joins below are still needed when
+    // Stop() races with itself only through the destructor, which is serialized.
+    if (!accept_thread_.joinable()) {
+      return;
+    }
+  }
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (accept_thread_.joinable()) {
+    accept_thread_.join();
+  }
+  // Unblock connection threads stuck in read(), then join them.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (int fd : open_fds_) {
+      ::shutdown(fd, SHUT_RDWR);
+    }
+  }
+  std::vector<std::thread> connections;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    connections.swap(connections_);
+  }
+  for (std::thread& t : connections) {
+    if (t.joinable()) {
+      t.join();
+    }
+  }
+  pool_.reset();
+}
+
+void ServeServer::AcceptLoop() {
+  while (running_.load()) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      // Listener closed by Stop(), or a transient accept failure while shutting
+      // down — either way the loop is done once running_ drops.
+      if (!running_.load()) {
+        break;
+      }
+      continue;
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_.load()) {
+      ::close(fd);
+      break;
+    }
+    open_fds_.push_back(fd);
+    connections_.emplace_back([this, fd] { ServeConnection(fd); });
+  }
+}
+
+void ServeServer::ServeConnection(int fd) {
+  // One TaskGroup per connection: the frame loop waits for ITS request only, so a
+  // long selection on another connection never gates this one's reply.
+  TaskGroup group;
+  while (running_.load()) {
+    FrameResult request = ReadFrame(fd, options_.max_frame_bytes);
+    if (request.status == FrameStatus::kTooLarge) {
+      // Refused before the body was read: the stream is desynchronised, so reply
+      // with a typed error and close.
+      WriteFrame(fd, FrameErrorResponse("payload-too-large", request.error));
+      break;
+    }
+    if (!request.ok()) {
+      break;  // clean close, torn frame, or I/O error — nothing to reply to
+    }
+    std::string response;
+    pool_->Submit(group, [this, &request, &response] {
+      response = service_->HandleRequest(request.payload);
+    });
+    group.Wait();
+    if (!WriteFrame(fd, response)) {
+      break;
+    }
+  }
+  // Deregister BEFORE closing: once the fd number is closed the kernel may hand
+  // it to a new accept, and Stop() must never shut down a stranger's fd.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    open_fds_.erase(std::remove(open_fds_.begin(), open_fds_.end(), fd),
+                    open_fds_.end());
+  }
+  ::close(fd);
+}
+
+}  // namespace espresso::server

@@ -1,0 +1,77 @@
+// ServeServer: the TCP transport wrapped around SelectionService.
+//
+// Loopback-only by design (the service has no authentication; tenancy is a quota
+// boundary, not a security boundary — front it with a real proxy for anything
+// else). One OS thread per connection does the blocking frame I/O; the CPU-bound
+// request handling itself runs on a SHARED ThreadPool, with each connection
+// waiting only on its own TaskGroup — two tenants' selections proceed through the
+// same pool without either's completion gating the other's (the reason
+// ThreadPool::Wait()'s global-idle semantics were not enough).
+//
+// Port 0 binds an ephemeral port (the bound port is readable via port(), and
+// espresso_serve can write it to a file for harnesses to discover).
+#ifndef SRC_SERVER_SERVER_H_
+#define SRC_SERVER_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/server/frame.h"
+#include "src/server/service.h"
+#include "src/util/thread_pool.h"
+
+namespace espresso::server {
+
+struct ServerOptions {
+  uint16_t port = 0;            // 0 = ephemeral
+  size_t worker_threads = 2;    // shared pool executing request handling
+  size_t max_frame_bytes = kDefaultMaxFrameBytes;
+};
+
+class ServeServer {
+ public:
+  // `service` must outlive the server.
+  ServeServer(SelectionService* service, ServerOptions options);
+  ~ServeServer();  // calls Stop()
+
+  ServeServer(const ServeServer&) = delete;
+  ServeServer& operator=(const ServeServer&) = delete;
+
+  // Binds 127.0.0.1:<port>, starts listening and accepting. Returns false with
+  // *error set on failure (port in use, out of fds).
+  bool Start(std::string* error);
+
+  // Shuts the listener and every open connection down and joins all threads.
+  // Idempotent; safe to call from a signal-driven main loop.
+  void Stop();
+
+  // The bound port (meaningful after Start() succeeds).
+  uint16_t port() const { return port_; }
+  bool running() const { return running_.load(); }
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int fd);
+
+  SelectionService* const service_;
+  const ServerOptions options_;
+
+  std::unique_ptr<ThreadPool> pool_;
+  std::atomic<bool> running_{false};
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::thread accept_thread_;
+
+  std::mutex mu_;
+  std::vector<std::thread> connections_;  // joined on Stop()
+  std::vector<int> open_fds_;             // shut down on Stop() to unblock reads
+};
+
+}  // namespace espresso::server
+
+#endif  // SRC_SERVER_SERVER_H_

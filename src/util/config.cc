@@ -5,6 +5,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "src/util/parse_number.h"
+
 namespace espresso {
 
 std::string_view TrimView(std::string_view s) {
@@ -138,16 +140,9 @@ std::optional<double> ConfigFile::GetDouble(std::string_view section,
   if (!value) {
     return std::nullopt;
   }
-  try {
-    size_t consumed = 0;
-    const double parsed = std::stod(*value, &consumed);
-    if (consumed != value->size()) {
-      return std::nullopt;
-    }
-    return parsed;
-  } catch (...) {
-    return std::nullopt;
-  }
+  // Locale-independent and exception-free: a de_DE process locale must not turn
+  // "0.25" into 0, and a hostile "1e999" must diagnose, not throw.
+  return ParseDoubleOpt(*value);
 }
 
 std::optional<int64_t> ConfigFile::GetInt(std::string_view section,
@@ -156,16 +151,7 @@ std::optional<int64_t> ConfigFile::GetInt(std::string_view section,
   if (!value) {
     return std::nullopt;
   }
-  try {
-    size_t consumed = 0;
-    const int64_t parsed = std::stoll(*value, &consumed);
-    if (consumed != value->size()) {
-      return std::nullopt;
-    }
-    return parsed;
-  } catch (...) {
-    return std::nullopt;
-  }
+  return ParseInt64Opt(*value);
 }
 
 std::optional<bool> ConfigFile::GetBool(std::string_view section,
@@ -189,11 +175,14 @@ double ConfigFile::GetDoubleOr(std::string_view section, std::string_view key,
   if (entry == nullptr) {
     return fallback;
   }
-  const auto parsed = GetDouble(section, key);
-  if (!parsed) {
-    Warn(*entry, "is not a number; using " + std::to_string(fallback));
+  double value = 0.0;
+  const NumberParse status = ParseDouble(entry->value, &value);
+  if (status != NumberParse::kOk) {
+    Warn(*entry, std::string(NumberParseMessage(status)) + "; using " +
+                     std::to_string(fallback));
     return fallback;
   }
+  const std::optional<double> parsed = value;
   if (*parsed < min || *parsed > max) {
     Warn(*entry, "out of range [" + std::to_string(min) + ", " + std::to_string(max) +
                      "]; using " + std::to_string(fallback));
@@ -208,11 +197,14 @@ int64_t ConfigFile::GetIntOr(std::string_view section, std::string_view key,
   if (entry == nullptr) {
     return fallback;
   }
-  const auto parsed = GetInt(section, key);
-  if (!parsed) {
-    Warn(*entry, "is not an integer; using " + std::to_string(fallback));
+  int64_t value = 0;
+  const NumberParse status = ParseInt64(entry->value, &value);
+  if (status != NumberParse::kOk) {
+    Warn(*entry, std::string(NumberParseMessage(status)) + "; using " +
+                     std::to_string(fallback));
     return fallback;
   }
+  const std::optional<int64_t> parsed = value;
   if (*parsed < min || *parsed > max) {
     Warn(*entry, "out of range [" + std::to_string(min) + ", " + std::to_string(max) +
                      "]; using " + std::to_string(fallback));

@@ -1,6 +1,34 @@
 #include "src/util/thread_pool.h"
 
+#include <utility>
+
 namespace espresso {
+
+void TaskGroup::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return pending_ == 0; });
+}
+
+size_t TaskGroup::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pending_;
+}
+
+void TaskGroup::TaskAdded() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++pending_;
+}
+
+void TaskGroup::TaskFinished() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --pending_;
+    if (pending_ != 0) {
+      return;
+    }
+  }
+  cv_.notify_all();
+}
 
 ThreadPool::ThreadPool(size_t num_threads) {
   threads_.reserve(num_threads);
@@ -31,6 +59,18 @@ void ThreadPool::Submit(std::function<void()> task) {
     ++in_flight_;
   }
   work_cv_.notify_one();
+}
+
+void ThreadPool::Submit(TaskGroup& group, std::function<void()> task) {
+  // The group count is raised BEFORE the task is queued: a Wait() racing with this
+  // Submit either sees the pending task or runs before the submission — it can never
+  // miss a task that was already handed to the pool.
+  group.TaskAdded();
+  TaskGroup* tracked = &group;
+  Submit([tracked, task = std::move(task)] {
+    task();
+    tracked->TaskFinished();
+  });
 }
 
 void ThreadPool::Wait() {

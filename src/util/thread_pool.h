@@ -1,6 +1,15 @@
 // Fixed-size worker pool. The functional collectives and the data-parallel mini-trainer
 // can run each rank's local work on a pool; on single-core hosts callers may pass
 // num_threads == 0 to run inline, keeping results byte-identical either way.
+//
+// Waiting comes in two scopes:
+//   * Wait() blocks until the pool is GLOBALLY idle — correct for a pool with a single
+//     logical client (the selector's ParallelFor), but two concurrent clients each end
+//     up waiting for the *other's* tasks too, serializing independent requests.
+//   * TaskGroup scopes the wait to one client's own submissions: tasks submitted via
+//     Submit(group, task) are counted per group, and group.Wait() returns as soon as
+//     THAT group drains, regardless of what else is in flight. This is what the
+//     strategy-selection service uses so concurrent requests complete independently.
 #ifndef SRC_UTIL_THREAD_POOL_H_
 #define SRC_UTIL_THREAD_POOL_H_
 
@@ -12,6 +21,35 @@
 #include <vector>
 
 namespace espresso {
+
+// Tracks the in-flight count of one client's tasks across a shared ThreadPool.
+// A group may be reused after Wait() returns; it must outlive every task submitted
+// against it. Thread-safe: multiple threads may submit against and wait on the same
+// group (each waiter wakes when the group drains).
+class TaskGroup {
+ public:
+  TaskGroup() = default;
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  // Blocks until every task submitted against this group has completed. Unlike
+  // ThreadPool::Wait(), tasks other clients submitted to the same pool are ignored.
+  void Wait();
+
+  // Tasks submitted against this group that have not finished yet.
+  size_t pending() const;
+
+ private:
+  friend class ThreadPool;
+
+  void TaskAdded();
+  void TaskFinished();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  size_t pending_ = 0;
+};
 
 class ThreadPool {
  public:
@@ -25,7 +63,12 @@ class ThreadPool {
 
   void Submit(std::function<void()> task);
 
-  // Blocks until every submitted task has completed.
+  // Submits a task accounted against `group`, so group.Wait() covers it. The group
+  // must outlive the task's execution.
+  void Submit(TaskGroup& group, std::function<void()> task);
+
+  // Blocks until every submitted task has completed — the whole pool, every client.
+  // Prefer TaskGroup::Wait() when the pool is shared across concurrent callers.
   void Wait();
 
   size_t num_threads() const { return threads_.size(); }

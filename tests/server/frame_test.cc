@@ -1,0 +1,121 @@
+// Framing-layer tests over socketpairs: round trips, the empty frame, oversized
+// refusal without body consumption, torn frames, and clean close.
+#include "src/server/frame.h"
+
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <string>
+#include <thread>
+
+namespace espresso::server {
+namespace {
+
+class FramePair : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds_), 0);
+  }
+  void TearDown() override {
+    CloseWrite();
+    CloseRead();
+  }
+  void CloseWrite() {
+    if (fds_[0] >= 0) {
+      ::close(fds_[0]);
+      fds_[0] = -1;
+    }
+  }
+  void CloseRead() {
+    if (fds_[1] >= 0) {
+      ::close(fds_[1]);
+      fds_[1] = -1;
+    }
+  }
+  int writer() const { return fds_[0]; }
+  int reader() const { return fds_[1]; }
+
+ private:
+  int fds_[2] = {-1, -1};
+};
+
+TEST_F(FramePair, RoundTripsPayloads) {
+  ASSERT_TRUE(WriteFrame(writer(), "{\"type\":\"health\"}"));
+  ASSERT_TRUE(WriteFrame(writer(), ""));
+  std::string big(100000, 'x');
+  ASSERT_TRUE(WriteFrame(writer(), big));
+
+  FrameResult first = ReadFrame(reader());
+  ASSERT_TRUE(first.ok()) << first.error;
+  EXPECT_EQ(first.payload, "{\"type\":\"health\"}");
+
+  FrameResult empty = ReadFrame(reader());
+  ASSERT_TRUE(empty.ok()) << empty.error;
+  EXPECT_EQ(empty.payload, "");
+
+  FrameResult large = ReadFrame(reader());
+  ASSERT_TRUE(large.ok()) << large.error;
+  EXPECT_EQ(large.payload, big);
+}
+
+TEST_F(FramePair, CleanCloseReadsAsClosed) {
+  CloseWrite();
+  const FrameResult result = ReadFrame(reader());
+  EXPECT_EQ(result.status, FrameStatus::kClosed);
+}
+
+TEST_F(FramePair, OversizedFrameIsRefusedBeforeTheBody) {
+  // A 1 MiB length prefix against a 1 KiB limit: the reader must refuse from the
+  // prefix alone — the body bytes are never required to be in flight.
+  const unsigned char prefix[4] = {0x00, 0x10, 0x00, 0x00};
+  ASSERT_EQ(::write(writer(), prefix, 4), 4);
+  const FrameResult result = ReadFrame(reader(), /*max_bytes=*/1024);
+  EXPECT_EQ(result.status, FrameStatus::kTooLarge);
+  EXPECT_NE(result.error.find("1048576"), std::string::npos) << result.error;
+}
+
+TEST_F(FramePair, EofInsidePrefixIsTruncated) {
+  const unsigned char partial[2] = {0x00, 0x00};
+  ASSERT_EQ(::write(writer(), partial, 2), 2);
+  CloseWrite();
+  const FrameResult result = ReadFrame(reader());
+  EXPECT_EQ(result.status, FrameStatus::kTruncated);
+}
+
+TEST_F(FramePair, EofInsideBodyIsTruncated) {
+  // Prefix promises 8 bytes; only 3 arrive before the writer dies.
+  const unsigned char prefix[4] = {0x00, 0x00, 0x00, 0x08};
+  ASSERT_EQ(::write(writer(), prefix, 4), 4);
+  ASSERT_EQ(::write(writer(), "abc", 3), 3);
+  CloseWrite();
+  const FrameResult result = ReadFrame(reader());
+  EXPECT_EQ(result.status, FrameStatus::kTruncated);
+  EXPECT_NE(result.error.find("3 of 8"), std::string::npos) << result.error;
+}
+
+TEST_F(FramePair, ConcurrentWriterReaderStreamsManyFrames) {
+  constexpr int kFrames = 200;
+  std::thread producer([fd = writer()] {
+    for (int i = 0; i < kFrames; ++i) {
+      ASSERT_TRUE(WriteFrame(fd, "frame-" + std::to_string(i)));
+    }
+  });
+  for (int i = 0; i < kFrames; ++i) {
+    const FrameResult result = ReadFrame(reader());
+    ASSERT_TRUE(result.ok()) << result.error;
+    EXPECT_EQ(result.payload, "frame-" + std::to_string(i));
+  }
+  producer.join();
+}
+
+TEST(FrameStatusNames, AreStable) {
+  EXPECT_STREQ(FrameStatusName(FrameStatus::kOk), "ok");
+  EXPECT_STREQ(FrameStatusName(FrameStatus::kClosed), "closed");
+  EXPECT_STREQ(FrameStatusName(FrameStatus::kTooLarge), "too-large");
+  EXPECT_STREQ(FrameStatusName(FrameStatus::kTruncated), "truncated");
+  EXPECT_STREQ(FrameStatusName(FrameStatus::kIoError), "io-error");
+}
+
+}  // namespace
+}  // namespace espresso::server

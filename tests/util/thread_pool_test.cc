@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <future>
+#include <thread>
+#include <vector>
 
 namespace espresso {
 namespace {
@@ -46,6 +49,92 @@ TEST(ThreadPool, DestructorJoinsCleanly) {
     pool.Wait();
   }
   EXPECT_EQ(counter.load(), 32);
+}
+
+TEST(TaskGroup, InlinePoolRunsImmediately) {
+  ThreadPool pool(0);
+  TaskGroup group;
+  int value = 0;
+  pool.Submit(group, [&] { value = 7; });
+  EXPECT_EQ(value, 7);
+  EXPECT_EQ(group.pending(), 0u);
+  group.Wait();  // trivially returns
+}
+
+TEST(TaskGroup, WaitCoversOwnTasks) {
+  ThreadPool pool(4);
+  TaskGroup group;
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 64; ++i) {
+    pool.Submit(group, [&] { counter.fetch_add(1); });
+  }
+  group.Wait();
+  EXPECT_EQ(counter.load(), 64);
+  // Reusable after draining.
+  pool.Submit(group, [&] { counter.fetch_add(1); });
+  group.Wait();
+  EXPECT_EQ(counter.load(), 65);
+}
+
+// THE regression for the global-wait serialization bug: group A's Wait() must return
+// while group B's task is still running. Pre-fix (each request calling the pool-global
+// Wait()), A's wait could only return once B's task finished too — but B's task here
+// finishes only AFTER A's wait returns, so the old semantics deadlock this test.
+TEST(TaskGroup, WaitDoesNotWaitForOtherGroups) {
+  ThreadPool pool(2);
+  TaskGroup group_a;
+  TaskGroup group_b;
+  std::promise<void> release_b;
+  std::shared_future<void> release_b_future(release_b.get_future());
+  std::atomic<bool> b_finished{false};
+
+  pool.Submit(group_b, [&, release_b_future] {
+    release_b_future.wait();
+    b_finished.store(true);
+  });
+  std::atomic<int> a_done{0};
+  pool.Submit(group_a, [&] { a_done.fetch_add(1); });
+
+  group_a.Wait();  // must not block on group B's still-pending task
+  EXPECT_EQ(a_done.load(), 1);
+  EXPECT_FALSE(b_finished.load());
+  EXPECT_EQ(group_b.pending(), 1u);
+
+  release_b.set_value();  // only now may B finish
+  group_b.Wait();
+  EXPECT_TRUE(b_finished.load());
+  EXPECT_EQ(group_b.pending(), 0u);
+}
+
+// TSan-covered: concurrent submitters and waiters over a shared pool, each client
+// seeing exactly its own task count. Mirrors the selection service's request fan-out.
+TEST(TaskGroup, ConcurrentGroupsCompleteIndependentlyUnderLoad) {
+  ThreadPool pool(4);
+  constexpr int kClients = 8;
+  constexpr int kTasksPerClient = 200;
+  std::vector<std::thread> clients;
+  std::atomic<int> total{0};
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&] {
+      for (int round = 0; round < 3; ++round) {
+        TaskGroup group;
+        std::atomic<int> own{0};
+        for (int i = 0; i < kTasksPerClient; ++i) {
+          pool.Submit(group, [&own, &total] {
+            own.fetch_add(1);
+            total.fetch_add(1);
+          });
+        }
+        group.Wait();
+        EXPECT_EQ(own.load(), kTasksPerClient);
+      }
+    });
+  }
+  for (auto& t : clients) {
+    t.join();
+  }
+  EXPECT_EQ(total.load(), kClients * 3 * kTasksPerClient);
+  pool.Wait();
 }
 
 }  // namespace
