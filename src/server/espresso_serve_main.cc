@@ -11,6 +11,8 @@
 // --port-file writes the bound port as a decimal line so harnesses can discover
 // it without racing the log output. Runs until SIGINT/SIGTERM, then drains and
 // exits 0. Exits 2 on flag errors, 1 when the listener cannot start.
+#include <signal.h>
+
 #include <csignal>
 #include <cstdint>
 #include <iostream>
@@ -50,6 +52,10 @@ bool ParseFlagUint(const std::string& arg, const std::string& flag, uint64_t* ou
 
 int main(int argc, char** argv) {
   using namespace espresso;
+
+  // Belt and braces alongside MSG_NOSIGNAL in the frame writer: a client that
+  // resets its connection must never kill the multi-tenant daemon with SIGPIPE.
+  std::signal(SIGPIPE, SIG_IGN);
 
   server::ServiceConfig service_config;
   server::ServerOptions server_options;
@@ -170,14 +176,25 @@ int main(int argc, char** argv) {
             << (audit_path.empty() ? "" : ", audit=" + audit_path) << ")\n"
             << std::flush;
 
+  // Block the shutdown signals BEFORE the g_stop check: a signal delivered
+  // between the test and the wait stays pending instead of being consumed, and
+  // sigsuspend atomically unblocks it while waiting — no missed-wakeup window.
+  sigset_t shutdown_set;
+  sigemptyset(&shutdown_set);
+  sigaddset(&shutdown_set, SIGINT);
+  sigaddset(&shutdown_set, SIGTERM);
+  sigset_t wait_mask;
+  ::sigprocmask(SIG_BLOCK, &shutdown_set, &wait_mask);
   std::signal(SIGINT, HandleSignal);
   std::signal(SIGTERM, HandleSignal);
-  sigset_t empty;
-  sigemptyset(&empty);
+  // Wait with the pre-block mask minus the shutdown signals, in case the parent
+  // launched us with either already blocked.
+  sigdelset(&wait_mask, SIGINT);
+  sigdelset(&wait_mask, SIGTERM);
   while (g_stop == 0) {
-    // Sleep until any signal; the handler sets g_stop for the two we care about.
-    sigsuspend(&empty);
+    sigsuspend(&wait_mask);
   }
+  ::sigprocmask(SIG_SETMASK, &wait_mask, nullptr);
   server.Stop();
 
   const server::ServiceStats stats = service.stats();

@@ -1,6 +1,7 @@
 #include "src/server/frame.h"
 
 #include <errno.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <cstring>
@@ -30,10 +31,15 @@ ssize_t ReadFull(int fd, char* buf, size_t len) {
   return static_cast<ssize_t>(done);
 }
 
+// MSG_NOSIGNAL: a peer that resets mid-write must surface as EPIPE, not as a
+// process-fatal SIGPIPE — one dead client must never take down the daemon.
 bool WriteFull(int fd, const char* buf, size_t len) {
   size_t done = 0;
   while (done < len) {
-    const ssize_t n = ::write(fd, buf + done, len - done);
+    ssize_t n = ::send(fd, buf + done, len - done, MSG_NOSIGNAL);
+    if (n < 0 && errno == ENOTSOCK) {
+      n = ::write(fd, buf + done, len - done);  // non-socket fd (pipe, file)
+    }
     if (n < 0) {
       if (errno == EINTR) {
         continue;

@@ -7,8 +7,10 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <sstream>
+#include <thread>
 
 #include "src/util/json_writer.h"
 
@@ -88,8 +90,8 @@ bool ServeServer::Start(std::string* error) {
 
 void ServeServer::Stop() {
   if (!running_.exchange(false)) {
-    // Never started, or already stopped — but joins below are still needed when
-    // Stop() races with itself only through the destructor, which is serialized.
+    // Never started, or already stopped — but the join/drain below is still
+    // needed when Stop() runs again via the destructor, which is serialized.
     if (!accept_thread_.joinable()) {
       return;
     }
@@ -102,22 +104,14 @@ void ServeServer::Stop() {
   if (accept_thread_.joinable()) {
     accept_thread_.join();
   }
-  // Unblock connection threads stuck in read(), then join them.
+  // Unblock connection threads stuck in read(), then wait for every detached
+  // connection thread to finish (each one's final act is the decrement+notify).
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::unique_lock<std::mutex> lock(mu_);
     for (int fd : open_fds_) {
       ::shutdown(fd, SHUT_RDWR);
     }
-  }
-  std::vector<std::thread> connections;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    connections.swap(connections_);
-  }
-  for (std::thread& t : connections) {
-    if (t.joinable()) {
-      t.join();
-    }
+    conn_cv_.wait(lock, [this] { return active_connections_ == 0; });
   }
   pool_.reset();
 }
@@ -134,6 +128,9 @@ void ServeServer::AcceptLoop() {
       if (!running_.load()) {
         break;
       }
+      // Persistent failures (EMFILE under fd exhaustion, ENOBUFS) would
+      // otherwise spin this thread at 100% CPU — back off before retrying.
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
       continue;
     }
     std::lock_guard<std::mutex> lock(mu_);
@@ -142,7 +139,8 @@ void ServeServer::AcceptLoop() {
       break;
     }
     open_fds_.push_back(fd);
-    connections_.emplace_back([this, fd] { ServeConnection(fd); });
+    ++active_connections_;
+    std::thread([this, fd] { ServeConnection(fd); }).detach();
   }
 }
 
@@ -178,6 +176,16 @@ void ServeServer::ServeConnection(int fd) {
                     open_fds_.end());
   }
   ::close(fd);
+  // Last act of the detached thread: nothing may touch `this` after the notify
+  // releases mu_, because Stop() (and then ~ServeServer) is free to proceed the
+  // moment the count hits zero. Notifying under the lock keeps that ordering.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --active_connections_;
+    if (active_connections_ == 0) {
+      conn_cv_.notify_all();
+    }
+  }
 }
 
 }  // namespace espresso::server

@@ -14,6 +14,7 @@
 #define SRC_SERVER_SERVER_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -67,9 +68,13 @@ class ServeServer {
   uint16_t port_ = 0;
   std::thread accept_thread_;
 
+  // Connection threads run detached so a long-lived daemon never accumulates
+  // finished-but-unjoined handles; Stop() instead waits on active_connections_
+  // dropping to zero (each thread's last act is the decrement + notify).
   std::mutex mu_;
-  std::vector<std::thread> connections_;  // joined on Stop()
-  std::vector<int> open_fds_;             // shut down on Stop() to unblock reads
+  std::condition_variable conn_cv_;
+  size_t active_connections_ = 0;
+  std::vector<int> open_fds_;  // shut down on Stop() to unblock reads
 };
 
 }  // namespace espresso::server

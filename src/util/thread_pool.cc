@@ -20,14 +20,14 @@ void TaskGroup::TaskAdded() {
 }
 
 void TaskGroup::TaskFinished() {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    --pending_;
-    if (pending_ != 0) {
-      return;
-    }
+  std::lock_guard<std::mutex> lock(mu_);
+  --pending_;
+  if (pending_ == 0) {
+    // Notify while still holding mu_: the moment a waiter can observe
+    // pending_ == 0 it may destroy this group (ServeConnection keeps it on the
+    // stack), so the notifier must be done with cv_ before releasing the lock.
+    cv_.notify_all();
   }
-  cv_.notify_all();
 }
 
 ThreadPool::ThreadPool(size_t num_threads) {

@@ -109,6 +109,32 @@ TEST_F(FramePair, ConcurrentWriterReaderStreamsManyFrames) {
   producer.join();
 }
 
+// The deterministic SIGPIPE reproduction: a socket whose write side is already
+// shut down (exactly what ServeServer::Stop() does to in-flight connections)
+// raises SIGPIPE on the very next send unless the writer passes MSG_NOSIGNAL.
+// Before the fix this test killed the whole binary; now WriteFrame just fails.
+TEST_F(FramePair, WriteAfterLocalShutdownFailsWithoutRaisingSigpipe) {
+  ASSERT_EQ(::shutdown(writer(), SHUT_WR), 0);
+  std::string error;
+  EXPECT_FALSE(WriteFrame(writer(), "{\"type\":\"health\"}", &error));
+  // Reaching this line at all is the point: the dead peer surfaced as an error
+  // return instead of a process-fatal signal.
+  EXPECT_NE(error.find("frame write failed"), std::string::npos) << error;
+}
+
+// A peer that vanished entirely (both ends of its socket closed) must also
+// surface as a failed write, never a signal — the multi-tenant server shares
+// one process across every connection.
+TEST_F(FramePair, WriteToClosedPeerDoesNotRaiseSigpipe) {
+  CloseRead();
+  std::string error;
+  // First write may consume ECONNRESET; keep writing until the EPIPE path is
+  // exercised. Without MSG_NOSIGNAL the second failure raises SIGPIPE.
+  EXPECT_FALSE(WriteFrame(writer(), "a", &error));
+  EXPECT_FALSE(WriteFrame(writer(), "b", &error));
+  EXPECT_FALSE(WriteFrame(writer(), "c", &error));
+}
+
 TEST(FrameStatusNames, AreStable) {
   EXPECT_STREQ(FrameStatusName(FrameStatus::kOk), "ok");
   EXPECT_STREQ(FrameStatusName(FrameStatus::kClosed), "closed");

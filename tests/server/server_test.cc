@@ -17,6 +17,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
@@ -288,6 +289,44 @@ int RawConnect(uint16_t port) {
     return -1;
   }
   return fd;
+}
+
+// Clients that send a complete request and then RST the connection before the
+// server writes its reply. The server's response write then hits a dead peer;
+// without MSG_NOSIGNAL that raised SIGPIPE and killed the whole daemon (this
+// test ran in-process, so the crash took the test binary down with it).
+TEST_F(ServeServerTest, PeerResetBeforeResponseWriteDoesNotCrashTheServer) {
+  StartServer();
+  std::string error;
+
+  for (int i = 0; i < 8; ++i) {
+    const int fd = RawConnect(server_->port());
+    ASSERT_GE(fd, 0);
+    const std::string payload = "{\"type\":\"health\",\"id\":\"rst\"}";
+    const uint32_t length = static_cast<uint32_t>(payload.size());
+    const unsigned char prefix[4] = {
+        static_cast<unsigned char>((length >> 24) & 0xff),
+        static_cast<unsigned char>((length >> 16) & 0xff),
+        static_cast<unsigned char>((length >> 8) & 0xff),
+        static_cast<unsigned char>(length & 0xff)};
+    ASSERT_EQ(::write(fd, prefix, 4), 4);
+    ASSERT_EQ(::write(fd, payload.data(), payload.size()),
+              static_cast<ssize_t>(payload.size()));
+    // SO_LINGER with zero timeout turns close() into an immediate RST, so the
+    // server's pending response write lands on a reset connection.
+    const linger hard_reset = {1, 0};
+    ::setsockopt(fd, SOL_SOCKET, SO_LINGER, &hard_reset, sizeof(hard_reset));
+    ::close(fd);
+  }
+
+  // Give the server time to process the doomed requests and attempt the writes.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  ServeClient client;
+  ASSERT_TRUE(client.Connect(server_->port(), &error)) << error;
+  std::string response;
+  ASSERT_TRUE(client.Call(BuildHealthRequest("post-reset"), &response, &error))
+      << error;
+  EXPECT_TRUE(Parse(response).ok) << response;
 }
 
 TEST_F(ServeServerTest, AbruptDisconnectMidFrameDoesNotCrashTheServer) {

@@ -137,5 +137,22 @@ TEST(TaskGroup, ConcurrentGroupsCompleteIndependentlyUnderLoad) {
   pool.Wait();
 }
 
+// TSan-covered regression: a TaskGroup destroyed the instant Wait() returns
+// (the ServeConnection pattern — group on the stack, short-lived tasks). The
+// original TaskFinished released mu_ BEFORE notify_all, so a waiter could
+// observe pending_ == 0, return, and destroy the group while the worker was
+// still about to touch the freed condition variable. Under TSan the old code
+// reports a data race on ~TaskGroup within a few thousand rounds.
+TEST(TaskGroup, DestroyImmediatelyAfterWaitReturnsIsSafe) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 20000; ++round) {
+    TaskGroup group;
+    for (int t = 0; t < 3; ++t) {
+      pool.Submit(group, [] {});
+    }
+    group.Wait();
+  }
+}
+
 }  // namespace
 }  // namespace espresso
